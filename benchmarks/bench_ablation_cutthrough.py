@@ -1,0 +1,61 @@
+"""Ablation: what if the Elan4 payload path were cut-through?
+
+DESIGN.md/EXPERIMENTS.md call out one calibration judgement: the paper's
+own latency slopes (~2.6 ns/B below 4 KB) imply the testbed moved QDMA and
+Tport payloads store-and-forward through the NIC — the sum of PCI + wire +
+PCI per-byte costs.  ``MachineConfig.nic_cutthrough_flit`` flips that
+assumption: with a 256 B flit, only the first flit gates each stage and a
+2 KB QDMA costs ≈ max(stage) per byte.
+
+This bench quantifies the what-if: cut-through roughly halves eager-range
+latency and pulls the eager/rendezvous crossover outward, while sub-flit
+messages and the rendezvous RDMA path (4 KB store-and-forward descriptors
+either way) barely move.
+"""
+
+from conftest import run_once
+
+from repro.bench.harness import openmpi_pingpong
+from repro.bench.reporting import format_series_table
+from repro.config import default_config
+
+SIZES = [0, 64, 256, 1024, 1984, 4096, 16384]
+
+
+def run():
+    store_forward = default_config()
+    cut_through = default_config().variant(nic_cutthrough_flit=256)
+    return {
+        "store-and-forward (paper)": {
+            n: openmpi_pingpong(n, iters=8, config=store_forward) for n in SIZES
+        },
+        "cut-through 256B flit": {
+            n: openmpi_pingpong(n, iters=8, config=cut_through) for n in SIZES
+        },
+    }
+
+
+def test_ablation_cutthrough_flit(benchmark):
+    results = run_once(benchmark, run)
+    print()
+    print(
+        format_series_table(
+            "Ablation — NIC payload path: store-and-forward vs cut-through",
+            results,
+            note="cut-through mainly helps the eager range (QDMA payloads); "
+            "the rendezvous RDMA path is 4 KB store-and-forward chunks "
+            "in both configurations",
+        )
+    )
+    sf = results["store-and-forward (paper)"]
+    ct = results["cut-through 256B flit"]
+    # sub-flit messages (payload + 64 B header ≤ flit) are identical
+    for n in (0, 64):
+        assert abs(sf[n] - ct[n]) < 0.05, n
+    # the eager range shows the big win...
+    assert ct[1984] < 0.75 * sf[1984]
+    # ...while the (no-inline) rendezvous path is flit-insensitive: its
+    # control fragments are sub-flit and its data moves as 4 KB
+    # store-and-forward RDMA chunks under both configurations
+    for n in (4096, 16384):
+        assert abs(ct[n] - sf[n]) < 0.05, n

@@ -1,0 +1,69 @@
+"""Extension bench — collective latency scaling on the reproduced stack.
+
+The paper runs no collective experiments ("Currently, collective
+communication is provided as a separate component on top of point-to-point
+communication", §2.1), but a transport paper's collectives are its first
+downstream consumer.  This bench records barrier / 1 KB-bcast / 64 B
+allreduce latency against rank count over PTL/Elan4 and checks the expected
+logarithmic scaling of the software algorithms.
+"""
+
+from conftest import run_once
+
+from repro.bench.reporting import format_series_table
+from repro.cluster import Cluster
+from repro.mpi.world import make_mpi_stack_factory
+from repro.rte.environment import launch_job
+
+import numpy as np
+
+RANKS = [2, 4, 8]
+
+
+def collective_latency(np_, kind, iters=5):
+    cluster = Cluster(nodes=min(np_, 8))
+    out = {}
+
+    def app(mpi):
+        yield from mpi.comm_world.barrier()  # align
+        t0 = mpi.now
+        for _ in range(iters):
+            if kind == "barrier":
+                yield from mpi.comm_world.barrier()
+            elif kind == "bcast-1K":
+                yield from mpi.comm_world.bcast(
+                    bytes(1024) if mpi.rank == 0 else None
+                )
+            elif kind == "allreduce-64B":
+                yield from mpi.comm_world.allreduce(
+                    np.zeros(8, dtype=np.int64), op="sum"
+                )
+        out[mpi.rank] = (mpi.now - t0) / iters
+
+    launch_job(cluster, app, np=np_, stack_factory=make_mpi_stack_factory())
+    return max(out.values())
+
+
+def run():
+    return {
+        kind: {n: collective_latency(n, kind) for n in RANKS}
+        for kind in ("barrier", "bcast-1K", "allreduce-64B")
+    }
+
+
+def test_collective_scaling(benchmark):
+    results = run_once(benchmark, run)
+    print()
+    print(
+        format_series_table(
+            "Extension — collective latency vs rank count (size column = ranks)",
+            results,
+            note="software algorithms over PTL/Elan4: dissemination barrier, "
+            "binomial bcast, recursive-doubling allreduce — all ~log2(n)",
+        )
+    )
+    for kind, series in results.items():
+        # logarithmic growth: doubling ranks adds roughly one round,
+        # so 8 ranks costs clearly more than 2 but far less than 4x
+        assert series[8] > series[2], kind
+        assert series[8] < 4 * series[2], kind

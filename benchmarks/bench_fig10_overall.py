@@ -1,0 +1,59 @@
+"""Regenerates Fig. 10 — overall latency and bandwidth of Open MPI over
+Quadrics/Elan4 (read and write schemes, best options) against the
+MPICH-QsNetII baseline, small and large messages."""
+
+from conftest import run_once
+
+from repro.bench import fig10
+
+
+def test_fig10_overall_latency_and_bandwidth(benchmark):
+    def run():
+        latency = fig10.run_latency(iters=5)
+        bandwidth = fig10.run_bandwidth(messages=20, window=8)
+        return latency, bandwidth
+
+    latency, bandwidth = run_once(benchmark, run)
+    print()
+    print(fig10.report(latency, bandwidth))
+    fig10.check_shape(latency, bandwidth)
+    benchmark.extra_info["latency"] = {
+        name: {str(k): round(v, 2) for k, v in vals.items()}
+        for name, vals in latency.items()
+    }
+    benchmark.extra_info["bandwidth"] = {
+        name: {str(k): round(v, 1) for k, v in vals.items()}
+        for name, vals in bandwidth.items()
+    }
+
+
+def test_fig10a_small_message_gap(benchmark):
+    """§6.5: Open MPI latency 'comparable to that of MPICH-QsNetII, except
+    in the range of small messages' (64 B vs 32 B header, host vs NIC
+    matching)."""
+
+    def run():
+        return fig10.run_latency(sizes=[0, 4, 64, 512, 1024], iters=6)
+
+    latency = run_once(benchmark, run)
+    for n in (0, 4, 64, 512, 1024):
+        gap = latency["PTL/Elan4-RDMA-Read"][n] - latency["MPICH-QsNetII"][n]
+        print(f"size {n}: Open MPI trails MPICH by {gap:.2f} us")
+        assert 0.0 < gap < 3.0, (n, gap)
+
+
+def test_fig10d_bandwidth_convergence(benchmark):
+    """Both implementations approach the PCI-X ceiling at 1 MB (~900 MB/s);
+    MPICH keeps the middle range."""
+
+    def run():
+        return fig10.run_bandwidth(sizes=[4096, 65536, 1048576], messages=16, window=8)
+
+    bandwidth = run_once(benchmark, run)
+    mpich = bandwidth["MPICH-QsNetII"]
+    openmpi = bandwidth["PTL/Elan4-RDMA-Read"]
+    assert mpich[4096] > openmpi[4096]
+    assert openmpi[1048576] / mpich[1048576] > 0.9
+    for name, series in (("mpich", mpich), ("openmpi", openmpi)):
+        print(f"{name} 1MB bandwidth: {series[1048576]:.0f} MB/s (paper: ~880-905)")
+        assert 750 < series[1048576] < 1064

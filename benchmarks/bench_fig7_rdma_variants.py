@@ -1,0 +1,46 @@
+"""Regenerates Fig. 7 — performance analysis of basic RDMA read and write
+(§6.1): read vs write schemes, datatype engine on/off, rendezvous with and
+without inlined data, over 0 B – 4 KB."""
+
+from conftest import run_once
+
+from repro.bench import fig7
+
+
+def test_fig7_rdma_read_write_variants(benchmark):
+    results = run_once(benchmark, fig7.run)
+    print()
+    print(fig7.report(results))
+    fig7.check_shape(results)
+    benchmark.extra_info["series"] = {
+        name: {str(k): round(v, 3) for k, v in vals.items()}
+        for name, vals in results.items()
+    }
+
+
+def test_fig7a_dtp_overhead_band(benchmark):
+    """The headline number of panel (a): DTP ≈ +0.4 µs at every eager size."""
+
+    def run():
+        return fig7.run(sizes=[0, 4, 64, 256, 512], iters=8)
+
+    results = run_once(benchmark, run)
+    deltas = [
+        results["Read-DTP"][n] - results["RDMA-Read"][n] for n in results["RDMA-Read"]
+    ]
+    print(f"\nDTP overhead across eager sizes: {[round(d, 3) for d in deltas]} us "
+          "(paper: ~0.4 us)")
+    assert all(0.2 < d < 0.7 for d in deltas)
+
+
+def test_fig7b_read_saves_a_control_packet(benchmark):
+    """Panel (b): the read scheme's advantage over write above 1984 B."""
+
+    def run():
+        return fig7.run(sizes=[2048, 4096], iters=8)
+
+    results = run_once(benchmark, run)
+    for n in (2048, 4096):
+        gap = results["RDMA-Write"][n] - results["RDMA-Read"][n]
+        print(f"\nwrite-read gap at {n}B: {gap:.2f} us (one control packet)")
+        assert 0.5 < gap < 4.0

@@ -1,0 +1,45 @@
+"""Regenerates Fig. 8 — chained DMA and shared completion queue (§6.2):
+chained vs host-issued FIN_ACK, and the One-Queue / Two-Queue shared
+completion strategies, over 0 B – 16 KB."""
+
+from conftest import run_once
+
+from repro.bench import fig8
+
+
+def test_fig8_chained_dma_and_completion_queues(benchmark):
+    results = run_once(benchmark, fig8.run)
+    print()
+    print(fig8.report(results))
+    fig8.check_shape(results)
+    benchmark.extra_info["series"] = {
+        name: {str(k): round(v, 3) for k, v in vals.items()}
+        for name, vals in results.items()
+    }
+
+
+def test_fig8_chaining_benefit_is_marginal(benchmark):
+    """§6.2: 'using the chained DMA ... does provide marginal improvements
+    for the transmission of long messages. The benefit is small...'"""
+
+    def run():
+        return fig8.run(sizes=[4096, 16384], iters=8)
+
+    results = run_once(benchmark, run)
+    for n in (4096, 16384):
+        benefit = results["Read-NoChain"][n] - results["RDMA-Read"][n]
+        print(f"\nchained-FIN benefit at {n}B: {benefit:.3f} us (paper: marginal)")
+        assert 0.0 < benefit < 2.0
+
+
+def test_fig8_queue_strategies_equal_under_polling(benchmark):
+    """§6.2: 'the cost of checking two eight-byte host-events is about the
+    same as that of checking one'."""
+
+    def run():
+        return fig8.run(sizes=[0, 8192], iters=8)
+
+    results = run_once(benchmark, run)
+    for n in (0, 8192):
+        diff = abs(results["One-Queue"][n] - results["Two-Queue"][n])
+        assert diff < 0.5, (n, diff)

@@ -1,0 +1,44 @@
+"""Regenerates Fig. 9 and the §6.3 analysis — communication cost by layer:
+native QDMA latency (at 64+N bytes), PTL/Elan4 latency, and the PML-layer
+cost measured by the paper's token-passing argument."""
+
+from conftest import run_once
+
+from repro.bench import fig9
+
+
+def test_fig9_layer_decomposition(benchmark):
+    results = run_once(benchmark, fig9.run)
+    print()
+    print(fig9.report(results))
+    fig9.check_shape(results)
+    benchmark.extra_info["series"] = {
+        name: {str(k): round(v, 3) for k, v in vals.items()}
+        for name, vals in results.items()
+    }
+
+
+def test_fig9_pml_cost_is_half_a_microsecond(benchmark):
+    """§6.3: 'the PML layer and above has a communication cost of 0.5 µsec'."""
+
+    def run():
+        return fig9.run(sizes=[0, 64, 512, 1984], iters=12)
+
+    results = run_once(benchmark, run)
+    costs = list(results["PML Layer Cost"].values())
+    print(f"\nPML layer cost across sizes: {[round(c, 3) for c in costs]} us")
+    assert all(0.35 <= c <= 0.75 for c in costs)
+
+
+def test_fig9_ptl_comparable_to_native_qdma(benchmark):
+    """§6.3: 'PTL/Elan4 delivers the message with a performance comparable
+    to native Quadrics QDMA' (the N vs 64+N comparison)."""
+
+    def run():
+        return fig9.run(sizes=[0, 256, 1024, 1984], iters=10)
+
+    results = run_once(benchmark, run)
+    for n in results["PTL latency"]:
+        ratio = results["PTL latency"][n] / results["QDMA latency"][n]
+        print(f"size {n}: PTL/native ratio {ratio:.3f}")
+        assert 0.8 < ratio < 1.35, (n, ratio)

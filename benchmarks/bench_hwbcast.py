@@ -1,0 +1,79 @@
+"""Extension bench — Elan hardware broadcast vs the software tree.
+
+The paper defers hardware collectives ("Further research will exploit the
+benefits of hardware-based collective support", §2.1) because its dynamic
+process model forfeits the global virtual address space they need (§4.1).
+This bench quantifies what that trade-off costs a *static* job: hardware
+broadcast (one injection, switch replication) against the point-to-point
+binomial tree the collective component uses, across group sizes.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.bench.reporting import format_series_table
+from repro.cluster import Cluster
+from repro.elan4.hwbcast import make_group
+from repro.mpi.world import make_mpi_stack_factory
+from repro.rte.environment import launch_job
+
+GROUP_SIZES = [2, 4, 8]
+PAYLOAD = 1024
+
+
+def hw_bcast_latency(n: int) -> float:
+    cluster = Cluster(nodes=n)
+    ctxs = [cluster.claim_context(i) for i in range(n)]
+    cluster.capability.seal_static_cohort()
+    group = make_group(ctxs)
+    payload = np.zeros(PAYLOAD, np.uint8)
+
+    def root(thread):
+        yield from group.bcast(thread, ctxs[0], payload)
+
+    cluster.nodes[0].spawn_thread(root)
+    cluster.run()
+    return max(group.queue_of(c).poll().arrived_at for c in ctxs)
+
+
+def sw_bcast_latency(n: int) -> float:
+    cluster = Cluster(nodes=n)
+    done = {}
+
+    def app(mpi):
+        yield from mpi.comm_world.barrier()  # remove MPI_Init skew
+        t0 = mpi.now
+        yield from mpi.comm_world.bcast(bytes(PAYLOAD) if mpi.rank == 0 else None)
+        done[mpi.rank] = mpi.now - t0
+
+    launch_job(cluster, app, np=n, stack_factory=make_mpi_stack_factory())
+    return max(done.values())
+
+
+def run():
+    return {
+        "hardware bcast": {n: hw_bcast_latency(n) for n in GROUP_SIZES},
+        "software tree": {n: sw_bcast_latency(n) for n in GROUP_SIZES},
+    }
+
+
+def test_hwbcast_vs_software_tree(benchmark):
+    results = run_once(benchmark, run)
+    print()
+    print(
+        format_series_table(
+            "Extension — 1 KB broadcast latency vs group size",
+            results,
+            note="hardware: one injection, flat in n; software binomial "
+            "tree: grows ~log2(n) network legs (size column = ranks)",
+        )
+    )
+    hw = results["hardware bcast"]
+    sw = results["software tree"]
+    # at 2 ranks the tree is a single send — hardware has no edge there;
+    # from 4 ranks up the single-injection property dominates
+    for n in (4, 8):
+        assert hw[n] < sw[n], n
+    # hardware is ~flat in group size; the software tree is not
+    assert hw[8] < 1.3 * hw[2]
+    assert sw[8] > 1.5 * sw[2]

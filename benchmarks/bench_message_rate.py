@@ -1,0 +1,52 @@
+"""Extension bench — small-message issue rate.
+
+Latency (Fig. 10a) measures a lonely message; message *rate* measures how
+fast the stack can push a stream of small messages with a full window —
+which stresses per-message host costs (PML scheduling, send-buffer
+recycling, header build) rather than wire time.  MPICH-QsNetII's thinner
+per-message path gives it the same edge here that it has in latency.
+"""
+
+from conftest import run_once
+
+from repro.bench.harness import mpich_bandwidth, openmpi_bandwidth
+from repro.bench.reporting import format_table
+
+SIZES = [8, 64, 512]
+MESSAGES = 64
+WINDOW = 16
+
+
+def rate_mmsgs(bw_MBps: float, nbytes: int) -> float:
+    """messages/µs -> million messages per second."""
+    return bw_MBps / nbytes if nbytes else 0.0
+
+
+def run():
+    rows = []
+    for n in SIZES:
+        open_bw = openmpi_bandwidth(n, messages=MESSAGES, window=WINDOW)
+        mpich_bw = mpich_bandwidth(n, messages=MESSAGES, window=WINDOW)
+        rows.append(
+            (n, rate_mmsgs(open_bw, n), rate_mmsgs(mpich_bw, n))
+        )
+    return rows
+
+
+def test_small_message_rate(benchmark):
+    rows = run_once(benchmark, run)
+    print()
+    print(
+        format_table(
+            "Extension — small-message rate (million msgs/s), window 16",
+            ["size", "Open MPI/PTL-Elan4", "MPICH-QsNetII"],
+            rows,
+            note="per-message host costs dominate; NIC-side matching keeps "
+            "MPICH ahead, mirroring the Fig. 10a latency gap",
+        )
+    )
+    for n, open_rate, mpich_rate in rows:
+        assert open_rate > 0.1, n  # at least ~100k msgs/s
+        assert mpich_rate >= open_rate * 0.95, n
+    # rate degrades gently with size (fixed costs still matter at 512 B)
+    assert rows[0][1] < 3.0 * rows[-1][1]

@@ -1,0 +1,119 @@
+"""Extension bench — multirail Quadrics (the paper's §8 future work).
+
+"In future, we intend to study the effectiveness of performance improvement
+with Open MPI's aggregated communication over network interfaces, including
+both multi-rail communication over Quadrics [6]..."
+
+The cluster grows a second QsNetII rail (its own switch, NICs, and PCI
+bridge segment per node); the stack loads one PTL/Elan4 module per rail and
+the PML stripes *messages* across rails round-robin (the rail-allocation
+strategy of Coll et al. [6]).  Expected: streaming bandwidth of large
+messages nearly doubles; single-message latency is unchanged (one message
+still rides one rail).
+"""
+
+from conftest import run_once
+
+from repro.bench.reporting import format_series_table
+from repro.cluster import Cluster
+from repro.mpi.world import make_mpi_stack_factory
+from repro.rte.environment import launch_job
+
+SIZES = [4096, 65536, 262144, 1048576]
+
+
+def _stream_bw(rails, transports, nbytes, messages=16, window=8):
+    cluster = Cluster(nodes=2, rails=rails)
+    out = {}
+
+    def app(mpi):
+        if mpi.rank == 0:
+            bufs = [mpi.alloc(nbytes) for _ in range(window)]
+            t0 = mpi.now
+            reqs = []
+            for i in range(messages):
+                if len(reqs) >= window:
+                    yield from mpi.wait(reqs.pop(0))
+                reqs.append((yield from mpi.comm_world.isend(
+                    bufs[i % window], dest=1, tag=1, nbytes=nbytes)))
+            yield from mpi.waitall(reqs)
+            yield from mpi.comm_world.recv(source=1, tag=2, nbytes=0)
+            out["bw"] = messages * nbytes / (mpi.now - t0)
+        else:
+            buf = mpi.alloc(nbytes)
+            reqs = []
+            for i in range(messages):
+                if len(reqs) >= window:
+                    yield from mpi.wait(reqs.pop(0))
+                reqs.append((yield from mpi.comm_world.irecv(
+                    nbytes, source=0, tag=1, buffer=buf)))
+            yield from mpi.waitall(reqs)
+            yield from mpi.comm_world.send(b"", dest=0, tag=2, nbytes=0)
+
+    launch_job(cluster, app, np=2, transports=transports,
+               stack_factory=make_mpi_stack_factory())
+    cluster.assert_no_drops()
+    return out["bw"]
+
+
+def _latency(rails, transports, nbytes, iters=6):
+    cluster = Cluster(nodes=2, rails=rails)
+    out = {}
+
+    def app(mpi):
+        buf = mpi.alloc(max(nbytes, 1))
+        other = 1 - mpi.rank
+        if mpi.rank == 0:
+            t0 = mpi.now
+            for _ in range(iters):
+                yield from mpi.comm_world.send(buf, dest=other, tag=1, nbytes=nbytes)
+                yield from mpi.comm_world.recv(source=other, tag=1, nbytes=nbytes, buffer=buf)
+            out["lat"] = (mpi.now - t0) / (2 * iters)
+        else:
+            for _ in range(iters):
+                yield from mpi.comm_world.recv(source=other, tag=1, nbytes=nbytes, buffer=buf)
+                yield from mpi.comm_world.send(buf, dest=other, tag=1, nbytes=nbytes)
+
+    launch_job(cluster, app, np=2, transports=transports,
+               stack_factory=make_mpi_stack_factory())
+    return out["lat"]
+
+
+def run():
+    one = {n: _stream_bw(1, ("elan4",), n) for n in SIZES}
+    two = {n: _stream_bw(2, ("elan4", "elan4:1"), n) for n in SIZES}
+    return {"1 rail [MB/s]": one, "2 rails [MB/s]": two}
+
+
+def test_multirail_bandwidth_aggregation(benchmark):
+    results = run_once(benchmark, run)
+    print()
+    print(
+        format_series_table(
+            "Extension — multirail streaming bandwidth (2 rails vs 1)",
+            results,
+            unit="MB/s",
+            note="rail-per-message striping [6]; expected ~2x for large "
+            "streams, ~1x for single-message latency",
+        )
+    )
+    for n in SIZES:
+        speedup = results["2 rails [MB/s]"][n] / results["1 rail [MB/s]"][n]
+        print(f"size {n}: speedup {speedup:.2f}x")
+        # the serial per-message host path caps small-message gains; large
+        # streams approach the ideal 2x
+        assert speedup > (1.3 if n <= 65536 else 1.7), (n, speedup)
+
+
+def test_multirail_latency_unchanged(benchmark):
+    """One message rides one rail: latency does not improve."""
+
+    def run_lat():
+        return (
+            _latency(1, ("elan4",), 4096),
+            _latency(2, ("elan4", "elan4:1"), 4096),
+        )
+
+    one, two = run_once(benchmark, run_lat)
+    print(f"\n4 KB latency: 1 rail {one:.2f} us, 2 rails {two:.2f} us")
+    assert abs(one - two) < 1.0

@@ -1,0 +1,77 @@
+"""Extension bench — the price of end-to-end reliable delivery (§3).
+
+Three configurations of a 4-message-deep eager stream and a rendezvous
+transfer:
+
+* baseline (chained FIN, untracked) — the paper's best-options stack;
+* reliability on, lossless fabric — the pure protocol overhead: per-peer
+  sequencing, an ACK per fragment, no chained FIN;
+* reliability on, 10% injected loss — what recovery costs when it works.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.bench.reporting import format_table
+from repro.cluster import Cluster
+from repro.core.ptl.elan4.module import Elan4PtlOptions
+from repro.mpi.world import make_mpi_stack_factory
+from repro.rte.environment import launch_job
+
+RELIABLE = Elan4PtlOptions(reliability=True, chained_fin=False)
+BASELINE = Elan4PtlOptions()
+
+
+def pingpong(nbytes, options, loss=0.0, iters=8):
+    cluster = Cluster(nodes=2)
+    if loss:
+        cluster.fabric.set_loss(loss, seed=5)
+    out = {}
+
+    def app(mpi):
+        buf = mpi.alloc(max(nbytes, 1))
+        other = 1 - mpi.rank
+        if mpi.rank == 0:
+            t0 = mpi.now
+            for _ in range(iters):
+                yield from mpi.comm_world.send(buf, dest=other, tag=1, nbytes=nbytes)
+                yield from mpi.comm_world.recv(source=other, tag=1, nbytes=nbytes, buffer=buf)
+            out["lat"] = (mpi.now - t0) / (2 * iters)
+        else:
+            for _ in range(iters):
+                yield from mpi.comm_world.recv(source=other, tag=1, nbytes=nbytes, buffer=buf)
+                yield from mpi.comm_world.send(buf, dest=other, tag=1, nbytes=nbytes)
+
+    launch_job(cluster, app, np=2,
+               stack_factory=make_mpi_stack_factory(elan4_options=options))
+    return out["lat"]
+
+
+def run():
+    rows = []
+    for n in (64, 4096, 65536):
+        base = pingpong(n, BASELINE)
+        rel = pingpong(n, RELIABLE)
+        lossy = pingpong(n, RELIABLE, loss=0.10)
+        rows.append((n, base, rel, rel / base, lossy))
+    return rows
+
+
+def test_reliability_overhead(benchmark):
+    rows = run_once(benchmark, run)
+    print()
+    print(
+        format_table(
+            "Extension — end-to-end reliability cost (one-way latency, us)",
+            ["size", "baseline", "reliable", "ratio", "reliable+10% loss"],
+            rows,
+            note="reliability = per-fragment sequencing + ACKs + host FIN "
+            "(chained-DMA surrendered); loss recovery pays retransmit "
+            "timeouts on the unlucky messages",
+        )
+    )
+    for n, base, rel, ratio, lossy in rows:
+        # tracked delivery costs something, but never multiples
+        assert 1.0 <= ratio < 1.8, (n, ratio)
+        # surviving 10% loss costs more than a lossless run on average
+        assert lossy >= rel * 0.99, n

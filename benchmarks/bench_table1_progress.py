@@ -1,0 +1,43 @@
+"""Regenerates Table 1 — performance analysis of thread-based asynchronous
+progress (§6.4): Basic / Interrupt / One-Thread / Two-Thread completion at
+4 B and 4 KB with the RDMA-read rendezvous."""
+
+from conftest import run_once
+
+from repro.bench import table1
+
+
+def test_table1_async_progress(benchmark):
+    results = run_once(benchmark, table1.run)
+    print()
+    print(table1.report(results))
+    table1.check_shape(results)
+    benchmark.extra_info["table"] = {
+        name: {str(k): round(v, 2) for k, v in vals.items()}
+        for name, vals in results.items()
+    }
+
+
+def test_table1_interrupt_cost_decomposition(benchmark):
+    """§6.4 attributes ≈10 µs of the threading overhead to the interrupt;
+    the Basic→Interrupt delta isolates it."""
+
+    def run():
+        return table1.run(iters=8)
+
+    results = run_once(benchmark, run)
+    delta = results["Interrupt"][4] - results["Basic"][4]
+    print(f"\ninterrupt path cost at 4B: {delta:.2f} us (paper: ~10.8)")
+    assert 9.0 < delta < 17.0
+
+
+def test_table1_one_thread_beats_two(benchmark):
+    """§6.4: 'one-thread-based asynchronous communication progress is more
+    efficient as it reduces the contention on CPU and memory resources'."""
+
+    def run():
+        return table1.run(iters=8)
+
+    results = run_once(benchmark, run)
+    for n in (4, 4096):
+        assert results["One Thread"][n] < results["Two Threads"][n], n

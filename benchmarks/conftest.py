@@ -1,0 +1,18 @@
+"""Shared configuration for the figure-regeneration benchmarks.
+
+Each benchmark regenerates one table/figure of the paper's §6 inside the
+deterministic simulator, prints the same rows/series the paper reports
+(run with ``-s`` to see them), asserts the paper's qualitative shape, and
+records the measured series in ``benchmark.extra_info`` for archival.
+
+Wall-clock numbers reported by pytest-benchmark measure the *simulation*,
+not the modelled hardware — the modelled microseconds are in the printed
+tables.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under the benchmark fixture."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

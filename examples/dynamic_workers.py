@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""MPI-2 dynamic process management: an elastic master/worker farm.
+
+This exercises the paper's headline capability (§4.1/§5): processes that
+*join the Quadrics network at runtime*.  A two-rank world starts computing
+a batch of numeric tasks; when the master sees the queue is deep it spawns
+two extra workers mid-job with ``MPI_Comm_spawn``.  The spawned workers
+claim fresh contexts/VPIDs from the system-wide capability, wire up through
+the RTE, connect back with ``MPI_Comm_get_parent``, and start pulling tasks
+— something the static libelan process model categorically cannot do.
+
+Run:  python examples/dynamic_workers.py
+"""
+
+import json
+
+import numpy as np
+
+from repro.cluster import Cluster
+
+TASKS = 24
+TAG_TASK = 1
+TAG_RESULT = 2
+TAG_STOP = 3
+TAG_GROW = 4  # master -> workers: join the collective spawn
+
+
+def _task_payload(i):
+    return json.dumps({"task": i, "x": i * 1.5}).encode()
+
+
+def _solve(payload):
+    spec = json.loads(bytes(payload).decode())
+    return json.dumps({"task": spec["task"], "y": spec["x"] ** 2}).encode()
+
+
+def spawned_worker(mpi):
+    """A late joiner: finds its parents and serves tasks over the
+    intercommunicator."""
+    parent = yield from mpi.get_parent()
+    vpid = mpi.stack.pml.modules[0].ctx.vpid
+    print(f"    [spawned worker rank {mpi.rank}] joined at "
+          f"{mpi.now:.0f} us with fresh VPID {vpid}")
+    done = 0
+    while True:
+        data, status = yield from parent.recv(source=0, nbytes=256)
+        if status.tag == TAG_STOP:
+            break
+        yield from parent.send(_solve(data), dest=0, tag=TAG_RESULT)
+        done += 1
+    return done
+
+
+def app(mpi):
+    if mpi.rank == 0:
+        return (yield from master(mpi))
+    return (yield from world_worker(mpi))
+
+
+def world_worker(mpi):
+    """Original worker, rank 1 of the initial world."""
+    done = 0
+    while True:
+        data, status = yield from mpi.comm_world.recv(source=0, nbytes=256)
+        if status.tag == TAG_STOP:
+            break
+        if status.tag == TAG_GROW:
+            # MPI_Comm_spawn is collective over the world: participate
+            # (the child programs are the root's argument)
+            yield from mpi.spawn([])
+            continue
+        yield from mpi.comm_world.send(_solve(data), dest=0, tag=TAG_RESULT)
+        done += 1
+    return done
+
+
+def master(mpi):
+    pending = list(range(TASKS))
+    results = {}
+    # phase 1: just the original worker
+    first_batch = TASKS // 4
+    print(f"[master] {TASKS} tasks; starting with 1 worker")
+    for i in pending[:first_batch]:
+        yield from mpi.comm_world.send(_task_payload(i), dest=1, tag=TAG_TASK)
+        data, _ = yield from mpi.comm_world.recv(source=1, tag=TAG_RESULT, nbytes=256)
+        out = json.loads(bytes(data).decode())
+        results[out["task"]] = out["y"]
+    pending = pending[first_batch:]
+
+    # phase 2: the queue is deep — grow the farm at runtime
+    print(f"[master] {len(pending)} tasks left at {mpi.now:.0f} us: "
+          "spawning 2 extra workers")
+    yield from mpi.comm_world.send(b"", dest=1, tag=TAG_GROW)
+    intercomm = yield from mpi.spawn([spawned_worker, spawned_worker])
+
+    # round-robin the rest across old and new workers
+    targets = [("world", 1), ("spawned", 0), ("spawned", 1)]
+    inflight = []
+    ti = 0
+    for i in pending:
+        kind, w = targets[ti % len(targets)]
+        ti += 1
+        if kind == "world":
+            yield from mpi.comm_world.send(_task_payload(i), dest=1, tag=TAG_TASK)
+        else:
+            yield from intercomm.send(_task_payload(i), dest=w, tag=TAG_TASK)
+        inflight.append(kind)
+    for kind in inflight:
+        if kind == "world":
+            data, _ = yield from mpi.comm_world.recv(source=1, tag=TAG_RESULT, nbytes=256)
+        else:
+            data, _ = yield from intercomm.recv(tag=TAG_RESULT, nbytes=256)
+        out = json.loads(bytes(data).decode())
+        results[out["task"]] = out["y"]
+
+    # shut everyone down
+    yield from mpi.comm_world.send(b"", dest=1, tag=TAG_STOP)
+    for w in range(intercomm.remote_size):
+        yield from intercomm.send(b"", dest=w, tag=TAG_STOP)
+
+    assert len(results) == TASKS
+    assert all(np.isclose(results[i], (i * 1.5) ** 2) for i in range(TASKS))
+    print(f"[master] all {TASKS} results verified at {mpi.now:.0f} us")
+    return len(results)
+
+
+def main():
+    cluster = Cluster(nodes=4)
+    results = cluster.run_mpi(app, np=2)
+    worker_counts = {r: v for r, v in results.items() if r != 0}
+    print(f"tasks per worker: {worker_counts}")
+    assert results[0] == TASKS
+    assert sum(worker_counts.values()) == TASKS
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's evaluation tables/figures from the command line.
+
+Usage:
+    python examples/regenerate_figures.py            # everything (slow-ish)
+    python examples/regenerate_figures.py fig7       # one experiment
+    python examples/regenerate_figures.py fig9 table1
+    python examples/regenerate_figures.py --quick    # reduced size grids
+
+Prints the same rows/series the paper reports, next to the paper's own
+numbers where the text/plots give them.  See EXPERIMENTS.md for the
+recorded paper-vs-measured comparison.
+"""
+
+import argparse
+import sys
+import time
+
+from repro.bench import fig7, fig8, fig9, fig10, table1
+
+
+def run_fig7(quick):
+    sizes = [0, 64, 512, 2048, 4096] if quick else None
+    results = fig7.run(sizes=sizes)
+    print(fig7.report(results))
+    fig7.check_shape(results)
+
+
+def run_fig8(quick):
+    sizes = [0, 2048, 4096, 16384] if quick else None
+    results = fig8.run(sizes=sizes)
+    print(fig8.report(results))
+    fig8.check_shape(results)
+
+
+def run_fig9(quick):
+    sizes = [0, 64, 512, 1984] if quick else None
+    results = fig9.run(sizes=sizes)
+    print(fig9.report(results))
+    fig9.check_shape(results)
+
+
+def run_table1(quick):
+    results = table1.run(iters=5 if quick else 8)
+    print(table1.report(results))
+    table1.check_shape(results)
+
+
+def run_fig10(quick):
+    lat_sizes = [0, 64, 1024, 4096, 65536, 1048576] if quick else None
+    bw_sizes = [1024, 4096, 65536, 1048576] if quick else None
+    latency = fig10.run_latency(sizes=lat_sizes, iters=4 if quick else 6)
+    bandwidth = fig10.run_bandwidth(
+        sizes=bw_sizes, messages=16 if quick else 24, window=8
+    )
+    print(fig10.report(latency, bandwidth))
+    fig10.check_shape(latency, bandwidth)
+
+
+EXPERIMENTS = {
+    "fig7": run_fig7,
+    "fig8": run_fig8,
+    "fig9": run_fig9,
+    "table1": run_table1,
+    "fig10": run_fig10,
+}
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("experiments", nargs="*", choices=[*EXPERIMENTS, []],
+                        help="subset to run (default: all)")
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced size grids / iteration counts")
+    args = parser.parse_args(argv)
+    chosen = args.experiments or list(EXPERIMENTS)
+    for name in chosen:
+        t0 = time.time()
+        print(f"\n=== {name} " + "=" * (70 - len(name)))
+        EXPERIMENTS[name](args.quick)
+        print(f"--- {name}: shape checks passed "
+              f"({time.time() - t0:.1f} s wall) ---")
+    print(f"\nregenerated: {', '.join(chosen)}")
+
+
+if __name__ == "__main__":
+    main()

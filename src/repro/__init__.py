@@ -1,0 +1,43 @@
+"""repro — a simulation-based reproduction of
+*Design and Implementation of Open MPI over Quadrics/Elan4*
+(Yu, Woodall, Graham, Panda; OSU-CISRC-10/04-TR54 / IPDPS 2005).
+
+The package implements, from scratch and in pure Python:
+
+* a deterministic discrete-event simulation kernel (:mod:`repro.sim`);
+* host hardware models — dual CPUs, memory, PCI-X (:mod:`repro.hw`);
+* the Quadrics QsNetII/Elan4 network: QDMA, RDMA read/write, Elan events
+  (including chained events and the count-event reset race), MMU/E4
+  addressing, capabilities/VPIDs, Tport NIC tag matching, Elite-4 fat-tree
+  switches (:mod:`repro.elan4`);
+* a TCP/IP substrate with sockets and poll/select (:mod:`repro.tcpip`);
+* an Open MPI-style run-time environment with dynamic spawn and
+  checkpoint/drain (:mod:`repro.rte`);
+* the paper's contribution — the Open MPI communication core: PML
+  (matching/scheduling/rendezvous) and the PTL framework with PTL/TCP and
+  PTL/Elan4 transports (:mod:`repro.core`);
+* an MPI-2-flavoured user API with collectives, datatypes, and dynamic
+  process management (:mod:`repro.mpi`);
+* the MPICH-QsNetII baseline over Tport (:mod:`repro.baselines`);
+* a benchmark harness regenerating every figure and table of the paper's
+  evaluation (:mod:`repro.bench`).
+
+Quickstart::
+
+    from repro.cluster import Cluster
+
+    cluster = Cluster(nodes=2)
+
+    def app(mpi):
+        if mpi.rank == 0:
+            yield from mpi.comm_world.send(b"hello", dest=1, tag=0)
+        else:
+            data, status = yield from mpi.comm_world.recv(source=0, tag=0)
+            print(data, "at", mpi.sim.now, "us")
+
+    cluster.run_mpi(app)
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,5 @@
+"""Baseline systems the paper compares against."""
+
+from repro.baselines.mpich_qsnet import MpichQsnetJob, MpichQsnetApi
+
+__all__ = ["MpichQsnetApi", "MpichQsnetJob"]

@@ -1,0 +1,162 @@
+"""MPICH-QsNetII: the paper's comparator (§6.5).
+
+MPICH for QsNetII "is built on top of Quadrics T-port interface, which does
+tag matching in the NIC" and "transmits a shorter header, 32-bytes,
+compared to the 64-bytes in Open MPI".  Its strengths in Fig. 10 follow
+directly: lower small-message latency (NIC matching + direct deposit into
+the user buffer + half the header) and better mid-range bandwidth (Tport's
+NIC-side rendezvous pipelines fragments with no per-fragment host work).
+
+Its structural limits are equally faithful here: it is a **static** libelan
+job — every process claims its context up front, the VPID↔rank coupling is
+fixed, and there is no dynamic join, spawn, or restart ("Change of the
+membership and connections among MPI processes usually aborts the parallel
+job", §7).  Attempting to add a process raises.
+
+The API mirrors the repro MPI surface closely enough that the benchmark
+harness can drive both stacks with the same driver.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, List, Optional
+
+import numpy as np
+
+from repro.elan4.tport import ANY_SOURCE, ANY_TAG, TportMessage
+
+__all__ = ["MpichQsnetJob", "MpichQsnetApi"]
+
+
+class MpichQsnetJob:
+    """A static MPICH-QsNetII parallel job on a simulated cluster."""
+
+    def __init__(self, cluster, np: Optional[int] = None):
+        self.cluster = cluster
+        n = cluster.n_nodes if np is None else np
+        # static allocation: the whole process pool claims its contexts and
+        # builds the VPID table before anything runs — the libelan model
+        self.contexts = [
+            cluster.claim_context(rank % cluster.n_nodes) for rank in range(n)
+        ]
+        self.endpoints = [ctx.tport_endpoint() for ctx in self.contexts]
+        self.vpids = [ctx.vpid for ctx in self.contexts]
+        self.size = n
+        self._sealed = True
+        self.results: Dict[int, object] = {}
+        self._failures: List[BaseException] = []
+
+    def add_process(self) -> None:
+        """Dynamic joining is exactly what this implementation cannot do."""
+        raise RuntimeError(
+            "MPICH-QsNetII is a static libelan job: process membership "
+            "cannot change (paper §3.2/§7)"
+        )
+
+    def run(self, app: Callable, until: Optional[float] = None) -> Dict[int, object]:
+        """Run ``app(api)`` on every rank; returns rank -> result."""
+        finished: Dict[int, bool] = {}
+
+        for rank in range(self.size):
+            api = MpichQsnetApi(self, rank)
+            node = self.cluster.nodes[rank % self.cluster.n_nodes]
+
+            def body(thread, api=api, rank=rank):
+                api.thread = thread
+                try:
+                    self.results[rank] = yield from app(api)
+                except BaseException as e:  # noqa: BLE001
+                    self._failures.append(e)
+                    raise
+                finally:
+                    finished[rank] = True
+
+            node.spawn_thread(body, name=f"mpich-rank{rank}")
+
+        self.cluster.sim.run(until=until)
+        if self._failures:
+            raise self._failures[0]
+        if len(finished) != self.size:
+            missing = [r for r in range(self.size) if r not in finished]
+            raise RuntimeError(f"MPICH job deadlock: ranks {missing} unfinished")
+        return dict(self.results)
+
+
+class MpichQsnetApi:
+    """Per-rank handle: a thin MPI veneer over Tport."""
+
+    def __init__(self, job: MpichQsnetJob, rank: int):
+        self.job = job
+        self.rank = rank
+        self.size = job.size
+        self.endpoint = job.endpoints[rank]
+        self.context = job.contexts[rank]
+        self.sim = job.cluster.sim
+        self.config = job.cluster.config
+        self.thread = None  # bound at launch
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    def alloc(self, nbytes: int, label: str = "user"):
+        return self.context.space.alloc(max(nbytes, 1), label=label)
+
+    # -- point-to-point ------------------------------------------------------
+    def isend(self, buf, dest: int, tag: int = 0, nbytes: Optional[int] = None) -> Generator:
+        """Coroutine: start a tagged send; returns the Tport done event."""
+        n = buf.nbytes if nbytes is None else nbytes
+        # the thin MPICH ADI layer above Tport
+        yield from self.thread.compute(self.config.pml_sched_us)
+        ev = yield from self.endpoint.send(
+            self.thread, self.job.vpids[dest], tag, buf, n
+        )
+        ev.attach_host_word()
+        return ev
+
+    def _spin_on(self, word) -> Generator:
+        """Polling wait (CPU held), as MPICH-QsNetII progresses by default."""
+        while not word.poll():
+            yield word.wait_event()
+            yield from self.thread.compute(self.config.poll_check_us)
+        value = word.value
+        word.clear()
+        return value
+
+    def send(self, buf, dest: int, tag: int = 0, nbytes: Optional[int] = None) -> Generator:
+        ev = yield from self.isend(buf, dest, tag, nbytes)
+        yield from self._spin_on(ev.host_word)
+
+    def irecv(self, buf, source: int = -1, tag: int = -1) -> Generator:
+        """Coroutine: post a receive into NIC matching; returns the event
+        whose value is a :class:`TportMessage`."""
+        yield from self.thread.compute(self.config.pml_sched_us)
+        src_vpid = ANY_SOURCE if source == -1 else self.job.vpids[source]
+        ev = yield from self.endpoint.post_recv(self.thread, src_vpid, tag, buf)
+        return ev
+
+    def recv(self, buf, source: int = -1, tag: int = -1) -> Generator:
+        """Coroutine: blocking receive; returns the TportMessage (source
+        reported as a rank)."""
+        ev = yield from self.irecv(buf, source, tag)
+        msg: TportMessage = yield from self._spin_on(ev.host_word)
+        return TportMessage(
+            src_vpid=self.job.vpids.index(msg.src_vpid),  # vpid -> rank
+            tag=msg.tag,
+            nbytes=msg.nbytes,
+        )
+
+    def wait(self, ev) -> Generator:
+        """Wait (polling) on an event returned by isend/irecv."""
+        value = yield from self._spin_on(ev.host_word)
+        return value
+
+    def barrier_pair(self, other: int, tag: int = 0x7FF0) -> Generator:
+        """Two-rank synchronisation used by the benchmark drivers."""
+        token = self.alloc(1)
+        if self.rank < other:
+            yield from self.send(token, other, tag, nbytes=0)
+            yield from self.recv(token, source=other, tag=tag)
+        else:
+            yield from self.recv(token, source=other, tag=tag)
+            yield from self.send(token, other, tag, nbytes=0)

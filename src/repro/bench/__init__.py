@@ -1,0 +1,35 @@
+"""Benchmark harness regenerating every figure and table of §6.
+
+One module per experiment:
+
+* :mod:`repro.bench.harness`   — ping-pong / streaming-bandwidth drivers for
+  the Open MPI stack, the MPICH-QsNetII baseline, and native QDMA;
+* :mod:`repro.bench.fig7`      — RDMA read/write, DTP, inline ablations;
+* :mod:`repro.bench.fig8`      — chained DMA + shared completion queues;
+* :mod:`repro.bench.fig9`      — layer-cost decomposition (§6.3);
+* :mod:`repro.bench.table1`    — thread-based asynchronous progress (§6.4);
+* :mod:`repro.bench.fig10`     — overall latency/bandwidth vs MPICH-QsNetII;
+* :mod:`repro.bench.reporting` — ASCII tables with paper-vs-measured columns.
+
+Each experiment module exposes ``run()`` returning a result dict and
+``report(results)`` rendering the same rows/series the paper plots.
+"""
+
+from repro.bench.harness import (
+    mpich_bandwidth,
+    mpich_pingpong,
+    openmpi_bandwidth,
+    openmpi_pingpong,
+    qdma_native_pingpong,
+)
+from repro.bench.reporting import format_series_table, format_table
+
+__all__ = [
+    "format_series_table",
+    "format_table",
+    "mpich_bandwidth",
+    "mpich_pingpong",
+    "openmpi_bandwidth",
+    "openmpi_pingpong",
+    "qdma_native_pingpong",
+]

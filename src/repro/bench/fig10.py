@@ -1,0 +1,140 @@
+"""Fig. 10 — overall performance of Open MPI over Quadrics/Elan4 vs
+MPICH-QsNetII (§6.5).
+
+Four panels: small/large message latency, small/large message bandwidth.
+The Open MPI stack runs with the paper's "best options": chained
+completion, polling progress, no shared completion queue, rendezvous
+without inlined data.  Series: MPICH-QsNetII, PTL/Elan4-RDMA-Read,
+PTL/Elan4-RDMA-Write.
+
+Expected shape (paper): MPICH-QsNetII wins small messages (32 B header +
+NIC tag matching); Open MPI is "slightly lower but comparable", worst in
+the middle range of bandwidth (Tport pipelining), converging at 1 MB near
+the PCI-X ceiling (~900 MB/s).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.bench.harness import (
+    mpich_bandwidth,
+    mpich_pingpong,
+    openmpi_bandwidth,
+    openmpi_pingpong,
+)
+from repro.bench.reporting import format_series_table
+from repro.core.ptl.elan4.module import Elan4PtlOptions
+
+__all__ = ["run_latency", "run_bandwidth", "report", "SMALL_SIZES", "LARGE_SIZES"]
+
+SMALL_SIZES = [0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024]
+LARGE_SIZES = [2048, 4096, 8192, 16384, 32768, 65536, 131072, 262144, 524288, 1048576]
+
+READ = Elan4PtlOptions(rdma_scheme="read", inline_rndv_data=False,
+                       chained_fin=True, completion_queue="none")
+WRITE = Elan4PtlOptions(rdma_scheme="write", inline_rndv_data=False,
+                        chained_fin=True, completion_queue="none")
+
+#: values read off the paper's plots (± digitisation error)
+PAPER_LATENCY = {
+    "MPICH-QsNetII": {0: 1.8, 1024: 5.0, 1048576: 1150.0},
+    "PTL/Elan4-RDMA-Read": {0: 3.0, 1024: 6.0, 1048576: 1200.0},
+}
+PAPER_BANDWIDTH = {
+    "MPICH-QsNetII": {1024: 450.0, 65536: 800.0, 1048576: 905.0},
+    "PTL/Elan4-RDMA-Read": {1024: 330.0, 65536: 550.0, 1048576: 880.0},
+}
+
+
+def run_latency(
+    sizes: Optional[Iterable[int]] = None, iters: int = 6
+) -> Dict[str, Dict[int, float]]:
+    sizes = list(sizes) if sizes is not None else SMALL_SIZES + LARGE_SIZES
+    return {
+        "MPICH-QsNetII": {n: mpich_pingpong(n, iters=iters) for n in sizes},
+        "PTL/Elan4-RDMA-Read": {
+            n: openmpi_pingpong(n, iters=iters, elan4_options=READ) for n in sizes
+        },
+        "PTL/Elan4-RDMA-Write": {
+            n: openmpi_pingpong(n, iters=iters, elan4_options=WRITE) for n in sizes
+        },
+    }
+
+
+def run_bandwidth(
+    sizes: Optional[Iterable[int]] = None, messages: int = 24, window: int = 8
+) -> Dict[str, Dict[int, float]]:
+    sizes = [n for n in (sizes if sizes is not None else SMALL_SIZES + LARGE_SIZES) if n > 0]
+    return {
+        "MPICH-QsNetII": {
+            n: mpich_bandwidth(n, messages=messages, window=window) for n in sizes
+        },
+        "PTL/Elan4-RDMA-Read": {
+            n: openmpi_bandwidth(n, messages=messages, window=window, elan4_options=READ)
+            for n in sizes
+        },
+        "PTL/Elan4-RDMA-Write": {
+            n: openmpi_bandwidth(n, messages=messages, window=window, elan4_options=WRITE)
+            for n in sizes
+        },
+    }
+
+
+def report(latency: Dict[str, Dict[int, float]], bandwidth: Dict[str, Dict[int, float]]) -> str:
+    def split(series, small):
+        keep = (lambda s: s <= 1024) if small else (lambda s: s > 1024)
+        return {k: {s: v for s, v in vals.items() if keep(s)} for k, vals in series.items()}
+
+    return "\n\n".join(
+        [
+            format_series_table(
+                "Fig. 10(a) — small message latency", split(latency, True),
+                reference=PAPER_LATENCY,
+            ),
+            format_series_table(
+                "Fig. 10(b) — large message latency", split(latency, False),
+                reference=PAPER_LATENCY,
+            ),
+            format_series_table(
+                "Fig. 10(c) — small message bandwidth", split(bandwidth, True),
+                unit="MB/s", reference=PAPER_BANDWIDTH,
+            ),
+            format_series_table(
+                "Fig. 10(d) — large message bandwidth", split(bandwidth, False),
+                unit="MB/s", reference=PAPER_BANDWIDTH,
+                note="expected: MPICH wins small latency (+NIC matching, 32 B "
+                "header) and the mid-range; both converge ~900 MB/s at 1 MB",
+            ),
+        ]
+    )
+
+
+def check_shape(
+    latency: Dict[str, Dict[int, float]], bandwidth: Dict[str, Dict[int, float]]
+) -> None:
+    mpich_l = latency["MPICH-QsNetII"]
+    read_l = latency["PTL/Elan4-RDMA-Read"]
+    write_l = latency["PTL/Elan4-RDMA-Write"]
+    sizes = set(mpich_l)
+    # (a) MPICH wins small messages, but Open MPI stays comparable (<2.2x)
+    for n in sizes & {0, 64, 1024}:
+        assert mpich_l[n] < read_l[n], n
+        assert read_l[n] / mpich_l[n] < 2.2, n
+    # (b) comparable at large messages (within 15%)
+    for n in sizes & {262144, 1048576}:
+        assert read_l[n] / mpich_l[n] < 1.15, n
+    # read <= write everywhere above the threshold
+    for n in sizes & {4096, 65536}:
+        assert read_l[n] < write_l[n], n
+    # (c,d) MPICH bandwidth >= Open MPI through the middle range...
+    for n in set(bandwidth["MPICH-QsNetII"]) & {4096, 16384, 65536}:
+        assert bandwidth["MPICH-QsNetII"][n] >= bandwidth["PTL/Elan4-RDMA-Read"][n], n
+    # ...and both converge near the PCI-X ceiling at 1 MB
+    for name in ("MPICH-QsNetII", "PTL/Elan4-RDMA-Read"):
+        bw = bandwidth[name][1048576]
+        assert 750.0 < bw < 1064.0, (name, bw)
+    ratio = (
+        bandwidth["PTL/Elan4-RDMA-Read"][1048576] / bandwidth["MPICH-QsNetII"][1048576]
+    )
+    assert ratio > 0.9, ratio

@@ -1,0 +1,101 @@
+"""Fig. 7 — Performance analysis of basic RDMA read and write (§6.1).
+
+Six variants over two size panels (a: 0–512 B, b: 512 B–4 KB):
+
+* ``RDMA-Read`` / ``RDMA-Write`` — the two rendezvous schemes with inlined
+  first-fragment data and the plain-memcpy datatype path;
+* ``Read-NoInline`` / ``Write-NoInline`` — the paper's optimisation:
+  rendezvous without inlined data;
+* ``Read-DTP`` / ``Write-DTP`` — with the datatype copy engine.
+
+Below the 1984 B rendezvous threshold every message is eager, so the
+scheme/inline variants coincide there and the DTP overhead (~0.4 µs) is the
+visible split — exactly the structure of the paper's panel (a).  Above the
+threshold the schemes separate: read beats write (one control packet saved)
+and no-inline beats inline (no pack copy).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.bench.harness import openmpi_pingpong
+from repro.bench.reporting import format_series_table
+from repro.core.ptl.elan4.module import Elan4PtlOptions
+
+__all__ = ["run", "report", "SMALL_SIZES", "MEDIUM_SIZES", "VARIANTS", "PAPER_REFERENCE"]
+
+SMALL_SIZES = [0, 2, 4, 8, 16, 32, 64, 128, 256, 512]
+MEDIUM_SIZES = [512, 1024, 1984, 2048, 4096]
+
+#: variant name -> (rdma_scheme, inline_rndv_data, datatype_mode)
+VARIANTS = {
+    "RDMA-Read": ("read", True, "memcpy"),
+    "Read-NoInline": ("read", False, "memcpy"),
+    "Read-DTP": ("read", True, "dtp"),
+    "RDMA-Write": ("write", True, "memcpy"),
+    "Write-NoInline": ("write", False, "memcpy"),
+    "Write-DTP": ("write", True, "dtp"),
+}
+
+#: values read off the paper's plots (±0.3 µs digitisation error)
+PAPER_REFERENCE = {
+    "RDMA-Read": {0: 3.6, 64: 3.9, 512: 4.8, 4096: 14.0},
+    "Read-DTP": {0: 4.0, 64: 4.3, 512: 5.2, 4096: 14.5},
+    "RDMA-Write": {4096: 15.5},
+}
+
+
+def run(sizes: Optional[Iterable[int]] = None, iters: int = 8) -> Dict[str, Dict[int, float]]:
+    """Measure every variant at every size; returns {variant: {size: µs}}."""
+    sizes = list(sizes) if sizes is not None else sorted(set(SMALL_SIZES + MEDIUM_SIZES))
+    results: Dict[str, Dict[int, float]] = {}
+    for name, (scheme, inline, dtmode) in VARIANTS.items():
+        opts = Elan4PtlOptions(
+            rdma_scheme=scheme, inline_rndv_data=inline, chained_fin=True,
+            completion_queue="none",
+        )
+        results[name] = {
+            n: openmpi_pingpong(n, iters=iters, elan4_options=opts, datatype_mode=dtmode)
+            for n in sizes
+        }
+    return results
+
+
+def report(results: Dict[str, Dict[int, float]]) -> str:
+    small = {k: {s: v for s, v in vals.items() if s <= 512} for k, vals in results.items()}
+    med = {k: {s: v for s, v in vals.items() if s >= 512} for k, vals in results.items()}
+    return "\n\n".join(
+        [
+            format_series_table(
+                "Fig. 7(a) — very small messages (one-way latency)",
+                small,
+                reference=PAPER_REFERENCE,
+                note="below the 1984 B threshold all traffic is eager: scheme/"
+                "inline variants coincide; DTP adds ~0.4 us",
+            ),
+            format_series_table(
+                "Fig. 7(b) — small messages (one-way latency)",
+                med,
+                reference=PAPER_REFERENCE,
+                note="above 1984 B: read < write (saves a control packet); "
+                "no-inline < inline (saves the pack copy)",
+            ),
+        ]
+    )
+
+
+def check_shape(results: Dict[str, Dict[int, float]]) -> None:
+    """Assert the paper's qualitative findings hold."""
+    available = set(results["RDMA-Read"])
+    # DTP overhead ≈ 0.4 µs on eager messages
+    for n in available & {0, 64, 512}:
+        delta = results["Read-DTP"][n] - results["RDMA-Read"][n]
+        assert 0.2 < delta < 0.7, (n, delta)
+    # read beats write above the threshold
+    for n in available & {2048, 4096}:
+        assert results["RDMA-Read"][n] < results["RDMA-Write"][n], n
+    # no-inline beats inline above the threshold
+    for n in available & {2048, 4096}:
+        assert results["Read-NoInline"][n] < results["RDMA-Read"][n], n
+        assert results["Write-NoInline"][n] < results["RDMA-Write"][n], n

@@ -1,0 +1,76 @@
+"""Fig. 9 / §6.3 — communication cost by layer.
+
+Three series over the eager range (0–1984 B):
+
+* ``QDMA latency``   — native Quadrics QDMA ping-pong of *64+N* bytes (the
+  Open MPI header rides every fragment, so the apples-to-apples native
+  comparison adds the 64 bytes — §6.3);
+* ``PTL latency``    — the Open MPI one-way latency minus the measured
+  PML-layer cost ("which also includes the communication time across the
+  network");
+* ``PML Layer Cost`` — the token-passing measurement of §6.3: from the PTL
+  handing a fragment to the PML for matching until the next packet enters
+  the PTL.
+
+Expected: PML cost ≈ 0.5 µs, flat; PTL latency tracks native QDMA of the
+same wire footprint.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.bench.harness import openmpi_pml_cost, qdma_native_pingpong
+from repro.bench.reporting import format_series_table
+
+__all__ = ["run", "report", "SIZES", "PAPER_REFERENCE"]
+
+SIZES = [0, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 1984]
+
+PAPER_REFERENCE = {
+    "PML Layer Cost": {0: 0.5, 512: 0.5, 1984: 0.5},
+}
+
+
+def run(sizes: Optional[Iterable[int]] = None, iters: int = 12) -> Dict[str, Dict[int, float]]:
+    sizes = list(sizes) if sizes is not None else SIZES
+    qdma = {}
+    ptl = {}
+    pml = {}
+    total = {}
+    for n in sizes:
+        qdma[n] = qdma_native_pingpong(n + 64, iters=iters)
+        decomp = openmpi_pml_cost(n, iters=iters)
+        total[n] = decomp["total"]
+        ptl[n] = decomp["ptl_latency"]
+        pml[n] = decomp["pml_cost"]
+    return {
+        "QDMA latency": qdma,
+        "PTL latency": ptl,
+        "PML Layer Cost": pml,
+        "Total": total,
+    }
+
+
+def report(results: Dict[str, Dict[int, float]]) -> str:
+    return format_series_table(
+        "Fig. 9 — communication overhead by layer (one-way, eager range)",
+        results,
+        reference=PAPER_REFERENCE,
+        note="QDMA latency measured at 64+N bytes (the Open MPI header); "
+        "PTL latency = total - PML cost; expected PML cost ~0.5 us flat",
+    )
+
+
+def check_shape(results: Dict[str, Dict[int, float]]) -> None:
+    pml = results["PML Layer Cost"]
+    # ≈0.5 µs, flat across the eager range
+    for n, v in pml.items():
+        assert 0.3 < v < 1.0, (n, v)
+    spread = max(pml.values()) - min(pml.values())
+    assert spread < 0.4, spread
+    # PTL latency is comparable to native QDMA of the same wire footprint:
+    # within ~25% (the PTL adds send-buffer packing the native test lacks)
+    for n in pml:
+        ratio = results["PTL latency"][n] / results["QDMA latency"][n]
+        assert 0.75 < ratio < 1.4, (n, ratio)

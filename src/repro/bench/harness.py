@@ -1,0 +1,292 @@
+"""Microbenchmark drivers.
+
+All drivers run on a fresh simulated cluster, warm the path first (the
+paper discards its first 100 iterations; a deterministic simulator needs
+only enough warmup to fill buffer pools and caches-of-state, so ``warmup``
+defaults small), and report *simulated* microseconds.
+
+Conventions match the paper: ping-pong latency is half the round-trip
+averaged over iterations; bandwidth is a unidirectional stream with a
+window of outstanding messages, in MB/s (= bytes/µs).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+import numpy as np
+
+from repro.baselines.mpich_qsnet import MpichQsnetJob
+from repro.cluster import Cluster
+from repro.config import MachineConfig
+from repro.core.ptl.elan4.module import Elan4PtlOptions
+from repro.mpi.world import make_mpi_stack_factory
+from repro.rte.environment import launch_job
+
+__all__ = [
+    "openmpi_pingpong",
+    "openmpi_bandwidth",
+    "mpich_pingpong",
+    "mpich_bandwidth",
+    "qdma_native_pingpong",
+    "openmpi_pml_cost",
+]
+
+#: paper-default options: RDMA read, chained FIN_ACK, no inline, no shared
+#: completion queue, memcpy datatype path (§6.5 "best options")
+BEST = dict(
+    datatype_mode="memcpy",
+    progress_mode="polling",
+    elan4_options=Elan4PtlOptions(
+        rdma_scheme="read",
+        inline_rndv_data=False,
+        chained_fin=True,
+        completion_queue="none",
+    ),
+)
+
+
+def _factory(**overrides):
+    opts = dict(BEST)
+    opts.update(overrides)
+    return make_mpi_stack_factory(**opts)
+
+
+# --------------------------------------------------------------- Open MPI
+def openmpi_pingpong(
+    nbytes: int,
+    iters: int = 10,
+    warmup: int = 3,
+    config: Optional[MachineConfig] = None,
+    **stack_overrides,
+) -> float:
+    """One-way ping-pong latency (µs) over the Open MPI stack."""
+    cluster = Cluster(nodes=2, config=config)
+    out = {}
+
+    def app(mpi):
+        buf = mpi.alloc(max(nbytes, 1))
+        other = 1 - mpi.rank
+        for phase, count in (("warm", warmup), ("meas", iters)):
+            if mpi.rank == 0:
+                t0 = mpi.now
+                for _ in range(count):
+                    yield from mpi.comm_world.send(buf, dest=other, tag=1, nbytes=nbytes)
+                    yield from mpi.comm_world.recv(source=other, tag=1, nbytes=nbytes, buffer=buf)
+                if phase == "meas":
+                    out["latency"] = (mpi.now - t0) / (2 * count)
+            else:
+                for _ in range(count):
+                    yield from mpi.comm_world.recv(source=other, tag=1, nbytes=nbytes, buffer=buf)
+                    yield from mpi.comm_world.send(buf, dest=other, tag=1, nbytes=nbytes)
+
+    launch_job(cluster, app, np=2, stack_factory=_factory(**stack_overrides))
+    cluster.assert_no_drops()
+    return out["latency"]
+
+
+def openmpi_bandwidth(
+    nbytes: int,
+    messages: int = 32,
+    window: int = 8,
+    config: Optional[MachineConfig] = None,
+    **stack_overrides,
+) -> float:
+    """Unidirectional streaming bandwidth (MB/s) over the Open MPI stack."""
+    cluster = Cluster(nodes=2, config=config)
+    out = {}
+
+    def app(mpi):
+        if mpi.rank == 0:
+            bufs = [mpi.alloc(max(nbytes, 1)) for _ in range(window)]
+            t0 = mpi.now
+            reqs = []
+            for i in range(messages):
+                if len(reqs) >= window:
+                    yield from mpi.wait(reqs.pop(0))
+                reqs.append(
+                    (yield from mpi.comm_world.isend(
+                        bufs[i % window], dest=1, tag=1, nbytes=nbytes
+                    ))
+                )
+            yield from mpi.waitall(reqs)
+            # wait for the receiver's completion token
+            yield from mpi.comm_world.recv(source=1, tag=2, nbytes=0)
+            out["elapsed"] = mpi.now - t0
+        else:
+            buf = mpi.alloc(max(nbytes, 1))
+            reqs = []
+            for i in range(messages):
+                if len(reqs) >= window:
+                    yield from mpi.wait(reqs.pop(0))
+                reqs.append(
+                    (yield from mpi.comm_world.irecv(
+                        nbytes, source=0, tag=1, buffer=buf
+                    ))
+                )
+            yield from mpi.waitall(reqs)
+            yield from mpi.comm_world.send(b"", dest=0, tag=2, nbytes=0)
+
+    launch_job(cluster, app, np=2, stack_factory=_factory(**stack_overrides))
+    return (messages * nbytes) / out["elapsed"] if nbytes else 0.0
+
+
+def openmpi_pml_cost(
+    nbytes: int,
+    iters: int = 10,
+    config: Optional[MachineConfig] = None,
+    **stack_overrides,
+) -> Dict[str, float]:
+    """§6.3 decomposition: total one-way latency, mean PML-layer cost, and
+    the residual PTL latency (total − PML cost)."""
+    cluster = Cluster(nodes=2, config=config)
+    out = {}
+
+    def app(mpi):
+        buf = mpi.alloc(max(nbytes, 1))
+        other = 1 - mpi.rank
+        if mpi.rank == 0:
+            t0 = mpi.now
+            for _ in range(iters):
+                yield from mpi.comm_world.send(buf, dest=other, tag=1, nbytes=nbytes)
+                yield from mpi.comm_world.recv(source=other, tag=1, nbytes=nbytes, buffer=buf)
+            out["latency"] = (mpi.now - t0) / (2 * iters)
+        else:
+            for _ in range(iters):
+                yield from mpi.comm_world.recv(source=other, tag=1, nbytes=nbytes, buffer=buf)
+                yield from mpi.comm_world.send(buf, dest=other, tag=1, nbytes=nbytes)
+        samples = mpi.stack.pml.modules[0].pml_cost_samples
+        if samples:
+            out.setdefault("pml_samples", []).extend(samples)
+
+    launch_job(cluster, app, np=2, stack_factory=_factory(**stack_overrides))
+    pml_cost = float(np.mean(out["pml_samples"]))
+    return {
+        "total": out["latency"],
+        "pml_cost": pml_cost,
+        "ptl_latency": out["latency"] - pml_cost,
+    }
+
+
+# ------------------------------------------------------------------- MPICH
+def mpich_pingpong(
+    nbytes: int,
+    iters: int = 10,
+    warmup: int = 3,
+    config: Optional[MachineConfig] = None,
+) -> float:
+    """One-way ping-pong latency (µs) over MPICH-QsNetII."""
+    cluster = Cluster(nodes=2, config=config)
+    job = MpichQsnetJob(cluster, np=2)
+    out = {}
+
+    def app(mq):
+        buf = mq.alloc(max(nbytes, 1))
+        other = 1 - mq.rank
+        for phase, count in (("warm", warmup), ("meas", iters)):
+            if mq.rank == 0:
+                t0 = mq.now
+                for _ in range(count):
+                    yield from mq.send(buf, dest=other, tag=1, nbytes=nbytes)
+                    yield from mq.recv(buf, source=other, tag=1)
+                if phase == "meas":
+                    out["latency"] = (mq.now - t0) / (2 * count)
+            else:
+                for _ in range(count):
+                    yield from mq.recv(buf, source=other, tag=1)
+                    yield from mq.send(buf, dest=other, tag=1, nbytes=nbytes)
+
+    job.run(app)
+    cluster.assert_no_drops()
+    return out["latency"]
+
+
+def mpich_bandwidth(
+    nbytes: int,
+    messages: int = 32,
+    window: int = 8,
+    config: Optional[MachineConfig] = None,
+) -> float:
+    """Unidirectional streaming bandwidth (MB/s) over MPICH-QsNetII."""
+    cluster = Cluster(nodes=2, config=config)
+    job = MpichQsnetJob(cluster, np=2)
+    out = {}
+
+    def app(mq):
+        if mq.rank == 0:
+            bufs = [mq.alloc(max(nbytes, 1)) for _ in range(window)]
+            token = mq.alloc(1)
+            t0 = mq.now
+            evs = []
+            for i in range(messages):
+                if len(evs) >= window:
+                    yield from mq.wait(evs.pop(0))
+                evs.append(
+                    (yield from mq.isend(bufs[i % window], dest=1, tag=1, nbytes=nbytes))
+                )
+            for ev in evs:
+                yield from mq.wait(ev)
+            yield from mq.recv(token, source=1, tag=2)
+            out["elapsed"] = mq.now - t0
+        else:
+            bufs = [mq.alloc(max(nbytes, 1)) for _ in range(window)]
+            token = mq.alloc(1)
+            evs = []
+            for i in range(messages):
+                if len(evs) >= window:
+                    yield from mq.wait(evs.pop(0))
+                evs.append(
+                    (yield from mq.irecv(bufs[i % window], source=0, tag=1))
+                )
+            for ev in evs:
+                yield from mq.wait(ev)
+            yield from mq.send(token, dest=0, tag=2, nbytes=0)
+
+    job.run(app)
+    return (messages * nbytes) / out["elapsed"] if nbytes else 0.0
+
+
+# -------------------------------------------------------------- native QDMA
+def qdma_native_pingpong(
+    nbytes: int,
+    iters: int = 10,
+    warmup: int = 3,
+    config: Optional[MachineConfig] = None,
+) -> float:
+    """One-way latency (µs) of raw Quadrics QDMA (the paper's "QDMA
+    latency" reference in Fig. 9 / Table comparison of §6.3)."""
+    cluster = Cluster(nodes=2, config=config)
+    a = cluster.claim_context(0)
+    b = cluster.claim_context(1)
+    qa = a.create_queue(0)
+    qb = b.create_queue(0)
+    payload = np.zeros(max(nbytes, 1), dtype=np.uint8)[: max(nbytes, 0)]
+    out = {}
+
+    def spin_recv(thread, queue):
+        while True:
+            msg = queue.poll()
+            if msg is not None:
+                return msg
+            yield queue.host_event.wait_event()
+            yield from thread.compute(cluster.config.poll_check_us)
+
+    def side_a(thread):
+        for phase, count in (("warm", warmup), ("meas", iters)):
+            t0 = cluster.sim.now
+            for _ in range(count):
+                yield from a.qdma_send(thread, b.vpid, 0, payload)
+                yield from spin_recv(thread, qa)
+            if phase == "meas":
+                out["latency"] = (cluster.sim.now - t0) / (2 * count)
+
+    def side_b(thread):
+        for _ in range(warmup + iters):
+            yield from spin_recv(thread, qb)
+            yield from b.qdma_send(thread, a.vpid, 0, payload)
+
+    cluster.nodes[0].spawn_thread(side_a)
+    cluster.nodes[1].spawn_thread(side_b)
+    cluster.run()
+    cluster.assert_no_drops()
+    return out["latency"]

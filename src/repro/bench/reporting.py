@@ -1,0 +1,75 @@
+"""ASCII reporting: the same rows/series the paper prints, with optional
+paper-reference columns for at-a-glance shape checking."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+__all__ = ["format_table", "format_series_table", "human_size"]
+
+
+def human_size(n: int) -> str:
+    if n >= 1 << 20 and n % (1 << 20) == 0:
+        return f"{n >> 20}M"
+    if n >= 1024 and n % 1024 == 0:
+        return f"{n >> 10}K"
+    return str(n)
+
+
+def format_table(
+    title: str,
+    col_names: Sequence[str],
+    rows: Iterable[Sequence],
+    note: str = "",
+) -> str:
+    """A fixed-width table with a title rule."""
+    rows = [list(map(_fmt, r)) for r in rows]
+    widths = [
+        max(len(str(col_names[i])), max((len(r[i]) for r in rows), default=0))
+        for i in range(len(col_names))
+    ]
+    sep = "  "
+    header = sep.join(str(c).rjust(w) for c, w in zip(col_names, widths))
+    rule = "-" * len(header)
+    lines = [title, rule, header, rule]
+    for r in rows:
+        lines.append(sep.join(v.rjust(w) for v, w in zip(r, widths)))
+    lines.append(rule)
+    if note:
+        lines.append(note)
+    return "\n".join(lines)
+
+
+def format_series_table(
+    title: str,
+    series: Mapping[str, Mapping[int, float]],
+    unit: str = "us",
+    reference: Optional[Mapping[str, Mapping[int, float]]] = None,
+    note: str = "",
+) -> str:
+    """Render ``{series_name: {size: value}}`` with sizes as rows.
+
+    When ``reference`` (the paper's reported values) is given, its columns
+    are interleaved as ``name (paper)``.
+    """
+    sizes = sorted({s for vals in series.values() for s in vals})
+    cols = ["size"]
+    for name in series:
+        cols.append(f"{name} [{unit}]")
+        if reference and name in reference:
+            cols.append(f"{name} (paper)")
+    rows = []
+    for size in sizes:
+        row: List = [human_size(size)]
+        for name, vals in series.items():
+            row.append(vals.get(size, ""))
+            if reference and name in reference:
+                row.append(reference[name].get(size, ""))
+        rows.append(row)
+    return format_table(title, cols, rows, note=note)
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        return f"{v:.2f}"
+    return str(v)

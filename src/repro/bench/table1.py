@@ -1,0 +1,92 @@
+"""Table 1 — thread-based asynchronous progress (§6.4).
+
+Four ways to observe completion, measured at 4 B and 4 KB with the
+RDMA-read rendezvous:
+
+* ``Basic``      — polling progress;
+* ``Interrupt``  — the process blocks inside the PTL with interrupts armed
+  (not workable in general — measured to isolate the interrupt cost);
+* ``One Thread`` — a progress thread blocks on the combined queue;
+* ``Two Threads``— two progress threads, separate completion queue.
+
+Paper values (µs):       Basic  Interrupt  One Thread  Two Threads
+    RDMA-Read 4 B         3.87      14.70       22.76        27.50
+    RDMA-Read 4 KB       15.25      27.16       32.80        47.72
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.bench.harness import openmpi_pingpong
+from repro.bench.reporting import format_table
+from repro.core.ptl.elan4.module import Elan4PtlOptions
+
+__all__ = ["run", "report", "MODES", "PAPER"]
+
+MODES = {
+    "Basic": ("polling", "none"),
+    "Interrupt": ("interrupt", "none"),
+    "One Thread": ("one-thread", "one-queue"),
+    "Two Threads": ("two-thread", "two-queue"),
+}
+
+PAPER = {
+    ("Basic", 4): 3.87,
+    ("Interrupt", 4): 14.70,
+    ("One Thread", 4): 22.76,
+    ("Two Threads", 4): 27.50,
+    ("Basic", 4096): 15.25,
+    ("Interrupt", 4096): 27.16,
+    ("One Thread", 4096): 32.80,
+    ("Two Threads", 4096): 47.72,
+}
+
+SIZES = (4, 4096)
+
+
+def run(iters: int = 8) -> Dict[str, Dict[int, float]]:
+    results: Dict[str, Dict[int, float]] = {}
+    for name, (mode, cq) in MODES.items():
+        opts = Elan4PtlOptions(completion_queue=cq)
+        results[name] = {
+            n: openmpi_pingpong(n, iters=iters, progress_mode=mode, elan4_options=opts)
+            for n in SIZES
+        }
+    return results
+
+
+def report(results: Dict[str, Dict[int, float]]) -> str:
+    rows = []
+    for n in SIZES:
+        label = "RDMA-Read 4B" if n == 4 else "RDMA-Read 4KB"
+        row = [label]
+        for name in MODES:
+            row.append(results[name][n])
+            row.append(PAPER[(name, n)])
+        rows.append(row)
+    cols = ["Mesg Length"]
+    for name in MODES:
+        cols += [name, f"{name} (paper)"]
+    return format_table(
+        "Table 1 — thread-based asynchronous progress (one-way latency, us)",
+        cols,
+        rows,
+        note="expected ordering: Basic < Interrupt < One Thread < Two Threads; "
+        "interrupt ~10 us, threading total ~18 us (§6.4)",
+    )
+
+
+def check_shape(results: Dict[str, Dict[int, float]]) -> None:
+    for n in SIZES:
+        vals = [results[name][n] for name in MODES]
+        assert vals == sorted(vals), (n, vals)
+    # §6.4 decomposition at 4 B: ~10 µs interrupt, ~18 µs total threading
+    intr_delta = results["Interrupt"][4] - results["Basic"][4]
+    assert 9.0 < intr_delta < 17.0, intr_delta
+    thread_delta = results["One Thread"][4] - results["Basic"][4]
+    assert 13.0 < thread_delta < 24.0, thread_delta
+    # two threads pay for the contention, and more so at 4 KB
+    gap_small = results["Two Threads"][4] - results["One Thread"][4]
+    gap_large = results["Two Threads"][4096] - results["One Thread"][4096]
+    assert gap_small > 1.0 and gap_large >= gap_small * 0.9

@@ -1,0 +1,129 @@
+"""Cluster assembly: the simulated testbed in one object.
+
+:class:`Cluster` wires together everything below the MPI layer — simulator,
+nodes, NICs, capability, fat-tree fabric — and (once the upper layers are
+imported) launches MPI jobs.  The default shape is the paper's testbed:
+eight dual-CPU nodes on one QS-8A switch.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.config import MachineConfig, default_config
+from repro.elan4.capability import ElanCapability
+from repro.elan4.fattree import build_quaternary_fat_tree
+from repro.elan4.network import Fabric
+from repro.elan4.nic import Elan4Context, Elan4Nic
+from repro.hw.node import Node
+from repro.sim.core import Simulator
+from repro.sim.rng import RandomStreams
+from repro.sim.trace import Tracer
+
+__all__ = ["Cluster"]
+
+
+class Cluster:
+    """A simulated QsNetII cluster."""
+
+    def __init__(
+        self,
+        nodes: int = 8,
+        config: Optional[MachineConfig] = None,
+        seed: int = 0,
+        contexts_per_node: int = 64,
+        rails: int = 1,
+    ):
+        self.config = config or default_config()
+        self.sim = Simulator()
+        self.rng = RandomStreams(seed)
+        self.tracer = Tracer(self.sim, enabled=True, keep_records=False)
+        self.nodes: List[Node] = [Node(self.sim, self.config, i) for i in range(nodes)]
+        #: per-rail interconnects: each rail is its own switch fabric,
+        #: capability, and set of NICs (the multirail layout of [6] and the
+        #: paper's §8 future work).  Rail 0 always exists.
+        self.rail_topologies = []
+        self.rail_fabrics: List[Fabric] = []
+        self.rail_capabilities: List[ElanCapability] = []
+        self.rail_nics: List[List[Elan4Nic]] = []
+        for _ in range(max(1, rails)):
+            self.add_rail(contexts_per_node=contexts_per_node)
+
+    def add_rail(self, contexts_per_node: int = 64) -> int:
+        """Install another QsNetII rail (switch + one NIC per node);
+        returns its rail index."""
+        rail = len(self.rail_fabrics)
+        topology = build_quaternary_fat_tree(self.n_nodes)
+        fabric = Fabric(self.sim, self.config, topology)
+        capability = ElanCapability(self.n_nodes, contexts_per_node=contexts_per_node)
+        nics = []
+        for node in self.nodes:
+            nic = Elan4Nic(self.sim, self.config, node, fabric, capability)
+            node.devices[f"elan4:{rail}" if rail else "elan4"] = nic
+            nics.append(nic)
+        self.rail_topologies.append(topology)
+        self.rail_fabrics.append(fabric)
+        self.rail_capabilities.append(capability)
+        self.rail_nics.append(nics)
+        return rail
+
+    # -- rail-0 compatibility views -----------------------------------------
+    @property
+    def topology(self):
+        return self.rail_topologies[0]
+
+    @property
+    def fabric(self) -> Fabric:
+        return self.rail_fabrics[0]
+
+    @property
+    def capability(self) -> ElanCapability:
+        return self.rail_capabilities[0]
+
+    @property
+    def nics(self) -> List[Elan4Nic]:
+        return self.rail_nics[0]
+
+    @property
+    def n_rails(self) -> int:
+        return len(self.rail_fabrics)
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+    # -- low-level attach (used by the RTE and by substrate tests) ---------
+    def claim_context(self, node_id: int, space=None, rail: int = 0) -> Elan4Context:
+        """Claim a hardware context on ``node_id`` — the dynamic-join
+        primitive (§5).  ``rail`` selects the interconnect."""
+        entry = self.rail_capabilities[rail].claim(node_id)
+        if space is None:
+            space = self.nodes[node_id].new_address_space(f"ctx{entry.ctx:#x}")
+        return Elan4Context(self.rail_nics[rail][node_id], entry, space)
+
+    def run(self, until: Optional[float] = None) -> float:
+        return self.sim.run(until=until)
+
+    def assert_no_drops(self) -> None:
+        """Raise if any NIC dropped a packet (tests' default postcondition)."""
+        for nics in self.rail_nics:
+            for nic in nics:
+                if nic.dropped:
+                    when, reason, pkt = nic.dropped[0]
+                    raise AssertionError(
+                        f"node {nic.node_id} dropped {pkt} at t={when}: {reason}"
+                    )
+
+    # -- MPI job launch (provided by the upper layers) ----------------------
+    def run_mpi(
+        self,
+        app: Callable,
+        np: Optional[int] = None,
+        transports: tuple = ("elan4",),
+        **kwargs,
+    ):
+        """Launch ``app`` as an MPI job via the RTE; see
+        :func:`repro.rte.environment.launch_job` for the full signature."""
+        from repro.rte.environment import launch_job
+
+        return launch_job(self, app, np=np, transports=transports, **kwargs)

@@ -1,0 +1,52 @@
+"""The Open MPI communication core — the paper's subject.
+
+Two abstraction layers (§2):
+
+* **PML** (point-to-point management layer, :mod:`repro.core.pml`) —
+  device-neutral message management: request handling, fragmenting and
+  scheduling messages across available PTLs, matching at the receiver,
+  reassembly, progress monitoring;
+* **PTL** (point-to-point transport layer, :mod:`repro.core.ptl`) —
+  network-specific delivery: connection state, packet transmission, and
+  progress upcalls (``ptl_send_progress`` / ``ptl_recv_progress``).
+
+Two transports are provided: PTL/TCP (Open MPI's first transport, §1) and
+**PTL/Elan4** (this paper's contribution, §4–5) with every design option the
+evaluation ablates: RDMA read vs write rendezvous, inline vs no-inline first
+fragments, chained vs host-issued FIN, shared completion queues (one-queue /
+two-queue), and four progress modes (polling, interrupt, one-thread,
+two-thread).
+"""
+
+from repro.core.header import (
+    FragmentHeader,
+    HDR_ACK,
+    HDR_FIN,
+    HDR_FIN_ACK,
+    HDR_FRAG,
+    HDR_MATCH,
+    HDR_RNDV,
+)
+from repro.core.datatype import DatatypeEngine
+from repro.core.request import RecvRequest, Request, SendRequest
+from repro.core.pml.teg import Pml, PmlError
+from repro.core.ptl.base import PtlComponent, PtlModule, PtlRegistry
+
+__all__ = [
+    "DatatypeEngine",
+    "FragmentHeader",
+    "HDR_ACK",
+    "HDR_FIN",
+    "HDR_FIN_ACK",
+    "HDR_FRAG",
+    "HDR_MATCH",
+    "HDR_RNDV",
+    "Pml",
+    "PmlError",
+    "PtlComponent",
+    "PtlModule",
+    "PtlRegistry",
+    "RecvRequest",
+    "Request",
+    "SendRequest",
+]

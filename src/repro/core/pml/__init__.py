@@ -1,0 +1,6 @@
+"""Point-to-point management layer (PML)."""
+
+from repro.core.pml.matching import IncomingFragment, MatchingEngine
+from repro.core.pml.teg import Pml, PmlError
+
+__all__ = ["IncomingFragment", "MatchingEngine", "Pml", "PmlError"]

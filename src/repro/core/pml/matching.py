@@ -1,0 +1,162 @@
+"""Receive-side matching: posted receives, unexpected fragments, ordering.
+
+MPI matching semantics implemented here:
+
+* a fragment matches a posted receive on (source, tag) with wildcards
+  allowed only on the posted side;
+* fragments from one (sender, communicator) must be *matched* in the order
+  they were sent — headers carry a per-(sender, ctx) sequence number, and
+  fragments arriving ahead of their turn (possible when one message rides
+  PTL/TCP and the next rides PTL/Elan4) are parked until the gap closes;
+* among queued unexpected fragments, a new receive matches the oldest
+  eligible one.
+
+The paper's design keeps these queues in *host* memory shared across all
+PTLs — "we intend to have shared request queues for managing traffic from
+different networks and allow them to be able to crosstalk" (§6.5) — which
+is exactly why PTL/Elan4 forgoes Tport's NIC-side matching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.header import FragmentHeader
+from repro.core.request import RecvRequest
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.ptl.base import PtlModule
+
+__all__ = ["IncomingFragment", "MatchingEngine"]
+
+
+@dataclass
+class IncomingFragment:
+    """A first fragment (MATCH or RNDV) as handed up by a PTL."""
+
+    header: FragmentHeader
+    data: Optional[np.ndarray]  # inline payload (may be None)
+    ptl: "PtlModule"
+    arrived_at: float = 0.0
+
+    @property
+    def src_rank(self) -> int:
+        return self.header.src_rank
+
+
+class MatchingEngine:
+    """Posted/unexpected queues with per-sender ordering."""
+
+    def __init__(self) -> None:
+        #: ctx_id -> posted receives, in post order
+        self._posted: Dict[int, List[RecvRequest]] = {}
+        #: ctx_id -> unexpected fragments, in matchable order
+        self._unexpected: Dict[int, List[IncomingFragment]] = {}
+        #: (ctx_id, src_rank) -> next expected sequence number
+        self._expected_seq: Dict[Tuple[int, int], int] = {}
+        #: (ctx_id, src_rank) -> parked out-of-order fragments
+        self._parked: Dict[Tuple[int, int], Dict[int, IncomingFragment]] = {}
+        self.matches = 0
+        self.unexpected_arrivals = 0
+
+    # -- receive posting -----------------------------------------------------
+    def post(self, req: RecvRequest) -> Optional[IncomingFragment]:
+        """Post a receive.  Returns the unexpected fragment it matched, or
+        None if it was queued."""
+        queue = self._unexpected.get(req.ctx_id, [])
+        for i, frag in enumerate(queue):
+            if req.match_against(frag.header.src_rank, frag.header.tag):
+                del queue[i]
+                self.matches += 1
+                return frag
+        self._posted.setdefault(req.ctx_id, []).append(req)
+        return None
+
+    def peek(self, ctx_id: int, src_rank: int, tag: int) -> Optional[IncomingFragment]:
+        """MPI_Probe support: the oldest unexpected fragment matching
+        (src, tag) — *without* consuming it.  Wildcards allowed."""
+        from repro.core.request import ANY_SOURCE, ANY_TAG
+
+        for frag in self._unexpected.get(ctx_id, []):
+            if (src_rank in (ANY_SOURCE, frag.header.src_rank)) and (
+                tag in (ANY_TAG, frag.header.tag)
+            ):
+                return frag
+        return None
+
+    def cancel(self, req: RecvRequest) -> bool:
+        """Remove an unmatched posted receive (MPI_Cancel)."""
+        queue = self._posted.get(req.ctx_id, [])
+        try:
+            queue.remove(req)
+            return True
+        except ValueError:
+            return False
+
+    # -- fragment arrival ----------------------------------------------------
+    def incoming(
+        self, frag: IncomingFragment
+    ) -> List[Tuple[IncomingFragment, Optional[RecvRequest]]]:
+        """Process an arriving first fragment.
+
+        Returns a list of ``(fragment, matched_receive_or_None)`` — usually
+        one entry, but more when this arrival unparks out-of-order
+        successors.  ``None`` means the fragment went to the unexpected
+        queue (the caller owes nothing further until a receive is posted).
+        """
+        key = (frag.header.ctx_id, frag.header.src_rank)
+        expected = self._expected_seq.get(key, 0)
+        if frag.header.seq != expected:
+            # ahead of its turn: park until predecessors arrive
+            self._parked.setdefault(key, {})[frag.header.seq] = frag
+            return []
+        results = [(frag, self._match_one(frag))]
+        expected += 1
+        parked = self._parked.get(key, {})
+        while expected in parked:
+            nxt = parked.pop(expected)
+            results.append((nxt, self._match_one(nxt)))
+            expected += 1
+        self._expected_seq[key] = expected
+        return results
+
+    def _match_one(self, frag: IncomingFragment) -> Optional[RecvRequest]:
+        posted = self._posted.get(frag.header.ctx_id, [])
+        for i, req in enumerate(posted):
+            if req.match_against(frag.header.src_rank, frag.header.tag):
+                del posted[i]
+                self.matches += 1
+                return req
+        self.unexpected_arrivals += 1
+        self._unexpected.setdefault(frag.header.ctx_id, []).append(frag)
+        return None
+
+    # -- peer restart support -----------------------------------------------
+    def reset_peer(self, src_rank: int) -> None:
+        """Forget the matching-order state of one sender (all contexts).
+
+        Called when a peer is restarted: its new incarnation restarts its
+        send sequence numbers at zero, so the stale expected-sequence
+        cursors (and any fragments parked against the dead incarnation)
+        must be dropped."""
+        for key in [k for k in self._expected_seq if k[1] == src_rank]:
+            del self._expected_seq[key]
+        for key in [k for k in self._parked if k[1] == src_rank]:
+            del self._parked[key]
+
+    # -- introspection ---------------------------------------------------------
+    def posted_count(self, ctx_id: Optional[int] = None) -> int:
+        if ctx_id is not None:
+            return len(self._posted.get(ctx_id, []))
+        return sum(len(v) for v in self._posted.values())
+
+    def unexpected_count(self, ctx_id: Optional[int] = None) -> int:
+        if ctx_id is not None:
+            return len(self._unexpected.get(ctx_id, []))
+        return sum(len(v) for v in self._unexpected.values())
+
+    def parked_count(self) -> int:
+        return sum(len(v) for v in self._parked.values())

@@ -1,0 +1,329 @@
+"""The PML (TEG): request management, scheduling, matching, progress.
+
+Communication flow (the paper's Fig. 2):
+
+* ``isend`` — create a :class:`~repro.core.request.SendRequest`, pick a PTL
+  by the scheduling heuristic (first module with the peer, ordered by the
+  module's exposed first-fragment capacity/priority), and transmit the first
+  fragment: an eager MATCH carrying the whole message, or a RNDV for longer
+  ones;
+* ``irecv`` — post into the shared matching engine; an unexpected fragment
+  it matches is delivered immediately;
+* fragment arrival — a PTL hands MATCH/RNDV fragments up via
+  ``incoming_fragment``; the PML matches (``pml_match_us``), unpacks inline
+  data through the datatype engine, and for rendezvous calls the owning
+  PTL's ``matched()`` to run its long-message protocol;
+* progress — PTLs report byte counts through ``send_progress`` /
+  ``recv_progress`` (the paper's ``ptl_send_progress``/``ptl_recv_progress``
+  interfaces), eventually completing requests on both sides.
+
+Dual-mode progress (§3): ``wait`` either spin-polls the modules (default) or
+— in the threaded modes — parks the caller on the request while dedicated
+progress threads (:mod:`repro.core.pml.progress`) field completions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.core.datatype import DatatypeEngine
+from repro.core.header import HDR_MATCH, HDR_RNDV
+from repro.core.pml.matching import IncomingFragment, MatchingEngine
+from repro.core.request import ANY_SOURCE, ANY_TAG, RecvRequest, Request, SendRequest
+from repro.sim.events import AnyOf
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.ptl.base import PtlModule
+    from repro.hw.memory import Buffer
+
+__all__ = ["Pml", "PmlError"]
+
+PROGRESS_MODES = ("polling", "interrupt", "one-thread", "two-thread")
+
+#: spin-wait iterations without any time advance before declaring a bug
+_SPIN_GUARD = 10_000
+
+
+class PmlError(Exception):
+    """Unreachable peer, bad mode, or internal protocol violation."""
+
+
+class Pml:
+    """One process's point-to-point management layer."""
+
+    def __init__(
+        self,
+        process,
+        config,
+        datatype_mode: str = "memcpy",
+        progress_mode: str = "polling",
+    ):
+        if progress_mode not in PROGRESS_MODES:
+            raise PmlError(f"unknown progress mode {progress_mode!r}")
+        self.process = process
+        self.config = config
+        self.sim = process.node.sim
+        self.progress_mode = progress_mode
+        self.datatype = DatatypeEngine(config, mode=datatype_mode)
+        self.matching = MatchingEngine()
+        self.modules: List["PtlModule"] = []
+        self.requests: Dict[int, Request] = {}
+        self._send_seq: Dict[Tuple[int, int], int] = {}
+        self.progress_driver = None  # set by start_progress_threads
+        self.sends = 0
+        self.recvs = 0
+        self.completions = 0  # requests completed (either side)
+        self._rail_rr = 0  # round-robin cursor for equal-priority modules
+
+    # -- stack assembly ------------------------------------------------------
+    def add_module(self, module: "PtlModule") -> None:
+        module.pml = self
+        self.modules.append(module)
+        # higher first-fragment capacity & lower latency first: elan4 > tcp
+        self.modules.sort(key=lambda m: m.schedule_priority)
+
+    def module_for(self, rank: int) -> "PtlModule":
+        """The scheduling heuristic for first fragments: the best-priority
+        modules that reach ``rank``; equal-priority modules (multirail:
+        several Elan4 NICs) are used round-robin, striping *messages*
+        across rails — the rail-allocation strategy of Coll et al. [6] and
+        the §8 multirail future work."""
+        best = None
+        candidates = []
+        for m in self.modules:  # sorted by schedule_priority
+            if not m.has_peer(rank):
+                continue
+            if best is None:
+                best = m.schedule_priority
+            if m.schedule_priority != best:
+                break
+            candidates.append(m)
+        if not candidates:
+            raise PmlError(f"no PTL reaches rank {rank}")
+        if len(candidates) == 1:
+            return candidates[0]
+        self._rail_rr += 1
+        return candidates[self._rail_rr % len(candidates)]
+
+    # -- request registry ------------------------------------------------------
+    def register(self, req: Request) -> None:
+        self.requests[req.req_id] = req
+
+    def lookup_request(self, req_id: int) -> Request:
+        req = self.requests.get(req_id)
+        if req is None:
+            raise PmlError(f"unknown request id {req_id}")
+        return req
+
+    def retire(self, req: Request) -> None:
+        self.requests.pop(req.req_id, None)
+
+    # -- the MPI-facing operations -----------------------------------------------
+    def isend(
+        self,
+        thread,
+        buffer: "Buffer",
+        nbytes: int,
+        dst_rank: int,
+        tag: int,
+        ctx_id: int,
+        sync: bool = False,
+    ) -> Generator:
+        """Coroutine: start a send; returns the request.  ``sync=True``
+        gives MPI_Ssend semantics (completion proves the match; the PTL
+        forces its rendezvous handshake at any size)."""
+        yield from thread.compute(self.config.pml_sched_us)
+        key = (ctx_id, dst_rank)
+        seq = self._send_seq.get(key, 0)
+        self._send_seq[key] = seq + 1
+        req = SendRequest(self.sim, buffer, nbytes, dst_rank, tag, ctx_id, seq)
+        req.sync = sync
+        self.register(req)
+        self.sends += 1
+        yield from self.datatype.request_init(thread)  # send convertor
+        module = self.module_for(dst_rank)
+        try:
+            yield from module.send_first(thread, req)
+        except BaseException as e:
+            # a transport-level refusal (dead peer, reset connection) must
+            # not leave a zombie request behind to wedge finalize
+            req.fail(e)
+            self.retire(req)
+            raise
+        return req
+
+    def irecv(
+        self,
+        thread,
+        buffer: Optional["Buffer"],
+        nbytes: int,
+        src_rank: int,
+        tag: int,
+        ctx_id: int,
+    ) -> Generator:
+        """Coroutine: post a receive; returns the request."""
+        yield from thread.compute(self.config.pml_sched_us)
+        req = RecvRequest(self.sim, buffer, nbytes, src_rank, tag, ctx_id)
+        self.register(req)
+        self.recvs += 1
+        frag = self.matching.post(req)
+        if frag is not None:
+            yield from self.deliver_matched(thread, frag, req)
+        return req
+
+    # -- PTL upcalls -----------------------------------------------------------
+    def incoming_fragment(self, thread, frag: IncomingFragment) -> Generator:
+        """A PTL received a first fragment (MATCH or RNDV)."""
+        yield from thread.compute(self.config.pml_match_us)
+        for ready_frag, req in self.matching.incoming(frag):
+            if req is not None:
+                yield from self.deliver_matched(thread, ready_frag, req)
+
+    def deliver_matched(self, thread, frag: IncomingFragment, req: RecvRequest) -> Generator:
+        """Run the receive side of a matched first fragment."""
+        hdr = frag.header
+        req.mark_matched(hdr.src_rank, hdr.tag, hdr.msg_len)
+        yield from self.datatype.request_init(thread)  # receive convertor
+        inline = min(hdr.frag_len, req.nbytes)
+        if inline > 0:
+            t0 = self.sim.now
+            yield from self.datatype.unpack(thread, req.buffer, frag.data, inline)
+            # data movement is transport cost, not management cost: tell the
+            # PTL so the §6.3 layer decomposition attributes it correctly
+            note = getattr(frag.ptl, "note_copy_time", None)
+            if note is not None:
+                note(self.sim.now - t0)
+        if hdr.type == HDR_MATCH:
+            # the inline payload is the whole message (0 bytes completes too)
+            self.recv_progress(req, inline)
+        elif hdr.type == HDR_RNDV:
+            if inline > 0:
+                self.recv_progress(req, inline)
+            yield from frag.ptl.matched(thread, req, frag)
+        else:  # pragma: no cover - PTLs only hand up MATCH/RNDV
+            raise PmlError(f"unmatchable fragment type {hdr.type_name}")
+
+    def send_progress(self, req: SendRequest, nbytes: int) -> None:
+        """ptl_send_progress: sender-side bytes are on their way/acked."""
+        if req.add_progress(nbytes):
+            self.completions += 1
+            self.retire(req)
+
+    def recv_progress(self, req: RecvRequest, nbytes: int) -> None:
+        """ptl_recv_progress: receiver-side bytes have landed."""
+        if req.add_progress(nbytes):
+            self.completions += 1
+            self.retire(req)
+
+    # -- peer restart support --------------------------------------------------
+    def reset_peer(self, rank: int) -> None:
+        """Reset per-peer protocol state after the peer restarted: our send
+        sequences toward it start over (its fresh matching engine expects
+        seq 0) and its old incarnation's receive-ordering state is dropped."""
+        for key in [k for k in self._send_seq if k[1] == rank]:
+            del self._send_seq[key]
+        self.matching.reset_peer(rank)
+
+    # -- progress drivers --------------------------------------------------------
+    def progress_once(self, thread) -> Generator:
+        """Drive every module once; returns the number of events handled."""
+        handled = 0
+        for m in self.modules:
+            handled += yield from m.progress(thread)
+        return handled
+
+    def wait(self, thread, req: Request) -> Generator:
+        """Block (by the configured mode) until ``req`` completes."""
+        if req.completed:
+            if req.error is not None:
+                raise req.error
+            return req
+        if self.progress_mode == "polling":
+            yield from self._spin_wait(thread, req)
+        elif self.progress_mode == "interrupt":
+            yield from self.modules[0].block_wait(thread, req)
+        else:  # threaded: progress threads complete the request
+            yield from thread.wait_sim_event(req.completion_event())
+        if req.error is not None:
+            raise req.error
+        return req
+
+    def wait_all(self, thread, reqs: List[Request]) -> Generator:
+        for req in reqs:
+            yield from self.wait(thread, req)
+        return reqs
+
+    def wait_any(self, thread, reqs: List[Request]) -> Generator:
+        """Block until at least one request completes; returns its index."""
+        if not reqs:
+            raise PmlError("wait_any on an empty request list")
+        while True:
+            for i, req in enumerate(reqs):
+                if req.completed:
+                    if req.error is not None:
+                        raise req.error
+                    return i
+            if self.progress_mode == "polling":
+                handled = yield from self.progress_once(thread)
+                if handled:
+                    continue
+                signals = [m.wait_signal() for m in self.modules]
+                signals.extend(r.completion_event() for r in reqs)
+                yield AnyOf(self.sim, signals)
+                yield from thread.compute(self.config.poll_check_us)
+            else:
+                yield from thread.wait_sim_event(
+                    AnyOf(self.sim, [r.completion_event() for r in reqs])
+                )
+
+    def iprobe(self, thread, src_rank: int, tag: int, ctx_id: int) -> Generator:
+        """Non-blocking probe: progress once, then peek the unexpected
+        queue.  Returns the matching fragment header or None."""
+        yield from self.progress_once(thread)
+        frag = self.matching.peek(ctx_id, src_rank, tag)
+        return None if frag is None else frag.header
+
+    def probe(self, thread, src_rank: int, tag: int, ctx_id: int) -> Generator:
+        """Blocking probe (drives progress until a match is queued)."""
+        while True:
+            hdr = yield from self.iprobe(thread, src_rank, tag, ctx_id)
+            if hdr is not None:
+                return hdr
+            signals = [m.wait_signal() for m in self.modules]
+            yield AnyOf(self.sim, signals)
+            yield from thread.compute(self.config.poll_check_us)
+
+    def _spin_wait(self, thread, req: Request) -> Generator:
+        guard = 0
+        last_now = -1.0
+        while not req.completed:
+            handled = yield from self.progress_once(thread)
+            if req.completed:
+                break
+            if handled == 0:
+                signals = [m.wait_signal() for m in self.modules]
+                signals.append(req.completion_event())
+                # spinning: the CPU is *held* while we wait — this is what
+                # polling progress means, and why it starves co-located
+                # threads (the Table 1 trade-off).
+                yield AnyOf(self.sim, signals)
+                yield from thread.compute(self.config.poll_check_us)
+            # liveness guard: simulated spinning must advance the clock
+            if self.sim.now == last_now:
+                guard += 1
+                if guard > _SPIN_GUARD:
+                    raise PmlError(f"spin-wait livelock on {req!r}")
+            else:
+                guard, last_now = 0, self.sim.now
+
+    # -- drain/finalize ------------------------------------------------------------
+    def pending_requests(self) -> int:
+        return sum(0 if r.completed else 1 for r in self.requests.values())
+
+    def finalize(self, thread) -> Generator:
+        """Complete all outstanding requests, stop progress threads."""
+        for req in list(self.requests.values()):
+            if not req.completed:
+                yield from self.wait(thread, req)
+        if self.progress_driver is not None:
+            yield from self.progress_driver.stop(thread)

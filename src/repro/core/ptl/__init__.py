@@ -1,0 +1,5 @@
+"""Point-to-point transport layer (PTL) framework and transports."""
+
+from repro.core.ptl.base import PtlComponent, PtlModule, PtlRegistry
+
+__all__ = ["PtlComponent", "PtlModule", "PtlRegistry"]

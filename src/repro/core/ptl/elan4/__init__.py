@@ -1,0 +1,35 @@
+"""PTL/Elan4 — the paper's contribution (§4–5).
+
+The transport maps Open MPI's PTL interface onto Quadrics primitives:
+
+* **eager path** — messages up to the rendezvous threshold (1984 B = one
+  2 KB QSLOT minus the 64 B header) are packed into preallocated send
+  buffers and posted by QDMA into the peer PTL's receive queue (§5);
+* **rendezvous path** — longer messages send a RNDV fragment (with or
+  without inlined data, §6.1) and move the remainder by RDMA:
+  the *write* scheme (Fig. 3: ACK → RDMA writes → FIN) or the *read*
+  scheme (Fig. 4: receiver RDMA-reads → FIN_ACK);
+* **completion notification** — FIN/FIN_ACK may be *chained* to the last
+  RDMA so the NIC event engine sends them with no host involvement (§4.2),
+  and local completions may be funnelled into a **shared completion queue**
+  via chained QDMAs (§4.3) — combined with the receive queue (one-queue) or
+  separate (two-queue);
+* **progress** — polling, interrupt-blocking, or the one-/two-thread
+  asynchronous modes of Table 1.
+"""
+
+from repro.core.ptl.elan4.module import (
+    Elan4PtlComponent,
+    Elan4PtlModule,
+    Elan4PtlOptions,
+    PTL_COMPL_QID,
+    PTL_RECV_QID,
+)
+
+__all__ = [
+    "Elan4PtlComponent",
+    "Elan4PtlModule",
+    "Elan4PtlOptions",
+    "PTL_COMPL_QID",
+    "PTL_RECV_QID",
+]

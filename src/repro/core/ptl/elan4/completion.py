@@ -1,0 +1,122 @@
+"""Local-completion notification strategies (§4.3, Figs. 5–6).
+
+An RDMA descriptor completes through its own Elan event — per Fig. 5a, a
+separate memory location per descriptor, which a single thread cannot block
+on collectively.  The module therefore watches completions one of three
+ways, selected by ``Elan4PtlOptions.completion_queue``:
+
+* ``"none"`` — **per-descriptor polling**: attach a host word to each done
+  event and poll the set in ``progress()``.  Cheap (no extra traffic), but
+  unusable for thread-blocking progress — exactly Fig. 5's argument;
+* ``"one-queue"`` — chain a small QDMA to every completion, posted into the
+  PTL's *receive* queue.  One host event now covers remote arrivals *and*
+  local completions, so a single thread can block for everything (and "the
+  one-queue strategy saves the additional resources needed for another
+  queue and ... an additional thread", §6.2);
+* ``"two-queue"`` — same chained QDMA into a *separate* completion queue:
+  cleaner message-handling logic, but extra resources and (in blocking
+  mode) a second progress thread (§4.3).
+
+The chained QDMA costs one loopback message per RDMA — the measurable
+overhead Fig. 8 shows for both queue variants.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, Generator, List, Tuple, TYPE_CHECKING
+
+import numpy as np
+
+from repro.hw.cpu import HostWordEvent
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.ptl.elan4.module import Elan4PtlModule
+    from repro.elan4.event import ElanEvent
+
+__all__ = ["CompletionWatcher"]
+
+#: handler: a generator function taking the driving thread
+Handler = Callable
+
+
+class CompletionWatcher:
+    """Tracks local DMA completions for one PTL/Elan4 module."""
+
+    def __init__(self, module: "Elan4PtlModule"):
+        self.module = module
+        self.mode = module.options.completion_queue
+        #: polling mode: (host word, handler) pairs
+        self._watched: List[Tuple[HostWordEvent, Handler]] = []
+        #: queue modes: token -> handler
+        self._tokens: Dict[int, Handler] = {}
+        self._token_ids = itertools.count(1)
+        self.notifications = 0
+
+    # -- registration ------------------------------------------------------
+    def watch(self, done: "ElanEvent", handler: Handler) -> None:
+        """Arrange for ``handler(thread)`` to run (from a progress context)
+        once ``done`` fires."""
+        module = self.module
+        if self.mode == "none":
+            # Watched events surface while the waiter is already awake
+            # (block_wait's polling phase issues the RDMA after its wakeup),
+            # so they are never interrupt-armed: the NIC writes the host
+            # word directly and the poll loop sees it.
+            word = done.attach_host_word()
+            self._watched.append((word, handler))
+        else:
+            token = next(self._token_ids)
+            self._tokens[token] = handler
+            qid = module.completion_qid
+            done.chain(
+                module.ctx.chained_qdma(
+                    module.ctx.vpid,
+                    qid,
+                    np.empty(0, dtype=np.uint8),
+                    meta={"compl": token},
+                )
+            )
+
+    def watch_silent(self, done: "ElanEvent") -> None:
+        """Queue modes: emit the completion message with a no-op handler
+        (used for send-buffer releases, whose real work rides a NIC chain —
+        the message exists so blocking threads see local DMA activity)."""
+        if self.mode == "none":
+            return
+        self.watch(done, _noop_handler)
+
+    # -- consumption ----------------------------------------------------------
+    def handle_token(self, thread, token: int) -> Generator:
+        """A completion message arrived on a queue."""
+        handler = self._tokens.pop(token, None)
+        if handler is None:
+            raise KeyError(f"completion token {token} unknown/duplicated")
+        self.notifications += 1
+        yield from handler(thread)
+
+    def poll(self, thread) -> Generator:
+        """Polling mode: run handlers of every fired watched event; returns
+        the number handled."""
+        handled = 0
+        i = 0
+        while i < len(self._watched):
+            word, handler = self._watched[i]
+            if word.poll():
+                del self._watched[i]
+                self.notifications += 1
+                handled += 1
+                yield from handler(thread)
+            else:
+                i += 1
+        return handled
+
+    def watched_words(self) -> List[HostWordEvent]:
+        return [w for w, _ in self._watched]
+
+    def pending(self) -> int:
+        return len(self._watched) + len(self._tokens)
+
+
+def _noop_handler(thread) -> Generator:
+    yield thread.sim.timeout(0)

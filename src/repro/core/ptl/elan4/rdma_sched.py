@@ -1,0 +1,205 @@
+"""The two rendezvous schemes: RDMA write (Fig. 3) and RDMA read (Fig. 4).
+
+**Write scheme** — after the match, the receiver returns an ACK carrying the
+E4 address of its (now exposed) receive buffer; the sender RDMA-writes the
+remainder there and notifies completion with a FIN control fragment.  The
+ACK also lets the sender credit the inlined first-fragment data
+("the initiating PTL updates the PML layer about the data transmitted
+inside the first packet", §2.2).
+
+**Read scheme** — the RNDV fragment already carries the *source* buffer's E4
+address, so the receiver needs no ACK: it RDMA-reads the remainder directly
+and sends a single FIN_ACK that both acknowledges the rendezvous and
+reports full-message completion.  "RDMA read is able to deliver better
+performance compared to RDMA write ... the RDMA read-based scheme
+essentially saves a control packet" (§6.1).
+
+In both schemes the trailing control fragment can be **chained** to the last
+RDMA operation — "automatically triggered when the last RDMA operation is
+done" (§4.2) — or issued by the host once it observes the local completion
+(the Read-NoChain ablation of Fig. 8).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.header import (
+    FLAG_INLINE,
+    FragmentHeader,
+    HDR_ACK,
+    HDR_FIN,
+    HDR_FIN_ACK,
+)
+from repro.elan4.rdma import RdmaDescriptor
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.pml.matching import IncomingFragment
+    from repro.core.ptl.elan4.module import Elan4PtlModule
+    from repro.core.request import RecvRequest, SendRequest
+
+__all__ = ["receiver_matched", "sender_handle_ack", "receiver_handle_fin",
+           "sender_handle_fin_ack"]
+
+
+# ----------------------------------------------------------------- receiver
+def receiver_matched(
+    module: "Elan4PtlModule", thread, recv_req: "RecvRequest", frag: "IncomingFragment"
+) -> Generator:
+    """PML matched a RNDV fragment to ``recv_req``: run the configured
+    scheme's receive side."""
+    hdr = frag.header
+    inline = min(hdr.frag_len, recv_req.nbytes)
+    remainder = recv_req.nbytes - inline
+    peer_vpid = module.vpid_of(hdr.src_rank)
+
+    if module.options.rdma_scheme == "write":
+        # Fig. 3: expose the receive buffer and ACK back to the sender.
+        ack = FragmentHeader(
+            type=HDR_ACK,
+            src_rank=module.process.rank,
+            ctx_id=hdr.ctx_id,
+            tag=hdr.tag,
+            seq=0,
+            msg_len=recv_req.nbytes,
+            frag_len=inline,  # credits the inlined bytes at the sender
+            frag_offset=inline,
+            src_req=hdr.src_req,
+            dst_req=recv_req.req_id,
+            e4=(
+                module.ctx.map_buffer(recv_req.buffer.sub(0, recv_req.nbytes))
+                if recv_req.nbytes > 0
+                else None
+            ),
+        )
+        yield from module.send_control(thread, peer_vpid, ack)
+        if recv_req.nbytes == 0:
+            # a 0-byte synchronous rendezvous: the ACK is everything
+            module.pml.recv_progress(recv_req, 0)
+        return
+
+    # Fig. 4: read scheme — pull the remainder straight from the source.
+    fin_ack = FragmentHeader(
+        type=HDR_FIN_ACK,
+        src_rank=module.process.rank,
+        ctx_id=hdr.ctx_id,
+        tag=hdr.tag,
+        seq=0,
+        msg_len=hdr.msg_len,
+        frag_len=0,
+        frag_offset=0,
+        src_req=hdr.src_req,
+        dst_req=hdr.src_req,
+        e4=None,
+    )
+    if remainder <= 0:  # everything arrived inline; just complete the sender
+        yield from module.send_control(thread, peer_vpid, fin_ack)
+        if not recv_req.completed:  # 0-byte synchronous rendezvous
+            module.pml.recv_progress(recv_req, 0)
+        return
+
+    dst_e4 = module.ctx.map_buffer(recv_req.buffer.sub(inline, remainder))
+    desc = RdmaDescriptor(
+        op="read",
+        local=dst_e4,
+        remote=hdr.e4 + inline,
+        nbytes=remainder,
+        remote_vpid=peer_vpid,
+        done=module.ctx.make_event(name=f"rd-get#{recv_req.req_id}"),
+    )
+    if module.options.chained_fin:
+        # the event engine fires the FIN_ACK the instant the get completes —
+        # no I/O-bus crossing on the critical path (§4.2)
+        desc.done.chain(
+            module.ctx.chained_qdma(peer_vpid, module.peer_recv_qid, fin_ack.encode())
+        )
+
+    def on_complete(t) -> Generator:
+        module.pml.recv_progress(recv_req, remainder)
+        if not module.options.chained_fin:
+            # host-issued FIN_ACK: observe completion, then send (NoChain)
+            yield from module.send_control(t, peer_vpid, fin_ack)
+        else:
+            yield t.sim.timeout(0)
+
+    module.completions.watch(desc.done, on_complete)
+    yield from module.ctx.rdma_issue(thread, desc)
+
+
+def receiver_handle_fin(module: "Elan4PtlModule", thread, hdr: FragmentHeader) -> Generator:
+    """Write scheme: the sender's FIN says the RDMA-written bytes are all
+    in place."""
+    recv_req = module.pml.lookup_request(hdr.dst_req)
+    module.pml.recv_progress(recv_req, hdr.frag_len)
+    yield thread.sim.timeout(0)
+
+
+# ----------------------------------------------------------------- sender
+def sender_handle_ack(module: "Elan4PtlModule", thread, hdr: FragmentHeader) -> Generator:
+    """Write scheme: the receiver exposed its buffer — write the remainder."""
+    send_req: "SendRequest" = module.pml.lookup_request(hdr.src_req)
+    inline = hdr.frag_len
+    if inline > 0:
+        module.pml.send_progress(send_req, inline)
+    send_req.acked = True
+    total = min(send_req.nbytes, hdr.msg_len)
+    remainder = total - inline
+    if remainder <= 0:
+        if not send_req.completed:
+            # nothing left to write (fully inlined, or a 0-byte
+            # synchronous send): the ACK itself is the completion proof
+            module.pml.send_progress(
+                send_req, send_req.nbytes - send_req.bytes_progressed
+            )
+        return
+    peer_vpid = module.vpid_of(hdr.src_rank)
+    src_e4 = send_req.transport.get("src_e4")
+    if src_e4 is None:
+        src_e4 = module.ctx.map_buffer(send_req.buffer.sub(0, send_req.nbytes))
+        send_req.transport["src_e4"] = src_e4
+    fin = FragmentHeader(
+        type=HDR_FIN,
+        src_rank=module.process.rank,
+        ctx_id=hdr.ctx_id,
+        tag=hdr.tag,
+        seq=0,
+        msg_len=total,
+        frag_len=remainder,
+        frag_offset=inline,
+        src_req=send_req.req_id,
+        dst_req=hdr.dst_req,
+        e4=None,
+    )
+    desc = RdmaDescriptor(
+        op="write",
+        local=src_e4 + inline,
+        remote=hdr.e4 + inline,
+        nbytes=remainder,
+        remote_vpid=peer_vpid,
+        done=module.ctx.make_event(name=f"wr-put#{send_req.req_id}"),
+    )
+    if module.options.chained_fin:
+        desc.done.chain(
+            module.ctx.chained_qdma(peer_vpid, module.peer_recv_qid, fin.encode())
+        )
+
+    def on_complete(t) -> Generator:
+        module.pml.send_progress(send_req, remainder)
+        if not module.options.chained_fin:
+            yield from module.send_control(t, peer_vpid, fin)
+        else:
+            yield t.sim.timeout(0)
+
+    module.completions.watch(desc.done, on_complete)
+    yield from module.ctx.rdma_issue(thread, desc)
+
+
+def sender_handle_fin_ack(module: "Elan4PtlModule", thread, hdr: FragmentHeader) -> Generator:
+    """Read scheme: one FIN_ACK acknowledges the rendezvous and reports the
+    whole message delivered."""
+    send_req: "SendRequest" = module.pml.lookup_request(hdr.dst_req)
+    send_req.acked = True
+    module.pml.send_progress(send_req, send_req.nbytes - send_req.bytes_progressed)
+    yield thread.sim.timeout(0)

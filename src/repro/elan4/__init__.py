@@ -1,0 +1,63 @@
+"""The Quadrics QsNetII / Elan4 substrate.
+
+Implements, as a deterministic simulation, every Elan4 mechanism the paper's
+PTL design uses or contrasts against:
+
+* **E4 addressing and the NIC MMU** (:mod:`repro.elan4.addr`) — RDMA
+  descriptors carry addresses "transformed and presented in a different
+  format (E4 Addr)" translated by the NIC's MMU (§4.2);
+* **capabilities, contexts and VPIDs** (:mod:`repro.elan4.capability`) —
+  the system-wide capability from which processes claim contexts, enabling
+  dynamic joining (§5);
+* **Elan events** (:mod:`repro.elan4.event`) — host/elan events, count-N
+  events with their non-atomic reset race (Fig. 5), and chained events that
+  trigger one operation on the completion of another (§3.1);
+* **QDMA** (:mod:`repro.elan4.qdma`) — queue-based DMA of messages up to
+  2 KB into remote receive queues of QSLOTS (§3.1, §5);
+* **RDMA read/write** (:mod:`repro.elan4.rdma`) — arbitrary-size remote
+  memory access with per-descriptor completion events and chained
+  continuations (§4.2);
+* **Tport** (:mod:`repro.elan4.tport`) — NIC-based tag matching with
+  fragment pipelining, the substrate of MPICH-QsNetII (§6.5);
+* **the QsNetII fabric** (:mod:`repro.elan4.switch`,
+  :mod:`repro.elan4.fattree`, :mod:`repro.elan4.network`) — Elite-4
+  switches in a quaternary fat tree;
+* **the Elan4 NIC itself** (:mod:`repro.elan4.nic`) — command queue, DMA
+  engines, event engine, interrupt delivery.
+"""
+
+from repro.elan4.addr import E4Addr, Elan4Mmu, MmuTrap
+from repro.elan4.capability import CapabilityError, ElanCapability
+from repro.elan4.event import ChainOp, ElanEvent, EventRaceError
+from repro.elan4.network import Fabric, Packet
+from repro.elan4.fattree import build_quaternary_fat_tree
+from repro.elan4.switch import Elite4Switch
+from repro.elan4.hwbcast import HwBcastError, HwBroadcastGroup
+from repro.elan4.nic import Elan4Context, Elan4Nic
+from repro.elan4.qdma import QdmaMessage, QdmaQueue
+from repro.elan4.rdma import RdmaDescriptor
+from repro.elan4.tport import TportEndpoint, TportMessage
+
+__all__ = [
+    "CapabilityError",
+    "ChainOp",
+    "E4Addr",
+    "Elan4Context",
+    "Elan4Mmu",
+    "Elan4Nic",
+    "ElanCapability",
+    "ElanEvent",
+    "Elite4Switch",
+    "EventRaceError",
+    "Fabric",
+    "HwBcastError",
+    "HwBroadcastGroup",
+    "MmuTrap",
+    "Packet",
+    "QdmaMessage",
+    "QdmaQueue",
+    "RdmaDescriptor",
+    "TportEndpoint",
+    "TportMessage",
+    "build_quaternary_fat_tree",
+]

@@ -1,0 +1,117 @@
+"""E4 addresses and the Elan4 NIC MMU.
+
+The paper (§4.2): *"Quadrics RDMA descriptors require the source and
+destination virtual host memory addresses to be transformed and presented in
+a different format (E4 Addr) for the network interface card to carry out
+RDMA operations. A specially designed Memory Management Unit (MMU) in the
+Elan4 network interface performs address translation from E4 Addr to
+physical memory."*
+
+We model this as a per-NIC, per-context translation table: host code maps a
+host buffer to obtain an :class:`E4Addr`; NIC engines translate E4 addresses
+back to (address-space, host-address) pairs at transfer time.  Untranslatable
+accesses raise :class:`MmuTrap` — the event a stale descriptor after a
+process restart would provoke, which is why connection finalization must
+drain pending DMAs (§4.1).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, List, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hw.memory import AddressSpace
+
+__all__ = ["E4Addr", "Elan4Mmu", "MmuTrap"]
+
+
+class MmuTrap(Exception):
+    """NIC-side translation fault (no mapping for the accessed range)."""
+
+
+@dataclass(frozen=True)
+class E4Addr:
+    """A NIC-virtual address: context id + 64-bit offset in that context's
+    Elan address space.  Frozen/hashable so it can ride inside headers and
+    memory descriptors (the PTL expands its memory descriptor with one of
+    these, §4.2)."""
+
+    ctx: int
+    offset: int
+
+    def __add__(self, delta: int) -> "E4Addr":
+        return E4Addr(self.ctx, self.offset + delta)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"E4Addr(ctx={self.ctx}, {self.offset:#x})"
+
+
+class _CtxTable:
+    """Sorted mapping of one context's E4 ranges to host memory."""
+
+    def __init__(self) -> None:
+        self.bases: List[int] = []
+        #: e4_base -> (space, host_addr, nbytes)
+        self.entries: Dict[int, Tuple["AddressSpace", int, int]] = {}
+        self.next_base = 0x100000
+
+
+class Elan4Mmu:
+    """The translation unit of one Elan4 NIC."""
+
+    def __init__(self) -> None:
+        self._ctx: Dict[int, _CtxTable] = {}
+        self.translations = 0  # total successful lookups (for tests)
+        self.traps = 0
+
+    # -- mapping ---------------------------------------------------------
+    def map(self, ctx: int, space: "AddressSpace", host_addr: int, nbytes: int) -> E4Addr:
+        """Install a translation for ``nbytes`` of host memory; returns the
+        E4 address the NIC will use for this range."""
+        if nbytes <= 0:
+            raise MmuTrap(f"mapping of {nbytes} bytes")
+        table = self._ctx.setdefault(ctx, _CtxTable())
+        base = table.next_base
+        # 8 KB alignment between ranges keeps lookups unambiguous.
+        table.next_base += (nbytes + 0x1FFF) & ~0x1FFF
+        bisect.insort(table.bases, base)
+        table.entries[base] = (space, host_addr, nbytes)
+        return E4Addr(ctx, base)
+
+    def map_buffer(self, ctx: int, buf) -> E4Addr:
+        """Convenience: map a :class:`repro.hw.memory.Buffer`."""
+        return self.map(ctx, buf.space, buf.addr, buf.nbytes)
+
+    def unmap(self, ctx: int, e4: E4Addr) -> None:
+        table = self._ctx.get(ctx)
+        if table is None or e4.offset not in table.entries:
+            raise MmuTrap(f"unmap of unmapped {e4}")
+        del table.entries[e4.offset]
+        table.bases.remove(e4.offset)
+
+    def unmap_context(self, ctx: int) -> int:
+        """Tear down every translation of a context (process finalize /
+        restart).  Returns the number of ranges removed."""
+        table = self._ctx.pop(ctx, None)
+        return 0 if table is None else len(table.entries)
+
+    # -- translation -----------------------------------------------------
+    def translate(self, e4: E4Addr, nbytes: int) -> Tuple["AddressSpace", int]:
+        """Resolve an E4 range to (address space, host address) or trap."""
+        table = self._ctx.get(e4.ctx)
+        if table is not None:
+            i = bisect.bisect_right(table.bases, e4.offset) - 1
+            if i >= 0:
+                base = table.bases[i]
+                space, host_addr, size = table.entries[base]
+                off = e4.offset - base
+                if off + nbytes <= size:
+                    self.translations += 1
+                    return space, host_addr + off
+        self.traps += 1
+        raise MmuTrap(f"no translation for {e4} (+{nbytes})")
+
+    def has_context(self, ctx: int) -> bool:
+        return ctx in self._ctx and bool(self._ctx[ctx].entries)

@@ -1,0 +1,143 @@
+"""Elan capabilities, hardware contexts and virtual process IDs.
+
+Under the default Quadrics libraries, "a parallel job first acquires a
+job-wise capability. Then each process is allocated a virtual process ID
+(VPID); together they form a static pool of processes" (§3.1).  The paper's
+design breaks that static coupling: "Processes are allowed to join the
+Quadrics Network dynamically and individually by claiming an available
+context in a system-wide Elan4 capability" (§5), and the MPI rank is
+decoupled from the VPID (§4.1).
+
+This module models the *system-wide* capability: a range of hardware
+contexts per node; processes claim and release contexts at any time; a VPID
+is allocated per claimed context and resolves to ``(node, context)`` for
+network addressing.  Nothing here knows about MPI ranks — that mapping is
+owned by the RTE/PML layers, which is exactly the decoupling the paper
+proposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+__all__ = ["ElanCapability", "CapabilityError", "VpidEntry"]
+
+
+class CapabilityError(Exception):
+    """Context exhaustion, double release, or resolution of a dead VPID."""
+
+
+@dataclass(frozen=True)
+class VpidEntry:
+    """Resolution record for one live VPID."""
+
+    vpid: int
+    node_id: int
+    ctx: int
+
+
+class ElanCapability:
+    """A system-wide capability covering ``nodes`` × ``contexts_per_node``.
+
+    VPIDs are allocated monotonically and never reused, so a stale VPID held
+    by a crashed peer can never silently address a new process — resolution
+    of a released VPID raises.  (Real Quadrics capabilities are bitmaps of
+    fixed context ranges; monotone VPIDs are the honest simulation of the
+    paper's requirement that ranks survive migration while network addresses
+    do not.)
+    """
+
+    def __init__(self, nodes: int, contexts_per_node: int = 64, ctx_base: int = 0x400):
+        if nodes < 1 or contexts_per_node < 1:
+            raise CapabilityError("capability must cover >= 1 node and context")
+        self.nodes = nodes
+        self.contexts_per_node = contexts_per_node
+        self.ctx_base = ctx_base
+        self._free: List[Set[int]] = [
+            set(range(ctx_base, ctx_base + contexts_per_node)) for _ in range(nodes)
+        ]
+        self._next_vpid = 0
+        self._by_vpid: Dict[int, VpidEntry] = {}
+        self._by_node_ctx: Dict[Tuple[int, int], int] = {}
+        self._released_vpids: Set[int] = set()
+        self._static_cohort: Set[int] = set()
+        self._cohort_sealed = False
+
+    # -- claiming --------------------------------------------------------
+    def claim(self, node_id: int, ctx: Optional[int] = None) -> VpidEntry:
+        """Claim a context on ``node_id`` (any free one unless ``ctx`` is
+        given) and allocate a fresh VPID for it."""
+        if not 0 <= node_id < self.nodes:
+            raise CapabilityError(f"node {node_id} outside capability")
+        free = self._free[node_id]
+        if ctx is None:
+            if not free:
+                raise CapabilityError(f"node {node_id}: no free contexts")
+            ctx = min(free)  # deterministic choice
+        elif ctx not in free:
+            raise CapabilityError(f"node {node_id}: context {ctx:#x} not free")
+        free.discard(ctx)
+        vpid = self._next_vpid
+        self._next_vpid += 1
+        entry = VpidEntry(vpid=vpid, node_id=node_id, ctx=ctx)
+        self._by_vpid[vpid] = entry
+        self._by_node_ctx[(node_id, ctx)] = vpid
+        return entry
+
+    def release(self, vpid: int) -> None:
+        """Return the context behind ``vpid`` to the free pool.  The VPID
+        itself is retired forever."""
+        entry = self._by_vpid.pop(vpid, None)
+        if entry is None:
+            raise CapabilityError(f"release of unknown/dead vpid {vpid}")
+        del self._by_node_ctx[(entry.node_id, entry.ctx)]
+        self._free[entry.node_id].add(entry.ctx)
+        self._released_vpids.add(vpid)
+
+    # -- the synchronous (global-address-space) cohort, §4.1 ----------------
+    def seal_static_cohort(self) -> Set[int]:
+        """Freeze the set of *currently live* VPIDs as the synchronously-
+        joined cohort — the processes whose coordinated startup makes a
+        global virtual address space (and hence hardware broadcast)
+        available.  May be sealed once; every later claim is a dynamic
+        joiner outside the cohort (§4.1)."""
+        if self._cohort_sealed:
+            raise CapabilityError("static cohort already sealed")
+        self._cohort_sealed = True
+        self._static_cohort = set(self._by_vpid)
+        return set(self._static_cohort)
+
+    def in_static_cohort(self, vpid: int) -> bool:
+        """True iff ``vpid`` belongs to the sealed synchronous cohort and is
+        still alive.  A restarted process (same rank, new VPID) is *not* in
+        the cohort — it rejoined later."""
+        return vpid in self._static_cohort and vpid in self._by_vpid
+
+    @property
+    def cohort_sealed(self) -> bool:
+        return self._cohort_sealed
+
+    # -- resolution ------------------------------------------------------
+    def resolve(self, vpid: int) -> VpidEntry:
+        entry = self._by_vpid.get(vpid)
+        if entry is None:
+            reason = "released" if vpid in self._released_vpids else "unknown"
+            raise CapabilityError(f"vpid {vpid} is {reason}")
+        return entry
+
+    def vpid_of(self, node_id: int, ctx: int) -> int:
+        key = (node_id, ctx)
+        if key not in self._by_node_ctx:
+            raise CapabilityError(f"no live vpid for node {node_id} ctx {ctx:#x}")
+        return self._by_node_ctx[key]
+
+    def is_live(self, vpid: int) -> bool:
+        return vpid in self._by_vpid
+
+    @property
+    def live_vpids(self) -> List[int]:
+        return sorted(self._by_vpid)
+
+    def free_contexts(self, node_id: int) -> int:
+        return len(self._free[node_id])

@@ -1,0 +1,131 @@
+"""Quaternary fat-tree topology construction.
+
+Builds the QsNetII interconnect shape: leaves (NIC ports) hang off a tree of
+Elite-4 switches where each switch stage has 4 down-links and 4 up-links
+(radix 8).  The paper's testbed is "a dimension one quaternary fat-tree
+QS-8A switch and eight Elan4 QM-500 cards" — with ≤8 leaves the tree is a
+single stage and every NIC pair is one switch hop apart; larger simulated
+clusters grow additional stages, and the hop count feeds the fabric's
+latency model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import networkx as nx
+
+from repro.elan4.switch import Elite4Switch
+
+__all__ = ["Topology", "build_quaternary_fat_tree", "leaf_name"]
+
+DOWN_LINKS = 4  # quaternary: 4 children per switch stage element
+
+
+def leaf_name(i: int) -> str:
+    return f"nic:{i}"
+
+
+@dataclass
+class Topology:
+    """The wired fabric: a networkx graph plus switch objects and routes."""
+
+    graph: nx.Graph
+    leaves: List[str]
+    switches: Dict[str, Elite4Switch]
+    #: (leaf_a, leaf_b) -> number of switch elements traversed
+    _hops: Dict[tuple, int] = field(default_factory=dict)
+
+    def hops(self, a: int, b: int) -> int:
+        """Switch elements on the route between leaves ``a`` and ``b``.
+
+        Loopback (a == b) is zero hops: the Elan4 NIC short-circuits
+        self-addressed traffic without entering the fabric.
+        """
+        if a == b:
+            return 0
+        key = (min(a, b), max(a, b))
+        cached = self._hops.get(key)
+        if cached is None:
+            path = nx.shortest_path(self.graph, leaf_name(key[0]), leaf_name(key[1]))
+            cached = len(path) - 2  # interior vertices are all switches
+            self._hops[key] = cached
+        return cached
+
+    @property
+    def n_leaves(self) -> int:
+        return len(self.leaves)
+
+    @property
+    def stages(self) -> int:
+        """Fat-tree depth (1 for the paper's 8-node QS-8A)."""
+        return max(1, math.ceil(math.log(max(self.n_leaves, 2), DOWN_LINKS)))
+
+
+def build_quaternary_fat_tree(n_leaves: int) -> Topology:
+    """Wire ``n_leaves`` NICs into a quaternary fat tree.
+
+    Stage 0 switches each take up to 4 leaves on their down-links; each
+    higher stage connects groups of 4 lower switches, up to the root stage.
+    Up-links are wired one-per-parent (thinned fat tree is enough for a
+    latency model; full bisection multiplicity would only matter with
+    adaptive routing under congestion, which the point-to-point benchmarks
+    never create).
+    """
+    if n_leaves < 1:
+        raise ValueError("need at least one leaf")
+    g = nx.Graph()
+    switches: Dict[str, Elite4Switch] = {}
+    leaves = [leaf_name(i) for i in range(n_leaves)]
+    for name in leaves:
+        g.add_node(name, kind="nic")
+
+    def add_switch(stage: int, idx: int) -> Elite4Switch:
+        name = f"sw{stage}.{idx}"
+        sw = Elite4Switch(name)
+        switches[name] = sw
+        g.add_node(name, kind="switch", stage=stage)
+        return sw
+
+    if n_leaves <= Elite4Switch.RADIX:
+        # The paper's testbed shape: a dimension-one switch (QS-8A) with all
+        # ports down — every NIC pair is a single hop apart.
+        sw = add_switch(0, 0)
+        for port, leaf in enumerate(leaves):
+            sw.connect(port, leaf)
+            g.add_edge(sw.name, leaf)
+        return Topology(graph=g, leaves=leaves, switches=switches)
+
+    # stage 0: leaves onto first-stage switches
+    current: List[Elite4Switch] = []
+    for idx in range(math.ceil(n_leaves / DOWN_LINKS)):
+        sw = add_switch(0, idx)
+        current.append(sw)
+        for port in range(DOWN_LINKS):
+            leaf_idx = idx * DOWN_LINKS + port
+            if leaf_idx >= n_leaves:
+                break
+            sw.connect(port, leaves[leaf_idx])
+            g.add_edge(sw.name, leaves[leaf_idx])
+
+    # higher stages until a single root group remains
+    stage = 1
+    while len(current) > 1:
+        parents: List[Elite4Switch] = []
+        for idx in range(math.ceil(len(current) / DOWN_LINKS)):
+            sw = add_switch(stage, idx)
+            parents.append(sw)
+            for port in range(DOWN_LINKS):
+                child_idx = idx * DOWN_LINKS + port
+                if child_idx >= len(current):
+                    break
+                child = current[child_idx]
+                sw.connect(port, child.name)
+                child.connect(DOWN_LINKS + (port % DOWN_LINKS), sw.name)
+                g.add_edge(sw.name, child.name)
+        current = parents
+        stage += 1
+
+    return Topology(graph=g, leaves=leaves, switches=switches)

@@ -1,0 +1,194 @@
+"""The QsNetII fabric: packets, injection links, routing latency.
+
+The fabric moves :class:`Packet` objects between NICs.  Costs:
+
+* **injection serialisation** — each NIC has one transmit link; packets
+  from the same NIC serialise at ``link_us_per_byte`` (~1.3 GB/s), which is
+  what pipelined transfers contend for;
+* **routing** — ``hops × (switch_hop_us + wire_prop_us)`` from the fat-tree
+  topology;
+* **in-order delivery** — QsNet guarantees point-to-point ordering; the
+  single tx link plus deterministic routing preserves it here, and a strict
+  per-(src,dst) sequence check enforces it at delivery time (the PTL's
+  FIN-after-data correctness depends on this, §4.2).
+
+Reception-side costs (DMA into host queues) are charged by the receiving
+NIC's engines, not here.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, TYPE_CHECKING
+
+import numpy as np
+
+from repro.sim.resources import Resource
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.config import MachineConfig
+    from repro.elan4.fattree import Topology
+    from repro.sim.core import Simulator
+
+__all__ = ["Packet", "Fabric", "FabricError"]
+
+
+class FabricError(Exception):
+    """Misrouted packet, unattached NIC, or ordering violation."""
+
+
+@dataclass
+class Packet:
+    """One network transaction between NICs.
+
+    ``nbytes`` is the wire footprint (headers included); ``data`` optionally
+    carries real payload bytes so receivers can verify integrity; ``kind``
+    selects the receive handler on the destination NIC; ``meta`` is the
+    handler's arguments.
+    """
+
+    src_node: int
+    dst_node: int
+    nbytes: int
+    kind: str
+    meta: Dict[str, Any] = field(default_factory=dict)
+    data: Optional[np.ndarray] = None
+    seq: int = -1  # stamped by the fabric
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Packet {self.kind} n{self.src_node}->n{self.dst_node} "
+            f"{self.nbytes}B seq={self.seq}>"
+        )
+
+
+class Fabric:
+    """The interconnect: attach NICs, transmit packets."""
+
+    #: per-packet wire framing overhead (route/CRC flits)
+    FRAME_BYTES = 8
+
+    def __init__(self, sim: "Simulator", config: "MachineConfig", topology: "Topology"):
+        self.sim = sim
+        self.config = config
+        self.topology = topology
+        self._nics: Dict[int, Any] = {}
+        self._tx_links: Dict[int, Resource] = {}
+        self._tx_seq = itertools.count()
+        self._last_delivered: Dict[tuple, int] = {}
+        self.packets_delivered = 0
+        self.bytes_delivered = 0
+        self._loss_rate = 0.0
+        self._loss_rng = None
+        self.packets_lost = 0
+
+    # -- attachment ------------------------------------------------------
+    def attach(self, nic) -> None:
+        node_id = nic.node_id
+        if node_id in self._nics:
+            raise FabricError(f"node {node_id} already has an attached NIC")
+        if node_id >= self.topology.n_leaves:
+            raise FabricError(
+                f"node {node_id} outside topology of {self.topology.n_leaves} leaves"
+            )
+        self._nics[node_id] = nic
+        self._tx_links[node_id] = Resource(self.sim, 1, name=f"txlink{node_id}")
+
+    def nic(self, node_id: int):
+        nic = self._nics.get(node_id)
+        if nic is None:
+            raise FabricError(f"no NIC attached at node {node_id}")
+        return nic
+
+    # -- transmission ------------------------------------------------------
+    def transmit(self, packet: Packet):
+        """Coroutine: inject ``packet`` and return once it is *on the wire*
+        (injection link released).  Delivery to the remote NIC happens
+        asynchronously after the routing latency; point-to-point order is
+        preserved because each source drains through one link and one path.
+        """
+        if packet.dst_node not in self._nics:
+            raise FabricError(f"transmit to unattached node {packet.dst_node}")
+        link = self._tx_links.get(packet.src_node)
+        if link is None:
+            raise FabricError(f"transmit from unattached node {packet.src_node}")
+        packet.seq = next(self._tx_seq)
+        wire_bytes = packet.nbytes + self.FRAME_BYTES
+        yield link.request()
+        yield self.sim.timeout(wire_bytes * self.config.link_us_per_byte)
+        link.release()
+        hops = self.topology.hops(packet.src_node, packet.dst_node)
+        latency = hops * (self.config.switch_hop_us + self.config.wire_prop_us)
+        for name in self._route_switches(packet.src_node, packet.dst_node):
+            self.topology.switches[name].packets_routed += 1
+        self.sim.schedule(latency, self._deliver, packet)
+
+    def broadcast(self, packet: Packet, dst_nodes):
+        """Coroutine: hardware broadcast — serialise once at the source
+        injection link, then the switches replicate to every node in
+        ``dst_nodes`` (including the source's own NIC if listed).  This is
+        the single-injection property that makes Elan hardware collectives
+        fast; contrast with a software tree's ⌈log n⌉ serial sends."""
+        link = self._tx_links.get(packet.src_node)
+        if link is None:
+            raise FabricError(f"broadcast from unattached node {packet.src_node}")
+        wire_bytes = packet.nbytes + self.FRAME_BYTES
+        yield link.request()
+        yield self.sim.timeout(wire_bytes * self.config.link_us_per_byte)
+        link.release()
+        for dst in dst_nodes:
+            if dst not in self._nics:
+                raise FabricError(f"broadcast to unattached node {dst}")
+            copy = Packet(
+                src_node=packet.src_node,
+                dst_node=dst,
+                nbytes=packet.nbytes,
+                kind=packet.kind,
+                meta=dict(packet.meta),
+                data=packet.data,
+            )
+            copy.seq = next(self._tx_seq)
+            hops = self.topology.hops(packet.src_node, dst)
+            latency = hops * (self.config.switch_hop_us + self.config.wire_prop_us)
+            self.sim.schedule(latency, self._deliver, copy)
+
+    def transmit_from_nic(self, packet: Packet) -> None:
+        """Callback-style injection used by NIC engines (fire and forget)."""
+        self.sim.spawn(self.transmit(packet), name=f"tx:{packet.kind}")
+
+    def _route_switches(self, a: int, b: int):
+        if a == b:
+            return []
+        import networkx as nx
+        from repro.elan4.fattree import leaf_name
+
+        path = nx.shortest_path(self.topology.graph, leaf_name(a), leaf_name(b))
+        return path[1:-1]
+
+    def set_loss(self, rate: float, seed: int = 0) -> None:
+        """Fault injection: drop each ``droppable``-marked packet with
+        probability ``rate`` (deterministic, seeded).  Only traffic under
+        the end-to-end reliability protocol marks itself droppable — the
+        base QsNet link layer is lossless (CRC + link-level retry)."""
+        if not 0.0 <= rate < 1.0:
+            raise FabricError(f"loss rate {rate} outside [0, 1)")
+        self._loss_rate = rate
+        self._loss_rng = np.random.default_rng(seed)
+
+    def _deliver(self, packet: Packet) -> None:
+        if (
+            self._loss_rate > 0.0
+            and packet.meta.get("droppable")
+            and self._loss_rng.random() < self._loss_rate
+        ):
+            self.packets_lost += 1
+            return
+        key = (packet.src_node, packet.dst_node)
+        last = self._last_delivered.get(key, -1)
+        if packet.seq <= last:
+            raise FabricError(f"ordering violation on {key}: {packet}")
+        self._last_delivered[key] = packet.seq
+        self.packets_delivered += 1
+        self.bytes_delivered += packet.nbytes
+        self._nics[packet.dst_node].receive(packet)

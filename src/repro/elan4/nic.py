@@ -1,0 +1,276 @@
+"""The Elan4 NIC: command processing, engines, events, contexts.
+
+One :class:`Elan4Nic` sits on each node's PCI-X bus and owns:
+
+* the **MMU** translating E4 addresses (:mod:`repro.elan4.addr`);
+* the **QDMA engine** (:mod:`repro.elan4.qdma`);
+* the **RDMA engine** with ``nic_dma_engines`` concurrent descriptors
+  (:mod:`repro.elan4.rdma`);
+* the **Tport engine** (:mod:`repro.elan4.tport`);
+* the **event engine** executing chained operations
+  (:meth:`Elan4Nic.run_chain`);
+* per-context **pending-operation tracking**, which is what makes the safe
+  connection-finalization of §4.1 possible: "An existing connection can go
+  through its finalization stage only when the involving processes have
+  completed all the pending messages synchronously ... a leftover DMA
+  descriptor might regenerate its traffic indefinitely."
+
+Processes interact with the NIC through an :class:`Elan4Context` — the
+handle obtained by claiming a context in the system-wide capability (§5).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, List, Optional, TYPE_CHECKING
+
+import numpy as np
+
+from repro.elan4.addr import E4Addr, Elan4Mmu
+from repro.elan4.capability import ElanCapability, VpidEntry
+from repro.elan4.event import ChainOp, ElanEvent
+from repro.elan4.network import Fabric, Packet
+from repro.elan4.qdma import QdmaEngine, QdmaQueue
+from repro.elan4.rdma import RdmaDescriptor, RdmaEngine
+from repro.elan4.tport import TportEndpoint, TportEngine
+from repro.sim.events import SimEvent
+from repro.sim.resources import Resource
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.config import MachineConfig
+    from repro.hw.memory import AddressSpace, Buffer
+    from repro.hw.node import Node
+    from repro.sim.core import Simulator
+
+__all__ = ["Elan4Nic", "Elan4Context", "NicError"]
+
+
+class NicError(Exception):
+    """Protocol misuse detected by the NIC model."""
+
+
+class Elan4Nic:
+    """One Elan4 QM-500 card."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        config: "MachineConfig",
+        node: "Node",
+        fabric: Fabric,
+        capability: ElanCapability,
+    ):
+        self.sim = sim
+        self.config = config
+        self.node = node
+        self.node_id = node.node_id
+        self.fabric = fabric
+        self.capability = capability
+        self.mmu = Elan4Mmu()
+        #: each card sits behind its own PCI-X bridge segment, so multirail
+        #: nodes do not serialise both NICs on one bus (the topology real
+        #: multirail servers used — and the reason multirail pays at all)
+        from repro.hw.pci import PciBus
+
+        self.pci = PciBus(sim, config, name=f"pci{self.node_id}.elan4")
+        self.dma_engines = Resource(sim, config.nic_dma_engines, name=f"dma{self.node_id}")
+        self.qdma = QdmaEngine(self)
+        self.rdma = RdmaEngine(self)
+        self.tport = TportEngine(self)
+        self._pending: Dict[int, int] = {}
+        self._drain_waiters: Dict[int, List[SimEvent]] = {}
+        self.dropped: List[tuple] = []
+        self.chains_run = 0
+        fabric.attach(self)
+        node.devices.setdefault("elan4", self)
+
+        self._dispatch: Dict[str, Callable[[Packet], None]] = {
+            "qdma": self.qdma.handle_packet,
+            "rdma_write": self.rdma.handle_write_chunk,
+            "rdma_read_req": self.rdma.handle_read_request,
+            "rdma_read_data": self.rdma.handle_read_data,
+            "tport_eager": self.tport.handle_packet,
+            "tport_rts": self.tport.handle_packet,
+            "tport_fin": self.tport.handle_fin,
+        }
+
+    # -- fabric interface ---------------------------------------------------
+    def receive(self, pkt: Packet) -> None:
+        handler = self._dispatch.get(pkt.kind)
+        if handler is None:
+            self.drop_packet(pkt, reason=f"unknown kind {pkt.kind!r}")
+            return
+        handler(pkt)
+
+    def drop_packet(self, pkt: Packet, reason: str) -> None:
+        """Record a dropped packet.  Healthy runs never drop; tests assert
+        emptiness, and fault-injection tests assert specific reasons."""
+        self.dropped.append((self.sim.now, reason, pkt))
+
+    # -- payload DMA (optionally cut-through) --------------------------------
+    def stream_dma(self, nbytes: int) -> "Generator":
+        """Move a QDMA/Tport payload across the PCI bus.
+
+        With ``config.nic_cutthrough_flit == 0`` (the default, matching the
+        paper's testbed: its QDMA and MPICH latency slopes are the *sum* of
+        PCI+wire+PCI per-byte costs) the whole payload is on the critical
+        path.  A nonzero flit enables cut-through: only the first flit
+        gates the pipeline and the rest streams concurrently with the wire
+        stage (still consuming bus time for contention accounting) — the
+        ablation for "what if the NIC path were fully pipelined".
+        """
+        flit = self.config.nic_cutthrough_flit
+        if flit <= 0 or nbytes <= flit:
+            yield from self.pci.dma(nbytes)
+            return
+        yield from self.pci.dma(flit)
+        self.sim.spawn(self.pci.dma(nbytes - flit), name="dma-stream")
+
+    # -- event engine ------------------------------------------------------
+    def run_chain(self, op: ChainOp) -> None:
+        """Execute a chained operation after the event-engine latency."""
+        self.chains_run += 1
+        self.sim.schedule(self.config.nic_chain_us, op.run)
+
+    # -- addressing ----------------------------------------------------------
+    def resolve_vpid(self, vpid: int) -> VpidEntry:
+        return self.capability.resolve(vpid)
+
+    def ctx_of_vpid(self, vpid: int) -> int:
+        return self.capability.resolve(vpid).ctx
+
+    # -- pending-operation tracking (drain support, §4.1) ---------------------
+    def track_pending(self, ctx: int) -> None:
+        self._pending[ctx] = self._pending.get(ctx, 0) + 1
+
+    def untrack_pending(self, ctx: int) -> None:
+        count = self._pending.get(ctx, 0) - 1
+        if count < 0:
+            raise NicError(f"pending underflow for ctx {ctx:#x}")
+        self._pending[ctx] = count
+        if count == 0:
+            for ev in self._drain_waiters.pop(ctx, []):
+                ev.succeed(None)
+
+    def pending_ops(self, ctx: int) -> int:
+        return self._pending.get(ctx, 0)
+
+    def drain_event(self, ctx: int) -> SimEvent:
+        """Event completing when the context has no in-flight NIC work."""
+        ev = SimEvent(self.sim, name=f"drain:{ctx:#x}")
+        if self.pending_ops(ctx) == 0:
+            ev.succeed(None)
+        else:
+            self._drain_waiters.setdefault(ctx, []).append(ev)
+        return ev
+
+
+class Elan4Context:
+    """A process's handle on its claimed hardware context (libelan4-like)."""
+
+    def __init__(self, nic: Elan4Nic, entry: VpidEntry, space: "AddressSpace"):
+        if entry.node_id != nic.node_id:
+            raise NicError(
+                f"context claimed on node {entry.node_id} cannot attach to "
+                f"NIC of node {nic.node_id}"
+            )
+        self.nic = nic
+        self.sim = nic.sim
+        self.config = nic.config
+        self.entry = entry
+        self.space = space
+        self.finalized = False
+        self._queues: List[QdmaQueue] = []
+
+    @property
+    def ctx(self) -> int:
+        return self.entry.ctx
+
+    @property
+    def vpid(self) -> int:
+        return self.entry.vpid
+
+    # -- memory ------------------------------------------------------------
+    def map_buffer(self, buf: "Buffer") -> E4Addr:
+        """Expose host memory to the NIC; returns its E4 address (the
+        "expanded memory descriptor" ingredient of §4.2)."""
+        self._check_live()
+        return self.nic.mmu.map(self.ctx, buf.space, buf.addr, buf.nbytes)
+
+    # -- queues ----------------------------------------------------------------
+    def create_queue(self, queue_id: int, nslots: Optional[int] = None) -> QdmaQueue:
+        self._check_live()
+        n = self.config.qslots_per_queue if nslots is None else nslots
+        q = self.nic.qdma.create_queue(self.ctx, queue_id, n, self.space)
+        self._queues.append(q)
+        return q
+
+    # -- QDMA ----------------------------------------------------------------
+    def qdma_send(
+        self,
+        thread,
+        dst_vpid: int,
+        queue_id: int,
+        payload,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> Generator:
+        """Coroutine: post a ≤2 KB message to a remote queue.  Returns the
+        source-completion :class:`ElanEvent`."""
+        self._check_live()
+        return (
+            yield from self.nic.qdma.host_send(
+                thread, self.vpid, dst_vpid, queue_id, payload, meta
+            )
+        )
+
+    def chained_qdma(
+        self,
+        dst_vpid: int,
+        queue_id: int,
+        payload,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> ChainOp:
+        """A chained-QDMA operation to attach to any :class:`ElanEvent`."""
+        self._check_live()
+        return self.nic.qdma.chained_command(self.vpid, dst_vpid, queue_id, payload, meta)
+
+    # -- RDMA ----------------------------------------------------------------
+    def rdma_issue(self, thread, desc: RdmaDescriptor) -> Generator:
+        """Coroutine: issue an RDMA descriptor; returns its done event."""
+        self._check_live()
+        return (yield from self.nic.rdma.host_issue(thread, desc))
+
+    def make_event(self, count: int = 1, name: str = "event") -> ElanEvent:
+        self._check_live()
+        return ElanEvent(self.nic, count=count, name=f"{name}@{self.vpid}")
+
+    # -- Tport ----------------------------------------------------------------
+    def tport_endpoint(self) -> TportEndpoint:
+        self._check_live()
+        return TportEndpoint(self)
+
+    # -- lifecycle ----------------------------------------------------------
+    def pending_ops(self) -> int:
+        return self.nic.pending_ops(self.ctx)
+
+    def drain(self, thread) -> Generator:
+        """Block until every in-flight NIC operation of this context is
+        complete — the mandatory step before finalization (§4.1)."""
+        yield from thread.wait_sim_event(self.nic.drain_event(self.ctx))
+
+    def finalize(self, thread) -> Generator:
+        """Drain, destroy queues, tear down translations, release the VPID.
+
+        After this, any packet addressed to the old VPID resolves to a dead
+        VPID (a :class:`~repro.elan4.capability.CapabilityError` at the
+        sender) — never to a silent write into recycled memory.
+        """
+        self._check_live()
+        yield from self.drain(thread)
+        self.nic.qdma.destroy_context_queues(self.ctx)
+        self.nic.mmu.unmap_context(self.ctx)
+        self.nic.capability.release(self.vpid)
+        self.finalized = True
+
+    def _check_live(self) -> None:
+        if self.finalized:
+            raise NicError(f"use of finalized context {self.ctx:#x}")

@@ -1,0 +1,52 @@
+"""Elite-4 switch model.
+
+QsNetII is built from Elan4 NICs and Elite-4 crossbar switches wired as a
+quaternary fat tree (§3.1 / [2]).  Each :class:`Elite4Switch` is a radix-8
+crossbar (4 down-links + 4 up-links in a fat-tree stage); the topology
+builder (:mod:`repro.elan4.fattree`) wires them and precomputes routes.
+
+The fabric charges per-hop routing latency and per-byte serialisation at
+the injection link; per-switch output queueing is not modelled (with eight
+nodes behind one QS-8A, injection links are the only contended stage for
+the paper's point-to-point workloads — multi-switch contention would matter
+for the collective/multirail follow-on work the paper defers).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+__all__ = ["Elite4Switch"]
+
+
+class Elite4Switch:
+    """One crossbar stage element: named ports connected to neighbours."""
+
+    RADIX = 8
+
+    def __init__(self, name: str, radix: int = RADIX):
+        self.name = name
+        self.radix = radix
+        #: port index -> neighbour name (switch or "nic:<i>")
+        self.ports: Dict[int, str] = {}
+        self.packets_routed = 0
+
+    def connect(self, port: int, neighbour: str) -> None:
+        if not 0 <= port < self.radix:
+            raise ValueError(f"{self.name}: port {port} outside radix {self.radix}")
+        if port in self.ports:
+            raise ValueError(f"{self.name}: port {port} already wired to {self.ports[port]}")
+        self.ports[port] = neighbour
+
+    def port_of(self, neighbour: str) -> Optional[int]:
+        for port, name in self.ports.items():
+            if name == neighbour:
+                return port
+        return None
+
+    @property
+    def free_ports(self) -> int:
+        return self.radix - len(self.ports)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Elite4Switch {self.name} ports={len(self.ports)}/{self.radix}>"

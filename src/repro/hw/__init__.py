@@ -1,0 +1,27 @@
+"""Host hardware substrate: memory, CPUs, PCI-X bus, nodes.
+
+This package models the paper's testbed hosts — dual-Xeon SuperMicro nodes
+with PC2100 DDR memory on a PCI-X 64/133 I/O bus — at the level of detail
+the evaluation actually exercises: memcpy costs (inline-data and datatype
+experiments, Fig. 7), a two-CPU scheduler with context-switch/wakeup/
+interrupt costs (threaded-progress experiments, Table 1), and a shared
+bus-master DMA path (every QDMA/RDMA crosses it).
+"""
+
+from repro.hw.memory import AddressSpace, Buffer, MemoryError_
+from repro.hw.cpu import CondVar, CpuScheduler, HostThread, HostWordEvent, Mutex
+from repro.hw.pci import PciBus
+from repro.hw.node import Node
+
+__all__ = [
+    "AddressSpace",
+    "Buffer",
+    "CondVar",
+    "CpuScheduler",
+    "HostThread",
+    "HostWordEvent",
+    "MemoryError_",
+    "Mutex",
+    "Node",
+    "PciBus",
+]

@@ -1,0 +1,78 @@
+"""PCI-X 64-bit/133 MHz I/O bus model.
+
+Every byte moved by the NIC crosses this bus twice per end-to-end transfer
+(host→NIC on the sender, NIC→host on the receiver), so its ~1064 MB/s peak
+is the real bandwidth ceiling of the testbed — the reason the paper's
+Fig. 10d tops out near 900 MB/s despite 1.3 GB/s links, and part of why
+chained DMA saves little on this platform (§6.2: "PCI-X bus and fast CPU
+... also reduce the possible benefits of chained DMA").
+
+The bus serialises bursts: one bus-master transaction at a time, FIFO
+arbitration.  PIO writes (doorbells) are small posted writes with a fixed
+cost.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, TYPE_CHECKING
+
+from repro.sim.resources import Resource
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.config import MachineConfig
+    from repro.sim.core import Simulator
+
+__all__ = ["PciBus"]
+
+#: largest single bus burst; bigger DMAs are split so concurrent traffic
+#: interleaves rather than head-of-line blocking for a whole megabyte.
+BURST_BYTES = 4096
+
+
+class PciBus:
+    """One node's I/O bus.  All NIC DMA and host PIO funnels through here."""
+
+    def __init__(self, sim: "Simulator", config: "MachineConfig", name: str = "pci"):
+        self.sim = sim
+        self.config = config
+        self.name = name
+        self._bus = Resource(sim, capacity=1, name=name)
+        self.bytes_moved = 0
+        self.pio_count = 0
+
+    def pio_write(self) -> Generator:
+        """One programmed-IO write (doorbell / command-word store)."""
+        yield self._bus.request()
+        self.pio_count += 1
+        yield self.sim.timeout(self.config.pio_write_us)
+        self._bus.release()
+
+    def dma(self, nbytes: int) -> Generator:
+        """A bus-master DMA of ``nbytes``, split into arbitration bursts.
+
+        The caller does not say which direction; cost is symmetric.  Returns
+        after the last burst completes.
+        """
+        remaining = max(0, int(nbytes))
+        self.bytes_moved += remaining
+        if remaining == 0:
+            # Zero-byte descriptors still arbitrate once (setup cost).
+            yield self._bus.request()
+            yield self.sim.timeout(self.config.pci_dma_setup_us)
+            self._bus.release()
+            return
+        first = True
+        while remaining > 0:
+            chunk = min(remaining, BURST_BYTES)
+            yield self._bus.request()
+            cost = chunk * self.config.pci_us_per_byte
+            if first:
+                cost += self.config.pci_dma_setup_us
+                first = False
+            yield self.sim.timeout(cost)
+            self._bus.release()
+            remaining -= chunk
+
+    @property
+    def queue_length(self) -> int:
+        return self._bus.queue_length

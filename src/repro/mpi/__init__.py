@@ -1,0 +1,59 @@
+"""The MPI-2-flavoured user API on top of the Open MPI core.
+
+Layering matches the paper's Fig. 1: MPI point-to-point sits directly on the
+PML; collectives are "provided as a separate component on top of
+point-to-point communication" (§2.1); dynamic process management (§4.1)
+rides the RTE.
+
+Applications are coroutines receiving an :class:`~repro.mpi.world.MpiApi`::
+
+    def app(mpi):
+        if mpi.rank == 0:
+            yield from mpi.comm_world.send(b"payload", dest=1, tag=7)
+        else:
+            data, status = yield from mpi.comm_world.recv(source=0, tag=7)
+
+API shape follows mpi4py conventions where they make sense for coroutines
+(``send/recv/isend/irecv``, ``bcast/scatter/gather/allreduce``,
+``Request.wait`` → ``yield from mpi.wait(req)``).
+"""
+
+from repro.mpi.communicator import Communicator, MpiError
+from repro.mpi.datatypes import (
+    Contiguous,
+    Datatype,
+    Indexed,
+    MPI_BYTE,
+    MPI_DOUBLE,
+    MPI_FLOAT,
+    MPI_INT32,
+    MPI_INT64,
+    Vector,
+)
+from repro.mpi.rma import Window, win_create
+from repro.mpi.world import MpiApi, MpiStack, make_mpi_stack_factory, mpi_stack_factory
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Communicator",
+    "Contiguous",
+    "Datatype",
+    "Indexed",
+    "MPI_BYTE",
+    "MPI_DOUBLE",
+    "MPI_FLOAT",
+    "MPI_INT32",
+    "MPI_INT64",
+    "MpiApi",
+    "MpiError",
+    "MpiStack",
+    "Vector",
+    "Window",
+    "make_mpi_stack_factory",
+    "mpi_stack_factory",
+    "win_create",
+]

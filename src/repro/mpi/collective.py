@@ -1,0 +1,297 @@
+"""Collective operations, built purely on point-to-point.
+
+"Currently, collective communication is provided as a separate component on
+top of point-to-point communication.  Further research will exploit the
+benefits of hardware-based collective support" (§2.1) — so these are
+textbook software algorithms over ``send``/``recv``; the Elan hardware
+broadcast (which dynamically joined processes could not use anyway, §4.1)
+is intentionally not used.
+
+Algorithms: dissemination barrier, binomial-tree bcast/reduce,
+recursive-doubling allreduce (power-of-two groups; fallback
+reduce+bcast otherwise), linear gather/scatter, ring allgather, pairwise
+alltoall.  Tags in the 0x7Fxx range keep collective traffic out of user
+matching space.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Sequence, Union
+
+import numpy as np
+
+from repro.mpi.communicator import Communicator, MpiError
+
+__all__ = [
+    "barrier",
+    "bcast",
+    "reduce",
+    "allreduce",
+    "gather",
+    "scatter",
+    "allgather",
+    "alltoall",
+    "scan",
+    "exscan",
+    "reduce_scatter",
+]
+
+TAG_BARRIER = 0x7F01
+TAG_BCAST = 0x7F02
+TAG_REDUCE = 0x7F03
+TAG_ALLREDUCE = 0x7F04
+TAG_GATHER = 0x7F05
+TAG_SCATTER = 0x7F06
+TAG_ALLGATHER = 0x7F07
+TAG_ALLTOALL = 0x7F08
+TAG_SCAN = 0x7F09
+TAG_EXSCAN = 0x7F0B
+
+_OPS = {
+    "sum": np.add,
+    "prod": np.multiply,
+    "max": np.maximum,
+    "min": np.minimum,
+    "band": np.bitwise_and,
+    "bor": np.bitwise_or,
+}
+
+
+def _to_bytes(data) -> bytes:
+    if isinstance(data, np.ndarray):
+        return data.tobytes()
+    return bytes(data)
+
+
+def barrier(comm: Communicator) -> Generator:
+    """Dissemination barrier: ⌈log2 n⌉ rounds of 0-byte exchanges."""
+    n, me = comm.size, comm.rank
+    if n == 1:
+        return
+    k = 1
+    while k < n:
+        dst = (me + k) % n
+        src = (me - k) % n
+        yield from comm.sendrecv(
+            b"", dst, recvnbytes=0, source=src, sendtag=TAG_BARRIER, recvtag=TAG_BARRIER
+        )
+        k *= 2
+
+
+def bcast(comm: Communicator, data, root: int = 0, max_bytes: int = 1 << 22) -> Generator:
+    """Binomial-tree broadcast (MPICH shape).  Non-root ranks pass
+    ``data=None``; returns the payload everywhere."""
+    n = comm.size
+    rel = (comm.rank - root) % n  # root-relative rank
+    payload = _to_bytes(data) if comm.rank == root else None
+    if n == 1:
+        return payload if payload is not None else b""
+    # receive phase: my parent clears my lowest set bit
+    mask = 1
+    while mask < n:
+        if rel & mask:
+            parent = ((rel - mask) + root) % n
+            body, _ = yield from comm.recv(source=parent, tag=TAG_BCAST, nbytes=max_bytes)
+            payload = body.tobytes()
+            break
+        mask <<= 1
+    # send phase: children in decreasing-subtree order
+    mask >>= 1
+    while mask > 0:
+        if rel + mask < n:
+            child = ((rel + mask) + root) % n
+            yield from comm.send(payload, child, tag=TAG_BCAST)
+        mask >>= 1
+    return payload
+
+
+def reduce(comm: Communicator, array: np.ndarray, op: str = "sum", root: int = 0) -> Generator:
+    """Binomial-tree reduction; the reduced array lands at ``root``."""
+    fn = _op(op)
+    acc = np.array(array, copy=True)
+    n = comm.size
+    me = (comm.rank - root) % n
+    mask = 1
+    while mask < n:
+        if me & mask:
+            parent = ((me & ~mask) + root) % n
+            yield from comm.send(acc.tobytes(), parent, tag=TAG_REDUCE)
+            break
+        partner_rel = me | mask
+        if partner_rel < n:
+            data, _ = yield from comm.recv(
+                source=(partner_rel + root) % n, tag=TAG_REDUCE, nbytes=acc.nbytes
+            )
+            acc = fn(acc, np.frombuffer(data.tobytes(), dtype=acc.dtype).reshape(acc.shape))
+        mask <<= 1
+    return acc if comm.rank == root else None
+
+
+def allreduce(comm: Communicator, array: np.ndarray, op: str = "sum") -> Generator:
+    """Recursive doubling when the group is a power of two, else
+    reduce-then-broadcast."""
+    fn = _op(op)
+    n = comm.size
+    acc = np.array(array, copy=True)
+    if n & (n - 1) == 0 and n > 1:
+        mask = 1
+        while mask < n:
+            partner = comm.rank ^ mask
+            data, _ = yield from comm.sendrecv(
+                acc.tobytes(),
+                partner,
+                recvnbytes=acc.nbytes,
+                source=partner,
+                sendtag=TAG_ALLREDUCE,
+                recvtag=TAG_ALLREDUCE,
+            )
+            acc = fn(acc, np.frombuffer(data.tobytes(), dtype=acc.dtype).reshape(acc.shape))
+            mask <<= 1
+        return acc
+    reduced = yield from reduce(comm, acc, op, root=0)
+    payload = yield from bcast(comm, reduced.tobytes() if reduced is not None else None, root=0)
+    return np.frombuffer(payload, dtype=acc.dtype).reshape(acc.shape)
+
+
+def gather(comm: Communicator, data, root: int = 0) -> Generator:
+    """Linear gather; returns the list of per-rank payloads at root."""
+    payload = _to_bytes(data)
+    if comm.rank != root:
+        yield from comm.send(payload, root, tag=TAG_GATHER)
+        return None
+    out: List[bytes] = [b""] * comm.size
+    out[root] = payload
+    for r in range(comm.size):
+        if r == root:
+            continue
+        body, status = yield from comm.recv(source=r, tag=TAG_GATHER, nbytes=1 << 22)
+        out[r] = body.tobytes()
+    return out
+
+
+def scatter(comm: Communicator, chunks, root: int = 0) -> Generator:
+    """Linear scatter of ``chunks[i]`` to rank i; returns this rank's chunk."""
+    if comm.rank == root:
+        if chunks is None or len(chunks) != comm.size:
+            raise MpiError("scatter needs one chunk per rank at the root")
+        for r in range(comm.size):
+            if r == root:
+                continue
+            yield from comm.send(_to_bytes(chunks[r]), r, tag=TAG_SCATTER)
+        return _to_bytes(chunks[root])
+    body, _ = yield from comm.recv(source=root, tag=TAG_SCATTER, nbytes=1 << 22)
+    return body.tobytes()
+
+
+def allgather(comm: Communicator, data) -> Generator:
+    """Ring allgather: n-1 steps, each forwarding the newest block."""
+    n = comm.size
+    blocks: List[bytes] = [b""] * n
+    blocks[comm.rank] = _to_bytes(data)
+    right = (comm.rank + 1) % n
+    left = (comm.rank - 1) % n
+    send_idx = comm.rank
+    for _ in range(n - 1):
+        body, _ = yield from comm.sendrecv(
+            blocks[send_idx],
+            right,
+            recvnbytes=1 << 22,
+            source=left,
+            sendtag=TAG_ALLGATHER,
+            recvtag=TAG_ALLGATHER,
+        )
+        send_idx = (send_idx - 1) % n
+        blocks[send_idx] = body.tobytes()
+    return blocks
+
+
+def alltoall(comm: Communicator, chunks) -> Generator:
+    """Pairwise-exchange alltoall; ``chunks[i]`` goes to rank i."""
+    n = comm.size
+    if chunks is None or len(chunks) != n:
+        raise MpiError("alltoall needs one chunk per rank")
+    out: List[bytes] = [b""] * n
+    out[comm.rank] = _to_bytes(chunks[comm.rank])
+    for step in range(1, n):
+        partner = comm.rank ^ step if (n & (n - 1)) == 0 else (comm.rank + step) % n
+        src = partner if (n & (n - 1)) == 0 else (comm.rank - step) % n
+        body, _ = yield from comm.sendrecv(
+            _to_bytes(chunks[partner]),
+            partner,
+            recvnbytes=1 << 22,
+            source=src,
+            sendtag=TAG_ALLTOALL,
+            recvtag=TAG_ALLTOALL,
+        )
+        out[src] = body.tobytes()
+    return out
+
+
+def scan(comm: Communicator, array: np.ndarray, op: str = "sum") -> Generator:
+    """MPI_Scan: inclusive prefix reduction — rank i gets op(ranks 0..i).
+
+    Hillis–Steele doubling: ⌈log2 n⌉ rounds; round k receives from rank
+    ``i - 2^k`` (contributing its prefix) and sends to ``i + 2^k``.
+    """
+    fn = _op(op)
+    acc = np.array(array, copy=True)
+    n, me = comm.size, comm.rank
+    k = 1
+    while k < n:
+        req = None
+        if me + k < n:
+            req = yield from comm.isend(acc.tobytes(), me + k, tag=TAG_SCAN)
+        if me - k >= 0:
+            data, _ = yield from comm.recv(source=me - k, tag=TAG_SCAN,
+                                           nbytes=acc.nbytes)
+            incoming = np.frombuffer(data.tobytes(), dtype=acc.dtype).reshape(acc.shape)
+            acc = fn(incoming, acc)
+        if req is not None:
+            yield from comm.stack.pml.wait(comm._thread, req)
+        k <<= 1
+    return acc
+
+
+def exscan(comm: Communicator, array: np.ndarray, op: str = "sum") -> Generator:
+    """MPI_Exscan: exclusive prefix — rank i gets op(ranks 0..i-1);
+    rank 0's result is undefined (returned as None)."""
+    inclusive = yield from scan(comm, array, op)
+    # shift the inclusive result one rank to the right
+    me, n = comm.rank, comm.size
+    req = None
+    if me + 1 < n:
+        req = yield from comm.isend(inclusive.tobytes(), me + 1, tag=TAG_EXSCAN)
+    if me == 0:
+        if req is not None:
+            yield from comm.stack.pml.wait(comm._thread, req)
+        return None
+    data, _ = yield from comm.recv(source=me - 1, tag=TAG_EXSCAN,
+                                   nbytes=inclusive.nbytes)
+    if req is not None:
+        yield from comm.stack.pml.wait(comm._thread, req)
+    return np.frombuffer(data.tobytes(), dtype=inclusive.dtype).reshape(inclusive.shape)
+
+
+def reduce_scatter(comm: Communicator, array: np.ndarray, op: str = "sum") -> Generator:
+    """MPI_Reduce_scatter_block: reduce ``array`` (length divisible by the
+    group size) across ranks, scatter block i to rank i."""
+    n = comm.size
+    if len(array) % n:
+        raise MpiError(
+            f"reduce_scatter needs len(array) divisible by {n}, got {len(array)}"
+        )
+    reduced = yield from reduce(comm, np.asarray(array), op, root=0)
+    block = len(array) // n
+    if comm.rank == 0:
+        chunks = [reduced[i * block : (i + 1) * block].tobytes() for i in range(n)]
+    else:
+        chunks = None
+    mine = yield from scatter(comm, chunks, root=0)
+    return np.frombuffer(mine, dtype=np.asarray(array).dtype)
+
+
+def _op(name: str):
+    fn = _OPS.get(name)
+    if fn is None:
+        raise MpiError(f"unknown reduce op {name!r}; have {sorted(_OPS)}")
+    return fn

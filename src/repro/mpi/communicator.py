@@ -1,0 +1,283 @@
+"""Communicators: groups, contexts, point-to-point, collective entry points.
+
+A communicator is a (context id, ordered group of global ranks) pair; the
+context id rides every fragment header so matching never crosses
+communicators.  Communicator-local ranks are indices into the group — the
+global job rank appears only at the PML boundary.
+
+Context ids for derived communicators are computed deterministically from
+the parent's context and a per-parent creation counter.  MPI requires all
+members to invoke communicator-creating operations in the same order on the
+parent, so every member derives the same id without a network exchange.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional, Sequence, Tuple, Union, TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.request import ANY_SOURCE, ANY_TAG, RecvRequest, SendRequest, Status
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hw.memory import Buffer
+    from repro.mpi.world import MpiStack
+
+__all__ = ["Communicator", "MpiError", "WORLD_CTX"]
+
+WORLD_CTX = 0
+
+
+class MpiError(Exception):
+    """Invalid rank, size mismatch, or misuse of the MPI API."""
+
+
+def _derive_ctx(parent_ctx: int, counter: int, salt: int = 0) -> int:
+    """Deterministic child context id (same inputs on every member)."""
+    return ((parent_ctx * 1_000_003 + counter * 8_191 + salt * 131 + 17)
+            & 0x7FFF_FFFF) | 0x4000_0000
+
+
+class Communicator:
+    """One MPI communicator of one process."""
+
+    def __init__(self, stack: "MpiStack", ctx_id: int, group: List[int], rank: int):
+        self.stack = stack
+        self.ctx_id = ctx_id
+        self.group = list(group)  # global job ranks, in communicator order
+        self._global_rank = rank
+        if rank not in self.group:
+            raise MpiError(f"rank {rank} not in group {group}")
+        self.rank = self.group.index(rank)  # communicator-local rank
+        self._ctx_counter = 0
+
+    # -- structure -------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return len(self.group)
+
+    def global_rank_of(self, comm_rank: int) -> int:
+        if not 0 <= comm_rank < self.size:
+            raise MpiError(f"rank {comm_rank} outside communicator of size {self.size}")
+        return self.group[comm_rank]
+
+    def comm_rank_of(self, global_rank: int) -> int:
+        try:
+            return self.group.index(global_rank)
+        except ValueError:
+            raise MpiError(f"global rank {global_rank} not in this communicator")
+
+    @property
+    def _thread(self):
+        return self.stack.process.main_thread
+
+    @property
+    def _pml(self):
+        return self.stack.pml
+
+    # -- buffer plumbing ----------------------------------------------------------
+    def _as_send_buffer(self, data) -> Tuple["Buffer", int]:
+        from repro.hw.memory import Buffer
+
+        if isinstance(data, Buffer):
+            return data, data.nbytes
+        api = self.stack.user_api()
+        return api.buffer_from(data)
+
+    # -- point-to-point ---------------------------------------------------------------
+    def isend(self, data, dest: int, tag: int = 0, nbytes: Optional[int] = None) -> Generator:
+        """Coroutine: non-blocking send; returns the request.  ``data`` may
+        be a Buffer (zero-copy into the stack) or bytes/ndarray (staged)."""
+        buf, size = self._as_send_buffer(data)
+        if nbytes is not None:
+            size = nbytes
+        req = yield from self._pml.isend(
+            self._thread, buf, size, self.global_rank_of(dest), tag, self.ctx_id
+        )
+        return req
+
+    def send(self, data, dest: int, tag: int = 0, nbytes: Optional[int] = None) -> Generator:
+        req = yield from self.isend(data, dest, tag, nbytes)
+        yield from self._pml.wait(self._thread, req)
+
+    def issend(self, data, dest: int, tag: int = 0, nbytes: Optional[int] = None) -> Generator:
+        """Coroutine: non-blocking *synchronous* send (MPI_Issend) — the
+        request completes only once the matching receive was found, which
+        forces the rendezvous handshake at every size."""
+        buf, size = self._as_send_buffer(data)
+        if nbytes is not None:
+            size = nbytes
+        req = yield from self._pml.isend(
+            self._thread, buf, size, self.global_rank_of(dest), tag, self.ctx_id,
+            sync=True,
+        )
+        return req
+
+    def ssend(self, data, dest: int, tag: int = 0, nbytes: Optional[int] = None) -> Generator:
+        """Coroutine: blocking synchronous send (MPI_Ssend)."""
+        req = yield from self.issend(data, dest, tag, nbytes)
+        yield from self._pml.wait(self._thread, req)
+
+    def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Generator:
+        """Coroutine: block until a matching message is enqueued; returns a
+        Status describing it (the message stays receivable)."""
+        src = ANY_SOURCE if source == ANY_SOURCE else self.global_rank_of(source)
+        hdr = yield from self._pml.probe(self._thread, src, tag, self.ctx_id)
+        return self._status_from_header(hdr)
+
+    def iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Generator:
+        """Coroutine: non-blocking probe; returns a Status or None."""
+        src = ANY_SOURCE if source == ANY_SOURCE else self.global_rank_of(source)
+        hdr = yield from self._pml.iprobe(self._thread, src, tag, self.ctx_id)
+        return None if hdr is None else self._status_from_header(hdr)
+
+    def _status_from_header(self, hdr) -> Status:
+        return Status(
+            source=self.comm_rank_of(hdr.src_rank),
+            tag=hdr.tag,
+            nbytes=hdr.msg_len,
+        )
+
+    def waitany(self, reqs) -> Generator:
+        """Coroutine: MPI_Waitany — index of the first completed request."""
+        return (yield from self._pml.wait_any(self._thread, reqs))
+
+    def irecv(
+        self,
+        nbytes: int,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        buffer: Optional["Buffer"] = None,
+    ) -> Generator:
+        """Coroutine: post a receive of up to ``nbytes``; returns the request."""
+        buf = buffer
+        if buf is None:
+            buf = self.stack.process.space.alloc(max(nbytes, 1), label="recv")
+        src_global = ANY_SOURCE if source == ANY_SOURCE else self.global_rank_of(source)
+        req = yield from self._pml.irecv(
+            self._thread, buf, nbytes, src_global, tag, self.ctx_id
+        )
+        req.transport["user_buffer"] = buf
+        return req
+
+    def recv(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        nbytes: int = 1 << 16,
+        buffer: Optional["Buffer"] = None,
+    ) -> Generator:
+        """Coroutine: blocking receive.  Returns ``(data, status)`` where
+        ``data`` is a numpy byte array of the received length and
+        ``status.source`` is a communicator-local rank."""
+        req = yield from self.irecv(nbytes, source, tag, buffer)
+        yield from self._pml.wait(self._thread, req)
+        return self._finish_recv(req)
+
+    def _finish_recv(self, req: RecvRequest):
+        status = Status(
+            source=self.comm_rank_of(req.status.source)
+            if req.status.source != ANY_SOURCE
+            else ANY_SOURCE,
+            tag=req.status.tag,
+            nbytes=req.status.nbytes,
+        )
+        buf = req.transport["user_buffer"]
+        data = buf.read(0, status.nbytes) if status.nbytes else np.empty(0, np.uint8)
+        return data, status
+
+    def sendrecv(
+        self,
+        senddata,
+        dest: int,
+        recvnbytes: int,
+        source: int = ANY_SOURCE,
+        sendtag: int = 0,
+        recvtag: int = ANY_TAG,
+        recvbuffer: Optional["Buffer"] = None,
+    ) -> Generator:
+        """Coroutine: simultaneous send+receive (deadlock-free)."""
+        rreq = yield from self.irecv(recvnbytes, source, recvtag, recvbuffer)
+        sreq = yield from self.isend(senddata, dest, sendtag)
+        yield from self._pml.wait(self._thread, sreq)
+        yield from self._pml.wait(self._thread, rreq)
+        return self._finish_recv(rreq)
+
+    # -- collectives (separate component, §2.1) -----------------------------------------
+    def barrier(self) -> Generator:
+        from repro.mpi import collective
+
+        yield from collective.barrier(self)
+
+    def bcast(self, data, root: int = 0) -> Generator:
+        from repro.mpi import collective
+
+        return (yield from collective.bcast(self, data, root))
+
+    def reduce(self, array: np.ndarray, op: str = "sum", root: int = 0) -> Generator:
+        from repro.mpi import collective
+
+        return (yield from collective.reduce(self, array, op, root))
+
+    def allreduce(self, array: np.ndarray, op: str = "sum") -> Generator:
+        from repro.mpi import collective
+
+        return (yield from collective.allreduce(self, array, op))
+
+    def gather(self, data, root: int = 0) -> Generator:
+        from repro.mpi import collective
+
+        return (yield from collective.gather(self, data, root))
+
+    def scatter(self, chunks, root: int = 0) -> Generator:
+        from repro.mpi import collective
+
+        return (yield from collective.scatter(self, chunks, root))
+
+    def allgather(self, data) -> Generator:
+        from repro.mpi import collective
+
+        return (yield from collective.allgather(self, data))
+
+    def alltoall(self, chunks) -> Generator:
+        from repro.mpi import collective
+
+        return (yield from collective.alltoall(self, chunks))
+
+    def scan(self, array: np.ndarray, op: str = "sum") -> Generator:
+        from repro.mpi import collective
+
+        return (yield from collective.scan(self, array, op))
+
+    def exscan(self, array: np.ndarray, op: str = "sum") -> Generator:
+        from repro.mpi import collective
+
+        return (yield from collective.exscan(self, array, op))
+
+    def reduce_scatter(self, array: np.ndarray, op: str = "sum") -> Generator:
+        from repro.mpi import collective
+
+        return (yield from collective.reduce_scatter(self, array, op))
+
+    # -- derived communicators --------------------------------------------------------
+    def dup(self) -> "Communicator":
+        """MPI_Comm_dup: same group, fresh context (local-only derivation)."""
+        self._ctx_counter += 1
+        ctx = _derive_ctx(self.ctx_id, self._ctx_counter)
+        return Communicator(self.stack, ctx, self.group, self._global_rank)
+
+    def split(self, color: int, key: int = 0) -> Generator:
+        """MPI_Comm_split (collective: exchanges colors/keys)."""
+        from repro.mpi import collective
+
+        self._ctx_counter += 1
+        counter = self._ctx_counter
+        entries = yield from collective.allgather(
+            self, np.array([color, key, self._global_rank], dtype=np.int64).tobytes()
+        )
+        triples = [np.frombuffer(e, dtype=np.int64) for e in entries]
+        mine = [t for t in triples if int(t[0]) == color]
+        mine.sort(key=lambda t: (int(t[1]), int(t[2])))
+        new_group = [int(t[2]) for t in mine]
+        ctx = _derive_ctx(self.ctx_id, counter, salt=color)
+        return Communicator(self.stack, ctx, new_group, self._global_rank)

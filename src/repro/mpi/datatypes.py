@@ -1,0 +1,181 @@
+"""MPI derived datatypes.
+
+The datatype *component* (the copy-engine with its per-request cost) lives
+in :mod:`repro.core.datatype`; this module provides the user-level datatype
+descriptions — base types and the MPI-2 constructors (contiguous, vector,
+indexed) — and their pack/unpack into contiguous byte streams, which is
+what the examples use to ship structured numpy data.
+
+Packing a non-contiguous type touches each block separately, so its cost
+model charges the copy-engine start per pack plus a per-block overhead —
+the "sophisticated datatypes" whose handling motivates the DTP engine
+(§6.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Datatype",
+    "Contiguous",
+    "Vector",
+    "Indexed",
+    "MPI_BYTE",
+    "MPI_INT32",
+    "MPI_INT64",
+    "MPI_FLOAT",
+    "MPI_DOUBLE",
+]
+
+#: per-block overhead of a gather/scatter copy (µs)
+BLOCK_COPY_US = 0.01
+
+
+class Datatype:
+    """A base (contiguous, atomic) datatype of ``size`` bytes."""
+
+    def __init__(self, size: int, name: str = "byte"):
+        self.size = size
+        self.name = name
+
+    @property
+    def extent(self) -> int:
+        """Span in the origin buffer covered by one element."""
+        return self.size
+
+    def blocks(self) -> List[Tuple[int, int]]:
+        """(offset, length) pairs of one element, in extent coordinates."""
+        return [(0, self.size)]
+
+    def pack_cost_us(self, count: int, config) -> float:
+        """Cost to pack ``count`` elements (on top of the DTP engine cost)."""
+        nblocks = len(self.blocks()) * count
+        return config.memcpy_us(self.size * count) + BLOCK_COPY_US * max(0, nblocks - 1)
+
+    # -- conversion --------------------------------------------------------
+    def pack(self, src: np.ndarray, count: int) -> np.ndarray:
+        """Gather ``count`` elements from ``src`` into a contiguous array."""
+        src = np.asarray(src, dtype=np.uint8).ravel()
+        out = np.empty(self.size * count, dtype=np.uint8)
+        pos = 0
+        for i in range(count):
+            base = i * self.extent
+            for off, length in self.blocks():
+                out[pos : pos + length] = src[base + off : base + off + length]
+                pos += length
+        return out
+
+    def unpack(self, packed: np.ndarray, count: int, dst: np.ndarray) -> None:
+        """Scatter a contiguous array back into ``dst``'s layout."""
+        packed = np.asarray(packed, dtype=np.uint8).ravel()
+        dst = np.asarray(dst, dtype=np.uint8).ravel()
+        pos = 0
+        for i in range(count):
+            base = i * self.extent
+            for off, length in self.blocks():
+                dst[base + off : base + off + length] = packed[pos : pos + length]
+                pos += length
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Datatype {self.name} size={self.size} extent={self.extent}>"
+
+
+class Contiguous(Datatype):
+    """``count`` repetitions of a base type, back to back."""
+
+    def __init__(self, count: int, base: Datatype):
+        super().__init__(base.size * count, name=f"contig({count},{base.name})")
+        self.count = count
+        self.base = base
+        self._extent = base.extent * count
+
+    @property
+    def extent(self) -> int:
+        return self._extent
+
+    def blocks(self) -> List[Tuple[int, int]]:
+        out = []
+        for i in range(self.count):
+            for off, length in self.base.blocks():
+                out.append((i * self.base.extent + off, length))
+        return _coalesce(out)
+
+
+class Vector(Datatype):
+    """``count`` blocks of ``blocklen`` base elements, ``stride`` apart
+    (strides in elements, as MPI_Type_vector)."""
+
+    def __init__(self, count: int, blocklen: int, stride: int, base: Datatype):
+        if blocklen > stride:
+            raise ValueError("vector blocklen exceeds stride")
+        super().__init__(
+            base.size * blocklen * count,
+            name=f"vector({count},{blocklen},{stride},{base.name})",
+        )
+        self.count = count
+        self.blocklen = blocklen
+        self.stride = stride
+        self.base = base
+        self._extent = base.extent * (stride * (count - 1) + blocklen)
+
+    @property
+    def extent(self) -> int:
+        return self._extent
+
+    def blocks(self) -> List[Tuple[int, int]]:
+        out = []
+        for i in range(self.count):
+            start = i * self.stride * self.base.extent
+            out.append((start, self.blocklen * self.base.size))
+        return out
+
+
+class Indexed(Datatype):
+    """Explicit (displacement, blocklen) pairs, in base-type elements."""
+
+    def __init__(self, blocklens: List[int], displs: List[int], base: Datatype):
+        if len(blocklens) != len(displs):
+            raise ValueError("blocklens and displs must have equal length")
+        super().__init__(base.size * sum(blocklens), name=f"indexed({len(displs)},{base.name})")
+        self.blocklens = list(blocklens)
+        self.displs = list(displs)
+        self.base = base
+        self._extent = base.extent * (
+            max((d + b) for d, b in zip(displs, blocklens)) if displs else 0
+        )
+
+    @property
+    def extent(self) -> int:
+        return self._extent
+
+    def blocks(self) -> List[Tuple[int, int]]:
+        return [
+            (d * self.base.extent, b * self.base.size)
+            for d, b in sorted(zip(self.displs, self.blocklens))
+        ]
+
+
+def _coalesce(blocks: List[Tuple[int, int]]) -> List[Tuple[int, int]]:
+    """Merge adjacent (offset, len) runs — contiguous types pack in one copy."""
+    if not blocks:
+        return blocks
+    blocks = sorted(blocks)
+    out = [blocks[0]]
+    for off, length in blocks[1:]:
+        last_off, last_len = out[-1]
+        if last_off + last_len == off:
+            out[-1] = (last_off, last_len + length)
+        else:
+            out.append((off, length))
+    return out
+
+
+MPI_BYTE = Datatype(1, "byte")
+MPI_INT32 = Datatype(4, "int32")
+MPI_INT64 = Datatype(8, "int64")
+MPI_FLOAT = Datatype(4, "float")
+MPI_DOUBLE = Datatype(8, "double")

@@ -1,0 +1,169 @@
+"""MPI-2 one-sided communication (RMA) over the Elan4 RDMA substrate.
+
+The paper positions itself as "a high performance implementation of MPI-2
+compliant message passing" and cites the contemporary one-sided work over
+InfiniBand [15, 16].  This module provides the MPI-2 active-target RMA
+model on top of the same machinery the PTL uses:
+
+* :func:`win_create` is collective: every rank exposes a buffer, maps it
+  through its NIC MMU, and the (VPID, E4 address) descriptors are
+  exchanged with an allgather — the "expanded memory descriptor" idea of
+  §4.2 applied at user level;
+* :meth:`Window.put` / :meth:`Window.get` issue RDMA write/read descriptors
+  straight at the target's exposed memory — no tag matching, no PML, and
+  zero involvement of the target CPU (the point of one-sided);
+* :meth:`Window.fence` is the active-target epoch close: wait for local
+  RDMA completions, then barrier.
+
+Passive-target locking (MPI_Win_lock) is deliberately out of scope: with
+polling progress the target CPU may never enter the library, which is the
+same asynchronous-progress problem §4.3 grapples with — the threaded
+progress modes would be its prerequisite.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional, TYPE_CHECKING
+
+import numpy as np
+
+from repro.elan4.addr import E4Addr
+from repro.elan4.rdma import RdmaDescriptor
+from repro.mpi.communicator import Communicator, MpiError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hw.memory import Buffer
+    from repro.mpi.world import MpiApi
+
+__all__ = ["Window", "win_create"]
+
+
+class Window:
+    """One rank's handle on a created RMA window."""
+
+    def __init__(self, api: "MpiApi", comm: Communicator, buffer: "Buffer",
+                 descriptors: List[dict]):
+        self.api = api
+        self.comm = comm
+        self.buffer = buffer
+        #: per-rank {"vpid": int, "e4": E4Addr, "size": int}
+        self.descriptors = descriptors
+        self._module = self._elan4_module()
+        self._outstanding = []
+        self.puts = 0
+        self.gets = 0
+        self.closed = False
+
+    def _elan4_module(self):
+        for m in self.api.stack.pml.modules:
+            if m.name.startswith("elan4"):
+                return m
+        raise MpiError("RMA windows need an elan4 transport")
+
+    # -- accessors -----------------------------------------------------------
+    def target(self, rank: int) -> dict:
+        if not 0 <= rank < self.comm.size:
+            raise MpiError(f"target rank {rank} outside window group")
+        return self.descriptors[rank]
+
+    @property
+    def size(self) -> int:
+        return self.buffer.nbytes
+
+    # -- one-sided data movement ------------------------------------------------
+    def put(self, data, target: int, offset: int = 0,
+            nbytes: Optional[int] = None) -> Generator:
+        """Coroutine: RDMA-write ``data`` into ``target``'s window at
+        ``offset``.  Completes locally; remote visibility at the next fence."""
+        self._check_epoch()
+        src_buf, n = self._as_buffer(data, nbytes)
+        desc = self._descriptor("write", src_buf, n, target, offset)
+        ev = yield from self._module.ctx.rdma_issue(self.api.thread, desc)
+        ev.attach_host_word()
+        self._outstanding.append(ev)
+        self.puts += 1
+
+    def get(self, local: "Buffer", target: int, offset: int = 0,
+            nbytes: Optional[int] = None) -> Generator:
+        """Coroutine: RDMA-read from ``target``'s window into ``local``."""
+        self._check_epoch()
+        n = local.nbytes if nbytes is None else nbytes
+        desc = self._descriptor("read", local, n, target, offset)
+        ev = yield from self._module.ctx.rdma_issue(self.api.thread, desc)
+        ev.attach_host_word()
+        self._outstanding.append(ev)
+        self.gets += 1
+
+    def _descriptor(self, op: str, local_buf: "Buffer", n: int, target: int,
+                    offset: int) -> RdmaDescriptor:
+        entry = self.target(target)
+        if offset < 0 or offset + n > entry["size"]:
+            raise MpiError(
+                f"RMA access [{offset}, {offset + n}) outside {entry['size']}-byte window"
+            )
+        local_e4 = self._module.ctx.map_buffer(local_buf.sub(0, n))
+        return RdmaDescriptor(
+            op=op,
+            local=local_e4,
+            remote=entry["e4"] + offset,
+            nbytes=n,
+            remote_vpid=entry["vpid"],
+        )
+
+    def _as_buffer(self, data, nbytes: Optional[int]):
+        from repro.hw.memory import Buffer
+
+        if isinstance(data, Buffer):
+            return data, (data.nbytes if nbytes is None else nbytes)
+        buf, n = self.api.buffer_from(data)
+        return buf, (n if nbytes is None else nbytes)
+
+    # -- synchronization -----------------------------------------------------------
+    def fence(self) -> Generator:
+        """Close the access epoch: drain local RDMA completions, then
+        barrier so every rank's window reflects every rank's accesses."""
+        self._check_epoch()
+        thread = self.api.thread
+        for ev in self._outstanding:
+            while not ev.host_word.poll():
+                yield ev.host_word.wait_event()
+                yield from thread.compute(self.api.config.poll_check_us)
+            ev.host_word.clear()
+        self._outstanding.clear()
+        yield from self.comm.barrier()
+
+    def free(self) -> Generator:
+        """Collective window destruction (fences first)."""
+        yield from self.fence()
+        self.closed = True
+
+    def _check_epoch(self) -> None:
+        if self.closed:
+            raise MpiError("operation on a freed window")
+
+
+def win_create(api: "MpiApi", buffer: "Buffer", comm: Optional[Communicator] = None) -> Generator:
+    """Collective: create an RMA window exposing ``buffer`` on every rank.
+
+    Returns this rank's :class:`Window`.  All ranks must call it with a
+    buffer (sizes may differ, as MPI allows)."""
+    comm = comm or api.comm_world
+    module = None
+    for m in api.stack.pml.modules:
+        if m.name.startswith("elan4"):
+            module = m
+            break
+    if module is None:
+        raise MpiError("RMA windows need an elan4 transport")
+    e4 = module.ctx.map_buffer(buffer)
+    mine = np.array([module.ctx.vpid, e4.ctx, e4.offset, buffer.nbytes],
+                    dtype=np.int64)
+    blobs = yield from comm.allgather(mine.tobytes())
+    descriptors = []
+    for blob in blobs:
+        vpid, e4_ctx, e4_off, size = np.frombuffer(blob, dtype=np.int64)
+        descriptors.append(
+            {"vpid": int(vpid), "e4": E4Addr(int(e4_ctx), int(e4_off)),
+             "size": int(size)}
+        )
+    return Window(api, comm, buffer, descriptors)

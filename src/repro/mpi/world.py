@@ -1,0 +1,221 @@
+"""The per-process MPI stack: transports + PML + the user-facing API."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.pml.progress import start_progress_threads
+from repro.core.pml.teg import Pml
+from repro.core.ptl.base import PtlRegistry
+from repro.core.ptl.elan4.module import Elan4PtlComponent, Elan4PtlOptions
+from repro.core.ptl.tcp import TcpPtlComponent
+from repro.mpi.communicator import Communicator, MpiError, WORLD_CTX
+
+__all__ = ["MpiStack", "MpiApi", "make_mpi_stack_factory", "mpi_stack_factory"]
+
+
+class MpiStack:
+    """Everything one MPI process runs on: PTLs, PML, communicators."""
+
+    def __init__(
+        self,
+        process,
+        transports: Sequence[str] = ("elan4",),
+        datatype_mode: str = "memcpy",
+        progress_mode: str = "polling",
+        elan4_options: Optional[Elan4PtlOptions] = None,
+    ):
+        self.process = process
+        self.config = process.job.cluster.config
+        self.transports = tuple(transports)
+        self.pml = Pml(
+            process,
+            self.config,
+            datatype_mode=datatype_mode,
+            progress_mode=progress_mode,
+        )
+        self.registry = PtlRegistry(process, self.config)
+        self.elan4_options = elan4_options or Elan4PtlOptions()
+        self.world: Optional[Communicator] = None
+        self._api: Optional[MpiApi] = None
+
+    # -- the RTE stack contract -------------------------------------------------
+    def init_local(self, thread) -> Generator:
+        """Open + init each requested transport; publish contact info."""
+        info: Dict[str, Any] = {}
+        for name in self.transports:
+            if name == "elan4" or name.startswith("elan4:"):
+                rail = int(name.split(":", 1)[1]) if ":" in name else 0
+                component = Elan4PtlComponent(
+                    self.process, self.config, self.elan4_options, rail=rail
+                )
+            elif name == "tcp":
+                component = TcpPtlComponent(self.process, self.config)
+            else:
+                raise MpiError(f"unknown transport {name!r}")
+            modules = yield from self.registry.load(thread, component)
+            for m in modules:
+                self.pml.add_module(m)
+                info.update(m.local_info())
+        return info
+
+    def wire_up(self, thread, table: Dict[int, Dict]) -> Generator:
+        """Connect every module to every peer it can reach; build
+        MPI_COMM_WORLD; start progress threads if so configured."""
+        for rank in sorted(table):
+            peer_info = table[rank]["info"]
+            for m in self.pml.modules:
+                try:
+                    yield from m.add_peer(thread, rank, peer_info)
+                except Exception:
+                    # peer does not expose this transport; another module
+                    # (or none) will reach it — multi-network tolerance
+                    continue
+        ranks = sorted(table)
+        self.world = Communicator(
+            self, ctx_id=WORLD_CTX, group=ranks, rank=self.process.rank
+        )
+        if self.pml.progress_mode in ("one-thread", "two-thread"):
+            start_progress_threads(self.pml)
+
+    def finalize(self, thread) -> Generator:
+        yield from self.pml.finalize(thread)
+        yield from self.registry.finalize_all(thread)
+
+    def user_api(self) -> "MpiApi":
+        if self._api is None:
+            self._api = MpiApi(self)
+        return self._api
+
+
+class MpiApi:
+    """What an application coroutine receives — the MPI handle."""
+
+    def __init__(self, stack: MpiStack):
+        self.stack = stack
+        self.process = stack.process
+        self.comm_world = stack.world
+        self.sim = stack.process.node.sim
+        self.config = stack.config
+
+    # -- identity -------------------------------------------------------------
+    @property
+    def rank(self) -> int:
+        return self.process.rank
+
+    @property
+    def size(self) -> int:
+        return self.comm_world.size
+
+    @property
+    def thread(self):
+        """The calling process's main host thread."""
+        return self.process.main_thread
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    # -- memory ------------------------------------------------------------------
+    def alloc(self, nbytes: int, label: str = "user"):
+        """Allocate message memory in this process's address space."""
+        return self.process.space.alloc(nbytes, label=label)
+
+    def buffer_from(self, data: Union[bytes, np.ndarray]):
+        """Materialise ``data`` into a fresh buffer (convenience path)."""
+        arr = np.frombuffer(data, dtype=np.uint8) if isinstance(data, (bytes, bytearray)) else np.asarray(data, dtype=np.uint8)
+        buf = self.alloc(max(arr.nbytes, 1))
+        if arr.nbytes:
+            buf.write(arr)
+        return buf, arr.nbytes
+
+    # -- request helpers ------------------------------------------------------------
+    def wait(self, req) -> Generator:
+        return (yield from self.stack.pml.wait(self.thread, req))
+
+    def waitall(self, reqs: List) -> Generator:
+        return (yield from self.stack.pml.wait_all(self.thread, reqs))
+
+    def test(self, req) -> bool:
+        return req.test()
+
+    def progress(self) -> Generator:
+        """One explicit progress pass (non-blocking applications)."""
+        return (yield from self.stack.pml.progress_once(self.thread))
+
+    # -- fault tolerance / restart (§3, §4.1) -----------------------------------------
+    def refresh_peer(self, rank: int) -> Generator:
+        """Re-resolve a restarted peer: fetch its current contact info from
+        the registry, rewire every PTL to the new endpoint (fresh VPID),
+        and reset per-peer sequence state.  Returns the peer's registry
+        epoch (0 = original incarnation)."""
+        info, epoch = yield from self.process.oob_lookup(self.thread, rank)
+        if info is None:
+            raise MpiError(f"rank {rank} is not registered (gone?)")
+        for m in self.stack.pml.modules:
+            try:
+                m.remove_peer(rank)
+                yield from m.add_peer(self.thread, rank, info)
+            except Exception:
+                continue
+        self.stack.pml.reset_peer(rank)
+        return epoch
+
+    def rejoin_world(self, group: str = "world") -> Generator:
+        """For a restarted rank: wire up to the surviving members of the
+        original world and rebuild ``comm_world`` with the full group."""
+        table = yield from self.process.oob_table(self.thread, group)
+        for rank in sorted(table):
+            if rank == self.rank:
+                continue
+            for m in self.stack.pml.modules:
+                try:
+                    yield from m.add_peer(self.thread, rank, table[rank]["info"])
+                except Exception:
+                    continue
+        ranks = sorted(set(table) | {self.rank})
+        self.stack.world = Communicator(
+            self.stack, WORLD_CTX, ranks, self.process.rank
+        )
+        self.comm_world = self.stack.world
+        return self.comm_world
+
+    # -- dynamic process management (MPI-2, §4.1) ------------------------------------
+    def spawn(self, apps: Sequence, node_ids: Optional[Sequence[int]] = None) -> Generator:
+        """MPI_Comm_spawn: launch new processes and return an
+        inter-communicator reaching them (see :mod:`repro.mpi.dynamic`)."""
+        from repro.mpi.dynamic import comm_spawn
+
+        return (yield from comm_spawn(self, apps, node_ids=node_ids))
+
+    def get_parent(self) -> Generator:
+        """MPI_Comm_get_parent for spawned processes (None at world ranks)."""
+        from repro.mpi.dynamic import comm_get_parent
+
+        return (yield from comm_get_parent(self))
+
+
+def make_mpi_stack_factory(
+    datatype_mode: str = "memcpy",
+    progress_mode: str = "polling",
+    elan4_options: Optional[Elan4PtlOptions] = None,
+):
+    """Build a stack factory with non-default modes (benchmark ablations)."""
+
+    def factory(process, transports):
+        return MpiStack(
+            process,
+            transports,
+            datatype_mode=datatype_mode,
+            progress_mode=progress_mode,
+            elan4_options=elan4_options,
+        )
+
+    return factory
+
+
+#: the default stack: polling progress, plain-memcpy datatype path, RDMA
+#: read with chained FIN_ACK — the paper's "best options" (§6.5)
+mpi_stack_factory = make_mpi_stack_factory()

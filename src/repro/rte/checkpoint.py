@@ -1,0 +1,74 @@
+"""Checkpoint / restart / migration at the RTE level.
+
+The paper's fault-tolerance target (§3, §4.1): a process may leave the
+network (checkpoint, fault) and a replacement may rejoin — possibly on a
+different node — under the *same MPI rank* but necessarily a *new VPID*.
+Correctness hinges on two things this module exercises:
+
+* **drain before departure** — "An existing connection can go through its
+  finalization stage only when the involving processes have completed all
+  the pending messages synchronously ... a leftover DMA descriptor might
+  regenerate its traffic indefinitely" (§4.1).  The stack's ``finalize``
+  performs the drain; a restart that skipped it would trap in the MMU.
+* **registry epoch bump** — the seed tracks an epoch per rank, so peers can
+  detect that cached contact info (VPID, queue addresses) is stale and
+  re-resolve.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.rte.environment import RteJob, RteProcess
+
+__all__ = ["restart_rank", "CheckpointImage"]
+
+
+class CheckpointImage:
+    """The (logical) saved state of a departed process: its rank and the
+    application state dict the app chose to persist.  Hardware state (VPID,
+    contexts, queue addresses) is deliberately *not* part of the image —
+    it cannot survive a restart."""
+
+    def __init__(self, rank: int, app_state: Optional[Dict[str, Any]] = None):
+        self.rank = rank
+        self.app_state = dict(app_state or {})
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<CheckpointImage rank={self.rank} keys={sorted(self.app_state)}>"
+
+
+def restart_rank(
+    job: RteJob,
+    image: CheckpointImage,
+    app: Callable,
+    node_id: Optional[int] = None,
+    group: Optional[str] = None,
+    group_count: int = 1,
+    transports: tuple = ("elan4",),
+) -> RteProcess:
+    """Relaunch a departed rank from a checkpoint image.
+
+    The previous instance must have finished (its ``finalize`` drained the
+    NIC and released the context).  The new instance registers under the
+    same rank with a bumped epoch; the returned process's app receives the
+    image via ``api.restart_image`` when the stack supports it, else the
+    app closure should capture it.
+    """
+    prev = job.processes.get(image.rank)
+    if prev is not None and not prev.finished:
+        raise RuntimeError(
+            f"rank {image.rank} is still running; checkpoint/leave must "
+            "complete (drain!) before restart"
+        )
+    gname = group or job.new_group_name()
+    proc = job.launch(
+        image.rank,
+        app,
+        node_id=node_id,
+        group=gname,
+        group_count=group_count,
+        transports=transports,
+    )
+    proc.restart_image = image
+    return proc

@@ -1,0 +1,60 @@
+"""Dynamic process management at the RTE level.
+
+MPI-2 dynamic process management (§4.1) needs three RTE capabilities, all
+built on the seed registry:
+
+1. **launch at runtime** — :func:`spawn_procs` starts new processes while
+   the job runs; they claim fresh Elan4 contexts (new VPIDs) and register
+   under a fresh group name;
+2. **discovery** — existing processes resolve the newcomers' contact info
+   with ``oob_lookup``/``oob_sync`` (they never assume the static VPID/rank
+   coupling the default Quadrics libraries impose);
+3. **no global address space** — late joiners get no share of any global
+   virtual memory; everything they expose is mapped per-buffer through
+   their own MMU context.  (Consequently they could not use hardware
+   broadcast — the limitation the paper accepts in §4.1.)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.rte.environment import RteJob, RteProcess
+
+__all__ = ["spawn_procs"]
+
+
+def spawn_procs(
+    job: RteJob,
+    apps: Sequence[Callable],
+    first_rank: Optional[int] = None,
+    node_ids: Optional[Sequence[int]] = None,
+    transports: tuple = ("elan4",),
+    group: Optional[str] = None,
+) -> List[RteProcess]:
+    """Launch ``len(apps)`` new processes into a running job.
+
+    Returns the new :class:`RteProcess` objects; their group name (for
+    ``oob_sync`` rendezvous with the parents) is readable as
+    ``procs[0].group``.  Ranks continue after the current maximum unless
+    ``first_rank`` pins them.
+    """
+    if not apps:
+        raise ValueError("spawn of zero processes")
+    base = (max(job.processes, default=-1) + 1) if first_rank is None else first_rank
+    gname = group or job.new_group_name()
+    count = len(apps)
+    procs = []
+    for i, app in enumerate(apps):
+        node_id = None if node_ids is None else node_ids[i]
+        procs.append(
+            job.launch(
+                base + i,
+                app,
+                node_id=node_id,
+                group=gname,
+                group_count=count,
+                transports=transports,
+            )
+        )
+    return procs

@@ -1,0 +1,212 @@
+"""The simulation event loop.
+
+A :class:`Simulator` owns a priority heap of ``(time, priority, seq, fn)``
+entries.  ``seq`` is a monotonically increasing insertion counter so that
+simultaneous events fire in the order they were scheduled — this is what
+makes every run of the reproduction bit-for-bit deterministic.
+
+Time is a ``float`` in **microseconds**, matching the unit the paper reports
+(latency plots are in µs, bandwidth is derived as bytes / µs = MB/s).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = ["Simulator", "SimError", "StopSimulation", "ScheduledCall"]
+
+
+class SimError(Exception):
+    """Base class for errors raised by the simulation kernel."""
+
+
+class StopSimulation(Exception):
+    """Raised (or passed to :meth:`Simulator.stop`) to end :meth:`Simulator.run`."""
+
+
+class ScheduledCall:
+    """Handle for a scheduled callback; supports cancellation.
+
+    Cancellation is O(1): the entry stays in the heap but is skipped when it
+    surfaces.  This is important because the NIC models schedule and cancel
+    many timeouts (e.g. retransmission timers in the TCP substrate).
+    """
+
+    __slots__ = ("time", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+        # Drop references so cancelled entries don't pin objects alive while
+        # they wait to surface from the heap.
+        self.fn = _noop
+        self.args = ()
+
+
+def _noop(*_args: Any) -> None:
+    return None
+
+
+class Simulator:
+    """Deterministic discrete-event simulator with a µs clock.
+
+    Usage::
+
+        sim = Simulator()
+        sim.spawn(my_generator())
+        sim.run()
+
+    ``spawn`` wraps a generator in a :class:`~repro.sim.process.Process`
+    coroutine; ``schedule`` registers plain callbacks.  Both coexist: the
+    hardware models are mostly callback-driven (a DMA engine schedules its
+    own completion), while protocol logic is written as coroutines.
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, int, ScheduledCall]] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._stopped = False
+        self._processes: list = []  # live Process objects, for diagnostics
+
+    # ------------------------------------------------------------------
+    # Scheduling primitives
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> ScheduledCall:
+        """Run ``fn(*args)`` after ``delay`` simulated microseconds.
+
+        ``priority`` breaks ties *before* insertion order (lower runs
+        earlier); the kernel itself always uses the default, but tests use
+        it to force orderings when reproducing race conditions (Fig. 5).
+        """
+        if delay < 0:
+            raise SimError(f"negative delay {delay!r}")
+        return self.schedule_at(self.now + delay, fn, *args, priority=priority)
+
+    def schedule_at(
+        self,
+        time: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> ScheduledCall:
+        """Run ``fn(*args)`` at absolute simulated time ``time``."""
+        if time < self.now:
+            raise SimError(f"cannot schedule in the past: {time} < {self.now}")
+        call = ScheduledCall(time, fn, args)
+        heapq.heappush(self._heap, (time, priority, next(self._seq), call))
+        return call
+
+    def spawn(self, gen: Generator, name: Optional[str] = None):
+        """Start a coroutine process immediately (at the current time)."""
+        from repro.sim.process import Process
+
+        return Process(self, gen, name=name)
+
+    def timeout(self, delay: float, value: Any = None):
+        """Convenience constructor for a :class:`~repro.sim.events.Timeout`."""
+        from repro.sim.events import Timeout
+
+        return Timeout(self, delay, value)
+
+    def event(self):
+        """Convenience constructor for a bare :class:`~repro.sim.events.SimEvent`."""
+        from repro.sim.events import SimEvent
+
+        return SimEvent(self)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Process events until the heap drains, ``until`` is reached, or
+        ``max_events`` callbacks have run.
+
+        Returns the simulation time when the loop stopped.  ``until`` is an
+        absolute time; when it is hit the clock is advanced exactly to it
+        (standard DES semantics), with any events at later timestamps left
+        in the heap for a subsequent ``run`` call.
+        """
+        if self._running:
+            raise SimError("Simulator.run() is not reentrant")
+        self._running = True
+        self._stopped = False
+        processed = 0
+        try:
+            while self._heap:
+                if self._stopped:
+                    break
+                time, _prio, _seq, call = self._heap[0]
+                if until is not None and time > until:
+                    self.now = until
+                    break
+                heapq.heappop(self._heap)
+                if call.cancelled:
+                    continue
+                self.now = time
+                call.fn(*call.args)
+                processed += 1
+                if max_events is not None and processed >= max_events:
+                    break
+            else:
+                if until is not None and until > self.now:
+                    self.now = until
+        finally:
+            self._running = False
+        return self.now
+
+    def step(self) -> bool:
+        """Process a single event.  Returns False when the heap is empty."""
+        while self._heap:
+            time, _prio, _seq, call = heapq.heappop(self._heap)
+            if call.cancelled:
+                continue
+            self.now = time
+            call.fn(*call.args)
+            return True
+        return False
+
+    def stop(self) -> None:
+        """Request that the current (or next) :meth:`run` return promptly."""
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def pending_count(self) -> int:
+        """Number of heap entries (including cancelled placeholders)."""
+        return len(self._heap)
+
+    def peek(self) -> Optional[float]:
+        """Time of the next live event, or None if the heap is empty."""
+        for time, _prio, _seq, call in sorted(self._heap)[:16]:
+            if not call.cancelled:
+                return time
+        for time, _prio, _seq, call in sorted(self._heap):
+            if not call.cancelled:
+                return time
+        return None
+
+    def run_until_idle(self, quiet_check: Iterable[Callable[[], bool]] = ()) -> float:
+        """Run until no live events remain and every ``quiet_check`` passes."""
+        while True:
+            self.run()
+            if all(chk() for chk in quiet_check):
+                return self.now
+            if self.peek() is None:
+                return self.now

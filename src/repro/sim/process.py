@@ -1,0 +1,118 @@
+"""Coroutine processes.
+
+A :class:`Process` drives a generator inside the simulator: every value the
+generator yields must be a :class:`~repro.sim.events.SimEvent`; the process
+suspends until the event completes, then resumes with the event's value (or
+with its exception re-raised at the yield point).
+
+A Process is itself a SimEvent: it completes with the generator's return
+value, so processes compose — ``yield child_process`` joins a child, and
+``yield from subroutine()`` inlines a sub-protocol.  The entire Open MPI
+stack is written this way (an ``MPI_Send`` coroutine yields from the PML,
+which yields on PTL fragment events, which are completed by NIC callbacks).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional, TYPE_CHECKING
+
+from repro.sim.core import SimError
+from repro.sim.events import SimEvent
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Simulator
+
+__all__ = ["Process", "Interrupt"]
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    Used by the CPU model to preempt simulated threads and by fault-injection
+    tests to kill in-flight transfers.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Process(SimEvent):
+    """A generator-driven coroutine that is also an awaitable event."""
+
+    __slots__ = ("gen", "_waiting_on", "_started")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: Optional[str] = None):
+        super().__init__(sim, name=name or getattr(gen, "__name__", "process"))
+        if not hasattr(gen, "send"):
+            raise SimError(f"Process requires a generator, got {gen!r}")
+        self.gen = gen
+        self._waiting_on: Optional[SimEvent] = None
+        self._started = False
+        sim.schedule(0.0, self._resume, None, None)
+
+    # -- driving -------------------------------------------------------
+    def _resume(self, value: Any, exc: Optional[BaseException]) -> None:
+        self._started = True
+        self._waiting_on = None
+        try:
+            if exc is not None:
+                target = self.gen.throw(exc)
+            else:
+                target = self.gen.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Interrupt:
+            # An interrupt that escapes the generator terminates it quietly.
+            self.succeed(None)
+            return
+        except BaseException as err:  # generator raised: propagate to joiners
+            self.fail(err)
+            if not self._callbacks:
+                # Nobody is joining this process; surface the error rather
+                # than losing it (strictness catches protocol bugs early).
+                raise
+            return
+        if not isinstance(target, SimEvent):
+            self.gen.close()
+            self.fail(SimError(f"process {self.name!r} yielded non-event {target!r}"))
+            raise SimError(
+                f"process {self.name!r} yielded {target!r}; processes must "
+                "yield SimEvent instances (use sim.timeout(...) to sleep)"
+            )
+        self._waiting_on = target
+        target.add_callback(self._on_event)
+
+    def _on_event(self, ev: SimEvent) -> None:
+        if self.triggered:
+            return  # interrupted while waiting; stale wakeup
+        if ev.exception is not None:
+            self._resume(None, ev.exception)
+        else:
+            self._resume(ev._value, None)
+
+    # -- control -------------------------------------------------------
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its current yield.
+
+        The event it was waiting on is detached (its completion will be
+        ignored by this process).  Interrupting a finished process is a
+        no-op, matching thread-cancellation semantics.
+        """
+        if self.triggered:
+            return
+        waiting = self._waiting_on
+        if waiting is not None:
+            waiting.discard_callback(self._on_event)
+            self._waiting_on = None
+        self.sim.schedule(0.0, self._deliver_interrupt, Interrupt(cause))
+
+    def _deliver_interrupt(self, exc: Interrupt) -> None:
+        if self.triggered:
+            return
+        self._resume(None, exc)

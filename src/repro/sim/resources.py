@@ -1,0 +1,185 @@
+"""Shared-resource primitives: counted resources and message stores.
+
+These are the generic building blocks; cost-bearing synchronization (locks
+with context-switch latency, condition variables with wakeup cost) lives in
+:mod:`repro.hw.cpu` because those costs are properties of the simulated
+hardware, not of the kernel.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from typing import Any, Callable, Deque, List, Optional, TYPE_CHECKING
+
+from repro.sim.core import SimError
+from repro.sim.events import SimEvent
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Simulator
+
+__all__ = ["Resource", "Store", "PriorityStore"]
+
+
+class Resource:
+    """A counted resource with FIFO waiters (e.g. a DMA engine with N
+    concurrent descriptors, or the PCI-X bus with one outstanding burst).
+
+    ``request()`` returns an event that fires when a unit is granted; the
+    holder must call ``release()`` exactly once per grant.
+    """
+
+    def __init__(self, sim: "Simulator", capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise SimError("Resource capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self.in_use = 0
+        self._waiters: Deque[SimEvent] = deque()
+
+    def request(self) -> SimEvent:
+        ev = SimEvent(self.sim, name=f"req:{self.name}")
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            ev.succeed(self)
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        if self.in_use <= 0:
+            raise SimError(f"release of idle resource {self.name!r}")
+        if self._waiters:
+            ev = self._waiters.popleft()
+            ev.succeed(self)  # in_use stays constant: unit handed over
+        else:
+            self.in_use -= 1
+
+    def acquire(self):
+        """Coroutine helper: ``yield from res.acquire()``."""
+        yield self.request()
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+
+class Store:
+    """An unbounded (or bounded) FIFO of items with event-based ``get``.
+
+    This is the shape of every queue in the reproduction: QDMA receive
+    queues, PML unexpected-message lists, socket buffers, OOB mailboxes.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        capacity: Optional[int] = None,
+        name: str = "",
+    ):
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[SimEvent] = deque()
+        self._putters: Deque[tuple[SimEvent, Any]] = deque()
+
+    def put(self, item: Any) -> SimEvent:
+        """Deposit ``item``; returns an event that fires once it is stored
+        (immediately unless the store is bounded and full)."""
+        ev = SimEvent(self.sim, name=f"put:{self.name}")
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            ev.succeed(None)
+        elif self.capacity is None or len(self._items) < self.capacity:
+            self._items.append(item)
+            ev.succeed(None)
+        else:
+            self._putters.append((ev, item))
+        return ev
+
+    def get(self) -> SimEvent:
+        """Returns an event yielding the next item (waits if empty)."""
+        ev = SimEvent(self.sim, name=f"get:{self.name}")
+        if self._items:
+            item = self._items.popleft()
+            self._admit_putter()
+            ev.succeed(item)
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def try_get(self) -> tuple[bool, Any]:
+        """Non-blocking poll: ``(True, item)`` or ``(False, None)``."""
+        if self._items:
+            item = self._items.popleft()
+            self._admit_putter()
+            return True, item
+        return False, None
+
+    def _admit_putter(self) -> None:
+        if self._putters:
+            ev, item = self._putters.popleft()
+            self._items.append(item)
+            ev.succeed(None)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def peek_all(self) -> List[Any]:
+        """Snapshot of queued items (for matching scans, not consumption)."""
+        return list(self._items)
+
+    def remove(self, predicate: Callable[[Any], bool]) -> Optional[Any]:
+        """Remove and return the first item satisfying ``predicate``."""
+        for i, item in enumerate(self._items):
+            if predicate(item):
+                del self._items[i]
+                self._admit_putter()
+                return item
+        return None
+
+
+class PriorityStore(Store):
+    """A Store that yields the smallest item first (heap ordering).
+
+    Items are ``(priority, payload)`` pairs or anything totally ordered;
+    insertion order breaks ties deterministically.
+    """
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        super().__init__(sim, capacity=None, name=name)
+        self._heap: list[tuple[Any, int, Any]] = []
+        self._counter = itertools.count()
+
+    def put(self, item: Any) -> SimEvent:
+        ev = SimEvent(self.sim, name=f"put:{self.name}")
+        if self._getters:
+            # Even with waiters, route through the heap so priorities hold.
+            heapq.heappush(self._heap, (item, next(self._counter), item))
+            getter = self._getters.popleft()
+            top = heapq.heappop(self._heap)[2]
+            getter.succeed(top)
+        else:
+            heapq.heappush(self._heap, (item, next(self._counter), item))
+        ev.succeed(None)
+        return ev
+
+    def get(self) -> SimEvent:
+        ev = SimEvent(self.sim, name=f"get:{self.name}")
+        if self._heap:
+            ev.succeed(heapq.heappop(self._heap)[2])
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def try_get(self) -> tuple[bool, Any]:
+        if self._heap:
+            return True, heapq.heappop(self._heap)[2]
+        return False, None
+
+    def __len__(self) -> int:
+        return len(self._heap)

@@ -1,0 +1,103 @@
+"""Lightweight tracing and statistics.
+
+Every subsystem takes an optional :class:`Tracer`; when disabled the hooks
+cost one attribute check.  The benchmark harness uses tracers to decompose
+latency by layer (Fig. 9's PML-cost vs PTL-latency measurement) and tests
+use them to assert event orderings (e.g. that the chained FIN really was
+issued by the NIC event engine, not the host).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["Tracer", "TraceRecord"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry: time, category, and free-form fields."""
+
+    time: float
+    category: str
+    fields: Tuple[Tuple[str, Any], ...]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        for k, v in self.fields:
+            if k == key:
+                return v
+        return default
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        inner = ", ".join(f"{k}={v!r}" for k, v in self.fields)
+        return f"[{self.time:10.3f}] {self.category}({inner})"
+
+
+class Tracer:
+    """Collects trace records, counters, and named timing samples."""
+
+    def __init__(self, sim, enabled: bool = True, keep_records: bool = True):
+        self.sim = sim
+        self.enabled = enabled
+        self.keep_records = keep_records
+        self.records: List[TraceRecord] = []
+        self.counters: Counter = Counter()
+        self.samples: Dict[str, List[float]] = defaultdict(list)
+        self._open_spans: Dict[Any, Tuple[str, float]] = {}
+
+    # -- events ----------------------------------------------------------
+    def record(self, category: str, **fields: Any) -> None:
+        if not self.enabled:
+            return
+        self.counters[category] += 1
+        if self.keep_records:
+            self.records.append(
+                TraceRecord(self.sim.now, category, tuple(sorted(fields.items())))
+            )
+
+    def count(self, category: str, n: int = 1) -> None:
+        if self.enabled:
+            self.counters[category] += n
+
+    # -- timing spans ------------------------------------------------------
+    def span_begin(self, key: Any, category: str) -> None:
+        """Open a timing span keyed by an arbitrary token."""
+        if self.enabled:
+            self._open_spans[key] = (category, self.sim.now)
+
+    def span_end(self, key: Any) -> Optional[float]:
+        """Close a span; records its duration as a sample. Returns duration."""
+        if not self.enabled:
+            return None
+        entry = self._open_spans.pop(key, None)
+        if entry is None:
+            return None
+        category, start = entry
+        duration = self.sim.now - start
+        self.samples[category].append(duration)
+        return duration
+
+    def sample(self, category: str, value: float) -> None:
+        if self.enabled:
+            self.samples[category].append(value)
+
+    # -- queries -----------------------------------------------------------
+    def of_category(self, category: str) -> List[TraceRecord]:
+        return [r for r in self.records if r.category == category]
+
+    def mean(self, category: str) -> float:
+        vals = self.samples.get(category, [])
+        if not vals:
+            raise KeyError(f"no samples for {category!r}")
+        return sum(vals) / len(vals)
+
+    def total(self, category: str) -> float:
+        return sum(self.samples.get(category, []))
+
+    def clear(self) -> None:
+        self.records.clear()
+        self.counters.clear()
+        self.samples.clear()
+        self._open_spans.clear()

@@ -1,0 +1,24 @@
+"""A simulated TCP/IP substrate.
+
+Open MPI's first transport is PTL/TCP (§1); the paper's PTL/Elan4 exists to
+escape this path's costs: "network access through TCP/IP incurs significant
+operating system overhead and also multiple data copies".  We model exactly
+those properties:
+
+* every send/recv pays a syscall cost and a kernel<->user copy cost;
+* the wire is an IP path (here: IP-over-QsNet-style emulation) with a fixed
+  one-way latency far above the native network's;
+* sockets are byte streams with segmenting (MSS), buffering, connect/accept;
+* ``poll``/``select`` works across many descriptors — the mechanism a single
+  progress thread uses to watch all TCP traffic, and the thing Quadrics
+  events *lack* (§3.2), motivating the shared-completion-queue design.
+
+This substrate also carries the RTE's out-of-band (OOB) channel used for
+connection wire-up during MPI_Init (§5).
+"""
+
+from repro.tcpip.stack import IpNetwork, TcpError
+from repro.tcpip.socket import Listener, TcpSocket
+from repro.tcpip.poll import Poller
+
+__all__ = ["IpNetwork", "Listener", "Poller", "TcpError", "TcpSocket"]

@@ -1,0 +1,75 @@
+"""poll/select over many sockets.
+
+"For the PTL implementation over TCP/IP ... one thread can block and wait
+on the progress of multiple socket-based file descriptors" (§4.3).  This is
+that mechanism: a :class:`Poller` watches any number of sockets/listeners
+and blocks a single thread until one becomes ready.  Its existence here is
+the semantic contrast to Quadrics events, which support nothing comparable
+(§3.2) — hence the PTL/Elan4 shared completion queue.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Union
+
+from repro.sim.events import AnyOf
+from repro.tcpip.socket import Listener, TcpSocket
+
+__all__ = ["Poller"]
+
+Pollable = Union[TcpSocket, Listener]
+
+
+def _ready_word(obj: Pollable):
+    return obj.acceptable if isinstance(obj, Listener) else obj.readable
+
+
+def _is_ready(obj: Pollable) -> bool:
+    if isinstance(obj, Listener):
+        return bool(obj._backlog)
+    return obj.pending_bytes > 0 or obj.peer_closed
+
+
+class Poller:
+    """Level-triggered readiness over a registered set of descriptors."""
+
+    def __init__(self, net):
+        self.net = net
+        self._watched: List[Pollable] = []
+
+    def register(self, obj: Pollable) -> None:
+        if obj not in self._watched:
+            self._watched.append(obj)
+
+    def unregister(self, obj: Pollable) -> None:
+        try:
+            self._watched.remove(obj)
+        except ValueError:
+            pass
+
+    @property
+    def watched(self) -> Sequence[Pollable]:
+        return tuple(self._watched)
+
+    def poll(self, thread, block: bool = True):
+        """Coroutine: return the list of ready descriptors.
+
+        Non-blocking form returns immediately (possibly empty); blocking
+        form suspends the thread until at least one descriptor is ready.
+        The syscall cost is charged per call, as real ``poll(2)`` would be.
+        """
+        cfg = self.net.config
+        yield from thread.compute(cfg.tcp_poll_us)
+        ready = [o for o in self._watched if _is_ready(o)]
+        if ready or not block:
+            return ready
+        while True:
+            waits = [_ready_word(o).wait_event() for o in self._watched]
+            if not waits:
+                raise ValueError("blocking poll with empty descriptor set")
+            any_ev = AnyOf(thread.sim, waits)
+            yield from thread.wait_sim_event(any_ev)
+            yield from thread.compute(cfg.tcp_poll_us)
+            ready = [o for o in self._watched if _is_ready(o)]
+            if ready:
+                return ready

@@ -1,0 +1,84 @@
+"""The IP network and per-segment cost model.
+
+One :class:`IpNetwork` spans the cluster.  Endpoints are ``(node_id, port)``
+pairs; segment delivery pays a fixed one-way latency plus per-byte wire
+cost, and each endpoint serialises its own outgoing segments (a host has
+one IP path).  Reliability is assumed (the emulated IP-over-QsNet link is
+lossless), so no retransmission machinery is modelled — the paper's
+end-to-end reliability concerns live above the transport.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple, TYPE_CHECKING
+
+from repro.sim.resources import Resource
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.config import MachineConfig
+    from repro.sim.core import Simulator
+
+__all__ = ["IpNetwork", "TcpError"]
+
+
+class TcpError(Exception):
+    """Connection refused, double bind, or use of a closed socket."""
+
+
+class IpNetwork:
+    """The cluster-wide IP fabric: listener registry + segment delivery."""
+
+    def __init__(self, sim: "Simulator", config: "MachineConfig"):
+        self.sim = sim
+        self.config = config
+        #: (node_id, port) -> Listener
+        self._listeners: Dict[Tuple[int, int], object] = {}
+        self._tx: Dict[int, Resource] = {}
+        self._auto_port = 49152  # ephemeral port allocator
+        self.segments_delivered = 0
+        self.bytes_delivered = 0
+
+    # -- naming ----------------------------------------------------------
+    def bind(self, node_id: int, port: int, listener) -> None:
+        key = (node_id, port)
+        if key in self._listeners:
+            raise TcpError(f"address {key} already bound")
+        self._listeners[key] = listener
+
+    def unbind(self, node_id: int, port: int) -> None:
+        self._listeners.pop((node_id, port), None)
+
+    def listener_at(self, node_id: int, port: int):
+        listener = self._listeners.get((node_id, port))
+        if listener is None:
+            raise TcpError(f"connection refused: ({node_id}, {port})")
+        return listener
+
+    def ephemeral_port(self) -> int:
+        self._auto_port += 1
+        return self._auto_port
+
+    # -- delivery ----------------------------------------------------------
+    def _tx_lock(self, node_id: int) -> Resource:
+        lock = self._tx.get(node_id)
+        if lock is None:
+            lock = Resource(self.sim, 1, name=f"ip-tx{node_id}")
+            self._tx[node_id] = lock
+        return lock
+
+    def send_segment(
+        self,
+        src_node: int,
+        nbytes: int,
+        deliver: Callable[[], None],
+    ):
+        """Coroutine: serialise ``nbytes`` out of ``src_node`` and schedule
+        ``deliver()`` after the one-way path latency."""
+        cfg = self.config
+        lock = self._tx_lock(src_node)
+        yield lock.request()
+        yield self.sim.timeout(nbytes * cfg.tcp_wire_us_per_byte)
+        lock.release()
+        self.segments_delivered += 1
+        self.bytes_delivered += nbytes
+        self.sim.schedule(cfg.tcp_wire_us, deliver)

@@ -1,0 +1,111 @@
+"""Additional MPICH-QsNetII baseline coverage: streaming, pairing helpers,
+nonblocking operations, and driver parity."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import MpichQsnetJob
+from repro.bench.harness import mpich_bandwidth, openmpi_bandwidth
+from repro.cluster import Cluster
+
+
+def test_mpich_streaming_window():
+    cluster = Cluster(nodes=2)
+    job = MpichQsnetJob(cluster, np=2)
+    n, count = 8192, 12
+
+    def app(mq):
+        bufs = [mq.alloc(n) for _ in range(4)]
+        if mq.rank == 0:
+            evs = []
+            for i in range(count):
+                if len(evs) >= 4:
+                    yield from mq.wait(evs.pop(0))
+                evs.append((yield from mq.isend(bufs[i % 4], dest=1, tag=1, nbytes=n)))
+            for ev in evs:
+                yield from mq.wait(ev)
+            return "sent"
+        else:
+            evs = []
+            for i in range(count):
+                if len(evs) >= 4:
+                    yield from mq.wait(evs.pop(0))
+                evs.append((yield from mq.irecv(bufs[i % 4], source=0, tag=1)))
+            for ev in evs:
+                yield from mq.wait(ev)
+            return "received"
+
+    results = job.run(app)
+    assert results == {0: "sent", 1: "received"}
+    cluster.assert_no_drops()
+
+
+def test_mpich_barrier_pair():
+    cluster = Cluster(nodes=2)
+    job = MpichQsnetJob(cluster, np=2)
+    times = {}
+
+    def app(mq):
+        if mq.rank == 0:
+            yield from mq.thread.sleep(120.0)
+        yield from mq.barrier_pair(1 - mq.rank)
+        times[mq.rank] = mq.now
+
+    job.run(app)
+    # both ranks exit the pair-barrier at (nearly) the same time, after the
+    # slow rank arrived
+    assert abs(times[0] - times[1]) < 10.0
+    assert min(times.values()) > 120.0
+
+
+def test_mpich_nonblocking_overlap():
+    """isend/irecv allow compute overlap — completion strictly later."""
+    cluster = Cluster(nodes=2)
+    job = MpichQsnetJob(cluster, np=2)
+    n = 200_000
+    marks = {}
+
+    def app(mq):
+        buf = mq.alloc(n)
+        if mq.rank == 0:
+            ev = yield from mq.isend(buf, dest=1, tag=1, nbytes=n)
+            marks["issued"] = mq.now
+            yield from mq.thread.compute(30.0)  # overlapped work
+            yield from mq.wait(ev)
+            marks["complete"] = mq.now
+        else:
+            ev = yield from mq.irecv(buf, source=0, tag=1)
+            yield from mq.wait(ev)
+
+    job.run(app)
+    assert marks["complete"] > marks["issued"] + 30.0
+
+
+def test_bandwidth_drivers_agree_on_large_messages():
+    """At 1 MB both stacks sit at the PCI ceiling: drivers within 2%."""
+    a = openmpi_bandwidth(1 << 20, messages=8, window=4)
+    b = mpich_bandwidth(1 << 20, messages=8, window=4)
+    assert abs(a - b) / max(a, b) < 0.02
+
+
+def test_mpich_many_ranks_ring():
+    cluster = Cluster(nodes=8)
+    job = MpichQsnetJob(cluster, np=8)
+
+    def app(mq):
+        buf = mq.alloc(64)
+        right = (mq.rank + 1) % mq.size
+        left = (mq.rank - 1) % mq.size
+        if mq.rank == 0:
+            buf.fill(1)
+            yield from mq.send(buf, dest=right, tag=1, nbytes=64)
+            yield from mq.recv(buf, source=left, tag=1)
+            return int(buf.read()[0])
+        else:
+            yield from mq.recv(buf, source=left, tag=1)
+            data = buf.read()
+            buf.write(data + 1)
+            yield from mq.send(buf, dest=right, tag=1, nbytes=64)
+
+    results = job.run(app)
+    assert results[0] == 8

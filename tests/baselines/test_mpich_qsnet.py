@@ -1,0 +1,111 @@
+"""Tests for the MPICH-QsNetII baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import MpichQsnetJob
+from repro.cluster import Cluster
+from tests.conftest import pingpong_latency
+
+
+def mpich_pingpong(n, iters=4):
+    cluster = Cluster(nodes=2)
+    job = MpichQsnetJob(cluster, np=2)
+    payload = np.random.default_rng(n).integers(0, 256, max(n, 1), dtype=np.uint8)[:n]
+
+    def app(mq):
+        buf = mq.alloc(max(n, 1))
+        if mq.rank == 0:
+            if n:
+                buf.write(payload)
+            t0 = mq.now
+            for _ in range(iters):
+                yield from mq.send(buf, dest=1, tag=1, nbytes=n)
+                yield from mq.recv(buf, source=1, tag=2)
+            return (mq.now - t0) / (2 * iters)
+        else:
+            ok = True
+            for _ in range(iters):
+                msg = yield from mq.recv(buf, source=0, tag=1)
+                if n and not np.array_equal(buf.read(0, n), payload):
+                    ok = False
+                yield from mq.send(buf, dest=0, tag=2, nbytes=n)
+            return ok
+
+    results = job.run(app)
+    cluster.assert_no_drops()
+    assert results[1] is True
+    return results[0]
+
+
+@pytest.mark.parametrize("n", [0, 4, 1024, 4096, 65536])
+def test_mpich_pingpong_lossless(n):
+    assert mpich_pingpong(n) > 0
+
+
+def test_mpich_small_message_latency_beats_openmpi():
+    """Fig. 10a: MPICH-QsNetII wins small messages (NIC matching + 32 B
+    header) — 'our implementation has a latency performance comparable to
+    that of MPICH-QsNetII, except in the range of small messages'."""
+    for n in (0, 64, 1024):
+        assert mpich_pingpong(n) < pingpong_latency(n)
+
+
+def test_openmpi_stays_comparable():
+    """...but comparable: within ~2x at small sizes, closer at 4 KB."""
+    for n in (64, 4096):
+        ratio = pingpong_latency(n) / mpich_pingpong(n)
+        assert ratio < 2.2
+
+
+def test_mpich_midrange_bandwidth_advantage():
+    """Fig. 10b/d: Tport pipelining wins the middle range (here expressed
+    as latency at 64 KB)."""
+    n = 65536
+    assert mpich_pingpong(n) < pingpong_latency(n)
+
+
+def test_static_job_cannot_grow():
+    cluster = Cluster(nodes=2)
+    job = MpichQsnetJob(cluster, np=2)
+    with pytest.raises(RuntimeError, match="static"):
+        job.add_process()
+
+
+def test_contexts_claimed_up_front():
+    cluster = Cluster(nodes=2, contexts_per_node=2)
+    job = MpichQsnetJob(cluster, np=4)
+    assert cluster.capability.free_contexts(0) == 0
+    assert cluster.capability.free_contexts(1) == 0
+
+
+def test_rank_source_reported():
+    cluster = Cluster(nodes=3)
+    job = MpichQsnetJob(cluster, np=3)
+
+    def app(mq):
+        buf = mq.alloc(16)
+        if mq.rank == 2:
+            sources = []
+            for _ in range(2):
+                msg = yield from mq.recv(buf, source=-1, tag=1)
+                sources.append(msg.src_vpid)  # translated to rank
+            return sorted(sources)
+        else:
+            yield from mq.send(buf, dest=2, tag=1, nbytes=16)
+
+    results = job.run(app)
+    assert results[2] == [0, 1]
+
+
+def test_deadlock_detection():
+    cluster = Cluster(nodes=2)
+    job = MpichQsnetJob(cluster, np=2)
+
+    def app(mq):
+        buf = mq.alloc(8)
+        if mq.rank == 0:
+            yield from mq.recv(buf, source=1, tag=1)  # never sent
+
+    with pytest.raises(RuntimeError, match="deadlock"):
+        job.run(app)

@@ -1,0 +1,98 @@
+"""Unit tests for the benchmark reporting and harness plumbing."""
+
+import pytest
+
+from repro.bench.harness import (
+    mpich_pingpong,
+    openmpi_bandwidth,
+    openmpi_pingpong,
+    openmpi_pml_cost,
+    qdma_native_pingpong,
+)
+from repro.bench.reporting import format_series_table, format_table, human_size
+
+
+# ---------------------------------------------------------------- reporting
+def test_human_size():
+    assert human_size(0) == "0"
+    assert human_size(1023) == "1023"
+    assert human_size(1024) == "1K"
+    assert human_size(1984) == "1984"
+    assert human_size(65536) == "64K"
+    assert human_size(1 << 20) == "1M"
+    assert human_size((1 << 20) + 1) == str((1 << 20) + 1)
+
+
+def test_format_table_alignment_and_floats():
+    out = format_table("T", ["a", "bbb"], [[1, 2.5], [10, 0.125]], note="n")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "2.50" in out and "0.12" in out
+    assert lines[-1] == "n"
+    # columns right-aligned: header and rows end at same offsets
+    header = lines[2]
+    row = lines[4]
+    assert len(header) == len(row)
+
+
+def test_format_series_table_with_reference():
+    series = {"x": {0: 1.0, 64: 2.0}}
+    ref = {"x": {0: 1.1}}
+    out = format_series_table("S", series, reference=ref)
+    assert "x [us]" in out and "x (paper)" in out
+    assert "1.10" in out
+    # size 64 has no reference: cell renders empty, table still parses
+    assert "64" in out
+
+
+def test_format_series_table_multiple_series_union_of_sizes():
+    out = format_series_table("S", {"a": {1: 1.0}, "b": {2: 2.0}})
+    assert "1" in out and "2" in out
+
+
+# ---------------------------------------------------------------- harness
+def test_pingpong_latency_monotone_in_size():
+    small = openmpi_pingpong(0, iters=4)
+    large = openmpi_pingpong(16384, iters=4)
+    assert 0 < small < large
+
+
+def test_pingpong_deterministic():
+    a = openmpi_pingpong(1024, iters=4)
+    b = openmpi_pingpong(1024, iters=4)
+    assert a == b  # fully deterministic simulation
+
+
+def test_bandwidth_positive_and_bounded():
+    bw = openmpi_bandwidth(65536, messages=8, window=4)
+    assert 100 < bw < 1064  # below the PCI-X bus ceiling
+
+
+def test_bandwidth_zero_bytes_is_zero():
+    assert openmpi_bandwidth(0, messages=4, window=2) == 0.0
+
+
+def test_pml_cost_decomposition_sums():
+    d = openmpi_pml_cost(256, iters=6)
+    assert d["total"] == pytest.approx(d["pml_cost"] + d["ptl_latency"])
+    assert d["pml_cost"] > 0
+
+
+def test_native_qdma_faster_than_full_stack():
+    assert qdma_native_pingpong(512) < openmpi_pingpong(512 - 64, iters=4) + 64
+
+
+def test_mpich_driver_works():
+    assert 0 < mpich_pingpong(64, iters=4) < 10
+
+
+def test_config_override_flows_through():
+    from repro.config import default_config
+
+    slow = default_config().variant(interrupt_us=50.0)
+    # polling path ignores interrupt cost: identical results
+    assert openmpi_pingpong(64, iters=3, config=slow) == openmpi_pingpong(64, iters=3)
+    fast_wire = default_config().variant(link_us_per_byte=0.0001)
+    assert openmpi_pingpong(16384, iters=3, config=fast_wire) < openmpi_pingpong(
+        16384, iters=3
+    )

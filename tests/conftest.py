@@ -1,0 +1,76 @@
+"""Shared helpers for stack-level integration tests and benchmarks."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.core.ptl.elan4.module import Elan4PtlOptions
+from repro.mpi.world import make_mpi_stack_factory
+from repro.rte.environment import launch_job
+
+
+def run_mpi_app(
+    app,
+    nodes=2,
+    np_=2,
+    transports=("elan4",),
+    datatype_mode="memcpy",
+    progress_mode="polling",
+    elan4_options=None,
+    cluster=None,
+):
+    """Launch ``app`` on a fresh cluster with the given stack options and
+    return ``(results, cluster)``."""
+    cluster = cluster or Cluster(nodes=nodes)
+    factory = make_mpi_stack_factory(
+        datatype_mode=datatype_mode,
+        progress_mode=progress_mode,
+        elan4_options=elan4_options,
+    )
+    results = launch_job(
+        cluster, app, np=np_, transports=transports, stack_factory=factory
+    )
+    return results, cluster
+
+
+def pingpong_app(nbytes, iters=5, payload=None, tag_a=1, tag_b=2):
+    """A standard two-rank ping-pong; rank 0 returns the one-way latency,
+    rank 1 returns True once every payload verified."""
+
+    def app(mpi):
+        buf = mpi.alloc(max(nbytes, 1))
+        if mpi.rank == 0:
+            if payload is not None:
+                buf.write(payload)
+            t0 = mpi.now
+            for _ in range(iters):
+                yield from mpi.comm_world.send(buf, dest=1, tag=tag_a, nbytes=nbytes)
+                data, st = yield from mpi.comm_world.recv(
+                    source=1, tag=tag_b, nbytes=nbytes
+                )
+            return (mpi.now - t0) / (2 * iters)
+        else:
+            ok = True
+            for _ in range(iters):
+                data, st = yield from mpi.comm_world.recv(
+                    source=0, tag=tag_a, nbytes=nbytes
+                )
+                if payload is not None and not np.array_equal(
+                    data, payload[: st.nbytes]
+                ):
+                    ok = False
+                reply = mpi.alloc(max(nbytes, 1))
+                if payload is not None:
+                    reply.write(data)
+                yield from mpi.comm_world.send(reply, dest=0, tag=tag_b, nbytes=nbytes)
+            return ok
+
+    return app
+
+
+def pingpong_latency(nbytes, iters=5, **kwargs):
+    """One-way ping-pong latency in µs under the given stack options."""
+    results, cluster = run_mpi_app(pingpong_app(nbytes, iters), **kwargs)
+    cluster.assert_no_drops()
+    assert results[1] is True or results[1] is None or results[1]
+    return results[0]

@@ -1,0 +1,169 @@
+"""Coverage for small public APIs not exercised elsewhere."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.config import default_config
+from repro.hw.cpu import HostWordEvent, Mutex
+
+
+def test_elan_event_host_wait():
+    cluster = Cluster(nodes=1)
+    ctx = cluster.claim_context(0)
+    ev = ctx.make_event(count=1, name="hw")
+    ev.attach_host_word()
+    out = []
+
+    def body(t):
+        v = yield from ev.host_wait(t)
+        out.append((v, cluster.sim.now))
+
+    cluster.nodes[0].spawn_thread(body)
+    cluster.sim.schedule(5.0, ev.fire, "val")
+    cluster.run()
+    assert out[0][0] == "val"
+
+
+def test_elan_event_host_wait_requires_word():
+    from repro.elan4.event import EventRaceError
+
+    cluster = Cluster(nodes=1)
+    ctx = cluster.claim_context(0)
+    ev = ctx.make_event()
+
+    def body(t):
+        with pytest.raises(EventRaceError):
+            yield from ev.host_wait(t)
+
+    cluster.nodes[0].spawn_thread(body)
+    cluster.run()
+
+
+def test_event_disarm_interrupt():
+    cluster = Cluster(nodes=1)
+    ctx = cluster.claim_context(0)
+    ev = ctx.make_event()
+    ev.attach_host_word()
+    ev.arm_interrupt()
+    ev.arm_interrupt(False)
+    ev.fire()
+    cluster.run()
+    assert cluster.nodes[0].interrupts_delivered == 0
+    assert ev.poll()
+
+
+def test_mutex_locked_property():
+    cluster = Cluster(nodes=1)
+    cfg = cluster.config
+    mutex = Mutex(cluster.sim, cfg)
+    states = []
+
+    def body(t):
+        states.append(mutex.locked)
+        yield from mutex.acquire(t)
+        states.append(mutex.locked)
+        mutex.release(t)
+        states.append(mutex.locked)
+
+    cluster.nodes[0].spawn_thread(body)
+    cluster.run()
+    assert states == [False, True, False]
+
+
+def test_runnable_backlog_counts_waiting_threads():
+    cluster = Cluster(nodes=1)  # 2 CPUs
+    sched = cluster.nodes[0].scheduler
+    peak = []
+
+    def hog(t):
+        yield from t.compute(50.0)
+
+    def probe(t):
+        yield from t.sleep(5.0)
+        peak.append(sched.runnable_backlog)
+
+    for i in range(3):
+        sched.spawn(hog, f"hog{i}")  # 3 hogs on 2 CPUs
+    cluster.sim.spawn(_probe_backlog(cluster, sched, peak))
+    cluster.run()
+    assert max(peak) >= 1
+
+
+def _probe_backlog(cluster, sched, peak):
+    yield cluster.sim.timeout(10.0)
+    peak.append(sched.runnable_backlog)
+
+
+def test_tcp_socket_connected_and_pending():
+    from repro.tcpip import Listener, TcpSocket
+    from repro.tcpip.stack import IpNetwork
+
+    cluster = Cluster(nodes=2)
+    net = IpNetwork(cluster.sim, cluster.config)
+    listener = Listener(net, cluster.nodes[1], 5000)
+    out = {}
+
+    def server(t):
+        sock = yield from listener.accept(t)
+        out["server_connected"] = sock.connected
+        yield from t.sleep(300.0)
+        out["pending"] = sock.pending_bytes
+
+    def client(t):
+        sock = yield from TcpSocket.connect(net, t, cluster.nodes[0], 1, 5000)
+        out["client_connected"] = sock.connected
+        yield from sock.send(t, b"buffered-bytes")
+
+    cluster.nodes[1].spawn_thread(server)
+    cluster.nodes[0].spawn_thread(client)
+    cluster.run()
+    assert out["server_connected"] and out["client_connected"]
+    assert out["pending"] == len(b"buffered-bytes")
+
+
+def test_intercomm_sizes_and_disconnect():
+    from tests.conftest import run_mpi_app
+
+    def child(mpi):
+        parent = yield from mpi.get_parent()
+        assert parent.local_size == 1
+        assert parent.remote_size == 2
+        yield from parent.send(b"x", dest=0, tag=1)
+
+    def app(mpi):
+        intercomm = yield from mpi.spawn([child])
+        assert intercomm.local_size == 2
+        assert intercomm.remote_size == 1
+        if mpi.rank == 0:
+            yield from intercomm.recv(tag=1)
+        # keep both parents registered until the child has connected back
+        yield from mpi.comm_world.barrier()
+        intercomm.disconnect()
+        assert intercomm.remote_size == 0
+        return True
+
+    results, _ = run_mpi_app(app, nodes=3, np_=2)
+    assert results[0] is True
+
+
+def test_config_wire_and_dma_helpers():
+    cfg = default_config()
+    assert cfg.pci_dma_us(0) == cfg.pci_dma_setup_us
+    assert cfg.pci_dma_us(1000) > cfg.pci_dma_us(100)
+    one_hop = cfg.wire_us(1024, hops=1)
+    two_hop = cfg.wire_us(1024, hops=2)
+    assert two_hop - one_hop == pytest.approx(cfg.switch_hop_us + cfg.wire_prop_us)
+
+
+def test_mmu_has_context():
+    from repro.elan4.addr import Elan4Mmu
+    from repro.hw.memory import AddressSpace
+
+    mmu = Elan4Mmu()
+    assert not mmu.has_context(0x400)
+    space = AddressSpace("x")
+    e4 = mmu.map(0x400, space, space.alloc(16).addr, 16)
+    assert mmu.has_context(0x400)
+    mmu.unmap(0x400, e4)
+    assert not mmu.has_context(0x400)

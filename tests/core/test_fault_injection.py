@@ -1,0 +1,171 @@
+"""Fault injection: abrupt deaths, stale addressing, and why the §4.1
+drain discipline exists."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.elan4.addr import MmuTrap
+from repro.elan4.capability import CapabilityError
+from repro.elan4.rdma import RdmaDescriptor
+from repro.mpi.world import make_mpi_stack_factory
+from repro.rte.environment import RteJob
+
+
+def test_send_to_departed_rank_fails_loudly():
+    """After a peer finalizes, its VPID is dead: a stale send raises at the
+    sender instead of silently writing into recycled resources."""
+    cluster = Cluster(nodes=2)
+    job = RteJob(cluster, stack_factory=make_mpi_stack_factory())
+
+    def short_lived(mpi):
+        yield mpi.sim.timeout(0)
+        return "gone"
+
+    def sender(mpi):
+        yield from mpi.thread.sleep(500.0)  # peer is long gone
+        with pytest.raises(CapabilityError):
+            yield from mpi.comm_world.send(b"too late", dest=1, tag=0)
+        return "caught"
+
+    job.launch(0, sender, group="world", group_count=2)
+    job.launch(1, short_lived, group="world", group_count=2)
+    results = job.wait()
+    assert results == {0: "caught", 1: "gone"}
+
+
+def test_nic_completes_inflight_rdma_after_app_thread_dies():
+    """The NIC is autonomous: killing the application thread does NOT stop
+    an issued RDMA.  The data still lands (mappings intact) — which is
+    exactly why finalize must wait for the NIC to drain before releasing
+    anything (§4.1)."""
+    cluster = Cluster(nodes=2)
+    a = cluster.claim_context(0)
+    b = cluster.claim_context(1)
+    n = 64 * 1024
+    src = a.space.alloc(n)
+    dst = b.space.alloc(n)
+    src.fill(0x5A)
+    e4_src, e4_dst = a.map_buffer(src), b.map_buffer(dst)
+
+    def issuer(thread):
+        desc = RdmaDescriptor(op="write", local=e4_src, remote=e4_dst,
+                              nbytes=n, remote_vpid=b.vpid)
+        yield from a.rdma_issue(thread, desc)
+        yield thread.sim.timeout(10_000.0)  # would linger...
+
+    t = cluster.nodes[0].spawn_thread(issuer)
+    cluster.sim.run(until=5.0)
+    t.process.interrupt("killed")  # abrupt death right after issuing
+    cluster.run()
+    assert (dst.read() == 0x5A).all()  # transfer completed anyway
+    assert a.pending_ops() == 0
+    cluster.assert_no_drops()
+
+
+def test_teardown_without_drain_traps_in_the_mmu():
+    """The §4.1 hazard made concrete: releasing a context while a DMA
+    descriptor is still in flight leaves the descriptor addressing an
+    unmapped range — the NIC traps instead of corrupting memory."""
+    cluster = Cluster(nodes=2)
+    a = cluster.claim_context(0)
+    b = cluster.claim_context(1)
+    n = 256 * 1024
+    src = a.space.alloc(n)
+    dst = b.space.alloc(n)
+    e4_src, e4_dst = a.map_buffer(src), b.map_buffer(dst)
+
+    def issuer(thread):
+        desc = RdmaDescriptor(op="write", local=e4_src, remote=e4_dst,
+                              nbytes=n, remote_vpid=b.vpid)
+        yield from a.rdma_issue(thread, desc)
+
+    cluster.nodes[0].spawn_thread(issuer)
+    cluster.sim.run(until=20.0)  # transfer is mid-flight
+    # receiver vanishes WITHOUT draining: tear down its translations
+    cluster.nics[1].mmu.unmap_context(b.ctx)
+    with pytest.raises(MmuTrap):
+        cluster.run()
+
+
+def test_proper_finalize_before_teardown_is_safe():
+    """Same scenario but with the mandated drain: no trap."""
+    cluster = Cluster(nodes=2)
+    a = cluster.claim_context(0)
+    b = cluster.claim_context(1)
+    n = 256 * 1024
+    src = a.space.alloc(n)
+    dst = b.space.alloc(n)
+    e4_src, e4_dst = a.map_buffer(src), b.map_buffer(dst)
+    order = []
+
+    def issuer(thread):
+        desc = RdmaDescriptor(op="write", local=e4_src, remote=e4_dst,
+                              nbytes=n, remote_vpid=b.vpid)
+        ev = yield from a.rdma_issue(thread, desc)
+        yield from thread.block_on(ev.attach_host_word())
+        order.append("transfer-done")
+
+    def receiver_leaves(thread):
+        yield from thread.sleep(20.0)
+        # drain-then-release: wait for OUR pending plus give the writer time
+        yield from thread.sleep(2000.0)
+        yield from b.finalize(thread)
+        order.append("receiver-finalized")
+
+    cluster.nodes[0].spawn_thread(issuer)
+    cluster.nodes[1].spawn_thread(receiver_leaves)
+    cluster.run()
+    assert order == ["transfer-done", "receiver-finalized"]
+    cluster.assert_no_drops()
+
+
+def test_tcp_peer_reset_surfaces_as_error():
+    from repro.tcpip import Listener, TcpError, TcpSocket
+    from repro.tcpip.stack import IpNetwork
+
+    cluster = Cluster(nodes=2)
+    net = IpNetwork(cluster.sim, cluster.config)
+    listener = Listener(net, cluster.nodes[1], 5000)
+    outcome = []
+
+    def server(t):
+        sock = yield from listener.accept(t)
+        sock.close()  # dies immediately
+
+    def client(t):
+        sock = yield from TcpSocket.connect(net, t, cluster.nodes[0], 1, 5000)
+        yield from t.sleep(200.0)
+        try:
+            yield from sock.send(t, b"x" * 1000)
+        except TcpError:
+            outcome.append("reset")
+
+    cluster.nodes[1].spawn_thread(server)
+    cluster.nodes[0].spawn_thread(client)
+    cluster.run()
+    assert outcome == ["reset"]
+
+
+def test_mpi_job_survives_unrelated_rank_traffic_after_restart_reset():
+    """reset_peer must not disturb OTHER peers' sequence state."""
+    cluster = Cluster(nodes=3)
+    job = RteJob(cluster, stack_factory=make_mpi_stack_factory())
+
+    def app(mpi):
+        if mpi.rank == 0:
+            yield from mpi.comm_world.send(b"a", dest=2, tag=1)
+            mpi.stack.pml.reset_peer(1)  # rank 1 "restarted"
+            yield from mpi.comm_world.send(b"b", dest=2, tag=2)  # unaffected
+            return "sent"
+        if mpi.rank == 2:
+            d1, _ = yield from mpi.comm_world.recv(source=0, tag=1, nbytes=8)
+            d2, _ = yield from mpi.comm_world.recv(source=0, tag=2, nbytes=8)
+            return bytes(d1) + bytes(d2)
+        yield mpi.sim.timeout(0)
+
+    job.launch(0, app, group="world", group_count=3)
+    job.launch(1, app, group="world", group_count=3)
+    job.launch(2, app, group="world", group_count=3)
+    results = job.wait()
+    assert results[2] == b"ab"

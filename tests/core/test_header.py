@@ -1,0 +1,99 @@
+"""Tests for the 64-byte fragment header."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.header import (
+    FLAG_INLINE,
+    FragmentHeader,
+    HDR_ACK,
+    HDR_FIN,
+    HDR_FIN_ACK,
+    HDR_MATCH,
+    HDR_RNDV,
+    HEADER_BYTES,
+)
+from repro.elan4.addr import E4Addr
+
+
+def test_header_is_exactly_64_bytes():
+    """The paper's stated Open MPI header size (§6.3)."""
+    assert HEADER_BYTES == 64
+    hdr = FragmentHeader(
+        type=HDR_MATCH, src_rank=0, ctx_id=0, tag=0, seq=0, msg_len=0,
+        frag_len=0, frag_offset=0, src_req=0, dst_req=0,
+    )
+    assert len(hdr.encode()) == 64
+
+
+def test_roundtrip_with_e4_address():
+    hdr = FragmentHeader(
+        type=HDR_RNDV, src_rank=3, ctx_id=7, tag=-5, seq=9,
+        msg_len=1 << 20, frag_len=1984, frag_offset=0,
+        src_req=77, dst_req=0, flags=FLAG_INLINE, e4=E4Addr(0x400, 0x123456),
+    )
+    back = FragmentHeader.decode(hdr.encode())
+    assert back == hdr
+    assert back.has_inline
+    assert back.e4 == E4Addr(0x400, 0x123456)
+
+
+def test_roundtrip_without_e4():
+    hdr = FragmentHeader(
+        type=HDR_FIN, src_rank=1, ctx_id=2, tag=3, seq=4,
+        msg_len=10, frag_len=10, frag_offset=0, src_req=5, dst_req=6,
+    )
+    back = FragmentHeader.decode(hdr.encode())
+    assert back.e4 is None
+    assert back == hdr
+
+
+def test_negative_tags_supported():
+    """Collective tags and MPI_ANY_TAG sentinels are negative."""
+    hdr = FragmentHeader(
+        type=HDR_MATCH, src_rank=0, ctx_id=0, tag=-2147483648, seq=0,
+        msg_len=0, frag_len=0, frag_offset=0, src_req=0, dst_req=0,
+    )
+    assert FragmentHeader.decode(hdr.encode()).tag == -2147483648
+
+
+def test_type_names():
+    for t, name in [(HDR_MATCH, "MATCH"), (HDR_RNDV, "RNDV"), (HDR_ACK, "ACK"),
+                    (HDR_FIN, "FIN"), (HDR_FIN_ACK, "FIN_ACK")]:
+        hdr = FragmentHeader(type=t, src_rank=0, ctx_id=0, tag=0, seq=0,
+                             msg_len=0, frag_len=0, frag_offset=0,
+                             src_req=0, dst_req=0)
+        assert hdr.type_name == name
+
+
+def test_decode_ignores_trailing_payload():
+    hdr = FragmentHeader(type=HDR_ACK, src_rank=9, ctx_id=1, tag=2, seq=0,
+                         msg_len=100, frag_len=0, frag_offset=0,
+                         src_req=1, dst_req=2)
+    raw = hdr.encode() + b"payload-bytes-follow"
+    assert FragmentHeader.decode(raw) == hdr
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    type=st.sampled_from([HDR_MATCH, HDR_RNDV, HDR_ACK, HDR_FIN, HDR_FIN_ACK]),
+    src_rank=st.integers(0, 65535),
+    ctx_id=st.integers(0, 2**32 - 1),
+    tag=st.integers(-(2**31), 2**31 - 1),
+    seq=st.integers(0, 2**32 - 1),
+    msg_len=st.integers(0, 2**63 - 1),
+    frag_len=st.integers(0, 2**32 - 1),
+    frag_offset=st.integers(0, 2**63 - 1),
+    src_req=st.integers(0, 2**63 - 1),
+    dst_req=st.integers(0, 2**63 - 1),
+    flags=st.integers(0, 255),
+    e4=st.one_of(
+        st.none(),
+        st.builds(E4Addr, st.integers(1, 2**32 - 1), st.integers(0, 2**63 - 1)),
+    ),
+)
+def test_property_encode_decode_roundtrip(**fields):
+    hdr = FragmentHeader(**fields)
+    back = FragmentHeader.decode(hdr.encode())
+    assert back == hdr

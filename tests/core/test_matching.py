@@ -1,0 +1,161 @@
+"""Unit tests for the PML matching engine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.header import FragmentHeader, HDR_MATCH
+from repro.core.pml.matching import IncomingFragment, MatchingEngine
+from repro.core.request import ANY_SOURCE, ANY_TAG, RecvRequest
+from repro.sim import Simulator
+
+
+def frag(src=0, tag=1, seq=0, ctx=0, msg_len=10):
+    hdr = FragmentHeader(
+        type=HDR_MATCH, src_rank=src, ctx_id=ctx, tag=tag, seq=seq,
+        msg_len=msg_len, frag_len=msg_len, frag_offset=0, src_req=1, dst_req=0,
+    )
+    return IncomingFragment(header=hdr, data=None, ptl=None)
+
+
+def recv(sim, src=0, tag=1, ctx=0, nbytes=10):
+    return RecvRequest(sim, None, nbytes, src, tag, ctx)
+
+
+def test_posted_then_incoming_matches():
+    sim = Simulator()
+    eng = MatchingEngine()
+    req = recv(sim)
+    assert eng.post(req) is None
+    results = eng.incoming(frag())
+    assert results == [(results[0][0], req)]
+    assert eng.posted_count() == 0
+
+
+def test_incoming_then_posted_matches_unexpected():
+    sim = Simulator()
+    eng = MatchingEngine()
+    f = frag()
+    assert eng.incoming(f) == [(f, None)]
+    assert eng.unexpected_count() == 1
+    req = recv(sim)
+    assert eng.post(req) is f
+    assert eng.unexpected_count() == 0
+
+
+def test_tag_and_source_must_match():
+    sim = Simulator()
+    eng = MatchingEngine()
+    eng.post(recv(sim, src=1, tag=5))
+    results = eng.incoming(frag(src=0, tag=5))
+    assert results[0][1] is None  # wrong source
+    assert eng.posted_count() == 1
+
+
+def test_wildcards_match_anything():
+    sim = Simulator()
+    eng = MatchingEngine()
+    req = recv(sim, src=ANY_SOURCE, tag=ANY_TAG)
+    eng.post(req)
+    results = eng.incoming(frag(src=3, tag=42))
+    assert results[0][1] is req
+
+
+def test_contexts_partition_matching():
+    sim = Simulator()
+    eng = MatchingEngine()
+    req = recv(sim, ctx=1)
+    eng.post(req)
+    assert eng.incoming(frag(ctx=2))[0][1] is None
+    assert eng.incoming(frag(ctx=1, seq=0))[0][1] is req
+
+
+def test_posted_receives_match_in_post_order():
+    sim = Simulator()
+    eng = MatchingEngine()
+    r1 = recv(sim)
+    r2 = recv(sim)
+    eng.post(r1)
+    eng.post(r2)
+    assert eng.incoming(frag(seq=0))[0][1] is r1
+    assert eng.incoming(frag(seq=1))[0][1] is r2
+
+
+def test_unexpected_matched_oldest_first():
+    sim = Simulator()
+    eng = MatchingEngine()
+    f0, f1 = frag(seq=0, msg_len=1), frag(seq=1, msg_len=2)
+    eng.incoming(f0)
+    eng.incoming(f1)
+    assert eng.post(recv(sim)) is f0
+    assert eng.post(recv(sim)) is f1
+
+
+def test_out_of_order_fragments_parked_until_gap_closes():
+    """Sender order must be match order even if PTLs deliver out of order
+    (multi-network reordering, §6.5 crosstalk)."""
+    sim = Simulator()
+    eng = MatchingEngine()
+    r1, r2, r3 = recv(sim), recv(sim), recv(sim)
+    for r in (r1, r2, r3):
+        eng.post(r)
+    # seq 2 and 1 arrive before seq 0
+    assert eng.incoming(frag(seq=2, msg_len=3)) == []
+    assert eng.incoming(frag(seq=1, msg_len=2)) == []
+    assert eng.parked_count() == 2
+    results = eng.incoming(frag(seq=0, msg_len=1))
+    assert [req for _, req in results] == [r1, r2, r3]
+    assert [f.header.msg_len for f, _ in results] == [1, 2, 3]
+    assert eng.parked_count() == 0
+
+
+def test_per_source_ordering_is_independent():
+    sim = Simulator()
+    eng = MatchingEngine()
+    # src 5's seq stream doesn't gate src 6's
+    assert eng.incoming(frag(src=6, seq=0)) != []
+    assert eng.incoming(frag(src=5, seq=1)) == []  # parked
+    assert eng.incoming(frag(src=6, seq=1)) != []
+    assert eng.incoming(frag(src=5, seq=0)) != []
+
+
+def test_cancel_posted_receive():
+    sim = Simulator()
+    eng = MatchingEngine()
+    req = recv(sim)
+    eng.post(req)
+    assert eng.cancel(req)
+    assert not eng.cancel(req)
+    assert eng.incoming(frag())[0][1] is None
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    order=st.permutations(list(range(6))),
+    post_first=st.booleans(),
+)
+def test_property_any_arrival_order_matches_in_seq_order(order, post_first):
+    """However fragments are reordered in flight, receives match them in
+    sender sequence order."""
+    sim = Simulator()
+    eng = MatchingEngine()
+    reqs = []
+    if post_first:
+        for _ in range(6):
+            r = recv(sim, src=ANY_SOURCE, tag=ANY_TAG)
+            eng.post(r)
+            reqs.append(r)
+    matched = []
+    for seq in order:
+        for f, req in eng.incoming(frag(seq=seq, msg_len=seq + 1)):
+            if req is not None:
+                matched.append((f.header.seq, req))
+    if not post_first:
+        for _ in range(6):
+            r = recv(sim, src=ANY_SOURCE, tag=ANY_TAG)
+            f = eng.post(r)
+            assert f is not None
+            matched.append((f.header.seq, r))
+    assert [seq for seq, _ in matched] == [0, 1, 2, 3, 4, 5]
+    if post_first:
+        assert [r for _, r in matched] == reqs

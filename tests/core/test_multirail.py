@@ -1,0 +1,154 @@
+"""Multirail Quadrics (§8 future work): several Elan4 rails per node, with
+the PML striping messages across them (rail-per-message allocation, [6])."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.mpi.world import make_mpi_stack_factory
+from repro.rte.environment import launch_job
+
+RAIL_TRANSPORTS = ("elan4", "elan4:1")
+
+
+def run_multirail(app, nodes=2, np_=2, rails=2, transports=RAIL_TRANSPORTS):
+    cluster = Cluster(nodes=nodes, rails=rails)
+    results = launch_job(
+        cluster, app, np=np_, transports=transports,
+        stack_factory=make_mpi_stack_factory(),
+    )
+    cluster.assert_no_drops()
+    return results, cluster
+
+
+def test_two_rails_build_two_modules():
+    def app(mpi):
+        yield mpi.sim.timeout(0)
+        return sorted(m.name for m in mpi.stack.pml.modules)
+
+    results, _ = run_multirail(app)
+    assert results[0] == ["elan4", "elan4:1"]
+
+
+def test_rails_have_independent_vpids():
+    def app(mpi):
+        yield mpi.sim.timeout(0)
+        return {m.rail: m.ctx.vpid for m in mpi.stack.pml.modules}
+
+    results, cluster = run_multirail(app)
+    # each rail's capability allocated its own vpid space
+    assert cluster.rail_capabilities[0].live_vpids == []
+    assert set(results[0]) == {0, 1}
+
+
+def test_messages_stripe_across_rails():
+    def app(mpi):
+        if mpi.rank == 0:
+            reqs = []
+            for i in range(8):
+                buf = mpi.alloc(64)
+                buf.fill(i)
+                reqs.append((yield from mpi.comm_world.isend(buf, dest=1, tag=i)))
+            yield from mpi.waitall(reqs)
+            return {m.name: m.eager_sends for m in mpi.stack.pml.modules}
+        else:
+            for i in range(8):
+                yield from mpi.comm_world.recv(source=0, tag=i, nbytes=64)
+
+    results, _ = run_multirail(app)
+    sends = results[0]
+    assert sends["elan4"] == 4 and sends["elan4:1"] == 4  # round-robin
+
+
+def test_ordering_preserved_across_rails():
+    """Same (source, tag) messages alternate rails yet match in order."""
+
+    def app(mpi):
+        if mpi.rank == 0:
+            for i in range(10):
+                buf = mpi.alloc(32)
+                buf.fill(i)
+                yield from mpi.comm_world.send(buf, dest=1, tag=0)
+        else:
+            got = []
+            for _ in range(10):
+                data, _ = yield from mpi.comm_world.recv(source=0, tag=0, nbytes=32)
+                got.append(int(data[0]))
+            return got
+
+    results, _ = run_multirail(app)
+    assert results[1] == list(range(10))
+
+
+def test_large_messages_lossless_across_rails():
+    n = 150_000
+    payload = np.random.default_rng(0).integers(0, 256, n, dtype=np.uint8)
+
+    def app(mpi):
+        if mpi.rank == 0:
+            oks = []
+            for i in range(4):
+                buf = mpi.alloc(n)
+                buf.write(payload)
+                yield from mpi.comm_world.send(buf, dest=1, tag=i)
+            return "sent"
+        else:
+            oks = []
+            for i in range(4):
+                data, _ = yield from mpi.comm_world.recv(source=0, tag=i, nbytes=n)
+                oks.append(np.array_equal(data, payload))
+            return all(oks)
+
+    results, _ = run_multirail(app)
+    assert results[1] is True
+
+
+def test_multirail_aggregates_streaming_bandwidth():
+    """The §8 goal: two rails should stream close to twice one rail."""
+
+    def bandwidth(rails, transports):
+        n, messages, window = 262_144, 16, 8
+        out = {}
+
+        def app(mpi):
+            if mpi.rank == 0:
+                bufs = [mpi.alloc(n) for _ in range(window)]
+                t0 = mpi.now
+                reqs = []
+                for i in range(messages):
+                    if len(reqs) >= window:
+                        yield from mpi.wait(reqs.pop(0))
+                    reqs.append((yield from mpi.comm_world.isend(
+                        bufs[i % window], dest=1, tag=1, nbytes=n)))
+                yield from mpi.waitall(reqs)
+                yield from mpi.comm_world.recv(source=1, tag=2, nbytes=0)
+                out["bw"] = messages * n / (mpi.now - t0)
+            else:
+                buf = mpi.alloc(n)
+                reqs = []
+                for i in range(messages):
+                    if len(reqs) >= window:
+                        yield from mpi.wait(reqs.pop(0))
+                    reqs.append((yield from mpi.comm_world.irecv(
+                        n, source=0, tag=1, buffer=buf)))
+                yield from mpi.waitall(reqs)
+                yield from mpi.comm_world.send(b"", dest=0, tag=2, nbytes=0)
+
+        cluster = Cluster(nodes=2, rails=rails)
+        launch_job(cluster, app, np=2, transports=transports,
+                   stack_factory=make_mpi_stack_factory())
+        return out["bw"]
+
+    one = bandwidth(1, ("elan4",))
+    two = bandwidth(2, RAIL_TRANSPORTS)
+    assert two > 1.6 * one, (one, two)
+
+
+def test_single_rail_cluster_rejects_second_rail_transport():
+    def app(mpi):
+        yield mpi.sim.timeout(0)
+
+    cluster = Cluster(nodes=2, rails=1)
+    with pytest.raises(Exception, match="rail 1"):
+        launch_job(cluster, app, np=2, transports=RAIL_TRANSPORTS,
+                   stack_factory=make_mpi_stack_factory())

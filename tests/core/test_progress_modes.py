@@ -1,0 +1,119 @@
+"""Tests of the four progress modes (§4.3, §6.4 / Table 1)."""
+
+import pytest
+
+from repro.core.ptl.elan4.module import Elan4PtlOptions
+from tests.conftest import pingpong_app, pingpong_latency, run_mpi_app
+
+MODES = [
+    ("polling", "none"),
+    ("interrupt", "none"),
+    ("one-thread", "one-queue"),
+    ("two-thread", "two-queue"),
+]
+
+
+@pytest.mark.parametrize("mode,cq", MODES)
+@pytest.mark.parametrize("n", [4, 4096])
+def test_all_modes_deliver_correctly(mode, cq, n):
+    import numpy as np
+
+    payload = np.random.default_rng(n).integers(0, 256, n, dtype=np.uint8)
+    results, cluster = run_mpi_app(
+        pingpong_app(n, iters=3, payload=payload),
+        progress_mode=mode,
+        elan4_options=Elan4PtlOptions(completion_queue=cq),
+    )
+    assert results[1] is True
+    cluster.assert_no_drops()
+
+
+def _lat(mode, cq, n):
+    return pingpong_latency(
+        n, progress_mode=mode, elan4_options=Elan4PtlOptions(completion_queue=cq)
+    )
+
+
+def test_table1_ordering_at_4b():
+    """Table 1 ordering: Basic < Interrupt < One-Thread < Two-Thread."""
+    lats = [_lat(m, cq, 4) for m, cq in MODES]
+    assert lats == sorted(lats)
+
+
+def test_table1_ordering_at_4kb():
+    lats = [_lat(m, cq, 4096) for m, cq in MODES]
+    assert lats == sorted(lats)
+
+
+def test_interrupt_cost_matches_config():
+    """The Basic→Interrupt gap at 4 B is dominated by one ≈10 µs interrupt
+    per one-way leg (§6.4: "about 10us due to the interrupt")."""
+    basic = _lat("polling", "none", 4)
+    intr = _lat("interrupt", "none", 4)
+    delta = intr - basic
+    assert 9.0 < delta < 17.0
+
+
+def test_threading_overhead_band():
+    """§6.4: "The total threading overhead is around 18us"."""
+    basic = _lat("polling", "none", 4)
+    one = _lat("one-thread", "one-queue", 4)
+    assert 13.0 < one - basic < 24.0
+
+
+def test_two_threads_slower_than_one():
+    """§6.4: one-thread progress wins — two threads contend for CPU."""
+    one4 = _lat("one-thread", "one-queue", 4)
+    two4 = _lat("two-thread", "two-queue", 4)
+    assert two4 > one4
+    one4k = _lat("one-thread", "one-queue", 4096)
+    two4k = _lat("two-thread", "two-queue", 4096)
+    assert two4k > one4k
+    # the gap grows with message size (more completions per message)
+    assert (two4k - one4k) >= (two4 - one4) * 0.9
+
+
+def test_one_thread_requires_combined_queue():
+    with pytest.raises(Exception, match="one-thread"):
+        run_mpi_app(
+            pingpong_app(4, iters=1),
+            progress_mode="one-thread",
+            elan4_options=Elan4PtlOptions(completion_queue="two-queue"),
+        )
+
+
+def test_two_thread_requires_separate_queue():
+    with pytest.raises(Exception, match="two-thread"):
+        run_mpi_app(
+            pingpong_app(4, iters=1),
+            progress_mode="two-thread",
+            elan4_options=Elan4PtlOptions(completion_queue="one-queue"),
+        )
+
+
+def test_progress_threads_shut_down_cleanly():
+    results, cluster = run_mpi_app(
+        pingpong_app(4, iters=2),
+        progress_mode="one-thread",
+        elan4_options=Elan4PtlOptions(completion_queue="one-queue"),
+    )
+    # no thread left alive anywhere (the RTE seed's accept loop is the one
+    # daemon that intentionally outlives jobs — it serves spawns/restarts)
+    for node in cluster.nodes:
+        for t in node.scheduler.threads:
+            if "accept" in t.name:
+                continue
+            assert not t.is_alive, t.name
+
+
+def test_interrupts_actually_delivered_in_blocking_modes():
+    results, cluster = run_mpi_app(
+        pingpong_app(4, iters=2),
+        progress_mode="interrupt",
+    )
+    assert sum(n.interrupts_delivered for n in cluster.nodes) > 0
+
+
+def test_polling_mode_uses_no_interrupts():
+    results, cluster = run_mpi_app(pingpong_app(4, iters=2))
+    assert sum(n.interrupts_delivered for n in cluster.nodes) == 0

@@ -1,0 +1,172 @@
+"""Tests for the five-stage PTL lifecycle and registry (§2.2), and for the
+dynamic disjoin/drain semantics (§4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.core.ptl.base import PtlComponent, PtlError, PtlRegistry
+from repro.core.ptl.elan4.module import Elan4PtlComponent, Elan4PtlOptions
+from repro.rte.environment import RteJob
+from tests.conftest import run_mpi_app
+
+
+class _FakeProcess:
+    """Just enough process for lifecycle unit tests."""
+
+    def __init__(self, cluster, node_id=0, rank=0):
+        self.job = type("J", (), {"cluster": cluster})()
+        self.node = cluster.nodes[node_id]
+        self.rank = rank
+        self.space = self.node.new_address_space(f"rank{rank}")
+        self.main_thread = None
+
+
+def drive(cluster, gen_fn):
+    """Run a generator on a host thread of node 0; return its value."""
+    out = []
+
+    def body(t):
+        out.append((yield from gen_fn(t)))
+
+    cluster.nodes[0].spawn_thread(body)
+    cluster.run()
+    return out[0] if out else None
+
+
+def test_lifecycle_stages_in_order():
+    cluster = Cluster(nodes=1)
+    proc = _FakeProcess(cluster)
+    comp = Elan4PtlComponent(proc, cluster.config)
+
+    def flow(t):
+        assert comp.state == "closed"
+        yield from comp.open(t)
+        assert comp.state == "opened"
+        modules = yield from comp.init(t)
+        assert comp.state == "initialized"
+        assert len(modules) == 1
+        yield from comp.finalize(t)
+        assert comp.state == "finalized"
+        yield from comp.close(t)
+        assert comp.state == "closed"
+        return True
+
+    assert drive(cluster, flow)
+
+
+def test_lifecycle_violations_rejected():
+    cluster = Cluster(nodes=1)
+    proc = _FakeProcess(cluster)
+    comp = Elan4PtlComponent(proc, cluster.config)
+
+    def flow(t):
+        with pytest.raises(PtlError):
+            yield from comp.init(t)  # init before open
+        yield from comp.open(t)
+        with pytest.raises(PtlError):
+            yield from comp.open(t)  # double open
+        with pytest.raises(PtlError):
+            yield from comp.finalize(t)  # finalize before init
+        return True
+
+    assert drive(cluster, flow)
+
+
+def test_close_from_initialized_auto_finalizes():
+    cluster = Cluster(nodes=1)
+    proc = _FakeProcess(cluster)
+    comp = Elan4PtlComponent(proc, cluster.config)
+
+    def flow(t):
+        yield from comp.open(t)
+        yield from comp.init(t)
+        yield from comp.close(t)
+        assert comp.state == "closed"
+        return True
+
+    assert drive(cluster, flow)
+
+
+def test_open_fails_without_nic():
+    cluster = Cluster(nodes=1)
+    proc = _FakeProcess(cluster)
+    del cluster.nodes[0].devices["elan4"]
+    comp = Elan4PtlComponent(proc, cluster.config)
+
+    def flow(t):
+        with pytest.raises(PtlError, match="no Elan4 NIC"):
+            yield from comp.open(t)
+        return True
+
+    assert drive(cluster, flow)
+
+
+def test_registry_load_unload():
+    cluster = Cluster(nodes=1)
+    proc = _FakeProcess(cluster)
+    registry = PtlRegistry(proc, cluster.config)
+    comp = Elan4PtlComponent(proc, cluster.config)
+
+    def flow(t):
+        modules = yield from registry.load(t, comp)
+        assert registry.modules == modules
+        yield from registry.unload(t, comp)
+        assert registry.modules == []
+        with pytest.raises(PtlError):
+            yield from registry.unload(t, comp)
+        return True
+
+    assert drive(cluster, flow)
+
+
+def test_init_claims_context_finalize_releases_it():
+    """Dynamic join/disjoin: the component's lifetime is the context's."""
+    cluster = Cluster(nodes=1, contexts_per_node=1)
+    proc = _FakeProcess(cluster)
+
+    def flow(t):
+        for _ in range(3):  # would exhaust contexts without release
+            comp = Elan4PtlComponent(proc, cluster.config)
+            yield from comp.open(t)
+            yield from comp.init(t)
+            assert cluster.capability.free_contexts(0) == 0
+            yield from comp.close(t)
+            assert cluster.capability.free_contexts(0) == 1
+        return True
+
+    assert drive(cluster, flow)
+
+
+def test_options_validation():
+    with pytest.raises(ValueError):
+        Elan4PtlOptions(rdma_scheme="teleport").validate()
+    with pytest.raises(ValueError):
+        Elan4PtlOptions(completion_queue="three-queue").validate()
+
+
+def test_finalize_drains_inflight_rendezvous():
+    """A process that finalizes right after a big isend must not leave a
+    dangling descriptor: finalize completes the transfer first (§4.1)."""
+    n = 256 * 1024
+    payload = np.random.default_rng(0).integers(0, 256, n, dtype=np.uint8)
+    got = {}
+
+    def app(mpi):
+        if mpi.rank == 0:
+            buf = mpi.alloc(n)
+            buf.write(payload)
+            req = yield from mpi.comm_world.isend(buf, dest=1, tag=1)
+            # return immediately: PML finalize must complete `req`
+            return "sent"
+        else:
+            data, st = yield from mpi.comm_world.recv(source=0, tag=1, nbytes=n)
+            got["ok"] = np.array_equal(data, payload)
+            return "received"
+
+    results, cluster = run_mpi_app(app)
+    assert results == {0: "sent", 1: "received"}
+    assert got["ok"]
+    cluster.assert_no_drops()
+    # every context went back to the capability — nothing leaked
+    assert cluster.capability.live_vpids == []

@@ -1,0 +1,208 @@
+"""Tests for requests and the datatype (DTP vs memcpy) engines."""
+
+import numpy as np
+import pytest
+
+from repro.config import default_config
+from repro.core.datatype import DatatypeEngine
+from repro.core.request import RecvRequest, Request, SendRequest, Status
+from repro.hw.cpu import CpuScheduler
+from repro.hw.memory import AddressSpace
+from repro.sim import Simulator
+
+
+# ----------------------------------------------------------------- requests
+def test_request_completes_at_full_progress():
+    sim = Simulator()
+    req = Request(sim, 100)
+    assert not req.add_progress(60)
+    assert not req.completed
+    assert req.add_progress(40)
+    assert req.completed
+    assert req.completed_at == sim.now
+
+
+def test_zero_byte_request_completes_on_zero_progress():
+    sim = Simulator()
+    req = Request(sim, 0)
+    assert req.add_progress(0)
+    assert req.completed
+
+
+def test_progress_after_completion_is_error():
+    sim = Simulator()
+    req = Request(sim, 10)
+    req.add_progress(10)
+    with pytest.raises(RuntimeError):
+        req.add_progress(1)
+
+
+def test_completion_event_fires_waiters():
+    sim = Simulator()
+    req = Request(sim, 10)
+    ev = req.completion_event()
+    req.add_progress(10)
+    sim.run()
+    assert ev.value is req
+
+
+def test_completion_event_after_completion():
+    sim = Simulator()
+    req = Request(sim, 10)
+    req.add_progress(10)
+    ev = req.completion_event()
+    assert ev.triggered
+
+
+def test_request_failure():
+    sim = Simulator()
+    req = Request(sim, 10)
+    req.fail(ConnectionError("peer died"))
+    assert req.completed
+    assert isinstance(req.error, ConnectionError)
+
+
+def test_recv_request_wildcard_matching_and_resolution():
+    sim = Simulator()
+    req = RecvRequest(sim, None, 100, -1, -1, 0)
+    assert req.match_against(5, 9)
+    req.mark_matched(5, 9, 40)
+    assert req.status.source == 5 and req.status.tag == 9
+    assert req.status.nbytes == 40
+    assert req.nbytes == 40  # shrunk to the shorter message
+
+
+def test_recv_request_truncates_longer_message():
+    sim = Simulator()
+    req = RecvRequest(sim, None, 10, -1, -1, 0)
+    req.mark_matched(0, 0, 100)
+    assert req.status.nbytes == 10
+    assert req.nbytes == 10
+
+
+def test_send_request_fields():
+    sim = Simulator()
+    req = SendRequest(sim, None, 64, dst_rank=3, tag=7, ctx_id=1, seq=42)
+    assert req.seq == 42 and req.dst_rank == 3
+    assert not req.acked
+
+
+# ----------------------------------------------------------------- datatype
+def make_thread_env():
+    sim = Simulator()
+    cfg = default_config()
+    sched = CpuScheduler(sim, cfg)
+    space = AddressSpace("p")
+    return sim, cfg, sched, space
+
+
+def test_dtp_request_init_costs_more_than_memcpy():
+    """The convertor-initialisation cost is per request, not per copy."""
+    sim, cfg, sched, space = make_thread_env()
+    times = {}
+
+    def run(mode):
+        eng = DatatypeEngine(cfg, mode=mode)
+
+        def body(t):
+            start = sim.now
+            yield from eng.request_init(t)
+            times[mode] = sim.now - start
+
+        sched.spawn(body)
+        sim.run()
+
+    run("memcpy")
+    run("dtp")
+    assert times["dtp"] - times["memcpy"] == pytest.approx(cfg.dtp_start_us)
+    assert times["memcpy"] == 0.0
+
+
+def test_pack_cost_independent_of_mode():
+    sim, cfg, sched, space = make_thread_env()
+    src = space.alloc(1024)
+    dst = space.alloc(1024)
+    times = {}
+
+    def run(mode):
+        eng = DatatypeEngine(cfg, mode=mode)
+
+        def body(t):
+            start = sim.now
+            yield from eng.pack(t, dst, src, 1024)
+            times[mode] = sim.now - start
+
+        sched.spawn(body)
+        sim.run()
+
+    run("memcpy")
+    run("dtp")
+    assert times["dtp"] == pytest.approx(times["memcpy"])
+
+
+def test_pack_moves_bytes():
+    sim, cfg, sched, space = make_thread_env()
+    src = space.alloc(256)
+    dst = space.alloc(512)
+    src.write(np.arange(256, dtype=np.uint8))
+    eng = DatatypeEngine(cfg, mode="memcpy")
+
+    def body(t):
+        yield from eng.pack(t, dst, src, 256, dst_off=64)
+
+    sched.spawn(body)
+    sim.run()
+    assert np.array_equal(dst.read(offset=64, nbytes=256), src.read())
+    assert eng.packs == 1
+
+
+def test_unpack_from_ndarray():
+    sim, cfg, sched, space = make_thread_env()
+    dst = space.alloc(128)
+    data = np.full(100, 3, dtype=np.uint8)
+    eng = DatatypeEngine(cfg)
+
+    def body(t):
+        yield from eng.unpack(t, dst, data, 100, dst_off=8)
+
+    sched.spawn(body)
+    sim.run()
+    assert (dst.read(offset=8, nbytes=100) == 3).all()
+    assert eng.unpacks == 1
+
+
+def test_pack_bytes_returns_copy():
+    sim, cfg, sched, space = make_thread_env()
+    src = space.alloc(64)
+    src.fill(7)
+    eng = DatatypeEngine(cfg)
+    out = []
+
+    def body(t):
+        data = yield from eng.pack_bytes(t, src, 64)
+        out.append(data)
+
+    sched.spawn(body)
+    sim.run()
+    assert (out[0] == 7).all()
+    src.fill(9)
+    assert (out[0] == 7).all()  # detached from the source
+
+
+def test_zero_byte_operations():
+    sim, cfg, sched, space = make_thread_env()
+    eng = DatatypeEngine(cfg)
+    dst = space.alloc(16)
+
+    def body(t):
+        yield from eng.pack(t, dst, dst, 0)
+        data = yield from eng.pack_bytes(t, dst, 0)
+        assert data.nbytes == 0
+
+    sched.spawn(body)
+    sim.run()
+
+
+def test_invalid_mode_rejected():
+    with pytest.raises(ValueError):
+        DatatypeEngine(default_config(), mode="turbo")

@@ -1,0 +1,93 @@
+"""The §4.3 contrast, executable: one select-style progress thread covers
+ALL of PTL/TCP's sockets, while PTL/Elan4 needed the shared completion
+queue design to block on anything at all."""
+
+import numpy as np
+import pytest
+
+from tests.conftest import pingpong_app, run_mpi_app
+
+
+def test_tcp_one_thread_progress_delivers():
+    payload = np.random.default_rng(3).integers(0, 256, 512, dtype=np.uint8)
+    results, cluster = run_mpi_app(
+        pingpong_app(512, iters=3, payload=payload),
+        transports=("tcp",),
+        progress_mode="one-thread",
+    )
+    assert results[1] is True
+
+
+def test_tcp_one_thread_covers_multiple_peers():
+    """One progress thread, many sockets: messages from several peers are
+    all fielded by the same select loop."""
+
+    def app(mpi):
+        if mpi.rank == 0:
+            got = []
+            for _ in range(mpi.size - 1):
+                data, st = yield from mpi.comm_world.recv(nbytes=64)
+                got.append(st.source)
+            return sorted(got)
+        else:
+            yield from mpi.thread.sleep(mpi.rank * 40.0)
+            buf = mpi.alloc(64)
+            yield from mpi.comm_world.send(buf, dest=0, tag=1)
+
+    results, cluster = run_mpi_app(
+        app, nodes=4, np_=4, transports=("tcp",), progress_mode="one-thread"
+    )
+    assert results[0] == [1, 2, 3]
+    # exactly one progress thread per rank was created
+    for rank, proc in {0: None}.items():
+        pass
+    progress_threads = [
+        t
+        for node in cluster.nodes
+        for t in node.scheduler.threads
+        if "progress-tcp" in t.name
+    ]
+    assert len(progress_threads) == 4
+
+
+def test_tcp_progress_threads_shut_down():
+    results, cluster = run_mpi_app(
+        pingpong_app(64, iters=2),
+        transports=("tcp",),
+        progress_mode="one-thread",
+    )
+    for node in cluster.nodes:
+        for t in node.scheduler.threads:
+            if "progress-tcp" in t.name:
+                assert not t.is_alive
+
+
+def test_tcp_two_thread_mode_rejected():
+    with pytest.raises(Exception, match="one-thread"):
+        run_mpi_app(
+            pingpong_app(64, iters=1),
+            transports=("tcp",),
+            progress_mode="two-thread",
+        )
+
+
+def test_mixed_transports_threaded():
+    """elan4 (one-queue) + tcp under one-thread progress: each transport
+    gets its style of progress thread; traffic prefers elan4."""
+    from repro.core.ptl.elan4.module import Elan4PtlOptions
+
+    results, cluster = run_mpi_app(
+        pingpong_app(256, iters=2),
+        transports=("elan4", "tcp"),
+        progress_mode="one-thread",
+        elan4_options=Elan4PtlOptions(completion_queue="one-queue"),
+    )
+    assert results[1] is True
+    names = {
+        t.name.split(":")[-1]
+        for node in cluster.nodes
+        for t in node.scheduler.threads
+        if "progress" in t.name
+    }
+    assert any("elan4" in n for n in names)
+    assert any("tcp" in n for n in names)

@@ -1,0 +1,121 @@
+"""Tests for E4 addressing and the NIC MMU."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.elan4.addr import E4Addr, Elan4Mmu, MmuTrap
+from repro.hw.memory import AddressSpace
+
+
+def test_map_translate_roundtrip():
+    mmu = Elan4Mmu()
+    space = AddressSpace("p0")
+    buf = space.alloc(1000)
+    e4 = mmu.map(0x400, space, buf.addr, 1000)
+    got_space, got_addr = mmu.translate(e4, 1000)
+    assert got_space is space and got_addr == buf.addr
+
+
+def test_translate_interior_offset():
+    mmu = Elan4Mmu()
+    space = AddressSpace("p0")
+    buf = space.alloc(1000)
+    e4 = mmu.map(0x400, space, buf.addr, 1000)
+    _, got = mmu.translate(e4 + 100, 50)
+    assert got == buf.addr + 100
+
+
+def test_translate_out_of_range_traps():
+    mmu = Elan4Mmu()
+    space = AddressSpace("p0")
+    buf = space.alloc(100)
+    e4 = mmu.map(0x400, space, buf.addr, 100)
+    with pytest.raises(MmuTrap):
+        mmu.translate(e4 + 90, 20)
+    assert mmu.traps == 1
+
+
+def test_translate_wrong_context_traps():
+    mmu = Elan4Mmu()
+    space = AddressSpace("p0")
+    buf = space.alloc(100)
+    e4 = mmu.map(0x400, space, buf.addr, 100)
+    with pytest.raises(MmuTrap):
+        mmu.translate(E4Addr(0x401, e4.offset), 10)
+
+
+def test_contexts_are_isolated():
+    mmu = Elan4Mmu()
+    s0, s1 = AddressSpace("a"), AddressSpace("b")
+    b0, b1 = s0.alloc(64), s1.alloc(64)
+    e0 = mmu.map(0x400, s0, b0.addr, 64)
+    e1 = mmu.map(0x401, s1, b1.addr, 64)
+    assert mmu.translate(e0, 64)[0] is s0
+    assert mmu.translate(e1, 64)[0] is s1
+
+
+def test_unmap_then_translate_traps():
+    mmu = Elan4Mmu()
+    space = AddressSpace("p0")
+    buf = space.alloc(64)
+    e4 = mmu.map(0x400, space, buf.addr, 64)
+    mmu.unmap(0x400, e4)
+    with pytest.raises(MmuTrap):
+        mmu.translate(e4, 1)
+
+
+def test_unmap_unknown_traps():
+    mmu = Elan4Mmu()
+    with pytest.raises(MmuTrap):
+        mmu.unmap(0x400, E4Addr(0x400, 0x100000))
+
+
+def test_unmap_context_removes_all():
+    mmu = Elan4Mmu()
+    space = AddressSpace("p0")
+    addrs = [mmu.map(0x400, space, space.alloc(64).addr, 64) for _ in range(5)]
+    assert mmu.unmap_context(0x400) == 5
+    assert not mmu.has_context(0x400)
+    for e4 in addrs:
+        with pytest.raises(MmuTrap):
+            mmu.translate(e4, 1)
+
+
+def test_map_zero_bytes_rejected():
+    mmu = Elan4Mmu()
+    space = AddressSpace("p0")
+    with pytest.raises(MmuTrap):
+        mmu.map(0x400, space, 0x10000, 0)
+
+
+def test_e4addr_arithmetic_and_hashing():
+    a = E4Addr(0x400, 0x1000)
+    b = a + 0x10
+    assert b.offset == 0x1010 and b.ctx == 0x400
+    assert a == E4Addr(0x400, 0x1000)
+    assert len({a, E4Addr(0x400, 0x1000)}) == 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    sizes=st.lists(st.integers(1, 1 << 16), min_size=1, max_size=10),
+    data=st.data(),
+)
+def test_property_translation_always_lands_inside_source_range(sizes, data):
+    """Any in-bounds E4 access translates to the host range it was mapped
+    from, at the right offset."""
+    mmu = Elan4Mmu()
+    space = AddressSpace("prop")
+    mappings = []
+    for s in sizes:
+        buf = space.alloc(s)
+        e4 = mmu.map(0x400, space, buf.addr, s)
+        mappings.append((e4, buf, s))
+    e4, buf, s = mappings[data.draw(st.integers(0, len(mappings) - 1))]
+    off = data.draw(st.integers(0, s - 1))
+    n = data.draw(st.integers(1, s - off))
+    got_space, got_addr = mmu.translate(e4 + off, n)
+    assert got_space is space
+    assert got_addr == buf.addr + off
+    assert buf.addr <= got_addr and got_addr + n <= buf.addr + s

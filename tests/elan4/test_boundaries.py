@@ -1,0 +1,117 @@
+"""Protocol boundary values: eager/rendezvous switches, slot limits."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.elan4.tport import TPORT_EAGER_BYTES
+
+
+def tport_xfer(n):
+    cluster = Cluster(nodes=2)
+    a = cluster.claim_context(0)
+    b = cluster.claim_context(1)
+    ea, eb = a.tport_endpoint(), b.tport_endpoint()
+    src = a.space.alloc(max(n, 1))
+    dst = b.space.alloc(max(n, 1))
+    payload = np.random.default_rng(n).integers(0, 256, max(n, 1), dtype=np.uint8)[:n]
+    if n:
+        src.write(payload)
+    kinds = []
+    orig_rts = cluster.nics[1].tport.handle_packet
+
+    def spy(pkt):
+        kinds.append(pkt.kind)
+        orig_rts(pkt)
+
+    cluster.nics[1]._dispatch["tport_eager"] = spy
+    cluster.nics[1]._dispatch["tport_rts"] = spy
+
+    def sender(t):
+        ev = yield from ea.send(t, eb.vpid, 1, src, n)
+        yield from t.block_on(ev.attach_host_word())
+
+    def receiver(t):
+        ev = yield from eb.post_recv(t, -1, 1, dst)
+        yield from t.block_on(ev.host_word)
+
+    cluster.nodes[0].spawn_thread(sender)
+    cluster.nodes[1].spawn_thread(receiver)
+    cluster.run()
+    assert n == 0 or np.array_equal(dst.read(0, n), payload)
+    return kinds
+
+
+def test_tport_eager_boundary():
+    assert tport_xfer(TPORT_EAGER_BYTES) == ["tport_eager"]
+    assert tport_xfer(TPORT_EAGER_BYTES + 1) == ["tport_rts"]
+
+
+def test_qslot_exact_payload_with_header():
+    """An Open MPI eager message of exactly 1984 B fills the QSLOT to the
+    byte (1984 + 64 = 2048) — it must fit, one byte more must not be eager."""
+    from tests.conftest import run_mpi_app
+
+    counts = {}
+
+    def app(mpi):
+        if mpi.rank == 0:
+            buf = mpi.alloc(1984)
+            yield from mpi.comm_world.send(buf, dest=1, tag=1, nbytes=1984)
+            m = mpi.stack.pml.modules[0]
+            counts["eager"] = m.eager_sends
+        else:
+            data, st = yield from mpi.comm_world.recv(source=0, tag=1, nbytes=1984)
+            counts["recv"] = st.nbytes
+
+    run_mpi_app(app)
+    assert counts == {"eager": 1, "recv": 1984}
+
+
+def test_matching_peek_ignores_parked_fragments():
+    """A fragment parked for sequence order is not yet matchable — probe
+    must not see it before its predecessors arrive."""
+    from repro.core.header import FragmentHeader, HDR_MATCH
+    from repro.core.pml.matching import IncomingFragment, MatchingEngine
+
+    eng = MatchingEngine()
+
+    def frag(seq):
+        hdr = FragmentHeader(type=HDR_MATCH, src_rank=0, ctx_id=0, tag=1,
+                             seq=seq, msg_len=4, frag_len=4, frag_offset=0,
+                             src_req=1, dst_req=0)
+        return IncomingFragment(header=hdr, data=None, ptl=None)
+
+    eng.incoming(frag(1))  # ahead of its turn: parked
+    assert eng.peek(0, 0, 1) is None
+    eng.incoming(frag(0))  # gap closes: both become unexpected
+    assert eng.peek(0, 0, 1) is not None
+    assert eng.peek(0, 0, 99) is None  # tag filter
+    assert eng.peek(0, 5, 1) is None  # source filter
+    assert eng.peek(0, -1, -1).header.seq == 0  # wildcard: oldest first
+
+
+def test_qdma_queue_capacity_one():
+    """A 1-slot queue still delivers everything, strictly serialized."""
+    cluster = Cluster(nodes=2)
+    a = cluster.claim_context(0)
+    b = cluster.claim_context(1)
+    q = b.create_queue(0, nslots=1)
+
+    def sender(t):
+        for i in range(4):
+            yield from a.qdma_send(t, b.vpid, 0, np.full(8, i, np.uint8))
+
+    cluster.nodes[0].spawn_thread(sender)
+    cluster.run()
+    got = []
+    while True:
+        m = q.poll()
+        if m is None:
+            cluster.run()
+            m = q.poll()
+            if m is None:
+                break
+        got.append(int(m.data[0]))
+    assert got == [0, 1, 2, 3]
+    cluster.assert_no_drops()

@@ -1,0 +1,122 @@
+"""Tests for the system-wide capability: dynamic claim/release of contexts
+and the rank/VPID decoupling the paper's §4.1 requires."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.elan4.capability import CapabilityError, ElanCapability
+
+
+def test_claim_allocates_vpid_and_context():
+    cap = ElanCapability(nodes=2, contexts_per_node=4)
+    e = cap.claim(0)
+    assert e.vpid == 0
+    assert e.node_id == 0
+    assert cap.resolve(0) == e
+    assert cap.vpid_of(0, e.ctx) == 0
+
+
+def test_vpids_monotone_across_nodes():
+    cap = ElanCapability(nodes=3)
+    vpids = [cap.claim(i % 3).vpid for i in range(6)]
+    assert vpids == list(range(6))
+
+
+def test_claim_specific_context():
+    cap = ElanCapability(nodes=1, contexts_per_node=8, ctx_base=0x400)
+    e = cap.claim(0, ctx=0x403)
+    assert e.ctx == 0x403
+    with pytest.raises(CapabilityError):
+        cap.claim(0, ctx=0x403)  # already taken
+
+
+def test_context_exhaustion():
+    cap = ElanCapability(nodes=1, contexts_per_node=2)
+    cap.claim(0)
+    cap.claim(0)
+    with pytest.raises(CapabilityError):
+        cap.claim(0)
+
+
+def test_release_recycles_context_not_vpid():
+    """The heart of dynamic rejoin: the hardware context is reusable, the
+    VPID never is — a restarted process gets a *new* network address."""
+    cap = ElanCapability(nodes=1, contexts_per_node=1)
+    e1 = cap.claim(0)
+    cap.release(e1.vpid)
+    e2 = cap.claim(0)
+    assert e2.ctx == e1.ctx  # context recycled
+    assert e2.vpid != e1.vpid  # vpid fresh
+    with pytest.raises(CapabilityError, match="released"):
+        cap.resolve(e1.vpid)
+
+
+def test_double_release_rejected():
+    cap = ElanCapability(nodes=1)
+    e = cap.claim(0)
+    cap.release(e.vpid)
+    with pytest.raises(CapabilityError):
+        cap.release(e.vpid)
+
+
+def test_resolve_unknown_vpid():
+    cap = ElanCapability(nodes=1)
+    with pytest.raises(CapabilityError, match="unknown"):
+        cap.resolve(99)
+
+
+def test_claim_bad_node():
+    cap = ElanCapability(nodes=2)
+    with pytest.raises(CapabilityError):
+        cap.claim(5)
+
+
+def test_live_vpids_and_free_counts():
+    cap = ElanCapability(nodes=1, contexts_per_node=4)
+    a = cap.claim(0)
+    b = cap.claim(0)
+    assert cap.live_vpids == [a.vpid, b.vpid]
+    assert cap.free_contexts(0) == 2
+    cap.release(a.vpid)
+    assert cap.live_vpids == [b.vpid]
+    assert cap.free_contexts(0) == 3
+    assert cap.is_live(b.vpid) and not cap.is_live(a.vpid)
+
+
+def test_constructor_validation():
+    with pytest.raises(CapabilityError):
+        ElanCapability(nodes=0)
+    with pytest.raises(CapabilityError):
+        ElanCapability(nodes=1, contexts_per_node=0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(ops=st.lists(st.tuples(st.sampled_from(["claim", "release"]), st.integers(0, 2)), max_size=60))
+def test_property_capability_invariants(ops):
+    """Under any claim/release sequence: live VPIDs resolve consistently,
+    released VPIDs never resolve, and free counts stay within bounds."""
+    cap = ElanCapability(nodes=3, contexts_per_node=4)
+    live = {}
+    dead = []
+    for op, node in ops:
+        if op == "claim":
+            try:
+                e = cap.claim(node)
+            except CapabilityError:
+                assert cap.free_contexts(node) == 0
+                continue
+            live[e.vpid] = e
+        elif live:
+            vpid = sorted(live)[node % len(live)]
+            cap.release(vpid)
+            dead.append(vpid)
+            del live[vpid]
+    for vpid, e in live.items():
+        assert cap.resolve(vpid) == e
+    for vpid in dead:
+        if vpid not in live:
+            with pytest.raises(CapabilityError):
+                cap.resolve(vpid)
+    for n in range(3):
+        assert 0 <= cap.free_contexts(n) <= 4

@@ -1,0 +1,163 @@
+"""Tests for the Elite-4 switch model, fat-tree construction, and fabric."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.config import default_config
+from repro.elan4.fattree import build_quaternary_fat_tree, leaf_name
+from repro.elan4.network import Fabric, FabricError, Packet
+from repro.elan4.switch import Elite4Switch
+
+
+# ---------------------------------------------------------------- switches
+def test_switch_port_wiring():
+    sw = Elite4Switch("s")
+    sw.connect(0, "nic:0")
+    assert sw.port_of("nic:0") == 0
+    assert sw.free_ports == 7
+
+
+def test_switch_port_conflicts_rejected():
+    sw = Elite4Switch("s")
+    sw.connect(0, "nic:0")
+    with pytest.raises(ValueError):
+        sw.connect(0, "nic:1")
+    with pytest.raises(ValueError):
+        sw.connect(8, "nic:2")
+
+
+# ---------------------------------------------------------------- topology
+def test_paper_testbed_is_single_switch():
+    topo = build_quaternary_fat_tree(8)
+    assert len(topo.switches) == 1
+    for a in range(8):
+        for b in range(8):
+            assert topo.hops(a, b) == (0 if a == b else 1)
+
+
+def test_loopback_is_zero_hops():
+    topo = build_quaternary_fat_tree(4)
+    assert topo.hops(2, 2) == 0
+
+
+def test_sixteen_leaves_two_tier():
+    topo = build_quaternary_fat_tree(16)
+    # within a quad: 1 switch; across quads: up to the next stage and down
+    assert topo.hops(0, 1) == 1
+    assert topo.hops(0, 5) == 3
+    assert topo.n_leaves == 16
+    assert topo.stages == 2
+
+
+def test_topology_connected_for_various_sizes():
+    import networkx as nx
+
+    for n in (1, 2, 4, 8, 9, 16, 32, 64):
+        topo = build_quaternary_fat_tree(n)
+        assert nx.is_connected(topo.graph)
+        assert len(topo.leaves) == n
+
+
+def test_bad_leaf_count():
+    with pytest.raises(ValueError):
+        build_quaternary_fat_tree(0)
+
+
+# ---------------------------------------------------------------- fabric
+def _mini_cluster(n=2):
+    return Cluster(nodes=n)
+
+
+def test_fabric_delivers_packet_with_data():
+    cluster = _mini_cluster()
+    got = []
+    cluster.nics[1]._dispatch["test"] = lambda pkt: got.append(pkt)
+    payload = np.arange(64, dtype=np.uint8)
+    pkt = Packet(src_node=0, dst_node=1, nbytes=64, kind="test", data=payload)
+    cluster.sim.spawn(cluster.fabric.transmit(pkt))
+    cluster.run()
+    assert len(got) == 1
+    assert np.array_equal(got[0].data, payload)
+    assert cluster.fabric.packets_delivered == 1
+
+
+def test_fabric_latency_model():
+    cluster = _mini_cluster()
+    cfg = cluster.config
+    times = []
+    cluster.nics[1]._dispatch["test"] = lambda pkt: times.append(cluster.sim.now)
+    nbytes = 1024
+    pkt = Packet(src_node=0, dst_node=1, nbytes=nbytes, kind="test")
+    cluster.sim.spawn(cluster.fabric.transmit(pkt))
+    cluster.run()
+    expected = (nbytes + Fabric.FRAME_BYTES) * cfg.link_us_per_byte + (
+        cfg.switch_hop_us + cfg.wire_prop_us
+    )
+    assert times[0] == pytest.approx(expected)
+
+
+def test_fabric_preserves_pairwise_order():
+    cluster = _mini_cluster()
+    seen = []
+    cluster.nics[1]._dispatch["test"] = lambda pkt: seen.append(pkt.meta["i"])
+
+    def sender():
+        for i in range(10):
+            pkt = Packet(0, 1, 128, "test", meta={"i": i})
+            yield from cluster.fabric.transmit(pkt)
+
+    cluster.sim.spawn(sender())
+    cluster.run()
+    assert seen == list(range(10))
+
+
+def test_fabric_tx_link_serializes():
+    """Two packets injected simultaneously from one node serialize at the
+    link; the second arrives one serialisation time later."""
+    cluster = _mini_cluster()
+    cfg = cluster.config
+    times = {}
+    cluster.nics[1]._dispatch["test"] = lambda pkt: times.setdefault(
+        pkt.meta["i"], cluster.sim.now
+    )
+    n = 4096
+    for i in range(2):
+        pkt = Packet(0, 1, n, "test", meta={"i": i})
+        cluster.sim.spawn(cluster.fabric.transmit(pkt))
+    cluster.run()
+    ser = (n + Fabric.FRAME_BYTES) * cfg.link_us_per_byte
+    assert times[1] - times[0] == pytest.approx(ser)
+
+
+def test_fabric_rejects_unattached_nodes():
+    cluster = _mini_cluster()
+    pkt = Packet(0, 7, 10, "test")
+    gen = cluster.fabric.transmit(pkt)
+    with pytest.raises(FabricError):
+        next(gen)
+
+
+def test_fabric_counts_switch_traffic():
+    cluster = _mini_cluster(4)
+    cluster.nics[1]._dispatch["test"] = lambda pkt: None
+    pkt = Packet(0, 1, 16, "test")
+    cluster.sim.spawn(cluster.fabric.transmit(pkt))
+    cluster.run()
+    assert sum(sw.packets_routed for sw in cluster.topology.switches.values()) == 1
+
+
+def test_double_attach_rejected():
+    cluster = _mini_cluster()
+    with pytest.raises(FabricError):
+        cluster.fabric.attach(cluster.nics[0])
+
+
+def test_unknown_packet_kind_is_dropped_not_fatal():
+    cluster = _mini_cluster()
+    pkt = Packet(0, 1, 16, "bogus")
+    cluster.sim.spawn(cluster.fabric.transmit(pkt))
+    cluster.run()
+    assert len(cluster.nics[1].dropped) == 1
+    with pytest.raises(AssertionError):
+        cluster.assert_no_drops()

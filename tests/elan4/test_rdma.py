@@ -1,0 +1,246 @@
+"""Tests for RDMA read/write and chained completion."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Cluster
+from repro.elan4.rdma import CHUNK_BYTES, RdmaDescriptor, RdmaError
+
+
+def pair(nbytes):
+    cluster = Cluster(nodes=2)
+    a = cluster.claim_context(0)
+    b = cluster.claim_context(1)
+    buf_a = a.space.alloc(nbytes)
+    buf_b = b.space.alloc(nbytes)
+    return cluster, a, b, buf_a, buf_b
+
+
+def run_write(cluster, src_ctx, dst_vpid, local_e4, remote_e4, nbytes):
+    done_times = []
+
+    def issuer(t):
+        desc = RdmaDescriptor(
+            op="write", local=local_e4, remote=remote_e4, nbytes=nbytes,
+            remote_vpid=dst_vpid,
+        )
+        ev = yield from src_ctx.rdma_issue(t, desc)
+        word = ev.attach_host_word()
+        yield from t.block_on(word)
+        done_times.append(cluster.sim.now)
+
+    cluster.nodes[src_ctx.entry.node_id].spawn_thread(issuer)
+    cluster.run()
+    return done_times
+
+
+def test_rdma_write_moves_bytes():
+    cluster, a, b, buf_a, buf_b = pair(1000)
+    payload = np.random.default_rng(1).integers(0, 256, 1000, dtype=np.uint8)
+    buf_a.write(payload)
+    e4_a = a.map_buffer(buf_a)
+    e4_b = b.map_buffer(buf_b)
+    done = run_write(cluster, a, b.vpid, e4_a, e4_b, 1000)
+    assert done
+    assert np.array_equal(buf_b.read(), payload)
+    cluster.assert_no_drops()
+
+
+def test_rdma_write_large_multi_chunk():
+    n = CHUNK_BYTES * 5 + 123
+    cluster, a, b, buf_a, buf_b = pair(n)
+    payload = np.random.default_rng(2).integers(0, 256, n, dtype=np.uint8)
+    buf_a.write(payload)
+    run_write(cluster, a, b.vpid, a.map_buffer(buf_a), b.map_buffer(buf_b), n)
+    assert np.array_equal(buf_b.read(), payload)
+
+
+def test_rdma_read_pulls_bytes():
+    cluster, a, b, buf_a, buf_b = pair(2000)
+    payload = np.random.default_rng(3).integers(0, 256, 2000, dtype=np.uint8)
+    buf_b.write(payload)  # data lives at b; a reads it
+    e4_a = a.map_buffer(buf_a)
+    e4_b = b.map_buffer(buf_b)
+    done = []
+
+    def issuer(t):
+        desc = RdmaDescriptor(op="read", local=e4_a, remote=e4_b, nbytes=2000,
+                              remote_vpid=b.vpid)
+        ev = yield from a.rdma_issue(t, desc)
+        yield from t.block_on(ev.attach_host_word())
+        done.append(cluster.sim.now)
+
+    cluster.nodes[0].spawn_thread(issuer)
+    cluster.run()
+    assert done
+    assert np.array_equal(buf_a.read(), payload)
+
+
+def test_rdma_read_completion_is_after_data_landed():
+    """The read's done event must fire only once bytes are in host memory."""
+    cluster, a, b, buf_a, buf_b = pair(512)
+    buf_b.fill(5)
+    e4_a, e4_b = a.map_buffer(buf_a), b.map_buffer(buf_b)
+    ok = []
+
+    def issuer(t):
+        desc = RdmaDescriptor(op="read", local=e4_a, remote=e4_b, nbytes=512,
+                              remote_vpid=b.vpid)
+        ev = yield from a.rdma_issue(t, desc)
+        yield from t.block_on(ev.attach_host_word())
+        ok.append((buf_a.read() == 5).all())
+
+    cluster.nodes[0].spawn_thread(issuer)
+    cluster.run()
+    assert ok == [True]
+
+
+def test_rdma_write_faster_than_read_for_same_size():
+    """A read needs an extra request crossing, so one-shot read latency
+    exceeds one-shot write latency."""
+    n = 4096
+
+    def measure(op):
+        cluster, a, b, buf_a, buf_b = pair(n)
+        e4_a, e4_b = a.map_buffer(buf_a), b.map_buffer(buf_b)
+        t_done = []
+
+        def issuer(t):
+            desc = RdmaDescriptor(op=op, local=e4_a, remote=e4_b, nbytes=n,
+                                  remote_vpid=b.vpid)
+            ev = yield from a.rdma_issue(t, desc)
+            yield from t.block_on(ev.attach_host_word())
+            t_done.append(cluster.sim.now)
+
+        cluster.nodes[0].spawn_thread(issuer)
+        cluster.run()
+        return t_done[0]
+
+    assert measure("read") > measure("write")
+
+
+def test_rdma_validates_descriptor():
+    desc = RdmaDescriptor(op="bogus", local=None, remote=None, nbytes=10, remote_vpid=0)
+    with pytest.raises(RdmaError):
+        desc.validate()
+    desc2 = RdmaDescriptor(op="read", local=None, remote=None, nbytes=0, remote_vpid=0)
+    with pytest.raises(RdmaError):
+        desc2.validate()
+
+
+def test_rdma_chained_qdma_fin_arrives_after_data():
+    """Fig. 3's key ordering property: a FIN chained to the RDMA-write
+    completion must arrive at the receiver *after* the written data is
+    visible."""
+    cluster, a, b, buf_a, buf_b = pair(CHUNK_BYTES * 3)
+    n = CHUNK_BYTES * 3
+    buf_a.fill(0xAB)
+    e4_a, e4_b = a.map_buffer(buf_a), b.map_buffer(buf_b)
+    q = b.create_queue(0)
+    observations = []
+
+    def issuer(t):
+        desc = RdmaDescriptor(op="write", local=e4_a, remote=e4_b, nbytes=n,
+                              remote_vpid=b.vpid)
+        desc.done = a.make_event(name="wr")
+        fin = a.chained_qdma(b.vpid, 0, np.zeros(8, np.uint8), meta={"kind": "FIN"})
+        desc.done.chain(fin)
+        yield from a.rdma_issue(t, desc)
+
+    def receiver(t):
+        yield from t.block_on(q.host_event)
+        msg = q.poll()
+        observations.append((msg.meta["kind"], bool((buf_b.read() == 0xAB).all())))
+
+    cluster.nodes[0].spawn_thread(issuer)
+    cluster.nodes[1].spawn_thread(receiver)
+    cluster.run()
+    assert observations == [("FIN", True)]
+    assert cluster.nics[0].chains_run == 1
+
+
+def test_rdma_pipelining_beats_store_and_forward():
+    """Chunked pipelining: a large transfer should take far less than the
+    sum of full PCI + wire + PCI passes."""
+    n = 1 << 20  # 1 MB
+    cluster, a, b, buf_a, buf_b = pair(n)
+    cfg = cluster.config
+    e4_a, e4_b = a.map_buffer(buf_a), b.map_buffer(buf_b)
+    t_done = []
+
+    def issuer(t):
+        desc = RdmaDescriptor(op="write", local=e4_a, remote=e4_b, nbytes=n,
+                              remote_vpid=b.vpid)
+        ev = yield from a.rdma_issue(t, desc)
+        yield from t.block_on(ev.attach_host_word())
+        t_done.append(cluster.sim.now)
+
+    cluster.nodes[0].spawn_thread(issuer)
+    cluster.run()
+    store_and_forward = 2 * n * cfg.pci_us_per_byte + n * cfg.link_us_per_byte
+    assert t_done[0] < 0.8 * store_and_forward
+    # effective bandwidth should approach the PCI-X ceiling
+    bw_MBps = n / t_done[0]
+    assert bw_MBps > 600
+
+
+def test_mmu_trap_on_unmapped_rdma_target():
+    cluster, a, b, buf_a, buf_b = pair(256)
+    e4_a = a.map_buffer(buf_a)
+    bogus_remote = b.map_buffer(buf_b)
+    cluster.nics[1].mmu.unmap_context(b.ctx)  # simulate a vanished process
+
+    def issuer(t):
+        desc = RdmaDescriptor(op="write", local=e4_a, remote=bogus_remote,
+                              nbytes=256, remote_vpid=b.vpid)
+        yield from a.rdma_issue(t, desc)
+
+    cluster.nodes[0].spawn_thread(issuer)
+    from repro.elan4.addr import MmuTrap
+
+    with pytest.raises(MmuTrap):
+        cluster.run()
+
+
+def test_pending_ops_tracking_and_drain():
+    cluster, a, b, buf_a, buf_b = pair(CHUNK_BYTES * 8)
+    n = CHUNK_BYTES * 8
+    e4_a, e4_b = a.map_buffer(buf_a), b.map_buffer(buf_b)
+    drained = []
+
+    def issuer(t):
+        desc = RdmaDescriptor(op="write", local=e4_a, remote=e4_b, nbytes=n,
+                              remote_vpid=b.vpid)
+        yield from a.rdma_issue(t, desc)
+        assert a.pending_ops() == 1
+        yield from a.drain(t)
+        assert a.pending_ops() == 0
+        drained.append(cluster.sim.now)
+
+    cluster.nodes[0].spawn_thread(issuer)
+    cluster.run()
+    assert drained
+
+
+@settings(max_examples=15, deadline=None)
+@given(n=st.integers(1, 3 * CHUNK_BYTES), op=st.sampled_from(["read", "write"]))
+def test_property_rdma_any_size_any_op_is_lossless(n, op):
+    cluster, a, b, buf_a, buf_b = pair(n)
+    rng = np.random.default_rng(n)
+    payload = rng.integers(0, 256, n, dtype=np.uint8)
+    src_buf, dst_buf = (buf_a, buf_b) if op == "write" else (buf_b, buf_a)
+    src_buf.write(payload)
+    e4_a, e4_b = a.map_buffer(buf_a), b.map_buffer(buf_b)
+
+    def issuer(t):
+        desc = RdmaDescriptor(op=op, local=e4_a, remote=e4_b, nbytes=n,
+                              remote_vpid=b.vpid)
+        ev = yield from a.rdma_issue(t, desc)
+        yield from t.block_on(ev.attach_host_word())
+
+    cluster.nodes[0].spawn_thread(issuer)
+    cluster.run()
+    assert np.array_equal(dst_buf.read(), payload)
+    cluster.assert_no_drops()

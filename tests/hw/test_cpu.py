@@ -1,0 +1,337 @@
+"""Tests for the CPU scheduler, threads, events, mutex, condvar."""
+
+import pytest
+
+from repro.config import default_config
+from repro.hw.cpu import CondVar, CpuScheduler, HostWordEvent, Mutex
+from repro.sim import SimError, Simulator
+
+
+def make_sched(**over):
+    sim = Simulator()
+    cfg = default_config().variant(**over)
+    return sim, cfg, CpuScheduler(sim, cfg)
+
+
+def test_thread_compute_advances_time():
+    sim, cfg, sched = make_sched()
+    marks = []
+
+    def body(t):
+        yield from t.compute(10.0)
+        marks.append(sim.now)
+
+    sched.spawn(body)
+    sim.run()
+    # context switch to get on CPU + 10 us of work
+    assert marks == [cfg.context_switch_us + 10.0]
+
+
+def test_two_threads_two_cpus_run_concurrently():
+    sim, cfg, sched = make_sched(cpus_per_node=2)
+    marks = []
+
+    def body(t):
+        yield from t.compute(10.0)
+        marks.append(sim.now)
+
+    sched.spawn(body, "a")
+    sched.spawn(body, "b")
+    sim.run()
+    assert marks[0] == marks[1]  # no serialization
+
+
+def test_three_threads_two_cpus_serialize():
+    sim, cfg, sched = make_sched(cpus_per_node=2)
+    marks = []
+
+    def body(t):
+        yield from t.compute(10.0)
+        marks.append((t.name.split(":")[-1], sim.now))
+
+    for n in "abc":
+        sched.spawn(body, n)
+    sim.run()
+    times = dict(marks)
+    assert times["a"] == times["b"]
+    assert times["c"] > times["a"]  # third thread waited for a CPU
+
+
+def test_blocked_thread_releases_cpu():
+    sim, cfg, sched = make_sched(cpus_per_node=1)
+    word = HostWordEvent(sim)
+    order = []
+
+    def waiter(t):
+        order.append("wait-start")
+        yield from t.block_on(word)
+        order.append("woke")
+
+    def worker(t):
+        yield from t.compute(5.0)
+        order.append("worked")
+        word.set()
+
+    sched.spawn(waiter, "waiter")
+    sched.spawn(worker, "worker")
+    sim.run()
+    # with 1 CPU, the worker could only run because the waiter blocked
+    assert order == ["wait-start", "worked", "woke"]
+
+
+def test_block_on_already_set_is_fast_path():
+    sim, cfg, sched = make_sched()
+    word = HostWordEvent(sim)
+    word.set("v")
+    got = []
+
+    def body(t):
+        v = yield from t.block_on(word)
+        got.append((v, sim.now))
+
+    sched.spawn(body)
+    sim.run()
+    # only the initial context switch; no wakeup cost
+    assert got == [("v", cfg.context_switch_us)]
+    assert not word.poll()  # consumed/cleared
+
+
+def test_block_on_clear_false_leaves_word_set():
+    sim, cfg, sched = make_sched()
+    word = HostWordEvent(sim)
+
+    def body(t):
+        yield from t.block_on(word, clear=False)
+
+    sched.spawn(body)
+    sim.schedule(1.0, word.set)
+    sim.run()
+    assert word.poll()
+
+
+def test_wakeup_costs_are_charged():
+    sim, cfg, sched = make_sched(cpus_per_node=2)
+    word = HostWordEvent(sim)
+    marks = []
+
+    def body(t):
+        yield from t.block_on(word)
+        marks.append(sim.now)
+
+    sched.spawn(body)
+    set_time = 20.0
+    sim.schedule(set_time, word.set)
+    sim.run()
+    # wakeup + context switch after the word is set
+    assert marks == [set_time + cfg.thread_wakeup_us + cfg.context_switch_us]
+
+
+def test_hostword_set_wakes_all_waiters():
+    sim, cfg, sched = make_sched(cpus_per_node=4)
+    word = HostWordEvent(sim)
+    woke = []
+
+    def body(t):
+        yield from t.block_on(word, clear=False)
+        woke.append(t.name)
+
+    for i in range(3):
+        sched.spawn(body, f"t{i}")
+    sim.schedule(5.0, word.set)
+    sim.run()
+    assert len(woke) == 3
+
+
+def test_hostword_consume():
+    sim = Simulator()
+    word = HostWordEvent(sim)
+    assert not word.consume()
+    word.set()
+    assert word.consume()
+    assert not word.consume()
+    assert word.set_count == 1
+
+
+def test_sleep_releases_cpu():
+    sim, cfg, sched = make_sched(cpus_per_node=1)
+    order = []
+
+    def sleeper(t):
+        order.append("sleep")
+        yield from t.sleep(50.0)
+        order.append("awake")
+
+    def worker(t):
+        yield from t.compute(1.0)
+        order.append("worked")
+
+    sched.spawn(sleeper)
+    sched.spawn(worker)
+    sim.run()
+    assert order == ["sleep", "worked", "awake"]
+
+
+def test_yield_cpu_allows_other_thread_in():
+    sim, cfg, sched = make_sched(cpus_per_node=1)
+    order = []
+
+    def poller(t):
+        for _ in range(3):
+            yield from t.compute(1.0)
+            order.append("poll")
+            yield from t.yield_cpu()
+
+    def other(t):
+        yield from t.compute(0.5)
+        order.append("other")
+
+    sched.spawn(poller)
+    sched.spawn(other)
+    sim.run()
+    assert "other" in order
+    assert order.index("other") < len(order) - 1  # got in before poller finished
+
+
+def test_thread_join_event():
+    sim, cfg, sched = make_sched()
+
+    def body(t):
+        yield from t.compute(3.0)
+        return 42
+
+    t = sched.spawn(body)
+    results = []
+
+    def joiner():
+        v = yield t.join_event()
+        results.append(v)
+
+    sim.spawn(joiner())
+    sim.run()
+    assert results == [42]
+    assert not t.is_alive
+
+
+def test_negative_compute_rejected():
+    sim, cfg, sched = make_sched()
+
+    def body(t):
+        yield from t.compute(-1.0)
+
+    sched.spawn(body)
+    with pytest.raises(SimError):
+        sim.run()
+
+
+def test_busy_time_accounting():
+    sim, cfg, sched = make_sched()
+
+    def body(t):
+        yield from t.compute(10.0)
+
+    sched.spawn(body)
+    sim.run()
+    assert sched.busy_time == pytest.approx(cfg.context_switch_us + 10.0)
+
+
+def test_mutex_mutual_exclusion():
+    sim, cfg, sched = make_sched(cpus_per_node=2)
+    mutex = Mutex(sim, cfg)
+    active = []
+    overlaps = []
+
+    def body(t):
+        yield from mutex.acquire(t)
+        active.append(t.name)
+        if len(active) > 1:
+            overlaps.append(tuple(active))
+        yield from t.compute(5.0)
+        active.remove(t.name)
+        mutex.release(t)
+
+    for i in range(3):
+        sched.spawn(body, f"t{i}")
+    sim.run()
+    assert overlaps == []
+
+
+def test_mutex_release_by_non_owner_rejected():
+    sim, cfg, sched = make_sched()
+    mutex = Mutex(sim, cfg)
+
+    def body(t):
+        mutex.release(t)
+        yield sim.timeout(0)
+
+    sched.spawn(body)
+    with pytest.raises(SimError):
+        sim.run()
+
+
+def test_mutex_recursive_acquire_rejected():
+    sim, cfg, sched = make_sched()
+    mutex = Mutex(sim, cfg)
+
+    def body(t):
+        yield from mutex.acquire(t)
+        yield from mutex.acquire(t)
+
+    sched.spawn(body)
+    with pytest.raises(SimError):
+        sim.run()
+
+
+def test_condvar_wait_signal():
+    sim, cfg, sched = make_sched(cpus_per_node=2)
+    mutex = Mutex(sim, cfg)
+    cv = CondVar(sim, cfg, mutex)
+    log = []
+
+    def waiter(t):
+        yield from mutex.acquire(t)
+        log.append("waiting")
+        yield from cv.wait(t)
+        log.append(("woke", sim.now > 10.0))
+        mutex.release(t)
+
+    def signaller(t):
+        yield from t.sleep(20.0)
+        yield from mutex.acquire(t)
+        yield from cv.signal(t)
+        mutex.release(t)
+
+    sched.spawn(waiter)
+    sched.spawn(signaller)
+    sim.run()
+    assert log == ["waiting", ("woke", True)]
+
+
+def test_condvar_wait_requires_mutex():
+    sim, cfg, sched = make_sched()
+    mutex = Mutex(sim, cfg)
+    cv = CondVar(sim, cfg, mutex)
+
+    def body(t):
+        yield from cv.wait(t)
+
+    sched.spawn(body)
+    with pytest.raises(SimError):
+        sim.run()
+
+
+def test_condvar_signal_from_callback():
+    sim, cfg, sched = make_sched()
+    mutex = Mutex(sim, cfg)
+    cv = CondVar(sim, cfg, mutex)
+    woke = []
+
+    def waiter(t):
+        yield from mutex.acquire(t)
+        yield from cv.wait(t)
+        woke.append(sim.now)
+        mutex.release(t)
+
+    sched.spawn(waiter)
+    sim.schedule(30.0, cv.signal_from_callback)
+    sim.run()
+    assert len(woke) == 1 and woke[0] > 30.0

@@ -1,0 +1,143 @@
+"""Deeper CPU-scheduler properties: lock fairness, broadcast, accounting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import default_config
+from repro.hw.cpu import CondVar, CpuScheduler, HostWordEvent, Mutex
+from repro.sim import Simulator
+
+
+def make_sched(**over):
+    sim = Simulator()
+    cfg = default_config().variant(**over)
+    return sim, cfg, CpuScheduler(sim, cfg)
+
+
+def test_mutex_handover_is_fifo():
+    sim, cfg, sched = make_sched(cpus_per_node=4)
+    mutex = Mutex(sim, cfg)
+    order = []
+
+    def body(t, i):
+        # stagger arrivals so the queue order is deterministic
+        yield from t.sleep(i * 1.0)
+        yield from mutex.acquire(t)
+        order.append(i)
+        yield from t.compute(20.0)
+        mutex.release(t)
+
+    for i in range(4):
+        sched.spawn(lambda t, i=i: body(t, i), f"t{i}")
+    sim.run()
+    assert order == [0, 1, 2, 3]
+
+
+def test_condvar_broadcast_wakes_all():
+    sim, cfg, sched = make_sched(cpus_per_node=4)
+    mutex = Mutex(sim, cfg)
+    cv = CondVar(sim, cfg, mutex)
+    woke = []
+
+    def waiter(t):
+        yield from mutex.acquire(t)
+        yield from cv.wait(t)
+        woke.append(t.name)
+        mutex.release(t)
+
+    def broadcaster(t):
+        yield from t.sleep(30.0)
+        yield from mutex.acquire(t)
+        yield from cv.broadcast(t)
+        mutex.release(t)
+
+    for i in range(3):
+        sched.spawn(waiter, f"w{i}")
+    sched.spawn(broadcaster, "b")
+    sim.run()
+    assert len(woke) == 3
+    assert cv.waiter_count == 0
+
+
+def test_sched_load_inflates_wakeups_only_with_busy_wakers():
+    sim, cfg, sched = make_sched(cpus_per_node=4, sched_load_us=5.0)
+    word = HostWordEvent(sim)
+    wake_time = {}
+
+    def sleeper(t):
+        yield from t.block_on(word, clear=False)
+        wake_time[t.name.split(":")[-1]] = sim.now
+
+    sched.spawn(sleeper, "plain")
+    sim.schedule(10.0, word.set)
+    sim.run()
+    base = wake_time["plain"] - 10.0
+
+    # same scenario but with two busy-waker threads alive on the node
+    sim2, cfg2, sched2 = make_sched(cpus_per_node=4, sched_load_us=5.0)
+    word2 = HostWordEvent(sim2)
+    wake2 = {}
+
+    def sleeper2(t):
+        yield from t.block_on(word2, clear=False)
+        wake2["t"] = sim2.now
+
+    def busy(t):
+        yield from t.block_on(HostWordEvent(sim2))  # parked forever
+
+    for i in range(2):
+        bt = sched2.spawn(busy, f"busy{i}")
+        bt.busy_waker = True
+    sched2.spawn(sleeper2, "plain")
+    sim2.schedule(10.0, word2.set)
+    sim2.run(until=100.0)
+    loaded = wake2["t"] - 10.0
+    assert loaded == pytest.approx(base + 2 * 5.0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    bursts=st.lists(st.floats(0.1, 5.0), min_size=1, max_size=10),
+    cpus=st.integers(1, 3),
+)
+def test_property_busy_time_equals_sum_of_work(bursts, cpus):
+    """CPU busy-time accounting equals total compute (plus dispatch costs),
+    regardless of contention."""
+    sim, cfg, sched = make_sched(cpus_per_node=cpus)
+
+    def body(t, us):
+        yield from t.compute(us)
+
+    for us in bursts:
+        sched.spawn(lambda t, us=us: body(t, us))
+    sim.run()
+    expected = sum(bursts) + len(bursts) * cfg.context_switch_us
+    assert sched.busy_time == pytest.approx(expected)
+
+
+def test_hostword_value_survives_until_clear():
+    sim = Simulator()
+    w = HostWordEvent(sim)
+    w.set({"payload": 1})
+    assert w.value == {"payload": 1}
+    w.clear()
+    assert w.value is None
+
+
+def test_thread_join_from_plain_process():
+    sim, cfg, sched = make_sched()
+
+    def body(t):
+        yield from t.compute(2.0)
+        return "done"
+
+    t = sched.spawn(body)
+    out = []
+
+    def watcher():
+        out.append((yield t.join_event()))
+
+    sim.spawn(watcher())
+    sim.run()
+    assert out == ["done"]

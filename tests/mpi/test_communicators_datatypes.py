@@ -1,0 +1,157 @@
+"""Tests for derived communicators and MPI datatypes."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import Contiguous, Datatype, Indexed, MPI_BYTE, MPI_DOUBLE, MPI_INT32, Vector
+from tests.conftest import run_mpi_app
+
+
+# ----------------------------------------------------------- communicators
+def test_dup_isolates_traffic():
+    """Same (source, tag) on comm_world and a dup'd comm must not cross."""
+
+    def app(mpi):
+        dup = mpi.comm_world.dup()
+        assert dup.ctx_id != mpi.comm_world.ctx_id
+        if mpi.rank == 0:
+            a = mpi.alloc(8); a.fill(1)
+            b = mpi.alloc(8); b.fill(2)
+            yield from mpi.comm_world.send(a, dest=1, tag=7)
+            yield from dup.send(b, dest=1, tag=7)
+        else:
+            # receive from the dup FIRST: must get the dup message (2)
+            d_dup, _ = yield from dup.recv(source=0, tag=7, nbytes=8)
+            d_w, _ = yield from mpi.comm_world.recv(source=0, tag=7, nbytes=8)
+            return (int(d_dup[0]), int(d_w[0]))
+
+    results, _ = run_mpi_app(app)
+    assert results[1] == (2, 1)
+
+
+def test_dup_derives_same_ctx_on_all_ranks():
+    ctxs = {}
+
+    def app(mpi):
+        dup = mpi.comm_world.dup()
+        ctxs[mpi.rank] = dup.ctx_id
+        yield from dup.barrier()
+
+    run_mpi_app(app, nodes=4, np_=4)
+    assert len(set(ctxs.values())) == 1
+
+
+def test_split_by_parity():
+    def app(mpi):
+        sub = yield from mpi.comm_world.split(color=mpi.rank % 2, key=mpi.rank)
+        total = yield from sub.allreduce(np.array([mpi.rank], dtype=np.int64))
+        return (sub.rank, sub.size, int(total[0]))
+
+    results, _ = run_mpi_app(app, nodes=4, np_=4)
+    assert results[0] == (0, 2, 0 + 2)
+    assert results[1] == (0, 2, 1 + 3)
+    assert results[2] == (1, 2, 0 + 2)
+    assert results[3] == (1, 2, 1 + 3)
+
+
+def test_split_key_reorders_ranks():
+    def app(mpi):
+        # reverse order via descending keys
+        sub = yield from mpi.comm_world.split(color=0, key=-mpi.rank)
+        return sub.rank
+
+    results, _ = run_mpi_app(app, nodes=3, np_=3)
+    assert results == {0: 2, 1: 1, 2: 0}
+
+
+def test_comm_rank_translation():
+    def app(mpi):
+        sub = yield from mpi.comm_world.split(color=0 if mpi.rank < 2 else 1)
+        if mpi.rank >= 2:
+            return None
+        other = 1 - sub.rank
+        if sub.rank == 0:
+            yield from sub.send(b"x", dest=other, tag=1)
+        else:
+            data, st = yield from sub.recv(source=other, tag=1, nbytes=8)
+            return st.source
+
+    results, _ = run_mpi_app(app, nodes=3, np_=3)
+    assert results[1] == 0  # communicator-local source rank
+
+
+# ---------------------------------------------------------------- datatypes
+def test_base_type_roundtrip():
+    dt = MPI_INT32
+    src = np.arange(40, dtype=np.uint8)
+    packed = dt.pack(src, count=10)
+    assert np.array_equal(packed, src)
+    out = np.zeros(40, dtype=np.uint8)
+    dt.unpack(packed, 10, out)
+    assert np.array_equal(out, src)
+
+
+def test_contiguous_coalesces_blocks():
+    dt = Contiguous(5, MPI_DOUBLE)
+    assert dt.size == 40
+    assert dt.extent == 40
+    assert dt.blocks() == [(0, 40)]  # one memcpy, not five
+
+
+def test_vector_strided_pack_unpack():
+    # a 4x4 byte matrix; pick column 0 as vector(count=4, blocklen=1, stride=4)
+    dt = Vector(4, 1, 4, MPI_BYTE)
+    mat = np.arange(16, dtype=np.uint8)
+    packed = dt.pack(mat, count=1)
+    assert list(packed) == [0, 4, 8, 12]
+    out = np.zeros(16, dtype=np.uint8)
+    dt.unpack(packed, 1, out)
+    assert list(out[[0, 4, 8, 12]]) == [0, 4, 8, 12]
+    assert out.sum() == 0 + 4 + 8 + 12  # gaps untouched
+
+
+def test_vector_validation():
+    with pytest.raises(ValueError):
+        Vector(4, 8, 4, MPI_BYTE)  # blocklen > stride
+
+
+def test_indexed_type():
+    dt = Indexed([2, 1], [0, 5], MPI_BYTE)
+    data = np.arange(8, dtype=np.uint8)
+    packed = dt.pack(data, count=1)
+    assert list(packed) == [0, 1, 5]
+    assert dt.size == 3
+    assert dt.extent == 6
+
+
+def test_indexed_validation():
+    with pytest.raises(ValueError):
+        Indexed([1, 2], [0], MPI_BYTE)
+
+
+def test_noncontiguous_pack_costs_more():
+    from repro.config import default_config
+
+    cfg = default_config()
+    contig = Contiguous(16, MPI_BYTE)
+    strided = Vector(16, 1, 2, MPI_BYTE)
+    assert strided.pack_cost_us(1, cfg) > contig.pack_cost_us(1, cfg)
+
+
+def test_datatype_over_the_wire():
+    """Send a strided column, receive and unpack it — datatypes + transport."""
+    dt = Vector(8, 1, 8, MPI_BYTE)  # column 0 of an 8x8 matrix
+
+    def app(mpi):
+        if mpi.rank == 0:
+            mat = np.arange(64, dtype=np.uint8)
+            packed = dt.pack(mat, count=1)
+            yield from mpi.comm_world.send(packed.tobytes(), dest=1, tag=1)
+        else:
+            data, _ = yield from mpi.comm_world.recv(source=0, tag=1, nbytes=8)
+            out = np.zeros(64, dtype=np.uint8)
+            dt.unpack(np.frombuffer(data.tobytes(), dtype=np.uint8), 1, out)
+            return [int(out[i * 8]) for i in range(8)]
+
+    results, _ = run_mpi_app(app)
+    assert results[1] == [0, 8, 16, 24, 32, 40, 48, 56]

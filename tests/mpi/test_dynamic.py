@@ -1,0 +1,162 @@
+"""Tests for MPI-2 dynamic process management over the full stack (§4.1).
+
+These are the paper's headline capability claims: processes join the
+Quadrics network at runtime with fresh contexts/VPIDs, communicate with
+long-running peers, and ranks survive restarts while VPIDs do not —
+none of which static libelan jobs can do.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.mpi.world import make_mpi_stack_factory
+from repro.rte.environment import RteJob
+
+FACTORY = make_mpi_stack_factory()
+
+
+def run_world(cluster, parent_app, np_=2):
+    job = RteJob(cluster, stack_factory=FACTORY)
+    for r in range(np_):
+        job.launch(r, parent_app, group="world", group_count=np_)
+    return job.wait()
+
+
+def test_spawn_and_exchange_with_children():
+    cluster = Cluster(nodes=4)
+
+    def child(mpi):
+        parent = yield from mpi.get_parent()
+        assert parent is not None
+        data, st = yield from parent.recv(source=0, tag=1, nbytes=64)
+        reply = bytes([mpi.rank * 10 + 1])
+        yield from parent.send(reply, dest=st.source, tag=2)
+        return ("child", mpi.rank, bytes(data))
+
+    def parent(mpi):
+        intercomm = yield from mpi.spawn([child, child])
+        assert intercomm.remote_size == 2
+        if mpi.rank == 0:
+            for c in range(2):
+                yield from intercomm.send(b"hi-child", dest=c, tag=1)
+            replies = []
+            for _ in range(2):
+                data, st = yield from intercomm.recv(tag=2)
+                replies.append((st.source, bytes(data)))
+            return sorted(replies)
+        return "parent-done"
+
+    results = run_world(cluster, parent)
+    assert results[1] == "parent-done"
+    assert results[0] == [(0, bytes([21])), (1, bytes([31]))]
+    assert results[2][0] == "child" and results[2][2] == b"hi-child"
+
+
+def test_children_have_fresh_vpids_and_own_world():
+    cluster = Cluster(nodes=4)
+    info = {}
+
+    def child(mpi):
+        # children's comm_world is their spawn group
+        info[("child", mpi.rank)] = (mpi.comm_world.size, mpi.comm_world.rank)
+        yield from mpi.comm_world.barrier()
+        parent = yield from mpi.get_parent()
+        yield from parent.send(b"done", dest=0, tag=3)
+
+    def parent(mpi):
+        if mpi.rank == 0:
+            pass
+        intercomm = yield from mpi.spawn([child, child, child])
+        if mpi.rank == 0:
+            for _ in range(3):
+                yield from intercomm.recv(tag=3)
+        return mpi.comm_world.size
+
+    results = run_world(cluster, parent)
+    assert results[0] == 2  # parents' world unchanged
+    child_worlds = [v for k, v in info.items() if k[0] == "child"]
+    assert all(size == 3 for size, _ in child_worlds)
+    assert sorted(r for _, r in child_worlds) == [0, 1, 2]
+
+
+def test_get_parent_is_none_for_world_processes():
+    cluster = Cluster(nodes=2)
+
+    def app(mpi):
+        parent = yield from mpi.get_parent()
+        return parent is None
+
+    results = run_world(cluster, app)
+    assert all(results.values())
+
+
+def test_spawned_process_claims_new_context():
+    cluster = Cluster(nodes=2)
+    vpids = []
+
+    def child(mpi):
+        vpids.append(("child", mpi.stack.pml.modules[0].ctx.vpid))
+        parent = yield from mpi.get_parent()
+        yield from parent.send(b"x", dest=0, tag=9)
+
+    def parent(mpi):
+        vpids.append(("parent", mpi.stack.pml.modules[0].ctx.vpid))
+        intercomm = yield from mpi.spawn([child])
+        if mpi.rank == 0:
+            yield from intercomm.recv(tag=9)
+
+    run_world(cluster, parent, np_=1)
+    parent_vpids = {v for k, v in vpids if k == "parent"}
+    child_vpids = {v for k, v in vpids if k == "child"}
+    assert parent_vpids.isdisjoint(child_vpids)
+
+
+def test_restarted_rank_communicates_with_new_vpid():
+    """Full-stack restart: rank 1 leaves (drained), restarts, and talks to
+    rank 0 again — through a different VPID, same rank."""
+    cluster = Cluster(nodes=2)
+    vpids = {}
+
+    def long_lived(mpi):
+        # first incarnation's message
+        d1, _ = yield from mpi.comm_world.recv(source=0, tag=1, nbytes=8)
+        return int(d1[0])
+
+    def sender_v1(mpi):
+        vpids["v1"] = mpi.stack.pml.modules[0].ctx.vpid
+        yield from mpi.comm_world.send(bytes([1]), dest=1, tag=1)
+
+    job = RteJob(cluster, stack_factory=FACTORY)
+    job.launch(0, sender_v1, group="world", group_count=2)
+    job.launch(1, long_lived, group="world", group_count=2)
+    results = job.wait()
+    assert results[1] == 1
+
+    # restart BOTH as a second-generation pair under the same ranks
+    def sender_v2(mpi):
+        vpids["v2"] = mpi.stack.pml.modules[0].ctx.vpid
+        yield from mpi.comm_world.send(bytes([2]), dest=1, tag=1)
+
+    job.launch(0, sender_v2, group="gen2", group_count=2)
+    job.launch(1, long_lived, group="gen2", group_count=2)
+    results = job.wait()
+    assert results[1] == 2
+    assert vpids["v2"] != vpids["v1"]
+
+
+def test_released_vpid_cannot_be_addressed():
+    """After a clean finalize, a stale send to the dead VPID fails loudly
+    (never silently lands in recycled memory)."""
+    from repro.elan4.capability import CapabilityError
+
+    cluster = Cluster(nodes=2)
+    holder = {}
+
+    def app(mpi):
+        holder[mpi.rank] = mpi.stack.pml.modules[0].ctx.vpid
+        yield from mpi.comm_world.barrier()
+
+    run_world(cluster, app)
+    with pytest.raises(CapabilityError):
+        cluster.capability.resolve(holder[1])

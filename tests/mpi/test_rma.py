@@ -1,0 +1,168 @@
+"""Tests for MPI-2 one-sided communication (RMA) over RDMA."""
+
+import numpy as np
+import pytest
+
+from repro.mpi.communicator import MpiError
+from repro.mpi.rma import win_create
+from tests.conftest import run_mpi_app
+
+
+def test_put_lands_after_fence():
+    def app(mpi):
+        buf = mpi.alloc(256)
+        win = yield from win_create(mpi, buf)
+        if mpi.rank == 0:
+            payload = np.full(256, 7, dtype=np.uint8)
+            yield from win.put(payload, target=1)
+        yield from win.fence()
+        return int(buf.read()[0])
+
+    results, cluster = run_mpi_app(app)
+    assert results[1] == 7
+    assert results[0] == 0  # own window untouched
+    cluster.assert_no_drops()
+
+
+def test_get_pulls_remote_data():
+    def app(mpi):
+        buf = mpi.alloc(128)
+        buf.fill(mpi.rank + 10)
+        win = yield from win_create(mpi, buf)
+        yield from win.fence()  # expose epoch
+        out = mpi.alloc(128)
+        if mpi.rank == 0:
+            yield from win.get(out, target=1)
+        yield from win.fence()
+        return int(out.read()[0]) if mpi.rank == 0 else None
+
+    results, _ = run_mpi_app(app)
+    assert results[0] == 11
+
+
+def test_put_at_offset():
+    def app(mpi):
+        buf = mpi.alloc(64)
+        win = yield from win_create(mpi, buf)
+        if mpi.rank == 0:
+            yield from win.put(np.full(8, 5, dtype=np.uint8), target=1, offset=32)
+        yield from win.fence()
+        if mpi.rank == 1:
+            data = buf.read()
+            return (int(data[31]), int(data[32]), int(data[40]))
+
+    results, _ = run_mpi_app(app)
+    assert results[1] == (0, 5, 0)
+
+
+def test_many_puts_one_fence():
+    def app(mpi):
+        buf = mpi.alloc(1024)
+        win = yield from win_create(mpi, buf)
+        if mpi.rank == 0:
+            for i in range(8):
+                yield from win.put(
+                    np.full(128, i + 1, dtype=np.uint8), target=1, offset=i * 128
+                )
+        yield from win.fence()
+        if mpi.rank == 1:
+            return [int(buf.read()[i * 128]) for i in range(8)]
+
+    results, _ = run_mpi_app(app)
+    assert results[1] == [1, 2, 3, 4, 5, 6, 7, 8]
+
+
+def test_all_ranks_put_concurrently():
+    """Each rank writes its slot in every peer's window — a halo pattern."""
+
+    def app(mpi):
+        n = mpi.size
+        buf = mpi.alloc(n)
+        win = yield from win_create(mpi, buf)
+        for peer in range(n):
+            if peer != mpi.rank:
+                yield from win.put(
+                    bytes([mpi.rank + 1]), target=peer, offset=mpi.rank, nbytes=1
+                )
+        yield from win.fence()
+        return [int(b) for b in buf.read()]
+
+    results, _ = run_mpi_app(app, nodes=4, np_=4)
+    for rank, window in results.items():
+        expected = [(r + 1 if r != rank else 0) for r in range(4)]
+        assert window == expected
+
+
+def test_large_put_integrity():
+    n = 300_000
+    payload = np.random.default_rng(5).integers(0, 256, n, dtype=np.uint8)
+
+    def app(mpi):
+        buf = mpi.alloc(n)
+        win = yield from win_create(mpi, buf)
+        if mpi.rank == 0:
+            src = mpi.alloc(n)
+            src.write(payload)
+            yield from win.put(src, target=1)
+        yield from win.fence()
+        if mpi.rank == 1:
+            return bool(np.array_equal(buf.read(), payload))
+
+    results, _ = run_mpi_app(app)
+    assert results[1] is True
+
+
+def test_bounds_checked():
+    def app(mpi):
+        buf = mpi.alloc(64)
+        win = yield from win_create(mpi, buf)
+        if mpi.rank == 0:
+            with pytest.raises(MpiError, match="outside"):
+                yield from win.put(np.zeros(32, np.uint8), target=1, offset=48)
+            with pytest.raises(MpiError, match="outside"):
+                yield from win.put(np.zeros(8, np.uint8), target=1, offset=-1)
+        yield from win.fence()
+
+    run_mpi_app(app)
+
+
+def test_different_window_sizes_allowed():
+    def app(mpi):
+        buf = mpi.alloc(64 if mpi.rank == 0 else 256)
+        win = yield from win_create(mpi, buf)
+        assert win.target(0)["size"] == 64
+        assert win.target(1)["size"] == 256
+        if mpi.rank == 1:
+            yield from win.put(np.full(64, 3, dtype=np.uint8), target=0)
+            with pytest.raises(MpiError):
+                yield from win.put(np.zeros(65, np.uint8), target=0)
+        yield from win.fence()
+        if mpi.rank == 0:
+            return int(buf.read()[63])
+
+    results, _ = run_mpi_app(app)
+    assert results[0] == 3
+
+
+def test_freed_window_rejects_use():
+    def app(mpi):
+        buf = mpi.alloc(16)
+        win = yield from win_create(mpi, buf)
+        yield from win.free()
+        with pytest.raises(MpiError, match="freed"):
+            yield from win.put(b"x", target=0)
+        return True
+
+    results, _ = run_mpi_app(app)
+    assert all(results.values())
+
+
+def test_invalid_target_rank():
+    def app(mpi):
+        buf = mpi.alloc(16)
+        win = yield from win_create(mpi, buf)
+        with pytest.raises(MpiError):
+            win.target(99)
+        yield from win.fence()
+
+    run_mpi_app(app)

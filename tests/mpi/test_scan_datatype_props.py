@@ -1,0 +1,130 @@
+"""Tests for scan/exscan/reduce_scatter and datatype property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.mpi import Contiguous, Datatype, Indexed, MPI_BYTE, Vector
+from repro.mpi.communicator import MpiError
+from tests.conftest import run_mpi_app
+
+
+# ------------------------------------------------------------------- scan
+@pytest.mark.parametrize("np_", [1, 2, 3, 4, 8])
+def test_scan_inclusive_prefix(np_):
+    def app(mpi):
+        arr = np.array([mpi.rank + 1], dtype=np.int64)
+        out = yield from mpi.comm_world.scan(arr, op="sum")
+        return int(out[0])
+
+    results, _ = run_mpi_app(app, nodes=min(np_, 8), np_=np_)
+    for r in range(np_):
+        assert results[r] == sum(range(1, r + 2)), r
+
+
+@pytest.mark.parametrize("np_", [2, 4, 5])
+def test_exscan_exclusive_prefix(np_):
+    def app(mpi):
+        arr = np.array([mpi.rank + 1], dtype=np.int64)
+        out = yield from mpi.comm_world.exscan(arr, op="sum")
+        return None if out is None else int(out[0])
+
+    results, _ = run_mpi_app(app, nodes=min(np_, 8), np_=np_)
+    assert results[0] is None
+    for r in range(1, np_):
+        assert results[r] == sum(range(1, r + 1)), r
+
+
+def test_scan_max_op():
+    def app(mpi):
+        vals = [3, 1, 4, 1, 5]
+        arr = np.array([vals[mpi.rank]], dtype=np.int64)
+        out = yield from mpi.comm_world.scan(arr, op="max")
+        return int(out[0])
+
+    results, _ = run_mpi_app(app, nodes=5, np_=5)
+    assert [results[r] for r in range(5)] == [3, 3, 4, 4, 5]
+
+
+@pytest.mark.parametrize("np_", [2, 4])
+def test_reduce_scatter_blocks(np_):
+    def app(mpi):
+        n = mpi.size
+        arr = np.arange(n * 4, dtype=np.int64) + mpi.rank
+        out = yield from mpi.comm_world.reduce_scatter(arr, op="sum")
+        return out.tolist()
+
+    results, _ = run_mpi_app(app, nodes=min(np_, 8), np_=np_)
+    base = np.arange(np_ * 4, dtype=np.int64)
+    full = sum(base + r for r in range(np_))
+    for r in range(np_):
+        assert results[r] == full[r * 4 : (r + 1) * 4].tolist()
+
+
+def test_reduce_scatter_validates_divisibility():
+    def app(mpi):
+        with pytest.raises(MpiError, match="divisible"):
+            yield from mpi.comm_world.reduce_scatter(np.arange(3, dtype=np.int64))
+        yield from mpi.comm_world.barrier()
+
+    run_mpi_app(app)
+
+
+# -------------------------------------------------------- datatype properties
+@settings(max_examples=40, deadline=None)
+@given(
+    count=st.integers(1, 6),
+    blocklen=st.integers(1, 4),
+    extra_stride=st.integers(0, 4),
+    reps=st.integers(1, 3),
+    seed=st.integers(0, 100),
+)
+def test_property_vector_pack_unpack_roundtrip(count, blocklen, extra_stride, reps, seed):
+    stride = blocklen + extra_stride
+    dt = Vector(count, blocklen, stride, MPI_BYTE)
+    total = dt.extent * reps
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, 256, total, dtype=np.uint8)
+    packed = dt.pack(src, reps)
+    assert packed.nbytes == dt.size * reps
+    out = np.zeros(total, dtype=np.uint8)
+    dt.unpack(packed, reps, out)
+    # every packed byte landed back at its source position
+    repacked = dt.pack(out, reps)
+    assert np.array_equal(repacked, packed)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    nblocks=st.integers(1, 5),
+    data=st.data(),
+)
+def test_property_indexed_pack_selects_exactly_blocks(nblocks, data):
+    # non-overlapping increasing blocks
+    displs = []
+    blocklens = []
+    cursor = 0
+    for _ in range(nblocks):
+        cursor += data.draw(st.integers(0, 3))
+        length = data.draw(st.integers(1, 4))
+        displs.append(cursor)
+        blocklens.append(length)
+        cursor += length
+    dt = Indexed(blocklens, displs, MPI_BYTE)
+    src = np.arange(max(dt.extent, 1), dtype=np.uint8)
+    packed = dt.pack(src, 1)
+    expected = np.concatenate(
+        [src[d : d + l] for d, l in sorted(zip(displs, blocklens))]
+    )
+    assert np.array_equal(packed, expected)
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(1, 64), size=st.integers(1, 8))
+def test_property_contiguous_equals_base_repetition(n, size):
+    base = Datatype(size, "blob")
+    dt = Contiguous(n, base)
+    assert dt.size == n * size
+    assert dt.extent == n * size
+    assert dt.blocks() == [(0, n * size)]  # always coalesces to one copy

@@ -1,0 +1,207 @@
+"""Tests for synchronous sends (Ssend/Issend), probe/iprobe, waitany."""
+
+import numpy as np
+import pytest
+
+from repro.core.ptl.elan4.module import Elan4PtlOptions
+from repro.mpi import ANY_SOURCE, ANY_TAG
+from tests.conftest import run_mpi_app
+
+
+# ------------------------------------------------------------- Ssend/Issend
+@pytest.mark.parametrize("scheme", ["read", "write"])
+@pytest.mark.parametrize("n", [0, 4, 1024, 4096])
+def test_ssend_completes_only_after_match(scheme, n):
+    """MPI_Ssend must not complete while the receiver hasn't posted."""
+    recv_delay = 300.0
+    times = {}
+
+    def app(mpi):
+        if mpi.rank == 0:
+            buf = mpi.alloc(max(n, 1))
+            yield from mpi.comm_world.ssend(buf, dest=1, tag=1, nbytes=n)
+            times["send_done"] = mpi.now
+        else:
+            yield from mpi.thread.sleep(recv_delay)
+            times["posted"] = mpi.now
+            yield from mpi.comm_world.recv(source=0, tag=1, nbytes=max(n, 1))
+
+    results, cluster = run_mpi_app(
+        app, elan4_options=Elan4PtlOptions(rdma_scheme=scheme)
+    )
+    assert times["send_done"] > times["posted"]
+    cluster.assert_no_drops()
+
+
+def test_regular_eager_send_completes_before_match():
+    """Contrast: a standard small send completes buffered, pre-match."""
+    times = {}
+
+    def app(mpi):
+        if mpi.rank == 0:
+            buf = mpi.alloc(64)
+            yield from mpi.comm_world.send(buf, dest=1, tag=1)
+            times["send_done"] = mpi.now
+        else:
+            yield from mpi.thread.sleep(300.0)
+            times["posted"] = mpi.now
+            yield from mpi.comm_world.recv(source=0, tag=1, nbytes=64)
+
+    run_mpi_app(app)
+    assert times["send_done"] < times["posted"]
+
+
+def test_ssend_data_integrity():
+    n = 1500
+    payload = np.random.default_rng(9).integers(0, 256, n, dtype=np.uint8)
+
+    def app(mpi):
+        if mpi.rank == 0:
+            buf = mpi.alloc(n)
+            buf.write(payload)
+            yield from mpi.comm_world.ssend(buf, dest=1, tag=1)
+        else:
+            data, _ = yield from mpi.comm_world.recv(source=0, tag=1, nbytes=n)
+            return bool(np.array_equal(data, payload))
+
+    results, _ = run_mpi_app(app)
+    assert results[1] is True
+
+
+def test_ssend_over_tcp():
+    def app(mpi):
+        if mpi.rank == 0:
+            yield from mpi.comm_world.ssend(b"sync-tcp", dest=1, tag=1)
+            return "done"
+        else:
+            yield from mpi.thread.sleep(200.0)
+            data, _ = yield from mpi.comm_world.recv(source=0, tag=1, nbytes=64)
+            return bytes(data)
+
+    results, _ = run_mpi_app(app, transports=("tcp",))
+    assert results[1] == b"sync-tcp"
+
+
+def test_issend_overlaps_with_work():
+    def app(mpi):
+        if mpi.rank == 0:
+            buf = mpi.alloc(64)
+            req = yield from mpi.comm_world.issend(buf, dest=1, tag=1)
+            assert not req.completed  # receiver hasn't posted yet
+            yield from mpi.thread.sleep(50.0)  # overlapped "work"
+            yield from mpi.wait(req)
+            return req.completed
+        else:
+            yield from mpi.thread.sleep(100.0)
+            yield from mpi.comm_world.recv(source=0, tag=1, nbytes=64)
+
+    results, _ = run_mpi_app(app)
+    assert results[0] is True
+
+
+# ------------------------------------------------------------- probe/iprobe
+def test_probe_reports_without_consuming():
+    def app(mpi):
+        if mpi.rank == 0:
+            buf = mpi.alloc(100)
+            yield from mpi.comm_world.send(buf, dest=1, tag=42)
+        else:
+            st = yield from mpi.comm_world.probe(source=ANY_SOURCE, tag=ANY_TAG)
+            assert (st.source, st.tag, st.nbytes) == (0, 42, 100)
+            # still receivable afterwards
+            data, st2 = yield from mpi.comm_world.recv(source=0, tag=42, nbytes=100)
+            return st2.nbytes
+
+    results, _ = run_mpi_app(app)
+    assert results[1] == 100
+
+
+def test_iprobe_nonblocking():
+    def app(mpi):
+        if mpi.rank == 0:
+            yield from mpi.thread.sleep(100.0)
+            yield from mpi.comm_world.send(b"late", dest=1, tag=3)
+        else:
+            st = yield from mpi.comm_world.iprobe(source=0, tag=3)
+            assert st is None  # nothing yet
+            yield from mpi.thread.sleep(300.0)
+            st = yield from mpi.comm_world.iprobe(source=0, tag=3)
+            assert st is not None and st.nbytes == 4
+            yield from mpi.comm_world.recv(source=0, tag=3, nbytes=8)
+            return True
+
+    results, _ = run_mpi_app(app)
+    assert results[1] is True
+
+
+def test_probe_then_alloc_exact_buffer():
+    """The classic probe idiom: size an allocation from the status."""
+
+    def app(mpi):
+        if mpi.rank == 0:
+            buf = mpi.alloc(777)
+            buf.fill(1)
+            yield from mpi.comm_world.send(buf, dest=1, tag=0)
+        else:
+            st = yield from mpi.comm_world.probe(source=0)
+            data, _ = yield from mpi.comm_world.recv(
+                source=0, tag=0, nbytes=st.nbytes
+            )
+            return len(data)
+
+    results, _ = run_mpi_app(app)
+    assert results[1] == 777
+
+
+def test_probe_respects_tag_filter():
+    def app(mpi):
+        if mpi.rank == 0:
+            a = mpi.alloc(8)
+            yield from mpi.comm_world.send(a, dest=1, tag=1)
+            yield from mpi.comm_world.send(a, dest=1, tag=2)
+        else:
+            st = yield from mpi.comm_world.probe(source=0, tag=2)
+            assert st.tag == 2
+            # tag-1 message still first in the unexpected queue
+            d1, s1 = yield from mpi.comm_world.recv(source=0, tag=ANY_TAG, nbytes=8)
+            assert s1.tag == 1
+            yield from mpi.comm_world.recv(source=0, tag=2, nbytes=8)
+            return True
+
+    results, _ = run_mpi_app(app)
+    assert results[1] is True
+
+
+# ------------------------------------------------------------------ waitany
+def test_waitany_returns_first_completion():
+    def app(mpi):
+        if mpi.rank == 0:
+            for delay, tag in ((200.0, 1), (50.0, 2)):
+                pass
+            # send tag 2 quickly, tag 1 late
+            buf = mpi.alloc(8)
+            yield from mpi.thread.sleep(50.0)
+            yield from mpi.comm_world.send(buf, dest=1, tag=2)
+            yield from mpi.thread.sleep(200.0)
+            yield from mpi.comm_world.send(buf, dest=1, tag=1)
+        else:
+            r1 = yield from mpi.comm_world.irecv(8, source=0, tag=1)
+            r2 = yield from mpi.comm_world.irecv(8, source=0, tag=2)
+            first = yield from mpi.comm_world.waitany([r1, r2])
+            yield from mpi.waitall([r1, r2])
+            return first
+
+    results, _ = run_mpi_app(app)
+    assert results[1] == 1  # index of the tag-2 request
+
+
+def test_waitany_empty_list_rejected():
+    from repro.core.pml.teg import PmlError
+
+    def app(mpi):
+        if mpi.rank == 0:
+            with pytest.raises(PmlError):
+                yield from mpi.comm_world.waitany([])
+        yield mpi.sim.timeout(0)
+
+    run_mpi_app(app)

@@ -1,0 +1,171 @@
+"""OOB protocol robustness: framing, malformed input, lifecycle."""
+
+import json
+import struct
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.rte.oob import OobChannel, OobError, OobServer
+from repro.tcpip import Listener, TcpSocket
+from repro.tcpip.stack import IpNetwork
+
+
+def setup_net(nodes=2):
+    cluster = Cluster(nodes=nodes)
+    net = IpNetwork(cluster.sim, cluster.config)
+    return cluster, net
+
+
+def test_roundtrip_unicode_and_nested():
+    cluster, net = setup_net()
+    listener = Listener(net, cluster.nodes[1], 6000)
+    got = []
+    msg = {"op": "x", "nested": {"list": [1, 2, {"deep": "値"}]}, "n": None}
+
+    def server(t):
+        sock = yield from listener.accept(t)
+        ch = OobChannel(sock)
+        got.append((yield from ch.recv_msg(t)))
+
+    def client(t):
+        sock = yield from TcpSocket.connect(net, t, cluster.nodes[0], 1, 6000)
+        yield from OobChannel(sock).send_msg(t, msg)
+
+    cluster.nodes[1].spawn_thread(server)
+    cluster.nodes[0].spawn_thread(client)
+    cluster.run()
+    assert got == [msg]
+
+
+def test_recv_none_on_clean_close():
+    cluster, net = setup_net()
+    listener = Listener(net, cluster.nodes[1], 6000)
+    got = []
+
+    def server(t):
+        sock = yield from listener.accept(t)
+        got.append((yield from OobChannel(sock).recv_msg(t)))
+
+    def client(t):
+        sock = yield from TcpSocket.connect(net, t, cluster.nodes[0], 1, 6000)
+        sock.close()
+
+    cluster.nodes[1].spawn_thread(server)
+    cluster.nodes[0].spawn_thread(client)
+    cluster.run()
+    assert got == [None]
+
+
+def test_malformed_json_raises():
+    cluster, net = setup_net()
+    listener = Listener(net, cluster.nodes[1], 6000)
+    caught = []
+
+    def server(t):
+        sock = yield from listener.accept(t)
+        try:
+            yield from OobChannel(sock).recv_msg(t)
+        except OobError as e:
+            caught.append("json" if "payload" in str(e) else str(e))
+
+    def client(t):
+        sock = yield from TcpSocket.connect(net, t, cluster.nodes[0], 1, 6000)
+        body = b"not json at all"
+        yield from sock.send(t, struct.pack(">I", len(body)) + body)
+
+    cluster.nodes[1].spawn_thread(server)
+    cluster.nodes[0].spawn_thread(client)
+    cluster.run()
+    assert caught == ["json"]
+
+
+def test_implausible_frame_length_rejected():
+    cluster, net = setup_net()
+    listener = Listener(net, cluster.nodes[1], 6000)
+    caught = []
+
+    def server(t):
+        sock = yield from listener.accept(t)
+        try:
+            yield from OobChannel(sock).recv_msg(t)
+        except OobError as e:
+            caught.append("implausible" in str(e))
+
+    def client(t):
+        sock = yield from TcpSocket.connect(net, t, cluster.nodes[0], 1, 6000)
+        yield from sock.send(t, struct.pack(">I", 1 << 30))
+
+    cluster.nodes[1].spawn_thread(server)
+    cluster.nodes[0].spawn_thread(client)
+    cluster.run()
+    assert caught == [True]
+
+
+def test_eof_inside_header_raises():
+    cluster, net = setup_net()
+    listener = Listener(net, cluster.nodes[1], 6000)
+    caught = []
+
+    def server(t):
+        sock = yield from listener.accept(t)
+        try:
+            yield from OobChannel(sock).recv_msg(t)
+        except OobError as e:
+            caught.append("header" in str(e))
+
+    def client(t):
+        sock = yield from TcpSocket.connect(net, t, cluster.nodes[0], 1, 6000)
+        yield from sock.send(t, b"\x00\x00")  # half a length prefix
+        sock.close()
+
+    cluster.nodes[1].spawn_thread(server)
+    cluster.nodes[0].spawn_thread(client)
+    cluster.run()
+    assert caught == [True]
+
+
+def test_server_handles_many_connections():
+    cluster, net = setup_net()
+    seen = []
+
+    def handler(t, ch):
+        msg = yield from ch.recv_msg(t)
+        if msg is not None:
+            seen.append(msg["id"])
+            yield from ch.send_msg(t, {"ok": msg["id"]})
+
+    server = OobServer(net, cluster.nodes[0], 7000, handler)
+    acks = []
+
+    def client(t, i):
+        sock = yield from TcpSocket.connect(net, t, cluster.nodes[1], 0, 7000)
+        ch = OobChannel(sock)
+        reply = yield from ch.rpc(t, {"id": i})
+        acks.append(reply["ok"])
+        ch.close()
+
+    for i in range(5):
+        cluster.nodes[1].spawn_thread(lambda t, i=i: client(t, i))
+    cluster.run()
+    assert sorted(seen) == list(range(5))
+    assert sorted(acks) == list(range(5))
+    assert server.connections == 5
+
+
+def test_unknown_op_reported_by_seed():
+    from repro.mpi.world import make_mpi_stack_factory
+    from repro.rte.environment import SEED_PORT, RteJob
+
+    cluster = Cluster(nodes=2)
+    job = RteJob(cluster, stack_factory=make_mpi_stack_factory())
+    replies = []
+
+    def poker(t):
+        sock = yield from TcpSocket.connect(job.net, t, cluster.nodes[1], 0, SEED_PORT)
+        ch = OobChannel(sock)
+        replies.append((yield from ch.rpc(t, {"op": "frobnicate"})))
+
+    cluster.nodes[1].spawn_thread(poker)
+    cluster.run()
+    assert "error" in replies[0]

@@ -1,0 +1,151 @@
+"""Unit tests for the simulator event loop."""
+
+import pytest
+
+from repro.sim import SimError, Simulator
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_schedule_runs_in_time_order():
+    sim = Simulator()
+    out = []
+    sim.schedule(5.0, lambda: out.append(("b", sim.now)))
+    sim.schedule(1.0, lambda: out.append(("a", sim.now)))
+    sim.schedule(9.0, lambda: out.append(("c", sim.now)))
+    sim.run()
+    assert out == [("a", 1.0), ("b", 5.0), ("c", 9.0)]
+    assert sim.now == 9.0
+
+
+def test_simultaneous_events_fire_in_insertion_order():
+    sim = Simulator()
+    out = []
+    for i in range(10):
+        sim.schedule(3.0, out.append, i)
+    sim.run()
+    assert out == list(range(10))
+
+
+def test_priority_overrides_insertion_order():
+    sim = Simulator()
+    out = []
+    sim.schedule(1.0, out.append, "late", priority=1)
+    sim.schedule(1.0, out.append, "early", priority=0)
+    sim.run()
+    assert out == ["early", "late"]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_schedule_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(5.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimError):
+        sim.schedule_at(1.0, lambda: None)
+
+
+def test_run_until_stops_clock_exactly():
+    sim = Simulator()
+    out = []
+    sim.schedule(10.0, out.append, 1)
+    sim.run(until=4.0)
+    assert sim.now == 4.0
+    assert out == []
+    sim.run()
+    assert out == [1]
+    assert sim.now == 10.0
+
+
+def test_run_until_beyond_last_event_advances_clock():
+    sim = Simulator()
+    sim.schedule(2.0, lambda: None)
+    sim.run(until=100.0)
+    assert sim.now == 100.0
+
+
+def test_cancelled_call_does_not_fire():
+    sim = Simulator()
+    out = []
+    handle = sim.schedule(1.0, out.append, "x")
+    sim.schedule(2.0, out.append, "y")
+    handle.cancel()
+    sim.run()
+    assert out == ["y"]
+
+
+def test_nested_scheduling_from_callback():
+    sim = Simulator()
+    out = []
+
+    def first():
+        out.append(sim.now)
+        sim.schedule(2.5, second)
+
+    def second():
+        out.append(sim.now)
+
+    sim.schedule(1.0, first)
+    sim.run()
+    assert out == [1.0, 3.5]
+
+
+def test_stop_halts_run():
+    sim = Simulator()
+    out = []
+    sim.schedule(1.0, out.append, "a")
+    sim.schedule(2.0, sim.stop)
+    sim.schedule(3.0, out.append, "b")
+    sim.run()
+    assert out == ["a"]
+    sim.run()
+    assert out == ["a", "b"]
+
+
+def test_step_processes_single_event():
+    sim = Simulator()
+    out = []
+    sim.schedule(1.0, out.append, 1)
+    sim.schedule(2.0, out.append, 2)
+    assert sim.step()
+    assert out == [1]
+    assert sim.step()
+    assert out == [1, 2]
+    assert not sim.step()
+
+
+def test_max_events_bounds_run():
+    sim = Simulator()
+    out = []
+    for i in range(5):
+        sim.schedule(float(i + 1), out.append, i)
+    sim.run(max_events=2)
+    assert out == [0, 1]
+
+
+def test_peek_returns_next_live_time():
+    sim = Simulator()
+    h = sim.schedule(1.0, lambda: None)
+    sim.schedule(5.0, lambda: None)
+    assert sim.peek() == 1.0
+    h.cancel()
+    assert sim.peek() == 5.0
+
+
+def test_run_not_reentrant():
+    sim = Simulator()
+
+    def reenter():
+        with pytest.raises(SimError):
+            sim.run()
+
+    sim.schedule(1.0, reenter)
+    sim.run()

@@ -1,0 +1,206 @@
+"""Unit tests for coroutine processes."""
+
+import pytest
+
+from repro.sim import Interrupt, SimError, SimEvent, Simulator
+
+
+def test_process_advances_through_timeouts():
+    sim = Simulator()
+    marks = []
+
+    def proc():
+        marks.append(sim.now)
+        yield sim.timeout(4.0)
+        marks.append(sim.now)
+        yield sim.timeout(6.0)
+        marks.append(sim.now)
+
+    sim.spawn(proc())
+    sim.run()
+    assert marks == [0.0, 4.0, 10.0]
+
+
+def test_process_return_value_via_join():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(2.0)
+        return 99
+
+    results = []
+
+    def parent():
+        value = yield sim.spawn(child())
+        results.append(value)
+
+    sim.spawn(parent())
+    sim.run()
+    assert results == [99]
+
+
+def test_yield_from_composition():
+    sim = Simulator()
+
+    def inner():
+        yield sim.timeout(3.0)
+        return "inner-done"
+
+    out = []
+
+    def outer():
+        v = yield from inner()
+        out.append((v, sim.now))
+
+    sim.spawn(outer())
+    sim.run()
+    assert out == [("inner-done", 3.0)]
+
+
+def test_event_value_passed_into_process():
+    sim = Simulator()
+    ev = SimEvent(sim)
+    got = []
+
+    def proc():
+        v = yield ev
+        got.append(v)
+
+    sim.spawn(proc())
+    sim.schedule(5.0, lambda: ev.succeed("payload"))
+    sim.run()
+    assert got == ["payload"]
+
+
+def test_event_failure_raises_inside_process():
+    sim = Simulator()
+    ev = SimEvent(sim)
+    caught = []
+
+    def proc():
+        try:
+            yield ev
+        except ValueError as e:
+            caught.append(str(e))
+
+    sim.spawn(proc())
+    sim.schedule(1.0, lambda: ev.fail(ValueError("bad")))
+    sim.run()
+    assert caught == ["bad"]
+
+
+def test_unhandled_process_exception_propagates_from_run():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(1.0)
+        raise RuntimeError("kaboom")
+
+    sim.spawn(proc())
+    with pytest.raises(RuntimeError, match="kaboom"):
+        sim.run()
+
+
+def test_joined_process_exception_delivered_to_parent():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(1.0)
+        raise RuntimeError("child died")
+
+    seen = []
+
+    def parent():
+        try:
+            yield sim.spawn(child())
+        except RuntimeError as e:
+            seen.append(str(e))
+
+    sim.spawn(parent())
+    sim.run()
+    assert seen == ["child died"]
+
+
+def test_yield_non_event_is_error():
+    sim = Simulator()
+
+    def proc():
+        yield 42  # type: ignore[misc]
+
+    sim.spawn(proc())
+    with pytest.raises(SimError):
+        sim.run()
+
+
+def test_interrupt_thrown_at_yield_point():
+    sim = Simulator()
+    log = []
+
+    def proc():
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt as i:
+            log.append((sim.now, i.cause))
+
+    p = sim.spawn(proc())
+    sim.schedule(5.0, p.interrupt, "preempt")
+    sim.run()
+    assert log == [(5.0, "preempt")]
+
+
+def test_interrupt_detaches_original_event():
+    sim = Simulator()
+    resumed = []
+
+    def proc():
+        try:
+            yield sim.timeout(10.0)
+            resumed.append("timeout")
+        except Interrupt:
+            yield sim.timeout(50.0)
+            resumed.append("after-interrupt")
+
+    p = sim.spawn(proc())
+    sim.schedule(1.0, p.interrupt)
+    sim.run()
+    # the 10 µs timeout still fires in the heap but must not resume the proc
+    assert resumed == ["after-interrupt"]
+    assert sim.now == 51.0
+
+
+def test_interrupt_finished_process_is_noop():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(1.0)
+
+    p = sim.spawn(proc())
+    sim.run()
+    p.interrupt()  # should not raise
+    sim.run()
+
+
+def test_is_alive_tracks_lifetime():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(5.0)
+
+    p = sim.spawn(proc())
+    assert p.is_alive
+    sim.run()
+    assert not p.is_alive
+
+
+def test_many_processes_deterministic_interleaving():
+    sim = Simulator()
+    order = []
+
+    def proc(i):
+        yield sim.timeout(1.0)
+        order.append(i)
+
+    for i in range(20):
+        sim.spawn(proc(i))
+    sim.run()
+    assert order == list(range(20))

@@ -1,0 +1,168 @@
+"""Unit tests for Resource, Store, PriorityStore."""
+
+import pytest
+
+from repro.sim import PriorityStore, Resource, SimError, Simulator, Store
+
+
+def test_resource_grants_up_to_capacity():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    grants = []
+
+    def worker(i, hold):
+        yield res.request()
+        grants.append((i, sim.now))
+        yield sim.timeout(hold)
+        res.release()
+
+    sim.spawn(worker(0, 10.0))
+    sim.spawn(worker(1, 10.0))
+    sim.spawn(worker(2, 10.0))
+    sim.run()
+    # first two at t=0, third waits for a release at t=10
+    assert grants == [(0, 0.0), (1, 0.0), (2, 10.0)]
+
+
+def test_resource_fifo_ordering():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    order = []
+
+    def worker(i):
+        yield res.request()
+        order.append(i)
+        yield sim.timeout(1.0)
+        res.release()
+
+    for i in range(5):
+        sim.spawn(worker(i))
+    sim.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_release_idle_resource_is_error():
+    sim = Simulator()
+    res = Resource(sim)
+    with pytest.raises(SimError):
+        res.release()
+
+
+def test_resource_capacity_validation():
+    sim = Simulator()
+    with pytest.raises(SimError):
+        Resource(sim, capacity=0)
+
+
+def test_store_put_then_get():
+    sim = Simulator()
+    store = Store(sim)
+    store.put("a")
+    store.put("b")
+    got = []
+
+    def consumer():
+        got.append((yield store.get()))
+        got.append((yield store.get()))
+
+    sim.spawn(consumer())
+    sim.run()
+    assert got == ["a", "b"]
+
+
+def test_store_get_waits_for_put():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def consumer():
+        got.append(((yield store.get()), sim.now))
+
+    sim.spawn(consumer())
+    sim.schedule(5.0, store.put, "late")
+    sim.run()
+    assert got == [("late", 5.0)]
+
+
+def test_store_try_get():
+    sim = Simulator()
+    store = Store(sim)
+    assert store.try_get() == (False, None)
+    store.put(7)
+    sim.run()
+    assert store.try_get() == (True, 7)
+
+
+def test_bounded_store_blocks_putter():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    done = []
+
+    def producer():
+        yield store.put("x")
+        done.append(("x", sim.now))
+        yield store.put("y")
+        done.append(("y", sim.now))
+
+    def consumer():
+        yield sim.timeout(10.0)
+        yield store.get()
+
+    sim.spawn(producer())
+    sim.spawn(consumer())
+    sim.run()
+    assert done == [("x", 0.0), ("y", 10.0)]
+
+
+def test_store_remove_by_predicate():
+    sim = Simulator()
+    store = Store(sim)
+    for x in (1, 2, 3, 4):
+        store.put(x)
+    sim.run()
+    assert store.remove(lambda v: v % 2 == 0) == 2
+    assert store.peek_all() == [1, 3, 4]
+    assert store.remove(lambda v: v > 100) is None
+
+
+def test_store_len_and_peek_all():
+    sim = Simulator()
+    store = Store(sim)
+    store.put("a")
+    store.put("b")
+    sim.run()
+    assert len(store) == 2
+    assert store.peek_all() == ["a", "b"]
+    # peek_all must not consume
+    assert len(store) == 2
+
+
+def test_priority_store_orders_items():
+    sim = Simulator()
+    ps = PriorityStore(sim)
+    for v in (5, 1, 3):
+        ps.put(v)
+    sim.run()
+    results = []
+
+    def consumer():
+        for _ in range(3):
+            results.append((yield ps.get()))
+
+    sim.spawn(consumer())
+    sim.run()
+    assert results == [1, 3, 5]
+
+
+def test_priority_store_waiting_getter():
+    sim = Simulator()
+    ps = PriorityStore(sim)
+    results = []
+
+    def consumer():
+        results.append((yield ps.get()))
+
+    sim.spawn(consumer())
+    sim.schedule(1.0, ps.put, 42)
+    sim.run()
+    assert results == [42]

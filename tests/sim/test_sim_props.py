@@ -1,0 +1,128 @@
+"""Additional simulator kernel properties and uncovered paths."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Resource, SimEvent, Simulator
+
+
+def test_run_until_idle_with_quiet_checks():
+    sim = Simulator()
+    state = {"round": 0}
+
+    def refill():
+        state["round"] += 1
+        if state["round"] < 3:
+            sim.schedule(1.0, refill)
+
+    sim.schedule(1.0, refill)
+    # a quiet check that schedules more work until satisfied
+    def quiet():
+        if state["round"] < 3:
+            return False
+        return True
+
+    t = sim.run_until_idle(quiet_check=[quiet])
+    assert state["round"] == 3
+    assert t == 3.0
+
+
+def test_run_until_idle_without_checks():
+    sim = Simulator()
+    sim.schedule(5.0, lambda: None)
+    assert sim.run_until_idle() == 5.0
+
+
+def test_cancel_after_fire_is_noop():
+    sim = Simulator()
+    out = []
+    h = sim.schedule(1.0, out.append, 1)
+    sim.run()
+    h.cancel()  # already fired: harmless
+    assert out == [1]
+
+
+def test_pending_count_reflects_heap():
+    sim = Simulator()
+    h1 = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    assert sim.pending_count == 2
+    h1.cancel()
+    assert sim.pending_count == 2  # placeholder remains until it surfaces
+    sim.run()
+    assert sim.pending_count == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    delays=st.lists(st.floats(0.0, 100.0), min_size=1, max_size=30),
+)
+def test_property_events_fire_in_nondecreasing_time(delays):
+    sim = Simulator()
+    fired = []
+    for d in delays:
+        sim.schedule(d, lambda d=d: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+    assert sim.now == max(delays)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    capacity=st.integers(1, 4),
+    holds=st.lists(st.floats(0.5, 10.0), min_size=2, max_size=12),
+)
+def test_property_resource_never_exceeds_capacity(capacity, holds):
+    sim = Simulator()
+    res = Resource(sim, capacity=capacity)
+    active = {"now": 0, "max": 0}
+
+    def worker(hold):
+        yield res.request()
+        active["now"] += 1
+        active["max"] = max(active["max"], active["now"])
+        yield sim.timeout(hold)
+        active["now"] -= 1
+        res.release()
+
+    for h in holds:
+        sim.spawn(worker(h))
+    sim.run()
+    assert active["max"] <= capacity
+    assert active["now"] == 0
+    # with more work than capacity, the resource was actually saturated
+    if len(holds) >= capacity:
+        assert active["max"] == capacity
+
+
+def test_event_succeed_with_delay_orders_against_other_events():
+    sim = Simulator()
+    order = []
+    ev = SimEvent(sim)
+    ev.add_callback(lambda e: order.append("event"))
+    ev.succeed(delay=5.0)
+    sim.schedule(3.0, order.append, "early")
+    sim.schedule(7.0, order.append, "late")
+    sim.run()
+    assert order == ["early", "event", "late"]
+
+
+def test_process_can_yield_allof_and_anyof():
+    from repro.sim import AllOf, AnyOf
+
+    sim = Simulator()
+    results = []
+
+    def proc():
+        a, b = sim.timeout(2.0, "a"), sim.timeout(4.0, "b")
+        winner, val = yield AnyOf(sim, [a, b])
+        results.append(val)
+        c, d = sim.timeout(1.0, "c"), sim.timeout(3.0, "d")
+        vals = yield AllOf(sim, [c, d])
+        results.append(vals)
+
+    sim.spawn(proc())
+    sim.run()
+    assert results == ["a", ["c", "d"]]

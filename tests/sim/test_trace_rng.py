@@ -1,0 +1,96 @@
+"""Unit tests for the tracer and seeded random streams."""
+
+import pytest
+
+from repro.sim import RandomStreams, Simulator, Tracer
+
+
+def test_tracer_records_and_counts():
+    sim = Simulator()
+    tr = Tracer(sim)
+    sim.schedule(2.0, lambda: tr.record("pkt.send", size=64, dst=1))
+    sim.schedule(4.0, lambda: tr.record("pkt.send", size=128, dst=2))
+    sim.run()
+    assert tr.counters["pkt.send"] == 2
+    recs = tr.of_category("pkt.send")
+    assert [r.time for r in recs] == [2.0, 4.0]
+    assert recs[0].get("size") == 64
+    assert recs[0].get("missing", "dflt") == "dflt"
+
+
+def test_tracer_disabled_is_inert():
+    sim = Simulator()
+    tr = Tracer(sim, enabled=False)
+    tr.record("x")
+    tr.count("y")
+    tr.sample("z", 1.0)
+    tr.span_begin("k", "span")
+    assert tr.span_end("k") is None
+    assert not tr.records and not tr.counters and not tr.samples
+
+
+def test_tracer_spans_measure_durations():
+    sim = Simulator()
+    tr = Tracer(sim)
+
+    def proc():
+        tr.span_begin("msg1", "latency")
+        yield sim.timeout(7.5)
+        tr.span_end("msg1")
+
+    sim.spawn(proc())
+    sim.run()
+    assert tr.samples["latency"] == [7.5]
+    assert tr.mean("latency") == 7.5
+
+
+def test_tracer_span_end_unknown_key():
+    sim = Simulator()
+    tr = Tracer(sim)
+    assert tr.span_end("nope") is None
+
+
+def test_tracer_mean_requires_samples():
+    sim = Simulator()
+    tr = Tracer(sim)
+    with pytest.raises(KeyError):
+        tr.mean("empty")
+
+
+def test_tracer_keep_records_false_still_counts():
+    sim = Simulator()
+    tr = Tracer(sim, keep_records=False)
+    tr.record("a", k=1)
+    assert tr.counters["a"] == 1
+    assert tr.records == []
+
+
+def test_rng_streams_are_deterministic():
+    a = RandomStreams(seed=7)
+    b = RandomStreams(seed=7)
+    assert a.stream("nic").random() == b.stream("nic").random()
+
+
+def test_rng_streams_independent_of_access_order():
+    a = RandomStreams(seed=7)
+    b = RandomStreams(seed=7)
+    a.stream("x")
+    va = a.stream("y").random()
+    vb = b.stream("y").random()  # accessed first in b
+    assert va == vb
+
+
+def test_rng_different_names_differ():
+    r = RandomStreams(seed=7)
+    assert r.stream("p").random() != r.stream("q").random()
+
+
+def test_rng_helpers():
+    r = RandomStreams(seed=1)
+    u = r.uniform("u", 2.0, 3.0)
+    assert 2.0 <= u < 3.0
+    e = r.exponential("e", mean=5.0)
+    assert e >= 0.0
+    i = r.integers("i", 0, 10)
+    assert 0 <= i < 10
+    assert r.choice("c", ["only"]) == "only"

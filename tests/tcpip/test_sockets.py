@@ -1,0 +1,294 @@
+"""Tests for the simulated TCP/IP substrate."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.tcpip import IpNetwork, Listener, Poller, TcpError, TcpSocket
+
+
+def make_net(nodes=2):
+    cluster = Cluster(nodes=nodes)
+    net = IpNetwork(cluster.sim, cluster.config)
+    return cluster, net
+
+
+def test_connect_accept_send_recv():
+    cluster, net = make_net()
+    listener = Listener(net, cluster.nodes[1], 5000)
+    got = []
+
+    def server(t):
+        sock = yield from listener.accept(t)
+        data = yield from sock.recv_exact(t, 5)
+        got.append(data)
+
+    def client(t):
+        sock = yield from TcpSocket.connect(net, t, cluster.nodes[0], 1, 5000)
+        yield from sock.send(t, b"hello")
+
+    cluster.nodes[1].spawn_thread(server)
+    cluster.nodes[0].spawn_thread(client)
+    cluster.run()
+    assert got == [b"hello"]
+
+
+def test_connection_refused():
+    cluster, net = make_net()
+    failed = []
+
+    def client(t):
+        try:
+            yield from TcpSocket.connect(net, t, cluster.nodes[0], 1, 9999)
+        except TcpError:
+            failed.append(True)
+
+    cluster.nodes[0].spawn_thread(client)
+    cluster.run()
+    assert failed == [True]
+
+
+def test_double_bind_rejected():
+    cluster, net = make_net()
+    Listener(net, cluster.nodes[0], 7000)
+    with pytest.raises(TcpError):
+        Listener(net, cluster.nodes[0], 7000)
+
+
+def test_stream_reassembles_across_segments():
+    """A message larger than the MSS arrives intact and in order."""
+    cluster, net = make_net()
+    n = cluster.config.tcp_mss * 3 + 17
+    payload = bytes(range(256)) * (n // 256 + 1)
+    payload = payload[:n]
+    listener = Listener(net, cluster.nodes[1], 5000)
+    got = []
+
+    def server(t):
+        sock = yield from listener.accept(t)
+        got.append((yield from sock.recv_exact(t, n)))
+
+    def client(t):
+        sock = yield from TcpSocket.connect(net, t, cluster.nodes[0], 1, 5000)
+        yield from sock.send(t, payload)
+
+    cluster.nodes[1].spawn_thread(server)
+    cluster.nodes[0].spawn_thread(client)
+    cluster.run()
+    assert got[0] == payload
+
+
+def test_recv_returns_partial_data():
+    cluster, net = make_net()
+    listener = Listener(net, cluster.nodes[1], 5000)
+    sizes = []
+
+    def server(t):
+        sock = yield from listener.accept(t)
+        data = yield from sock.recv(t, 1000)
+        sizes.append(len(data))
+
+    def client(t):
+        sock = yield from TcpSocket.connect(net, t, cluster.nodes[0], 1, 5000)
+        yield from sock.send(t, b"abc")
+
+    cluster.nodes[1].spawn_thread(server)
+    cluster.nodes[0].spawn_thread(client)
+    cluster.run()
+    assert sizes == [3]
+
+
+def test_eof_on_peer_close():
+    cluster, net = make_net()
+    listener = Listener(net, cluster.nodes[1], 5000)
+    out = []
+
+    def server(t):
+        sock = yield from listener.accept(t)
+        data = yield from sock.recv_exact(t, 2)
+        out.append(data)
+        out.append((yield from sock.recv(t, 10)))
+
+    def client(t):
+        sock = yield from TcpSocket.connect(net, t, cluster.nodes[0], 1, 5000)
+        yield from sock.send(t, b"ok")
+        sock.close()
+
+    cluster.nodes[1].spawn_thread(server)
+    cluster.nodes[0].spawn_thread(client)
+    cluster.run()
+    assert out == [b"ok", b""]
+
+
+def test_recv_exact_raises_on_midstream_eof():
+    cluster, net = make_net()
+    listener = Listener(net, cluster.nodes[1], 5000)
+    errors = []
+
+    def server(t):
+        sock = yield from listener.accept(t)
+        try:
+            yield from sock.recv_exact(t, 100)
+        except TcpError as e:
+            errors.append(str(e))
+
+    def client(t):
+        sock = yield from TcpSocket.connect(net, t, cluster.nodes[0], 1, 5000)
+        yield from sock.send(t, b"short")
+        sock.close()
+
+    cluster.nodes[1].spawn_thread(server)
+    cluster.nodes[0].spawn_thread(client)
+    cluster.run()
+    assert errors and "5/100" in errors[0]
+
+
+def test_send_on_reset_connection_raises():
+    cluster, net = make_net()
+    listener = Listener(net, cluster.nodes[1], 5000)
+    errors = []
+
+    def server(t):
+        sock = yield from listener.accept(t)
+        sock.close()
+
+    def client(t):
+        sock = yield from TcpSocket.connect(net, t, cluster.nodes[0], 1, 5000)
+        yield from t.sleep(500.0)
+        try:
+            yield from sock.send(t, b"too late")
+        except TcpError:
+            errors.append(True)
+
+    cluster.nodes[1].spawn_thread(server)
+    cluster.nodes[0].spawn_thread(client)
+    cluster.run()
+    assert errors == [True]
+
+
+def test_tcp_latency_far_exceeds_native():
+    """The motivating gap: a small TCP round trip costs tens of µs."""
+    cluster, net = make_net()
+    listener = Listener(net, cluster.nodes[1], 5000)
+    rtt = []
+
+    def server(t):
+        sock = yield from listener.accept(t)
+        data = yield from sock.recv_exact(t, 4)
+        yield from sock.send(t, data)
+
+    def client(t):
+        sock = yield from TcpSocket.connect(net, t, cluster.nodes[0], 1, 5000)
+        start = cluster.sim.now
+        yield from sock.send(t, b"ping")
+        yield from sock.recv_exact(t, 4)
+        rtt.append(cluster.sim.now - start)
+
+    cluster.nodes[1].spawn_thread(server)
+    cluster.nodes[0].spawn_thread(client)
+    cluster.run()
+    assert rtt[0] > 2 * cluster.config.tcp_wire_us  # ≥ the two wire crossings
+    assert rtt[0] > 50.0  # an order of magnitude above QsNet
+
+
+def test_bidirectional_traffic():
+    cluster, net = make_net()
+    listener = Listener(net, cluster.nodes[1], 5000)
+    log = []
+
+    def server(t):
+        sock = yield from listener.accept(t)
+        for _ in range(3):
+            msg = yield from sock.recv_exact(t, 3)
+            yield from sock.send(t, msg.upper())
+
+    def client(t):
+        sock = yield from TcpSocket.connect(net, t, cluster.nodes[0], 1, 5000)
+        for word in (b"abc", b"def", b"ghi"):
+            yield from sock.send(t, word)
+            log.append((yield from sock.recv_exact(t, 3)))
+
+    cluster.nodes[1].spawn_thread(server)
+    cluster.nodes[0].spawn_thread(client)
+    cluster.run()
+    assert log == [b"ABC", b"DEF", b"GHI"]
+
+
+def test_poller_returns_ready_socket():
+    cluster, net = make_net()
+    listener = Listener(net, cluster.nodes[1], 5000)
+    ready_names = []
+
+    def server(t):
+        a = yield from listener.accept(t)
+        b = yield from listener.accept(t)
+        poller = Poller(net)
+        poller.register(a)
+        poller.register(b)
+        ready = yield from poller.poll(t)
+        ready_names.append(len(ready))
+        data = ready[0].try_recv(100)
+        ready_names.append(data)
+
+    def client(t, delay, msg):
+        sock = yield from TcpSocket.connect(net, t, cluster.nodes[0], 1, 5000)
+        yield from t.sleep(delay)
+        yield from sock.send(t, msg)
+
+    cluster.nodes[1].spawn_thread(server)
+    cluster.nodes[0].spawn_thread(lambda t: client(t, 100.0, b"first"))
+    cluster.nodes[0].spawn_thread(lambda t: client(t, 300.0, b"second"))
+    cluster.run()
+    assert ready_names[0] == 1
+    assert ready_names[1] == b"first"
+
+
+def test_poller_nonblocking_empty():
+    cluster, net = make_net()
+    listener = Listener(net, cluster.nodes[1], 5000)
+    out = []
+
+    def server(t):
+        sock = yield from listener.accept(t)
+        poller = Poller(net)
+        poller.register(sock)
+        out.append((yield from poller.poll(t, block=False)))
+
+    def client(t):
+        yield from TcpSocket.connect(net, t, cluster.nodes[0], 1, 5000)
+
+    cluster.nodes[1].spawn_thread(server)
+    cluster.nodes[0].spawn_thread(client)
+    cluster.run()
+    assert out == [[]]
+
+
+def test_poller_watches_listener():
+    cluster, net = make_net()
+    listener = Listener(net, cluster.nodes[1], 5000)
+    out = []
+
+    def server(t):
+        poller = Poller(net)
+        poller.register(listener)
+        ready = yield from poller.poll(t)
+        out.append(ready[0] is listener)
+
+    def client(t):
+        yield from TcpSocket.connect(net, t, cluster.nodes[0], 1, 5000)
+
+    cluster.nodes[1].spawn_thread(server)
+    cluster.nodes[0].spawn_thread(client)
+    cluster.run()
+    assert out == [True]
+
+
+def test_poller_register_unregister():
+    cluster, net = make_net()
+    poller = Poller(net)
+    listener = Listener(net, cluster.nodes[0], 5000)
+    poller.register(listener)
+    poller.register(listener)
+    assert len(poller.watched) == 1
+    poller.unregister(listener)
+    poller.unregister(listener)
+    assert len(poller.watched) == 0
