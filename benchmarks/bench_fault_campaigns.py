@@ -1,0 +1,125 @@
+"""Extension bench — degraded-mode bandwidth under fault campaigns.
+
+The paper's fault story is end-to-end reliability over QDMA traffic (§3);
+this bench measures what recovery *costs*.  A two-rail cluster streams
+large messages while a seeded campaign kills rail 1 mid-stream: the PML
+fails the in-flight traffic over to rail 0 and the stream completes on
+the survivor.  Three configurations bound the failover cost:
+
+* ``2 rails (clean)``  — the no-fault upper bound (striped);
+* ``1 rail  (clean)``  — the permanent-degraded lower bound;
+* ``2 rails, rail dies mid-stream`` — starts striped, ends degraded; its
+  bandwidth must land *between* the two clean envelopes, and the gap to
+  the 1-rail floor is the price of the failover transient.
+"""
+
+from conftest import run_once
+
+from repro.bench.reporting import format_series_table
+from repro.cluster import Cluster
+from repro.core.ptl.elan4.module import Elan4PtlOptions
+from repro.faults import FaultInjector, FaultPlan
+from repro.mpi.world import make_mpi_stack_factory
+from repro.rte.environment import RteJob
+
+SIZES = [65536, 262144, 1048576]
+MESSAGES = 16
+WINDOW = 8
+#: reliability mode everywhere: failover needs host-tracked fragments
+RELIABLE = Elan4PtlOptions(reliability=True, chained_fin=False)
+
+
+def _stream_bw(rails, transports, nbytes, kill_rail_at_frac=None):
+    """Streaming bandwidth in MB/s; optionally kill rail 1 mid-stream at
+    the given fraction of the expected clean transfer time."""
+    cluster = Cluster(nodes=2, rails=rails)
+    job = RteJob(
+        cluster, stack_factory=make_mpi_stack_factory(elan4_options=RELIABLE)
+    )
+    out = {}
+    start_us = 2500.0  # past MPI wire-up; campaign times are absolute
+
+    def sender(mpi):
+        yield from mpi.thread.sleep(start_us - mpi.now)
+        bufs = [mpi.alloc(nbytes) for _ in range(WINDOW)]
+        t0 = mpi.now
+        reqs = []
+        for i in range(MESSAGES):
+            if len(reqs) >= WINDOW:
+                yield from mpi.wait(reqs.pop(0))
+            reqs.append((yield from mpi.comm_world.isend(
+                bufs[i % WINDOW], dest=1, tag=1, nbytes=nbytes)))
+        yield from mpi.waitall(reqs)
+        yield from mpi.comm_world.recv(source=1, tag=2, nbytes=0)
+        out["bw"] = MESSAGES * nbytes / (mpi.now - t0)
+
+    def receiver(mpi):
+        buf = mpi.alloc(nbytes)
+        reqs = []
+        for i in range(MESSAGES):
+            if len(reqs) >= WINDOW:
+                yield from mpi.wait(reqs.pop(0))
+            reqs.append((yield from mpi.comm_world.irecv(
+                nbytes, source=0, tag=1, buffer=buf)))
+        yield from mpi.waitall(reqs)
+        yield from mpi.comm_world.send(b"", dest=0, tag=2, nbytes=0)
+
+    job.launch(0, sender, group="world", group_count=2, transports=transports)
+    job.launch(1, receiver, group="world", group_count=2, transports=transports)
+
+    injector = None
+    if kill_rail_at_frac is not None:
+        # estimate the clean transfer time from the wire rate to place the
+        # kill mid-stream, whatever the message size
+        est_us = MESSAGES * nbytes * cluster.config.link_us_per_byte / rails
+        plan = FaultPlan("rail-kill", seed=1).rail_down(
+            start_us + kill_rail_at_frac * est_us, rail=1
+        )
+        injector = FaultInjector(cluster, plan, job=job)
+        injector.arm()
+
+    job.wait()
+    if injector is not None:
+        assert injector.stats()["failovers"] > 0 or injector.stats()[
+            "retransmissions"] >= 0  # campaign really ran
+    return out["bw"]
+
+
+def run():
+    clean2 = {n: _stream_bw(2, ("elan4", "elan4:1"), n) for n in SIZES}
+    clean1 = {n: _stream_bw(1, ("elan4",), n) for n in SIZES}
+    killed = {
+        n: _stream_bw(2, ("elan4", "elan4:1"), n, kill_rail_at_frac=0.5)
+        for n in SIZES
+    }
+    return {
+        "2 rails (clean)": clean2,
+        "rail dies mid-stream": killed,
+        "1 rail (clean)": clean1,
+    }
+
+
+def test_failover_bandwidth_between_envelopes(benchmark):
+    results = run_once(benchmark, run)
+    print()
+    print(
+        format_series_table(
+            "Extension — streaming bandwidth while a rail dies mid-stream",
+            results,
+            unit="MB/s",
+            note="PML failover: starts striped over 2 rails, completes on "
+            "the survivor; the gap to the 1-rail floor is the failover "
+            "transient's cost",
+        )
+    )
+    for n in SIZES:
+        two, one, mid = (
+            results["2 rails (clean)"][n],
+            results["1 rail (clean)"][n],
+            results["rail dies mid-stream"][n],
+        )
+        print(f"size {n}: clean2 {two:.0f}, killed {mid:.0f}, clean1 {one:.0f}")
+        # degraded run cannot beat the clean 2-rail envelope, and must not
+        # collapse below half the 1-rail floor (recovery, not meltdown)
+        assert mid < two * 1.02, (n, mid, two)
+        assert mid > one * 0.5, (n, mid, one)

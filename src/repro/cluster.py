@@ -55,6 +55,7 @@ class Cluster:
         rail = len(self.rail_fabrics)
         topology = build_quaternary_fat_tree(self.n_nodes)
         fabric = Fabric(self.sim, self.config, topology)
+        fabric.tracer = self.tracer
         capability = ElanCapability(self.n_nodes, contexts_per_node=contexts_per_node)
         nics = []
         for node in self.nodes:

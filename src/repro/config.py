@@ -161,6 +161,14 @@ class MachineConfig:
     rndv_threshold: int = 1984
     #: default first-fragment inline policy (paper evaluates both)
     rndv_inline_data: bool = False
+    #: rendezvous RDMA completion watchdog: base timeout before a stalled
+    #: read is cancelled and re-issued (0 disables the watchdog)
+    rdma_timeout_us: float = 1000.0
+    #: per-byte slack added to the watchdog (~10× the per-byte wire+PCI
+    #: cost, so healthy large pulls never false-trigger)
+    rdma_timeout_us_per_byte: float = 0.01
+    #: host re-issues of one rendezvous RDMA before giving up on it
+    rdma_max_retries: int = 4
 
     # ------------------------------------------------------------------
     # derived helpers

@@ -61,6 +61,7 @@ class MatchingEngine:
         self._parked: Dict[Tuple[int, int], Dict[int, IncomingFragment]] = {}
         self.matches = 0
         self.unexpected_arrivals = 0
+        self.duplicates_dropped = 0
 
     # -- receive posting -----------------------------------------------------
     def post(self, req: RecvRequest) -> Optional[IncomingFragment]:
@@ -109,8 +110,14 @@ class MatchingEngine:
         """
         key = (frag.header.ctx_id, frag.header.src_rank)
         expected = self._expected_seq.get(key, 0)
+        if frag.header.seq < expected:
+            # a duplicate of an already-matched fragment (failover replay);
+            # matching it again would deliver the message twice
+            self.duplicates_dropped += 1
+            return []
         if frag.header.seq != expected:
-            # ahead of its turn: park until predecessors arrive
+            # ahead of its turn: park until predecessors arrive (a replayed
+            # duplicate of a parked fragment simply replaces it)
             self._parked.setdefault(key, {})[frag.header.seq] = frag
             return []
         results = [(frag, self._match_one(frag))]
@@ -133,6 +140,26 @@ class MatchingEngine:
         self.unexpected_arrivals += 1
         self._unexpected.setdefault(frag.header.ctx_id, []).append(frag)
         return None
+
+    def expected_seq(self, ctx_id: int, src_rank: int) -> int:
+        """Next in-order sequence expected from ``src_rank`` on ``ctx_id``
+        (anything below this has already been matched or queued)."""
+        return self._expected_seq.get((ctx_id, src_rank), 0)
+
+    def replace_unexpected(self, frag: IncomingFragment) -> bool:
+        """Failover support: a re-sent copy of a fragment still sitting in
+        the unexpected queue supersedes the original — the replay arrives
+        via a healthy module, so when a receive finally matches it the
+        rendezvous runs against live transport state."""
+        queue = self._unexpected.get(frag.header.ctx_id, [])
+        for i, old in enumerate(queue):
+            if (
+                old.header.src_rank == frag.header.src_rank
+                and old.header.seq == frag.header.seq
+            ):
+                queue[i] = frag
+                return True
+        return False
 
     # -- peer restart support -----------------------------------------------
     def reset_peer(self, src_rank: int) -> None:

@@ -29,6 +29,7 @@ from typing import Dict, Generator, List, Optional, Tuple, TYPE_CHECKING
 from repro.core.datatype import DatatypeEngine
 from repro.core.header import HDR_MATCH, HDR_RNDV
 from repro.core.pml.matching import IncomingFragment, MatchingEngine
+from repro.core.ptl.base import PtlError
 from repro.core.request import ANY_SOURCE, ANY_TAG, RecvRequest, Request, SendRequest
 from repro.sim.events import AnyOf
 
@@ -74,6 +75,16 @@ class Pml:
         self.recvs = 0
         self.completions = 0  # requests completed (either side)
         self._rail_rr = 0  # round-robin cursor for equal-priority modules
+        #: ranks with no surviving path -> the diagnosis that killed them
+        self.dead_peers: Dict[int, BaseException] = {}
+        self.failovers = 0  # in-flight traffic moved to a surviving PTL
+        #: open rendezvous receives by (ctx_id, src_rank, seq) — consulted
+        #: when a duplicate RNDV arrives so failover can re-run the protocol
+        self._active_rndv: Dict[Tuple[int, int, int], RecvRequest] = {}
+        try:
+            self.tracer = process.job.cluster.tracer
+        except AttributeError:
+            self.tracer = None
 
     # -- stack assembly ------------------------------------------------------
     def add_module(self, module: "PtlModule") -> None:
@@ -91,7 +102,7 @@ class Pml:
         best = None
         candidates = []
         for m in self.modules:  # sorted by schedule_priority
-            if not m.has_peer(rank):
+            if not m.healthy or not m.has_peer(rank):
                 continue
             if best is None:
                 best = m.schedule_priority
@@ -115,8 +126,16 @@ class Pml:
             raise PmlError(f"unknown request id {req_id}")
         return req
 
+    def find_request(self, req_id: int) -> Optional[Request]:
+        """Tolerant lookup: None for retired/unknown ids.  Control fragments
+        re-delivered after a failover may outlive their request."""
+        return self.requests.get(req_id)
+
     def retire(self, req: Request) -> None:
         self.requests.pop(req.req_id, None)
+        key = getattr(req, "_rndv_key", None)
+        if key is not None:
+            self._active_rndv.pop(key, None)
 
     # -- the MPI-facing operations -----------------------------------------------
     def isend(
@@ -136,12 +155,15 @@ class Pml:
         key = (ctx_id, dst_rank)
         seq = self._send_seq.get(key, 0)
         self._send_seq[key] = seq + 1
+        if dst_rank in self.dead_peers:
+            raise self.dead_peers[dst_rank]
         req = SendRequest(self.sim, buffer, nbytes, dst_rank, tag, ctx_id, seq)
         req.sync = sync
         self.register(req)
         self.sends += 1
         yield from self.datatype.request_init(thread)  # send convertor
         module = self.module_for(dst_rank)
+        req.ptl_module = module  # which rail owns it (failover bookkeeping)
         try:
             yield from module.send_first(thread, req)
         except BaseException as e:
@@ -175,9 +197,28 @@ class Pml:
     def incoming_fragment(self, thread, frag: IncomingFragment) -> Generator:
         """A PTL received a first fragment (MATCH or RNDV)."""
         yield from thread.compute(self.config.pml_match_us)
+        hdr = frag.header
+        if hdr.seq < self.matching.expected_seq(hdr.ctx_id, hdr.src_rank):
+            # a fragment we already matched, re-sent through a surviving
+            # module after a rail/peer failover — never match it twice
+            yield from self._handle_duplicate(thread, frag)
+            return
         for ready_frag, req in self.matching.incoming(frag):
             if req is not None:
                 yield from self.deliver_matched(thread, ready_frag, req)
+
+    def _handle_duplicate(self, thread, frag: IncomingFragment) -> Generator:
+        """A replayed first fragment whose sequence was already consumed."""
+        hdr = frag.header
+        self.matching.duplicates_dropped += 1
+        if self.tracer is not None:
+            self.tracer.count("pml.duplicate_fragment")
+        if self.matching.replace_unexpected(frag):
+            # the original is still queued unmatched: the fresh copy (with
+            # live transport state) replaces it, nothing else to do
+            return
+        req = self._active_rndv.get((hdr.ctx_id, hdr.src_rank, hdr.seq))
+        yield from frag.ptl.matched_duplicate(thread, frag, req)
 
     def deliver_matched(self, thread, frag: IncomingFragment, req: RecvRequest) -> Generator:
         """Run the receive side of a matched first fragment."""
@@ -199,6 +240,12 @@ class Pml:
         elif hdr.type == HDR_RNDV:
             if inline > 0:
                 self.recv_progress(req, inline)
+            if not req.completed:
+                # remember the open rendezvous: if the rail dies mid-pull the
+                # sender re-sends this fragment and we re-run the protocol
+                key = (hdr.ctx_id, hdr.src_rank, hdr.seq)
+                self._active_rndv[key] = req
+                req._rndv_key = key
             yield from frag.ptl.matched(thread, req, frag)
         else:  # pragma: no cover - PTLs only hand up MATCH/RNDV
             raise PmlError(f"unmatchable fragment type {hdr.type_name}")
@@ -223,6 +270,105 @@ class Pml:
         for key in [k for k in self._send_seq if k[1] == rank]:
             del self._send_seq[key]
         self.matching.reset_peer(rank)
+
+    # -- failover (§3: scheduling around a degraded interconnect) ---------------
+    def peer_failed(self, module: "PtlModule", rank: int, error: BaseException) -> None:
+        """A module's reliability layer presumes ``rank`` dead on its path.
+        Move the peer's in-flight traffic to a surviving PTL; with none
+        left, fail exactly that peer's requests."""
+        module.mark_peer_dead(rank)
+        if self.tracer is not None:
+            self.tracer.count("pml.peer_report")
+        self._reschedule_failed(module, error, [rank])
+
+    def rail_failed(self, module: "PtlModule", error: BaseException) -> None:
+        """An entire rail is diagnosed dead (fabric power loss, NIC death):
+        stop scheduling onto it and fail over everything it carried."""
+        if not module.healthy:
+            return
+        module.healthy = False
+        if self.tracer is not None:
+            self.tracer.count("pml.rail_down")
+        peers = list(getattr(module, "peers", {}) or [])
+        self._reschedule_failed(module, error, peers)
+
+    def _reschedule_failed(self, module, error, ranks) -> None:
+        plan = []
+        for rank in ranks:
+            takeover = getattr(module, "takeover_payloads", None)
+            payloads, skipped = takeover(rank) if takeover is not None else ([], 0)
+            reqs = [
+                r
+                for r in self.requests.values()
+                if isinstance(r, SendRequest)
+                and r.dst_rank == rank
+                and not r.completed
+                and getattr(r, "ptl_module", None) is module
+            ]
+            try:
+                survivor = self.module_for(rank)
+            except PmlError:
+                survivor = None
+            if survivor is None:
+                self.dead_peers[rank] = error
+                if self.tracer is not None:
+                    self.tracer.count("pml.peer_dead")
+                    self.tracer.count("pml.failover_dropped_payloads", len(payloads))
+                self._fail_peer_requests(rank, error)
+                continue
+            if payloads or skipped or reqs:
+                self.failovers += 1
+                if self.tracer is not None:
+                    self.tracer.count("pml.failover")
+            plan.append((survivor, rank, payloads, reqs))
+        if any(payloads or reqs for _, _, payloads, reqs in plan):
+            self.process.node.spawn_thread(
+                lambda t: self._failover_body(t, plan), name="pml-failover"
+            )
+
+    def _failover_body(self, thread, plan) -> Generator:
+        for survivor, rank, payloads, reqs in plan:
+            # 1) replay self-contained fragments owed by the dead channel,
+            #    in sequence order, so the peer's matching engine heals
+            for payload in payloads:
+                try:
+                    yield from survivor.resend_payload(thread, rank, payload)
+                except PtlError:
+                    # transport cannot carry foreign fragments (e.g. TCP as
+                    # the only survivor of an Elan4 rail): accounted loss
+                    if self.tracer is not None:
+                        self.tracer.count("pml.failover_dropped_payloads")
+            # 2) re-run the first-fragment protocol for open send requests
+            #    (rendezvous state is rail-local: start them over)
+            for req in reqs:
+                if req.completed:
+                    continue
+                req.transport.clear()
+                req.ptl_module = survivor
+                try:
+                    yield from survivor.send_first(thread, req)
+                except BaseException as e:  # noqa: BLE001 - fail, don't wedge
+                    if not req.completed:
+                        req.fail(e)
+                        self.completions += 1
+                        self.retire(req)
+
+    def _fail_peer_requests(self, rank: int, error: BaseException) -> None:
+        """Scope a peer death to the requests that actually involve it."""
+        for req in list(self.requests.values()):
+            if req.completed:
+                continue
+            if isinstance(req, SendRequest):
+                involved = req.dst_rank == rank
+            elif isinstance(req, RecvRequest):
+                # wildcard receives can still be satisfied by survivors
+                involved = req.src_rank == rank
+            else:
+                involved = False
+            if involved:
+                req.fail(error)
+                self.completions += 1
+                self.retire(req)
 
     # -- progress drivers --------------------------------------------------------
     def progress_once(self, thread) -> Generator:

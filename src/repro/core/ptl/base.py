@@ -67,6 +67,30 @@ class PtlModule:
         self.bandwidth_weight: float = 1.0
         #: PML scheduling order: lower is preferred (elan4=0, tcp=10)
         self.schedule_priority: int = 100
+        #: cleared when the module's rail is diagnosed dead; the PML skips
+        #: unhealthy modules when scheduling (failover, §3)
+        self.healthy: bool = True
+
+    # -- fault handling -------------------------------------------------------
+    def mark_peer_dead(self, rank: int) -> None:
+        """The path to ``rank`` through this module is gone; stop offering
+        it.  Default: drop the peer wiring if the transport supports it."""
+        remove = getattr(self, "remove_peer", None)
+        if remove is not None:
+            remove(rank)
+
+    def matched_duplicate(self, thread, frag, req) -> Generator:
+        """A re-sent copy of an already-seen first fragment arrived (PML
+        sequence below expectation).  ``req`` is the still-open receive it
+        originally matched, or ``None``.  Default: ignore it."""
+        yield self.sim.timeout(0)
+
+    def resend_payload(self, thread, rank: int, payload) -> Generator:
+        """Failover replay of a raw fragment harvested from a dead rail's
+        reliability channel.  Only transports sharing the fragment wire
+        format can accept these; the base refuses."""
+        raise PtlError(f"{self.name}: cannot replay foreign fragments")
+        yield  # pragma: no cover
 
     # -- identity ------------------------------------------------------------
     def local_info(self) -> Dict[str, Any]:

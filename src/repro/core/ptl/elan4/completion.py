@@ -52,11 +52,14 @@ class CompletionWatcher:
         self._tokens: Dict[int, Handler] = {}
         self._token_ids = itertools.count(1)
         self.notifications = 0
+        self.stale_tokens = 0
 
     # -- registration ------------------------------------------------------
-    def watch(self, done: "ElanEvent", handler: Handler) -> None:
+    def watch(self, done: "ElanEvent", handler: Handler) -> Callable[[], None]:
         """Arrange for ``handler(thread)`` to run (from a progress context)
-        once ``done`` fires."""
+        once ``done`` fires.  Returns a cancel callable that unregisters the
+        watch — used when a completion is abandoned (RDMA watchdog timeout),
+        so the dead entry cannot wedge the finalize drain."""
         module = self.module
         if self.mode == "none":
             # Watched events surface while the waiter is already awake
@@ -64,19 +67,32 @@ class CompletionWatcher:
             # so they are never interrupt-armed: the NIC writes the host
             # word directly and the poll loop sees it.
             word = done.attach_host_word()
-            self._watched.append((word, handler))
-        else:
-            token = next(self._token_ids)
-            self._tokens[token] = handler
-            qid = module.completion_qid
-            done.chain(
-                module.ctx.chained_qdma(
-                    module.ctx.vpid,
-                    qid,
-                    np.empty(0, dtype=np.uint8),
-                    meta={"compl": token},
-                )
+            entry = (word, handler)
+            self._watched.append(entry)
+
+            def cancel() -> None:
+                try:
+                    self._watched.remove(entry)
+                except ValueError:
+                    pass
+
+            return cancel
+        token = next(self._token_ids)
+        self._tokens[token] = handler
+        qid = module.completion_qid
+        done.chain(
+            module.ctx.chained_qdma(
+                module.ctx.vpid,
+                qid,
+                np.empty(0, dtype=np.uint8),
+                meta={"compl": token},
             )
+        )
+
+        def cancel() -> None:
+            self._tokens.pop(token, None)
+
+        return cancel
 
     def watch_silent(self, done: "ElanEvent") -> None:
         """Queue modes: emit the completion message with a no-op handler
@@ -91,7 +107,11 @@ class CompletionWatcher:
         """A completion message arrived on a queue."""
         handler = self._tokens.pop(token, None)
         if handler is None:
-            raise KeyError(f"completion token {token} unknown/duplicated")
+            # a watch cancelled in the same tick its completion message was
+            # already in flight (RDMA watchdog race): stale, not a bug
+            self.stale_tokens += 1
+            yield thread.sim.timeout(0)
+            return
         self.notifications += 1
         yield from handler(thread)
 

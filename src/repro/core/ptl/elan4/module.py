@@ -167,10 +167,15 @@ class Elan4PtlModule(PtlModule):
                 self.process.space.alloc(self.config.qslot_bytes, label=f"sendbuf{i}")
             )
         self.peers: Dict[int, int] = {}  # rank -> vpid
+        #: vpids of peers marked dead — the rank->vpid mapping survives
+        #: removal so the failover takeover can still harvest their state
+        self._dead_vpids: Dict[int, int] = {}
         self.peer_recv_qid = PTL_RECV_QID
         self.eager_sends = 0
         self.rndv_sends = 0
         self.control_sends = 0
+        self.stale_controls = 0  # duplicate/late ACK-FIN-FIN_ACK arrivals
+        self.rdma_retries = 0  # watchdog re-issues of rendezvous reads
         # §6.3 layer-cost instrumentation: time from handing a first
         # fragment up to the PML until the next send enters this PTL —
         # "the communication time above the PTL layer".  Data-copy time
@@ -313,6 +318,77 @@ class Elan4PtlModule(PtlModule):
     # -- PML downcall for matched rendezvous ------------------------------------
     def matched(self, thread, recv_req: "RecvRequest", frag: IncomingFragment) -> Generator:
         yield from rdma_sched.receiver_matched(self, thread, recv_req, frag)
+
+    def matched_duplicate(self, thread, frag: IncomingFragment, req) -> Generator:
+        """A replayed first fragment whose original was already matched.
+
+        Eager (MATCH) duplicates carry nothing the receiver still needs —
+        the original copy delivered the data and the sender completed at
+        injection time.  A duplicate RNDV is live protocol state: either
+        the rendezvous is still open (re-run it — the replay's header
+        carries fresh, survivor-rail source addresses) or the receive
+        finished and only the sender's completion proof was lost with the
+        dead rail, in which case we answer the FIN_ACK again.
+        """
+        hdr = frag.header
+        if hdr.type != HDR_RNDV:
+            yield self.sim.timeout(0)
+            return
+        if req is not None and not req.completed:
+            yield from self.matched(thread, req, frag)
+            return
+        self.stale_controls += 1
+        fin_ack = FragmentHeader(
+            type=HDR_FIN_ACK,
+            src_rank=self.process.rank,
+            ctx_id=hdr.ctx_id,
+            tag=hdr.tag,
+            seq=0,
+            msg_len=hdr.msg_len,
+            frag_len=0,
+            frag_offset=0,
+            src_req=hdr.src_req,
+            dst_req=hdr.src_req,
+            e4=None,
+        )
+        yield from self.send_control(thread, self.vpid_of(hdr.src_rank), fin_ack)
+
+    # -- fault handling ---------------------------------------------------------
+    def report_peer_failure(self, dst_vpid: int, error: BaseException) -> None:
+        """The reliability channel exhausted its retransmission budget
+        against ``dst_vpid``: tell the PML so it can fail over or declare
+        the peer dead."""
+        for rank, vpid in list(self.peers.items()):
+            if vpid == dst_vpid:
+                self.pml.peer_failed(self, rank, error)
+                return
+
+    def mark_peer_dead(self, rank: int) -> None:
+        vpid = self.peers.get(rank)
+        if vpid is not None:
+            self._dead_vpids[rank] = vpid
+        self.remove_peer(rank)
+
+    def takeover_payloads(self, rank: int):
+        """Harvest this module's unacknowledged fragments toward ``rank``
+        for replay on a survivor PTL.  Returns ``(payloads, skipped)``."""
+        if self.reliable is None:
+            return [], 0
+        vpid = self.peers.get(rank)
+        if vpid is None:
+            vpid = self._dead_vpids.get(rank)
+        if vpid is None:
+            return [], 0
+        return self.reliable.takeover(vpid)
+
+    def resend_payload(self, thread, rank: int, payload: np.ndarray) -> Generator:
+        """Replay a fragment harvested from a failed module.  Only frames
+        without rail-local E4 state are replayable (the PML filters)."""
+        vpid = self.vpid_of(rank)
+        if self.reliable is not None:
+            yield from self.reliable.send(thread, vpid, payload)
+            return
+        yield from self.ctx.qdma_send(thread, vpid, PTL_RECV_QID, payload)
 
     # -- receive path ----------------------------------------------------------
     def _handle_message(self, thread, msg: "QdmaMessage") -> Generator:

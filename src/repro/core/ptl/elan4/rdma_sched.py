@@ -33,7 +33,21 @@ from repro.core.header import (
     HDR_FIN,
     HDR_FIN_ACK,
 )
+from repro.core.ptl.base import PtlError
 from repro.elan4.rdma import RdmaDescriptor
+
+
+def _abandon_attempt(state) -> None:
+    """Tear down one rendezvous-read attempt: stop its watchdog, drop its
+    completion watch, release its NIC descriptor."""
+    state["abandoned"] = True
+    if state["watchdog"] is not None:
+        state["watchdog"].cancel()
+        state["watchdog"] = None
+    if state["cancel_watch"] is not None:
+        state["cancel_watch"]()
+    if state["desc"] is not None:
+        state["module"].ctx.nic.rdma.cancel(state["desc"])
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.pml.matching import IncomingFragment
@@ -54,6 +68,12 @@ def receiver_matched(
     inline = min(hdr.frag_len, recv_req.nbytes)
     remainder = recv_req.nbytes - inline
     peer_vpid = module.vpid_of(hdr.src_rank)
+
+    # failover re-match: if a previous attempt is still in flight on a dead
+    # rail, abandon it — this (re-sent) fragment carries fresh source state
+    prev = recv_req.transport.pop("rndv_state", None)
+    if prev is not None:
+        _abandon_attempt(prev)
 
     if module.options.rdma_scheme == "write":
         # Fig. 3: expose the receive buffer and ACK back to the sender.
@@ -101,37 +121,96 @@ def receiver_matched(
         return
 
     dst_e4 = module.ctx.map_buffer(recv_req.buffer.sub(inline, remainder))
-    desc = RdmaDescriptor(
-        op="read",
-        local=dst_e4,
-        remote=hdr.e4 + inline,
-        nbytes=remainder,
-        remote_vpid=peer_vpid,
-        done=module.ctx.make_event(name=f"rd-get#{recv_req.req_id}"),
-    )
-    if module.options.chained_fin:
-        # the event engine fires the FIN_ACK the instant the get completes —
-        # no I/O-bus crossing on the critical path (§4.2)
-        desc.done.chain(
-            module.ctx.chained_qdma(peer_vpid, module.peer_recv_qid, fin_ack.encode())
+    cfg = module.config
+    state = {
+        "module": module,
+        "desc": None,
+        "cancel_watch": None,
+        "watchdog": None,
+        "retries": 0,
+        "abandoned": False,
+    }
+    recv_req.transport["rndv_state"] = state
+
+    def attempt(t) -> Generator:
+        desc = RdmaDescriptor(
+            op="read",
+            local=dst_e4,
+            remote=hdr.e4 + inline,
+            nbytes=remainder,
+            remote_vpid=peer_vpid,
+            done=module.ctx.make_event(name=f"rd-get#{recv_req.req_id}"),
         )
+        state["desc"] = desc
+        if module.options.chained_fin:
+            # the event engine fires the FIN_ACK the instant the get
+            # completes — no I/O-bus crossing on the critical path (§4.2)
+            desc.done.chain(
+                module.ctx.chained_qdma(
+                    peer_vpid, module.peer_recv_qid, fin_ack.encode()
+                )
+            )
 
-    def on_complete(t) -> Generator:
-        module.pml.recv_progress(recv_req, remainder)
-        if not module.options.chained_fin:
-            # host-issued FIN_ACK: observe completion, then send (NoChain)
-            yield from module.send_control(t, peer_vpid, fin_ack)
-        else:
-            yield t.sim.timeout(0)
+        def on_complete(t2) -> Generator:
+            if state["watchdog"] is not None:
+                state["watchdog"].cancel()
+                state["watchdog"] = None
+            if state["abandoned"] or recv_req.completed:
+                yield t2.sim.timeout(0)
+                return
+            module.pml.recv_progress(recv_req, remainder)
+            if not module.options.chained_fin:
+                # host-issued FIN_ACK: observe completion, then send (NoChain)
+                yield from module.send_control(t2, peer_vpid, fin_ack)
+            else:
+                yield t2.sim.timeout(0)
 
-    module.completions.watch(desc.done, on_complete)
-    yield from module.ctx.rdma_issue(thread, desc)
+        state["cancel_watch"] = module.completions.watch(desc.done, on_complete)
+        if cfg.rdma_timeout_us > 0:
+            # completion watchdog: a pull whose request or data chunks died
+            # in the fabric completes nobody — detect and host-retry (§3's
+            # end-to-end recovery, extended beyond QDMA traffic)
+            timeout = cfg.rdma_timeout_us + remainder * cfg.rdma_timeout_us_per_byte
+            state["watchdog"] = module.sim.schedule(timeout, check)
+        yield from module.ctx.rdma_issue(t, desc)
+
+    def check() -> None:
+        if state["abandoned"] or recv_req.completed:
+            return
+        state["watchdog"] = None
+        if state["cancel_watch"] is not None:
+            state["cancel_watch"]()
+        module.ctx.nic.rdma.cancel(state["desc"])
+        if state["retries"] >= cfg.rdma_max_retries:
+            state["abandoned"] = True
+            error = PtlError(
+                f"rendezvous read of {remainder} bytes from rank "
+                f"{hdr.src_rank} stalled through {state['retries']} "
+                f"re-issues — giving up"
+            )
+            if not recv_req.completed:
+                recv_req.fail(error)
+                module.pml.completions += 1
+                module.pml.retire(recv_req)
+            return
+        state["retries"] += 1
+        module.rdma_retries += 1
+        if module.pml.tracer is not None:
+            module.pml.tracer.count("ptl.rdma_retry")
+        module.sim.spawn(attempt(None), name="rndv-read-retry")
+
+    yield from attempt(thread)
 
 
 def receiver_handle_fin(module: "Elan4PtlModule", thread, hdr: FragmentHeader) -> Generator:
     """Write scheme: the sender's FIN says the RDMA-written bytes are all
     in place."""
-    recv_req = module.pml.lookup_request(hdr.dst_req)
+    recv_req = module.pml.find_request(hdr.dst_req)
+    if recv_req is None or recv_req.completed:
+        # retransmitted FIN for a receive that already finished
+        module.stale_controls += 1
+        yield thread.sim.timeout(0)
+        return
     module.pml.recv_progress(recv_req, hdr.frag_len)
     yield thread.sim.timeout(0)
 
@@ -139,7 +218,13 @@ def receiver_handle_fin(module: "Elan4PtlModule", thread, hdr: FragmentHeader) -
 # ----------------------------------------------------------------- sender
 def sender_handle_ack(module: "Elan4PtlModule", thread, hdr: FragmentHeader) -> Generator:
     """Write scheme: the receiver exposed its buffer — write the remainder."""
-    send_req: "SendRequest" = module.pml.lookup_request(hdr.src_req)
+    send_req: "SendRequest" = module.pml.find_request(hdr.src_req)
+    if send_req is None or send_req.completed or send_req.acked:
+        # a duplicate ACK (failover replay of the rendezvous): the first
+        # copy already credited the inline bytes and started the put
+        module.stale_controls += 1
+        yield thread.sim.timeout(0)
+        return
     inline = hdr.frag_len
     if inline > 0:
         module.pml.send_progress(send_req, inline)
@@ -186,6 +271,9 @@ def sender_handle_ack(module: "Elan4PtlModule", thread, hdr: FragmentHeader) -> 
         )
 
     def on_complete(t) -> Generator:
+        if send_req.completed:
+            yield t.sim.timeout(0)
+            return
         module.pml.send_progress(send_req, remainder)
         if not module.options.chained_fin:
             yield from module.send_control(t, peer_vpid, fin)
@@ -199,7 +287,13 @@ def sender_handle_ack(module: "Elan4PtlModule", thread, hdr: FragmentHeader) -> 
 def sender_handle_fin_ack(module: "Elan4PtlModule", thread, hdr: FragmentHeader) -> Generator:
     """Read scheme: one FIN_ACK acknowledges the rendezvous and reports the
     whole message delivered."""
-    send_req: "SendRequest" = module.pml.lookup_request(hdr.dst_req)
+    send_req: "SendRequest" = module.pml.find_request(hdr.dst_req)
+    if send_req is None or send_req.completed:
+        # the receiver re-answered a duplicate rendezvous after the sender
+        # already completed — harmless evidence of a failover replay
+        module.stale_controls += 1
+        yield thread.sim.timeout(0)
+        return
     send_req.acked = True
     module.pml.send_progress(send_req, send_req.nbytes - send_req.bytes_progressed)
     yield thread.sim.timeout(0)

@@ -48,11 +48,19 @@ class ReliableChannel:
         module: "Elan4PtlModule",
         retransmit_timeout_us: float = 100.0,
         max_retries: int = 25,
+        backoff_factor: float = 2.0,
+        backoff_cap_us: float = 800.0,
+        jitter_frac: float = 0.25,
+        recv_window: int = 256,
     ):
         self.module = module
         self.sim = module.sim
         self.timeout_us = retransmit_timeout_us
         self.max_retries = max_retries
+        self.backoff_factor = backoff_factor
+        self.backoff_cap_us = backoff_cap_us
+        self.jitter_frac = jitter_frac
+        self.recv_window = recv_window
         #: per-peer next outgoing sequence
         self._tx_seq: Dict[int, int] = {}
         #: per-peer unacked: seq -> (payload, meta, retries, timer_handle)
@@ -64,12 +72,27 @@ class ReliableChannel:
         self.retransmissions = 0
         self.duplicates_dropped = 0
         self.acks_sent = 0
+        self.window_drops = 0
+        self.abandoned_fragments = 0
         self.failed = False
         self.closed = False
+        #: peers whose retry budget was exhausted -> the diagnosis
+        self.failed_peers: Dict[int, ReliabilityError] = {}
+        # deterministic jitter: a named substream keyed on rank/rail so
+        # adding channels elsewhere never perturbs this one
+        try:
+            streams = module.process.job.cluster.rng
+            self._jitter_rng = streams.stream(
+                f"reliable:{module.name}:{module.process.rank}"
+            )
+        except AttributeError:
+            self._jitter_rng = np.random.default_rng(12345)
 
     # -- send side ---------------------------------------------------------
     def send(self, thread, dst_vpid: int, payload, meta: Optional[dict] = None) -> Generator:
         """Coroutine: send one tracked fragment (replaces a bare qdma_send)."""
+        if dst_vpid in self.failed_peers:
+            raise self.failed_peers[dst_vpid]
         seq = self._tx_seq.get(dst_vpid, 0)
         self._tx_seq[dst_vpid] = seq + 1
         payload = np.asarray(payload, dtype=np.uint8) if not isinstance(
@@ -87,12 +110,20 @@ class ReliableChannel:
         record = self._unacked.get(dst_vpid, {}).get(seq)
         if record is None:
             return
-        record[3] = self.sim.schedule(self.timeout_us, self._retransmit, dst_vpid, seq)
+        # exponential backoff with deterministic jitter: a congested or
+        # stalled peer is not hammered at a fixed 100 µs cadence, and the
+        # jitter desynchronises the retry storms of many senders
+        delay = min(
+            self.timeout_us * (self.backoff_factor ** record[2]),
+            self.backoff_cap_us,
+        )
+        delay *= 1.0 + self.jitter_frac * float(self._jitter_rng.random())
+        record[3] = self.sim.schedule(delay, self._retransmit, dst_vpid, seq)
 
     def _retransmit(self, dst_vpid: int, seq: int) -> None:
         record = self._unacked.get(dst_vpid, {}).get(seq)
-        if record is None or self.failed or self.closed:
-            return  # acked meanwhile (or shutting down)
+        if record is None or self.closed or dst_vpid in self.failed_peers:
+            return  # acked meanwhile (or shutting down / already diagnosed)
         if not self.module.ctx.nic.capability.is_live(dst_vpid):
             # the peer finalized cleanly (its own drain guaranteed all its
             # requests completed): nothing is owed to it any more
@@ -100,13 +131,16 @@ class ReliableChannel:
             return
         payload, meta, retries, _ = record
         if retries >= self.max_retries:
-            self.failed = True
-            self._fail_everything(
-                ReliabilityError(
-                    f"fragment seq={seq} to vpid {dst_vpid} unacknowledged "
-                    f"after {retries} retries — peer presumed dead"
-                )
+            error = ReliabilityError(
+                f"fragment seq={seq} to vpid {dst_vpid} unacknowledged "
+                f"after {retries} retries — peer presumed dead"
             )
+            self.failed = True
+            self.failed_peers[dst_vpid] = error
+            self._quiesce_peer(dst_vpid)
+            # hand the diagnosis up: the PML fails over to a surviving PTL
+            # or — with none left — fails only this peer's requests
+            self.module.report_peer_failure(dst_vpid, error)
             return
         record[2] = retries + 1
         self.retransmissions += 1
@@ -116,13 +150,41 @@ class ReliableChannel:
         ).run()
         self._arm_timer(dst_vpid, seq)
 
-    def _fail_everything(self, error: BaseException) -> None:
-        """Retry budget blown: fail every live request of this PML."""
-        for req in list(self.module.pml.requests.values()):
-            if not req.completed:
-                req.fail(error)
-                self.module.pml.completions += 1
-                self.module.pml.retire(req)
+    def _quiesce_peer(self, dst_vpid: int) -> None:
+        """Stop retransmitting to one peer; keep the records so a failover
+        takeover can still harvest them."""
+        for record in self._unacked.get(dst_vpid, {}).values():
+            if record[3] is not None:
+                record[3].cancel()
+                record[3] = None
+
+    def takeover(self, dst_vpid: int) -> Tuple[list, int]:
+        """Failover harvest: detach this peer's unacknowledged fragments.
+
+        Returns ``(replayable, skipped)`` — fragment payloads safe to replay
+        through another rail (in sequence order), and the count of fragments
+        that carry rail-local E4 addresses (RNDV/ACK exposures) which can
+        *not* cross rails; those are recovered at request level instead by
+        re-running the rendezvous on the surviving module.
+        """
+        from repro.core.header import HEADER_BYTES, FragmentHeader
+
+        per_peer = self._unacked.pop(dst_vpid, {})
+        replayable: list = []
+        skipped = 0
+        for seq in sorted(per_peer):
+            payload, _meta, _retries, timer = per_peer[seq]
+            if timer is not None:
+                timer.cancel()
+            hdr = None
+            if getattr(payload, "nbytes", 0) >= HEADER_BYTES:
+                hdr = FragmentHeader.decode(payload[:HEADER_BYTES].tobytes())
+            if hdr is not None and hdr.e4 is None:
+                replayable.append(payload)
+            else:
+                skipped += 1
+                self.abandoned_fragments += 1
+        return replayable, skipped
 
     # -- receive side ----------------------------------------------------------
     def on_receive(self, thread, msg: "QdmaMessage") -> Generator:
@@ -139,6 +201,11 @@ class ReliableChannel:
         deliverable: List["QdmaMessage"] = []
         if seq < expected:
             self.duplicates_dropped += 1
+        elif seq >= expected + self.recv_window:
+            # beyond the receive window: drop instead of stashing, so a
+            # sender racing far ahead of a stalled gap cannot grow the
+            # stash without bound (it will retransmit after the gap heals)
+            self.window_drops += 1
         elif seq > expected:
             self._stash.setdefault(msg.src_vpid, {})[seq] = msg
         else:

@@ -1,4 +1,4 @@
-"""Quaternary fat-tree topology construction.
+"""Quaternary fat-tree topology construction and health-aware routing.
 
 Builds the QsNetII interconnect shape: leaves (NIC ports) hang off a tree of
 Elite-4 switches where each switch stage has 4 down-links and 4 up-links
@@ -7,21 +7,37 @@ QS-8A switch and eight Elan4 QM-500 cards" — with ≤8 leaves the tree is a
 single stage and every NIC pair is one switch hop apart; larger simulated
 clusters grow additional stages, and the hop count feeds the fabric's
 latency model.
+
+Trees with more than one stage are built with *plane redundancy*: the upper
+stages are duplicated into independent routing planes (default two), the way
+real QsNetII installations provision multiple top switches.  Killing a
+switch or link (``fail_switch`` / ``fail_link``) makes :meth:`Topology.route`
+recompute paths around the dead element; only when no healthy path remains
+is the destination *partitioned* and :class:`PartitionError` raised.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, FrozenSet, List, Optional, Set
 
 import networkx as nx
 
 from repro.elan4.switch import Elite4Switch
 
-__all__ = ["Topology", "build_quaternary_fat_tree", "leaf_name"]
+__all__ = [
+    "Topology",
+    "PartitionError",
+    "build_quaternary_fat_tree",
+    "leaf_name",
+]
 
 DOWN_LINKS = 4  # quaternary: 4 children per switch stage element
+
+
+class PartitionError(RuntimeError):
+    """No healthy route exists between two leaves."""
 
 
 def leaf_name(i: int) -> str:
@@ -30,13 +46,106 @@ def leaf_name(i: int) -> str:
 
 @dataclass
 class Topology:
-    """The wired fabric: a networkx graph plus switch objects and routes."""
+    """The wired fabric: a networkx graph plus switch objects and routes.
+
+    Health state lives here: ``dead_switches`` / ``dead_links`` mask out
+    fabric elements, and routes are recomputed lazily against the healthy
+    subgraph.  ``reroutes`` counts how many cached routes actually changed
+    after a fault or repair — the fabric-level recovery metric.
+    """
 
     graph: nx.Graph
     leaves: List[str]
     switches: Dict[str, Elite4Switch]
-    #: (leaf_a, leaf_b) -> number of switch elements traversed
-    _hops: Dict[tuple, int] = field(default_factory=dict)
+    dead_switches: Set[str] = field(default_factory=set)
+    #: frozenset({endpoint_a, endpoint_b}) of failed cables
+    dead_links: Set[FrozenSet[str]] = field(default_factory=set)
+    reroutes: int = 0
+    _epoch: int = 0
+    #: (a, b) with a <= b  ->  (epoch, interior switch names or None)
+    _routes: Dict[tuple, tuple] = field(default_factory=dict)
+    _healthy_epoch: int = -1
+    _healthy_cache: Optional[nx.Graph] = None
+
+    # -- health --------------------------------------------------------------
+    def fail_switch(self, name: str) -> None:
+        if name not in self.switches:
+            raise KeyError(f"unknown switch {name!r}")
+        if name not in self.dead_switches:
+            self.dead_switches.add(name)
+            self.switches[name].alive = False
+            self._epoch += 1
+
+    def restore_switch(self, name: str) -> None:
+        if name in self.dead_switches:
+            self.dead_switches.discard(name)
+            self.switches[name].alive = True
+            self._epoch += 1
+
+    def fail_link(self, a: str, b: str) -> None:
+        link = frozenset((a, b))
+        if not self.graph.has_edge(a, b):
+            raise KeyError(f"no link between {a!r} and {b!r}")
+        if link not in self.dead_links:
+            self.dead_links.add(link)
+            self._epoch += 1
+
+    def restore_link(self, a: str, b: str) -> None:
+        link = frozenset((a, b))
+        if link in self.dead_links:
+            self.dead_links.discard(link)
+            self._epoch += 1
+
+    def fail_leaf(self, i: int) -> None:
+        """Sever every cable on leaf ``i`` — the partition primitive."""
+        leaf = leaf_name(i)
+        for nbr in self.graph.neighbors(leaf):
+            self.fail_link(leaf, nbr)
+
+    def restore_leaf(self, i: int) -> None:
+        leaf = leaf_name(i)
+        for nbr in self.graph.neighbors(leaf):
+            self.restore_link(leaf, nbr)
+
+    @property
+    def faulty(self) -> bool:
+        return bool(self.dead_switches or self.dead_links)
+
+    def _healthy_graph(self) -> nx.Graph:
+        if not self.faulty:
+            return self.graph
+        if self._healthy_epoch != self._epoch:
+            g = self.graph.copy()
+            g.remove_nodes_from([s for s in self.dead_switches if s in g])
+            g.remove_edges_from([tuple(link) for link in self.dead_links])
+            self._healthy_cache = g
+            self._healthy_epoch = self._epoch
+        return self._healthy_cache
+
+    # -- routing -------------------------------------------------------------
+    def route(self, a: int, b: int) -> Optional[List[str]]:
+        """Interior switch names on the healthy route from leaf ``a`` to
+        ``b``, or ``None`` if the pair is partitioned.  Loopback is the
+        empty route (the NIC short-circuits self-addressed traffic)."""
+        if a == b:
+            return []
+        key = (min(a, b), max(a, b))
+        cached = self._routes.get(key)
+        if cached is not None and cached[0] == self._epoch:
+            interior = cached[1]
+        else:
+            g = self._healthy_graph()
+            try:
+                path = nx.shortest_path(g, leaf_name(key[0]), leaf_name(key[1]))
+                interior = path[1:-1]
+            except (nx.NetworkXNoPath, nx.NodeNotFound):
+                interior = None
+            if cached is not None and cached[1] != interior:
+                self.reroutes += 1
+            self._routes[key] = (self._epoch, interior)
+        if interior is None or a <= b:
+            return interior
+        return list(reversed(interior))
 
     def hops(self, a: int, b: int) -> int:
         """Switch elements on the route between leaves ``a`` and ``b``.
@@ -44,15 +153,14 @@ class Topology:
         Loopback (a == b) is zero hops: the Elan4 NIC short-circuits
         self-addressed traffic without entering the fabric.
         """
-        if a == b:
-            return 0
-        key = (min(a, b), max(a, b))
-        cached = self._hops.get(key)
-        if cached is None:
-            path = nx.shortest_path(self.graph, leaf_name(key[0]), leaf_name(key[1]))
-            cached = len(path) - 2  # interior vertices are all switches
-            self._hops[key] = cached
-        return cached
+        route = self.route(a, b)
+        if route is None:
+            raise PartitionError(
+                f"leaves {a} and {b} are partitioned "
+                f"(dead switches: {sorted(self.dead_switches)}, "
+                f"dead links: {len(self.dead_links)})"
+            )
+        return len(route)
 
     @property
     def n_leaves(self) -> int:
@@ -64,29 +172,35 @@ class Topology:
         return max(1, math.ceil(math.log(max(self.n_leaves, 2), DOWN_LINKS)))
 
 
-def build_quaternary_fat_tree(n_leaves: int) -> Topology:
+def build_quaternary_fat_tree(n_leaves: int, redundancy: int = 2) -> Topology:
     """Wire ``n_leaves`` NICs into a quaternary fat tree.
 
-    Stage 0 switches each take up to 4 leaves on their down-links; each
-    higher stage connects groups of 4 lower switches, up to the root stage.
-    Up-links are wired one-per-parent (thinned fat tree is enough for a
-    latency model; full bisection multiplicity would only matter with
-    adaptive routing under congestion, which the point-to-point benchmarks
-    never create).
+    Stage 0 switches each take up to 4 leaves on their down-links.  The
+    higher stages are built ``redundancy`` times over as independent routing
+    planes: every stage-0 switch up-links once into each plane (up-port
+    ``DOWN_LINKS + plane``), and within a plane each switch has a single
+    parent.  Shortest paths through any plane have identical length, so the
+    latency model is unchanged, but a dead upper switch or cable leaves a
+    same-length route through a surviving plane.
+
+    The paper's ≤8-node testbed stays a single QS-8A switch — there is no
+    redundant plane to fail over to, and killing it partitions everything.
     """
     if n_leaves < 1:
         raise ValueError("need at least one leaf")
+    if not 1 <= redundancy <= DOWN_LINKS:
+        raise ValueError(f"redundancy must be in 1..{DOWN_LINKS}")
     g = nx.Graph()
     switches: Dict[str, Elite4Switch] = {}
     leaves = [leaf_name(i) for i in range(n_leaves)]
     for name in leaves:
         g.add_node(name, kind="nic")
 
-    def add_switch(stage: int, idx: int) -> Elite4Switch:
-        name = f"sw{stage}.{idx}"
+    def add_switch(stage: int, idx: int, plane: int = 0) -> Elite4Switch:
+        name = f"sw{stage}.{idx}" if plane == 0 else f"sw{stage}.{idx}p{plane}"
         sw = Elite4Switch(name)
         switches[name] = sw
-        g.add_node(name, kind="switch", stage=stage)
+        g.add_node(name, kind="switch", stage=stage, plane=plane)
         return sw
 
     if n_leaves <= Elite4Switch.RADIX:
@@ -98,11 +212,11 @@ def build_quaternary_fat_tree(n_leaves: int) -> Topology:
             g.add_edge(sw.name, leaf)
         return Topology(graph=g, leaves=leaves, switches=switches)
 
-    # stage 0: leaves onto first-stage switches
-    current: List[Elite4Switch] = []
+    # stage 0: leaves onto first-stage switches (shared by all planes)
+    stage0: List[Elite4Switch] = []
     for idx in range(math.ceil(n_leaves / DOWN_LINKS)):
         sw = add_switch(0, idx)
-        current.append(sw)
+        stage0.append(sw)
         for port in range(DOWN_LINKS):
             leaf_idx = idx * DOWN_LINKS + port
             if leaf_idx >= n_leaves:
@@ -110,22 +224,27 @@ def build_quaternary_fat_tree(n_leaves: int) -> Topology:
             sw.connect(port, leaves[leaf_idx])
             g.add_edge(sw.name, leaves[leaf_idx])
 
-    # higher stages until a single root group remains
-    stage = 1
-    while len(current) > 1:
-        parents: List[Elite4Switch] = []
-        for idx in range(math.ceil(len(current) / DOWN_LINKS)):
-            sw = add_switch(stage, idx)
-            parents.append(sw)
-            for port in range(DOWN_LINKS):
-                child_idx = idx * DOWN_LINKS + port
-                if child_idx >= len(current):
-                    break
-                child = current[child_idx]
-                sw.connect(port, child.name)
-                child.connect(DOWN_LINKS + (port % DOWN_LINKS), sw.name)
-                g.add_edge(sw.name, child.name)
-        current = parents
-        stage += 1
+    # upper stages, once per redundant plane
+    for plane in range(redundancy):
+        current = stage0
+        stage = 1
+        while len(current) > 1:
+            parents: List[Elite4Switch] = []
+            for idx in range(math.ceil(len(current) / DOWN_LINKS)):
+                sw = add_switch(stage, idx, plane)
+                parents.append(sw)
+                for port in range(DOWN_LINKS):
+                    child_idx = idx * DOWN_LINKS + port
+                    if child_idx >= len(current):
+                        break
+                    child = current[child_idx]
+                    sw.connect(port, child.name)
+                    # stage-0 switches spend one up-port per plane; switches
+                    # inside a plane have a single parent
+                    up_port = DOWN_LINKS + (plane if child in stage0 else 0)
+                    child.connect(up_port, sw.name)
+                    g.add_edge(sw.name, child.name)
+            current = parents
+            stage += 1
 
     return Topology(graph=g, leaves=leaves, switches=switches)

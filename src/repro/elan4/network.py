@@ -35,7 +35,7 @@ __all__ = ["Packet", "Fabric", "FabricError"]
 
 
 class FabricError(Exception):
-    """Misrouted packet, unattached NIC, or ordering violation."""
+    """Misrouted packet, unattached NIC, partition, or ordering violation."""
 
 
 @dataclass
@@ -69,6 +69,10 @@ class Fabric:
     #: per-packet wire framing overhead (route/CRC flits)
     FRAME_BYTES = 8
 
+    #: packet kinds with a recovery path above the link layer even without
+    #: the queue reliability protocol (rendezvous read watchdog re-issues)
+    RECOVERABLE_KINDS = frozenset({"rdma_read_req", "rdma_read_data"})
+
     def __init__(self, sim: "Simulator", config: "MachineConfig", topology: "Topology"):
         self.sim = sim
         self.config = config
@@ -82,6 +86,16 @@ class Fabric:
         self._loss_rate = 0.0
         self._loss_rng = None
         self.packets_lost = 0
+        self._corrupt_rate = 0.0
+        self._corrupt_rng = None
+        self.packets_corrupted = 0
+        self.packets_unroutable = 0
+        #: per-(src,dst) latest scheduled arrival; reroutes may only shorten a
+        #: path, so delivery times are clamped monotonic to keep in-order
+        self._arrival_horizon: Dict[tuple, float] = {}
+        #: a dead rail swallows everything after injection (power loss)
+        self.down = False
+        self.tracer = None  # wired by the Cluster
 
     # -- attachment ------------------------------------------------------
     def attach(self, nic) -> None:
@@ -118,11 +132,35 @@ class Fabric:
         yield link.request()
         yield self.sim.timeout(wire_bytes * self.config.link_us_per_byte)
         link.release()
-        hops = self.topology.hops(packet.src_node, packet.dst_node)
-        latency = hops * (self.config.switch_hop_us + self.config.wire_prop_us)
-        for name in self._route_switches(packet.src_node, packet.dst_node):
+        if self.down:
+            self.packets_lost += 1
+            if self.tracer is not None:
+                self.tracer.count("fabric.rail_down_drop")
+            return
+        route = self.topology.route(packet.src_node, packet.dst_node)
+        if route is None:
+            # truly partitioned: recoverable traffic (reliability-tracked or
+            # watchdog-covered RDMA reads) is dropped and accounted; anything
+            # else has no recovery story, so fail loudly
+            if packet.meta.get("droppable") or packet.kind in self.RECOVERABLE_KINDS:
+                self.packets_unroutable += 1
+                if self.tracer is not None:
+                    self.tracer.count("fabric.unroutable")
+                return
+            raise FabricError(
+                f"node {packet.dst_node} unreachable from node "
+                f"{packet.src_node}: fabric partitioned"
+            )
+        for name in route:
             self.topology.switches[name].packets_routed += 1
-        self.sim.schedule(latency, self._deliver, packet)
+        latency = len(route) * (self.config.switch_hop_us + self.config.wire_prop_us)
+        deliver_at = self.sim.now + latency
+        key = (packet.src_node, packet.dst_node)
+        horizon = self._arrival_horizon.get(key, 0.0)
+        if deliver_at < horizon:
+            deliver_at = horizon
+        self._arrival_horizon[key] = deliver_at
+        self.sim.schedule(deliver_at - self.sim.now, self._deliver, packet)
 
     def broadcast(self, packet: Packet, dst_nodes):
         """Coroutine: hardware broadcast — serialise once at the source
@@ -157,15 +195,6 @@ class Fabric:
         """Callback-style injection used by NIC engines (fire and forget)."""
         self.sim.spawn(self.transmit(packet), name=f"tx:{packet.kind}")
 
-    def _route_switches(self, a: int, b: int):
-        if a == b:
-            return []
-        import networkx as nx
-        from repro.elan4.fattree import leaf_name
-
-        path = nx.shortest_path(self.topology.graph, leaf_name(a), leaf_name(b))
-        return path[1:-1]
-
     def set_loss(self, rate: float, seed: int = 0) -> None:
         """Fault injection: drop each ``droppable``-marked packet with
         probability ``rate`` (deterministic, seeded).  Only traffic under
@@ -176,13 +205,36 @@ class Fabric:
         self._loss_rate = rate
         self._loss_rng = np.random.default_rng(seed)
 
+    def set_corruption(self, rate: float, seed: int = 0) -> None:
+        """Fault injection: corrupt packets in flight with probability
+        ``rate``.  A corrupted packet fails its CRC and is discarded by the
+        receiving switch, so this behaves like loss — but it also applies to
+        the RDMA read request/data path, whose recovery is the rendezvous
+        completion watchdog rather than the queue reliability protocol."""
+        if not 0.0 <= rate < 1.0:
+            raise FabricError(f"corruption rate {rate} outside [0, 1)")
+        self._corrupt_rate = rate
+        self._corrupt_rng = np.random.default_rng(seed)
+
     def _deliver(self, packet: Packet) -> None:
+        if self.down:
+            self.packets_lost += 1
+            return
         if (
             self._loss_rate > 0.0
             and packet.meta.get("droppable")
             and self._loss_rng.random() < self._loss_rate
         ):
             self.packets_lost += 1
+            return
+        if (
+            self._corrupt_rate > 0.0
+            and (packet.meta.get("droppable") or packet.kind in self.RECOVERABLE_KINDS)
+            and self._corrupt_rng.random() < self._corrupt_rate
+        ):
+            self.packets_corrupted += 1
+            if self.tracer is not None:
+                self.tracer.count("fabric.corrupted")
             return
         key = (packet.src_node, packet.dst_node)
         last = self._last_delivered.get(key, -1)

@@ -80,6 +80,8 @@ class Elan4Nic:
         self._drain_waiters: Dict[int, List[SimEvent]] = {}
         self.dropped: List[tuple] = []
         self.chains_run = 0
+        self.stalled = False
+        self._stalled_work: List[tuple] = []  # ("pkt"|"chain", item) in order
         fabric.attach(self)
         node.devices.setdefault("elan4", self)
 
@@ -93,8 +95,30 @@ class Elan4Nic:
             "tport_fin": self.tport.handle_fin,
         }
 
+    # -- fault injection: freeze / thaw the card's engines -------------------
+    def stall(self) -> None:
+        """Freeze the receive path and event engine.  Arriving packets and
+        chained operations are parked (the card's input FIFO backs up) and
+        replayed in arrival order on :meth:`resume` — a hung firmware /
+        PCI-bridge stall, not a crash: no state is lost."""
+        self.stalled = True
+
+    def resume(self) -> None:
+        if not self.stalled:
+            return
+        self.stalled = False
+        work, self._stalled_work = self._stalled_work, []
+        for kind, item in work:
+            if kind == "pkt":
+                self.receive(item)
+            else:
+                self.run_chain(item)
+
     # -- fabric interface ---------------------------------------------------
     def receive(self, pkt: Packet) -> None:
+        if self.stalled:
+            self._stalled_work.append(("pkt", pkt))
+            return
         handler = self._dispatch.get(pkt.kind)
         if handler is None:
             self.drop_packet(pkt, reason=f"unknown kind {pkt.kind!r}")
@@ -128,6 +152,9 @@ class Elan4Nic:
     # -- event engine ------------------------------------------------------
     def run_chain(self, op: ChainOp) -> None:
         """Execute a chained operation after the event-engine latency."""
+        if self.stalled:
+            self._stalled_work.append(("chain", op))
+            return
         self.chains_run += 1
         self.sim.schedule(self.config.nic_chain_us, op.run)
 

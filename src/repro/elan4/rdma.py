@@ -79,10 +79,12 @@ class RdmaEngine:
         self.sim = nic.sim
         self.config = nic.config
         self._req_ids = itertools.count()
-        #: outstanding read requests we issued: req_id -> (descriptor, ctx)
-        self._reads: Dict[int, tuple] = {}
+        #: outstanding read requests we issued:
+        #: req_id -> [descriptor, ctx, bytes_landed]
+        self._reads: Dict[int, list] = {}
         self.writes_issued = 0
         self.reads_issued = 0
+        self.reads_cancelled = 0
         self.bytes_written = 0
         self.bytes_read = 0
 
@@ -181,7 +183,7 @@ class RdmaEngine:
     def _run_read_request(self, desc: RdmaDescriptor, ctx: int) -> Generator:
         """Requester side: send the get request to the data-holding NIC."""
         req_id = next(self._req_ids)
-        self._reads[req_id] = (desc, ctx)
+        self._reads[req_id] = [desc, ctx, 0]
         dst = self.nic.resolve_vpid(desc.remote_vpid)
         pkt = Packet(
             src_node=self.nic.node_id,
@@ -236,24 +238,42 @@ class RdmaEngine:
         self.sim.spawn(run(), name="rdma-read-serve")
 
     def handle_read_data(self, pkt: Packet) -> None:
-        """Requester side: land a returning chunk; fire done on the last."""
+        """Requester side: land a returning chunk; fire done once every
+        byte of the range has landed (not on a ``last`` flag — a corrupted
+        middle chunk must leave the read visibly incomplete so the
+        rendezvous watchdog can detect and re-issue it)."""
         entry = self._reads.get(pkt.meta["req_id"])
         if entry is None:
             self.nic.drop_packet(pkt, reason="read data for unknown request")
             return
-        desc, ctx = entry
+        desc, ctx = entry[0], entry[1]
 
         def run() -> Generator:
             space, host_addr = self.nic.mmu.translate(
                 desc.local + pkt.meta["offset"], pkt.nbytes
             )
             yield from self.nic.pci.dma(pkt.nbytes)
+            if self._reads.get(pkt.meta["req_id"]) is not entry:
+                return  # cancelled while the chunk was landing
             if pkt.data is not None:
                 space.write(host_addr, pkt.data)
-            if pkt.meta["last"]:
+            entry[2] += pkt.nbytes
+            if entry[2] >= desc.nbytes:
                 del self._reads[pkt.meta["req_id"]]
                 self.bytes_read += desc.nbytes
                 desc.done.fire()
                 self.nic.untrack_pending(ctx)
 
         self.sim.spawn(run(), name="rdma-read-land")
+
+    def cancel(self, desc: RdmaDescriptor) -> bool:
+        """Abandon an outstanding read (completion watchdog gave up on it).
+        Releases the pending-operation slot so finalize can drain; late
+        data chunks for the request are dropped as unknown."""
+        for req_id, entry in list(self._reads.items()):
+            if entry[0] is desc:
+                del self._reads[req_id]
+                self.nic.untrack_pending(entry[1])
+                self.reads_cancelled += 1
+                return True
+        return False

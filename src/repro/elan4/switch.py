@@ -30,6 +30,7 @@ class Elite4Switch:
         #: port index -> neighbour name (switch or "nic:<i>")
         self.ports: Dict[int, str] = {}
         self.packets_routed = 0
+        self.alive = True
 
     def connect(self, port: int, neighbour: str) -> None:
         if not 0 <= port < self.radix:

@@ -1,0 +1,25 @@
+"""Deterministic fault campaigns against the simulated QsNetII stack.
+
+A *campaign* is a seeded, replayable schedule of fabric/NIC/node faults
+(:class:`~repro.faults.plan.FaultPlan`) that an injector
+(:class:`~repro.faults.injector.FaultInjector`) arms against a live
+cluster.  Because the simulator is a deterministic discrete-event engine
+and every random choice flows from the campaign seed, the same plan run
+against the same workload produces the *identical* event trace — failures
+become regression tests instead of flaky repro hunts.
+
+The recovery paths a campaign exercises map onto the paper's layers:
+
+* fat-tree reroute around dead switches/links (the QsNetII adaptive
+  routing the paper's testbed relies on);
+* the LA-MPI-style end-to-end retransmission of §3 (queue fragments);
+* the rendezvous RDMA completion watchdog (host re-issue of stalled
+  pulls);
+* PML-level failover of in-flight traffic onto a surviving PTL — second
+  rail or TCP — when a whole channel is presumed dead.
+"""
+
+from repro.faults.plan import FaultEvent, FaultPlan, random_campaign
+from repro.faults.injector import FaultInjector
+
+__all__ = ["FaultEvent", "FaultPlan", "FaultInjector", "random_campaign"]

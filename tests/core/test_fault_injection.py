@@ -169,3 +169,131 @@ def test_mpi_job_survives_unrelated_rank_traffic_after_restart_reset():
     job.launch(2, app, group="world", group_count=3)
     results = job.wait()
     assert results[2] == b"ab"
+
+
+# ------------------------------------------------------------ fault campaigns
+def _run_mid_transfer_campaign(seed):
+    """A seeded campaign that kills the plane-0 root switch AND all of rail
+    1 while a cross-quad message stream is in flight.  Every send must
+    still complete with correct data: the switch death reroutes through
+    the redundant plane, the rail death fails traffic over to rail 0."""
+    from repro.core.ptl.elan4.module import Elan4PtlOptions
+    from repro.faults import FaultInjector, FaultPlan
+
+    n = 32 * 1024
+    iters = 8
+    rng = np.random.default_rng(seed)
+    payloads = [rng.integers(0, 256, n, dtype=np.uint8) for _ in range(iters)]
+
+    def sender(mpi):
+        yield from mpi.thread.sleep(2000.0)
+        reqs = []
+        for i in range(iters):
+            buf = mpi.alloc(n)
+            buf.write(payloads[i])
+            reqs.append((yield from mpi.comm_world.isend(buf, dest=1, tag=i)))
+        yield from mpi.waitall(reqs)  # rendezvous in flight on BOTH rails
+        return mpi.now
+
+    def receiver(mpi):
+        got = []
+        for i in range(iters):
+            data, _ = yield from mpi.comm_world.recv(source=0, tag=i, nbytes=n)
+            got.append(data.copy())
+        return got
+
+    cluster = Cluster(nodes=16, rails=2)
+    options = Elan4PtlOptions(reliability=True, chained_fin=False)
+    job = RteJob(
+        cluster, stack_factory=make_mpi_stack_factory(elan4_options=options)
+    )
+    rails = ("elan4", "elan4:1")
+    job.launch(0, sender, group="world", group_count=2, transports=rails)
+    # rank 1 on node 5: a different quad, so traffic crosses the root stage
+    job.launch(1, receiver, node_id=5, group="world", group_count=2,
+               transports=rails)
+
+    plan = (
+        FaultPlan("mid-transfer", seed=seed)
+        .switch_death(2450.0, "sw1.0", rail=0)
+        .rail_down(2550.0, rail=1)
+    )
+    injector = FaultInjector(cluster, plan, job=job)
+    injector.arm()
+    results = job.wait()
+    return results, injector, payloads, cluster.sim.now
+
+
+def test_campaign_switch_and_rail_death_mid_transfer():
+    results, injector, payloads, _ = _run_mid_transfer_campaign(seed=7)
+    assert [len(t) for t in injector.trace] and len(injector.trace) == 2
+    for i, data in enumerate(results[1]):
+        assert np.array_equal(data, payloads[i]), f"message {i} corrupted"
+    stats = injector.stats()
+    assert stats["reroutes"] > 0  # plane failover really happened
+    assert stats["failovers"] > 0  # PML moved traffic off rail 1
+    assert stats["dead_peers"] == 0  # nobody was declared dead
+
+
+def test_campaign_is_deterministic():
+    """Same seed, same campaign, same workload — identical fault traces,
+    recovery statistics, and finishing time, run twice."""
+    r1, inj1, _, end1 = _run_mid_transfer_campaign(seed=11)
+    r2, inj2, _, end2 = _run_mid_transfer_campaign(seed=11)
+    assert inj1.trace == inj2.trace
+    assert inj1.stats() == inj2.stats()
+    assert end1 == end2
+    assert r1[0] == r2[0]  # sender finish times identical
+    for a, b in zip(r1[1], r2[1]):
+        assert np.array_equal(a, b)
+
+
+def test_campaign_partition_scopes_failure_to_dead_peer():
+    """Partitioning one node fails exactly that peer's requests with
+    ReliabilityError; traffic to the surviving peer completes."""
+    from repro.core.ptl.elan4.module import Elan4PtlOptions
+    from repro.core.ptl.elan4.reliability import ReliabilityError
+    from repro.faults import FaultInjector, FaultPlan
+
+    cluster = Cluster(nodes=3)
+    options = Elan4PtlOptions(reliability=True, chained_fin=False)
+    job = RteJob(
+        cluster, stack_factory=make_mpi_stack_factory(elan4_options=options)
+    )
+
+    def rank0(mpi):
+        yield from mpi.comm_world.send(b"pre", dest=1, tag=0)
+        yield from mpi.thread.sleep(2500.0)  # node 2 is now partitioned
+        # shrink the retry budget only for the doomed probe (a sleeping
+        # sender processes no acks, so a tight budget set earlier would
+        # misdiagnose the healthy peer too)
+        mpi.stack.pml.modules[0].reliable.max_retries = 3
+        with pytest.raises(ReliabilityError, match="presumed dead"):
+            yield from mpi.comm_world.ssend(b"void", dest=2, tag=1)
+        assert 2 in mpi.stack.pml.dead_peers
+        # the surviving peer is unaffected — before AND after the failure
+        yield from mpi.comm_world.send(b"post", dest=1, tag=2)
+        return "scoped"
+
+    def rank1(mpi):
+        d1, _ = yield from mpi.comm_world.recv(source=0, tag=0, nbytes=8)
+        d2, _ = yield from mpi.comm_world.recv(source=0, tag=2, nbytes=8)
+        return bytes(d1) + bytes(d2)
+
+    def rank2(mpi):
+        # stays alive (but unreachable) for the campaign's duration: the
+        # sender must diagnose the partition itself, not see a clean exit
+        yield from mpi.thread.sleep(12_000.0)
+        return "idle"
+
+    job.launch(0, rank0, group="world", group_count=3)
+    job.launch(1, rank1, group="world", group_count=3)
+    job.launch(2, rank2, group="world", group_count=3)
+
+    plan = FaultPlan("partition").partition_node(2000.0, 2)
+    injector = FaultInjector(cluster, plan, job=job)
+    injector.arm()
+    results = job.wait()
+    assert results[0] == "scoped"
+    assert results[1] == b"prepost"
+    assert injector.stats()["dead_peers"] == 1

@@ -76,7 +76,9 @@ def test_cumulative_ack_clears_everything_below():
             yield from ch.send(t, b.ctx.vpid, np.zeros(4, np.uint8))
 
     cluster.nodes[0].spawn_thread(body)
-    cluster.run()
+    # bounded run: long enough to send all 5, short of the retry budget
+    # (exhaustion would hand the peer to the PML failover harvest)
+    cluster.run(until=cluster.sim.now + 50.0)
     assert ch.unacked_count() == 5  # b never progressed, no acks yet
     ch._handle_ack(b.ctx.vpid, 3)  # cumulative: seqs 0,1,2 confirmed
     assert ch.unacked_count() == 2

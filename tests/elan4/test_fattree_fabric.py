@@ -161,3 +161,82 @@ def test_unknown_packet_kind_is_dropped_not_fatal():
     assert len(cluster.nics[1].dropped) == 1
     with pytest.raises(AssertionError):
         cluster.assert_no_drops()
+
+
+# ---------------------------------------------------------- fault domains
+def test_plane_redundant_wiring():
+    """Above the leaf stage the tree is duplicated per plane: a 16-leaf
+    tree carries its root switch twice (sw1.0 and sw1.0p1)."""
+    topo = build_quaternary_fat_tree(16)
+    assert {"sw1.0", "sw1.0p1"} <= set(topo.switches)
+    # both planes give the same hop count: reroute never changes latency
+    r = topo.route(0, 5)
+    assert len(r) == 3 and r[1] in ("sw1.0", "sw1.0p1")
+
+
+def test_reroute_around_dead_root_switch():
+    """Killing the plane-0 root reroutes cross-quad traffic through the
+    redundant plane — same hop count, traffic still delivered."""
+    cluster = _mini_cluster(16)
+    topo = cluster.topology
+    assert topo.route(0, 5) == ["sw0.0", "sw1.0", "sw0.1"]
+    topo.fail_switch("sw1.0")
+    assert topo.route(0, 5) == ["sw0.0", "sw1.0p1", "sw0.1"]
+    assert topo.reroutes == 1
+    got = []
+    cluster.nics[5]._dispatch["test"] = lambda pkt: got.append(pkt)
+    cluster.sim.spawn(cluster.fabric.transmit(Packet(0, 5, 64, "test")))
+    cluster.run()
+    assert len(got) == 1
+    assert cluster.fabric.packets_delivered == 1
+
+
+def test_reroute_around_dead_link():
+    cluster = _mini_cluster(16)
+    topo = cluster.topology
+    topo.fail_link("sw0.0", "sw1.0")
+    got = []
+    cluster.nics[5]._dispatch["test"] = lambda pkt: got.append(pkt)
+    cluster.sim.spawn(cluster.fabric.transmit(Packet(0, 5, 64, "test")))
+    cluster.run()
+    assert len(got) == 1
+    assert topo.route(0, 5)[1] == "sw1.0p1"
+
+
+def test_restore_switch_heals_topology():
+    topo = build_quaternary_fat_tree(16)
+    topo.fail_switch("sw1.0")
+    topo.fail_switch("sw1.0p1")
+    assert topo.route(0, 5) is None  # both planes dead: partitioned
+    topo.restore_switch("sw1.0")
+    assert topo.route(0, 5) is not None
+    assert not build_quaternary_fat_tree(16).faulty
+    assert topo.faulty  # sw1.0p1 still down
+
+
+def test_fail_unknown_link_rejected():
+    topo = build_quaternary_fat_tree(16)
+    with pytest.raises(KeyError):
+        topo.fail_link(leaf_name(0), leaf_name(1))
+
+
+def test_partition_raises_for_tracked_traffic():
+    """A truly partitioned destination is a loud FabricError for traffic
+    with no recovery story (neither droppable nor watchdog-covered)."""
+    cluster = _mini_cluster(16)
+    cluster.topology.fail_leaf(5)
+    cluster.sim.spawn(cluster.fabric.transmit(Packet(0, 5, 64, "test")))
+    with pytest.raises(FabricError, match="partitioned"):
+        cluster.run()
+
+
+def test_partition_silently_drops_recoverable_traffic():
+    """Reliability-tracked (droppable) fragments vanish quietly when the
+    fabric partitions — the §3 retransmission layer owns their recovery."""
+    cluster = _mini_cluster(16)
+    cluster.topology.fail_leaf(5)
+    pkt = Packet(0, 5, 64, "test", meta={"droppable": True})
+    cluster.sim.spawn(cluster.fabric.transmit(pkt))
+    cluster.run()
+    assert cluster.fabric.packets_unroutable == 1
+    assert cluster.fabric.packets_delivered == 0

@@ -58,6 +58,15 @@ def test_sample_sort(capsys):
     assert "matches serial sort" in out
 
 
+def test_fault_campaign(capsys):
+    load_module("fault_campaign").main()
+    out = capsys.readouterr().out
+    assert "all 8 messages intact: True" in out
+    assert "switch_death target=sw1.0" in out
+    assert "rail_down rail=1" in out
+    assert "replay with the same seed is identical: True" in out
+
+
 def test_regenerate_figures_cli(capsys):
     mod = load_module("regenerate_figures")
     mod.main(["--quick", "fig9"])
