@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""Sim-speed regression gate — CLI over :mod:`repro.bench.simspeed`.
+
+Times the three canonical workloads (streaming-bandwidth sweep, 8-node
+alltoall, rail-kill fault campaign), verifies that the fast paths change
+no modelled microsecond (full event-trace comparison against the
+``REPRO_SIM_SLOWPATH=1`` reference run), writes ``BENCH_simspeed.json``,
+and fails when normalized events/sec regresses more than the threshold
+against the committed baseline.
+
+Usage:
+    PYTHONPATH=src python benchmarks/bench_simspeed.py --smoke
+    PYTHONPATH=src python benchmarks/bench_simspeed.py --update-baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.bench import simspeed
+
+DEFAULT_BASELINE = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "BENCH_simspeed_baseline.json"
+)
+#: fail CI when normalized events/sec drops more than this vs the baseline
+REGRESSION_TOLERANCE = 0.20
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="small workload sizes (CI mode)")
+    ap.add_argument("--out", default="BENCH_simspeed.json",
+                    help="report path (default: %(default)s)")
+    ap.add_argument("--baseline", default=DEFAULT_BASELINE,
+                    help="committed baseline to gate against")
+    ap.add_argument("--update-baseline", action="store_true",
+                    help="rewrite the baseline from this run instead of gating")
+    ap.add_argument("--skip-determinism", action="store_true",
+                    help="skip the fast-vs-slowpath trace comparison")
+    ap.add_argument("--tolerance", type=float, default=REGRESSION_TOLERANCE,
+                    help="allowed fractional drop in normalized events/sec "
+                         "(default: %(default)s)")
+    args = ap.parse_args(argv)
+
+    failures = []
+
+    determinism = None
+    if not args.skip_determinism:
+        print("determinism: comparing fast vs REPRO_SIM_SLOWPATH=1 traces ...")
+        determinism = simspeed.verify_determinism(smoke=True)
+        for name, res in determinism["workloads"].items():
+            status = "ok" if res["ok"] else "MISMATCH"
+            print(f"  {name:<16} {res['trace_events']:>7} trace events  {status}")
+            for m in res["mismatches"]:
+                print(f"    !! {m}")
+        if not determinism["ok"]:
+            failures.append("fast path changed modelled behaviour")
+
+    print(f"measuring ({'smoke' if args.smoke else 'full'} mode) ...")
+    measurement = simspeed.measure(smoke=args.smoke)
+    for name, w in measurement["workloads"].items():
+        print(f"  {name:<16} {w['events']:>9} events  {w['wall_s']:7.2f}s  "
+              f"{w['events_per_sec'] / 1e3:8.1f} kev/s")
+    totals = measurement["totals"]
+    print(f"  {'TOTAL':<16} {totals['events']:>9} events  "
+          f"{totals['wall_s']:7.2f}s  {totals['events_per_sec'] / 1e3:8.1f} kev/s  "
+          f"(normalized {totals['normalized']:.4f})")
+
+    report = simspeed.write_report(args.out, args.smoke, measurement, determinism)
+    print(f"wrote {args.out}")
+
+    if args.update_baseline:
+        with open(args.baseline, "w") as fh:
+            json.dump(
+                {
+                    "schema": report["schema"],
+                    "mode": report["mode"],
+                    "calibration_ops_per_sec": report["calibration_ops_per_sec"],
+                    "totals": report["totals"],
+                    "workloads": {
+                        n: {k: w[k] for k in ("events", "events_per_sec", "normalized")}
+                        for n, w in report["workloads"].items()
+                    },
+                },
+                fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"baseline updated: {args.baseline}")
+    elif os.path.exists(args.baseline):
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+        base_norm = baseline["totals"]["normalized"]
+        cur_norm = totals["normalized"]
+        ratio = cur_norm / base_norm if base_norm else float("inf")
+        print(f"baseline normalized {base_norm:.4f} -> current {cur_norm:.4f} "
+              f"({ratio:+.1%} of baseline)")
+        if cur_norm < base_norm * (1.0 - args.tolerance):
+            failures.append(
+                f"events/sec regressed beyond {args.tolerance:.0%}: "
+                f"normalized {cur_norm:.4f} < {base_norm:.4f} "
+                f"* {1.0 - args.tolerance:.2f}")
+    else:
+        print(f"no baseline at {args.baseline}; skipping the regression gate "
+              f"(run with --update-baseline to create one)")
+
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    print("sim-speed gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

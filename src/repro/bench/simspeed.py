@@ -1,0 +1,341 @@
+"""Sim-speed regression harness: events/sec on canonical workloads.
+
+The fast paths introduced by the hot-path overhaul (event pooling, lazy-
+cancellation compaction, hop coalescing, route/TLB caching) are wall-clock
+optimisations only — they must never move a modelled microsecond.  This
+module pins both properties:
+
+* **speed** — three canonical workloads (a ping-pong/streaming bandwidth
+  sweep, an 8-node alltoall, and a rail-kill fault campaign) are timed and
+  reported as events/sec, where "events" is the kernel's own
+  ``Simulator.events_processed`` counter.  A machine-speed calibration loop
+  turns the raw rate into a normalized figure that survives moving the
+  baseline between hosts of different speeds.
+
+* **determinism** — each workload is run twice in-process, once on the fast
+  path and once with ``REPRO_SIM_SLOWPATH=1`` (the reference path, read at
+  ``Simulator``/``Fabric``/NIC construction time), and the full semantic
+  event traces (``sim.trace``), final simulated clocks, and modelled result
+  series must match *exactly* — bit-identical floats, same order.
+
+``bench_simspeed.py`` (in ``benchmarks/``) is the CLI wrapper that writes
+``BENCH_simspeed.json`` and enforces the no-regression gate against the
+committed baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.cluster import Cluster
+from repro.core.ptl.elan4.module import Elan4PtlOptions
+from repro.faults import FaultInjector, FaultPlan
+from repro.mpi.world import make_mpi_stack_factory
+from repro.rte.environment import RteJob, launch_job
+
+__all__ = [
+    "WORKLOADS",
+    "run_workload",
+    "measure",
+    "calibrate",
+    "verify_determinism",
+    "write_report",
+]
+
+SLOWPATH_ENV = "REPRO_SIM_SLOWPATH"
+
+# -------------------------------------------------------------- workloads
+#
+# Every workload returns the same dict shape:
+#   events         kernel events processed (sum over all clusters used)
+#   final_clock_us final simulated time of each cluster, in construction order
+#   modelled       workload-specific simulated-time results (µs / MB/s);
+#                  these are the numbers the fast paths must not change
+#   trace          the semantic event trace (only when trace=True)
+
+
+def pingpong_sweep(smoke: bool = False, trace: bool = False) -> Dict[str, Any]:
+    """Fig. 10-style streaming bandwidth sweep over the Open MPI stack."""
+    sizes = [1024, 16384] if smoke else [1024, 16384, 262144, 1048576]
+    messages = 8 if smoke else 16
+    window = 4
+    modelled: Dict[int, float] = {}
+    events = 0
+    clocks: List[float] = []
+    traces: List[tuple] = []
+
+    for nbytes in sizes:
+        cluster = Cluster(nodes=2)
+        if trace:
+            cluster.sim.trace = traces
+        out: Dict[str, float] = {}
+
+        def app(mpi, nbytes=nbytes, out=out):
+            if mpi.rank == 0:
+                bufs = [mpi.alloc(nbytes) for _ in range(window)]
+                t0 = mpi.now
+                reqs = []
+                for i in range(messages):
+                    if len(reqs) >= window:
+                        yield from mpi.wait(reqs.pop(0))
+                    reqs.append((yield from mpi.comm_world.isend(
+                        bufs[i % window], dest=1, tag=1, nbytes=nbytes)))
+                yield from mpi.waitall(reqs)
+                yield from mpi.comm_world.recv(source=1, tag=2, nbytes=0)
+                out["elapsed"] = mpi.now - t0
+            else:
+                buf = mpi.alloc(nbytes)
+                reqs = []
+                for i in range(messages):
+                    if len(reqs) >= window:
+                        yield from mpi.wait(reqs.pop(0))
+                    reqs.append((yield from mpi.comm_world.irecv(
+                        nbytes, source=0, tag=1, buffer=buf)))
+                yield from mpi.waitall(reqs)
+                yield from mpi.comm_world.send(b"", dest=0, tag=2, nbytes=0)
+
+        launch_job(cluster, app, np=2, stack_factory=make_mpi_stack_factory())
+        cluster.assert_no_drops()
+        modelled[nbytes] = messages * nbytes / out["elapsed"]
+        events += cluster.sim.events_processed
+        clocks.append(cluster.sim.now)
+
+    result: Dict[str, Any] = {
+        "events": events,
+        "final_clock_us": clocks,
+        "modelled": modelled,
+    }
+    if trace:
+        result["trace"] = traces
+    return result
+
+
+def alltoall8(smoke: bool = False, trace: bool = False) -> Dict[str, Any]:
+    """8-node pairwise-exchange alltoall — the dense-traffic workload."""
+    rounds = 2 if smoke else 6
+    chunk = 2048
+    cluster = Cluster(nodes=8)
+    traces: List[tuple] = []
+    if trace:
+        cluster.sim.trace = traces
+    out: Dict[int, float] = {}
+
+    def app(mpi):
+        chunks = [bytes([mpi.rank]) * chunk for _ in range(8)]
+        yield from mpi.comm_world.barrier()
+        t0 = mpi.now
+        for _ in range(rounds):
+            yield from mpi.comm_world.alltoall(chunks)
+        out[mpi.rank] = (mpi.now - t0) / rounds
+
+    launch_job(cluster, app, np=8, stack_factory=make_mpi_stack_factory())
+    cluster.assert_no_drops()
+    result: Dict[str, Any] = {
+        "events": cluster.sim.events_processed,
+        "final_clock_us": [cluster.sim.now],
+        "modelled": {rank: out[rank] for rank in sorted(out)},
+    }
+    if trace:
+        result["trace"] = traces
+    return result
+
+
+def fault_campaign(smoke: bool = False, trace: bool = False) -> Dict[str, Any]:
+    """Two-rail stream with rail 1 killed mid-stream — exercises the
+    detailed (uncoalesced) fabric path, reroute, and PML failover."""
+    nbytes = 65536 if smoke else 262144
+    messages = 8 if smoke else 16
+    window = 4
+    cluster = Cluster(nodes=2, rails=2)
+    traces: List[tuple] = []
+    if trace:
+        cluster.sim.trace = traces
+    job = RteJob(cluster, stack_factory=make_mpi_stack_factory(
+        elan4_options=Elan4PtlOptions(reliability=True, chained_fin=False)))
+    out: Dict[str, float] = {}
+    start_us = 2500.0  # past MPI wire-up; campaign times are absolute
+
+    def sender(mpi):
+        yield from mpi.thread.sleep(start_us - mpi.now)
+        bufs = [mpi.alloc(nbytes) for _ in range(window)]
+        t0 = mpi.now
+        reqs = []
+        for i in range(messages):
+            if len(reqs) >= window:
+                yield from mpi.wait(reqs.pop(0))
+            reqs.append((yield from mpi.comm_world.isend(
+                bufs[i % window], dest=1, tag=1, nbytes=nbytes)))
+        yield from mpi.waitall(reqs)
+        yield from mpi.comm_world.recv(source=1, tag=2, nbytes=0)
+        out["bw"] = messages * nbytes / (mpi.now - t0)
+
+    def receiver(mpi):
+        buf = mpi.alloc(nbytes)
+        reqs = []
+        for i in range(messages):
+            if len(reqs) >= window:
+                yield from mpi.wait(reqs.pop(0))
+            reqs.append((yield from mpi.comm_world.irecv(
+                nbytes, source=0, tag=1, buffer=buf)))
+        yield from mpi.waitall(reqs)
+        yield from mpi.comm_world.send(b"", dest=0, tag=2, nbytes=0)
+
+    transports = ("elan4", "elan4:1")
+    job.launch(0, sender, group="world", group_count=2, transports=transports)
+    job.launch(1, receiver, group="world", group_count=2, transports=transports)
+
+    est_us = messages * nbytes * cluster.config.link_us_per_byte / 2
+    plan = FaultPlan("simspeed-rail-kill", seed=1).rail_down(
+        start_us + 0.5 * est_us, rail=1)
+    FaultInjector(cluster, plan, job=job).arm()
+    job.wait()
+
+    result: Dict[str, Any] = {
+        "events": cluster.sim.events_processed,
+        "final_clock_us": [cluster.sim.now],
+        "modelled": {"bw": out["bw"]},
+    }
+    if trace:
+        result["trace"] = traces
+    return result
+
+
+WORKLOADS: Dict[str, Callable[..., Dict[str, Any]]] = {
+    "pingpong_sweep": pingpong_sweep,
+    "alltoall8": alltoall8,
+    "fault_campaign": fault_campaign,
+}
+
+
+def run_workload(name: str, smoke: bool = False, trace: bool = False) -> Dict[str, Any]:
+    return WORKLOADS[name](smoke=smoke, trace=trace)
+
+
+# ------------------------------------------------------------ measurement
+def calibrate(n: int = 1_500_000) -> float:
+    """Machine-speed yardstick: pure-python ops/sec of a fixed busy loop.
+
+    Normalizing events/sec by this rate makes the committed baseline
+    portable across hosts — a CI runner half as fast as the machine that
+    wrote the baseline scores half the raw rate but the *same* normalized
+    rate, so the regression gate measures the code, not the hardware.
+    """
+    t0 = time.perf_counter()
+    acc = 0
+    for i in range(n):
+        acc += i & 7
+    elapsed = time.perf_counter() - t0
+    assert acc >= 0
+    return n / elapsed
+
+
+def measure(smoke: bool = False) -> Dict[str, Any]:
+    """Time every workload on the current (fast or slow) path."""
+    calib = calibrate()
+    workloads: Dict[str, Any] = {}
+    total_events = 0
+    total_wall = 0.0
+    for name in WORKLOADS:
+        t0 = time.perf_counter()
+        res = run_workload(name, smoke=smoke)
+        wall = time.perf_counter() - t0
+        eps = res["events"] / wall if wall > 0 else 0.0
+        workloads[name] = {
+            "events": res["events"],
+            "wall_s": wall,
+            "events_per_sec": eps,
+            "normalized": eps / calib,
+            "final_clock_us": res["final_clock_us"],
+            "modelled": res["modelled"],
+        }
+        total_events += res["events"]
+        total_wall += wall
+    return {
+        "calibration_ops_per_sec": calib,
+        "workloads": workloads,
+        "totals": {
+            "events": total_events,
+            "wall_s": total_wall,
+            "events_per_sec": total_events / total_wall if total_wall else 0.0,
+            "normalized": (total_events / total_wall / calib) if total_wall else 0.0,
+        },
+    }
+
+
+# ------------------------------------------------------------ determinism
+def _run_with_slowpath(name: str, smoke: bool, slow: bool) -> Dict[str, Any]:
+    """Run a workload with the reference path forced on/off.  The env flag
+    is read at Simulator/Fabric/NIC construction, so flipping it around the
+    cluster-building call is sufficient — and restored afterwards."""
+    prior = os.environ.get(SLOWPATH_ENV)
+    os.environ[SLOWPATH_ENV] = "1" if slow else "0"
+    try:
+        return run_workload(name, smoke=smoke, trace=True)
+    finally:
+        if prior is None:
+            os.environ.pop(SLOWPATH_ENV, None)
+        else:
+            os.environ[SLOWPATH_ENV] = prior
+
+
+def verify_determinism(smoke: bool = True) -> Dict[str, Any]:
+    """Run each workload fast and slow; demand bit-identical behaviour.
+
+    Compares, exactly (no tolerance): the semantic event trace — every
+    delivery/loss/corruption tuple with its timestamp — the final simulated
+    clock of every cluster, and the modelled result series.
+    """
+    report: Dict[str, Any] = {"checked": True, "ok": True, "workloads": {}}
+    for name in WORKLOADS:
+        fast = _run_with_slowpath(name, smoke, slow=False)
+        slow = _run_with_slowpath(name, smoke, slow=True)
+        mismatches = []
+        if fast["trace"] != slow["trace"]:
+            n = min(len(fast["trace"]), len(slow["trace"]))
+            first = next(
+                (i for i in range(n) if fast["trace"][i] != slow["trace"][i]),
+                n,
+            )
+            mismatches.append(
+                f"trace diverges at event {first} "
+                f"(fast {len(fast['trace'])} events, slow {len(slow['trace'])})"
+            )
+        if fast["final_clock_us"] != slow["final_clock_us"]:
+            mismatches.append(
+                f"final clock {fast['final_clock_us']} != {slow['final_clock_us']}"
+            )
+        if fast["modelled"] != slow["modelled"]:
+            mismatches.append(
+                f"modelled series differ: {fast['modelled']} != {slow['modelled']}"
+            )
+        report["workloads"][name] = {
+            "ok": not mismatches,
+            "trace_events": len(fast["trace"]),
+            "mismatches": mismatches,
+        }
+        if mismatches:
+            report["ok"] = False
+    return report
+
+
+# --------------------------------------------------------------- reporting
+def write_report(
+    path: str,
+    smoke: bool,
+    measurement: Dict[str, Any],
+    determinism: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    report = {
+        "schema": 1,
+        "mode": "smoke" if smoke else "full",
+        "slowpath": os.environ.get(SLOWPATH_ENV, "0") not in ("", "0"),
+        **measurement,
+        "determinism": determinism or {"checked": False, "ok": None},
+    }
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return report

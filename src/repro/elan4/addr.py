@@ -18,8 +18,7 @@ drain pending DMAs (§4.1).
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass
-from typing import Dict, List, Tuple, TYPE_CHECKING
+from typing import Dict, List, NamedTuple, Tuple, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.hw.memory import AddressSpace
@@ -31,12 +30,13 @@ class MmuTrap(Exception):
     """NIC-side translation fault (no mapping for the accessed range)."""
 
 
-@dataclass(frozen=True)
-class E4Addr:
+class E4Addr(NamedTuple):
     """A NIC-virtual address: context id + 64-bit offset in that context's
-    Elan address space.  Frozen/hashable so it can ride inside headers and
-    memory descriptors (the PTL expands its memory descriptor with one of
-    these, §4.2)."""
+    Elan address space.  Immutable/hashable so it can ride inside headers
+    and memory descriptors (the PTL expands its memory descriptor with one
+    of these, §4.2).  A NamedTuple rather than a frozen dataclass: the
+    chunked engines construct one per fragment, and tuple construction
+    skips the frozen ``__setattr__`` round trips."""
 
     ctx: int
     offset: int
@@ -59,12 +59,27 @@ class _CtxTable:
 
 
 class Elan4Mmu:
-    """The translation unit of one Elan4 NIC."""
+    """The translation unit of one Elan4 NIC.
 
-    def __init__(self) -> None:
+    ``tlb=True`` (default) adds a look-aside cache over :meth:`translate`:
+    the chunked RDMA/QDMA engines resolve the same (ctx, offset) pairs for
+    every fragment of a transfer, so repeat lookups skip the bisect walk.
+    The cache holds resolved results only — hits and misses return exactly
+    what the table walk returns, and any unmap of a context drops that
+    context's cached entries wholesale (a registration change must never
+    leave a stale translation behind, the §4.1 hazard).
+    """
+
+    def __init__(self, tlb: bool = True) -> None:
         self._ctx: Dict[int, _CtxTable] = {}
         self.translations = 0  # total successful lookups (for tests)
         self.traps = 0
+        self.tlb_enabled = tlb
+        #: ctx -> {e4 offset -> (space, resolved host addr, bytes mapped
+        #: beyond the offset)}
+        self._tlb: Dict[int, Dict[int, Tuple["AddressSpace", int, int]]] = {}
+        self.tlb_hits = 0
+        self.tlb_misses = 0
 
     # -- mapping ---------------------------------------------------------
     def map(self, ctx: int, space: "AddressSpace", host_addr: int, nbytes: int) -> E4Addr:
@@ -90,16 +105,25 @@ class Elan4Mmu:
             raise MmuTrap(f"unmap of unmapped {e4}")
         del table.entries[e4.offset]
         table.bases.remove(e4.offset)
+        self._tlb.pop(ctx, None)  # registration change: shoot the whole ctx
 
     def unmap_context(self, ctx: int) -> int:
         """Tear down every translation of a context (process finalize /
         restart).  Returns the number of ranges removed."""
+        self._tlb.pop(ctx, None)
         table = self._ctx.pop(ctx, None)
         return 0 if table is None else len(table.entries)
 
     # -- translation -----------------------------------------------------
     def translate(self, e4: E4Addr, nbytes: int) -> Tuple["AddressSpace", int]:
         """Resolve an E4 range to (address space, host address) or trap."""
+        ctx_tlb = self._tlb.get(e4.ctx)
+        if ctx_tlb is not None:
+            hit = ctx_tlb.get(e4.offset)
+            if hit is not None and nbytes <= hit[2]:
+                self.translations += 1
+                self.tlb_hits += 1
+                return hit[0], hit[1]
         table = self._ctx.get(e4.ctx)
         if table is not None:
             i = bisect.bisect_right(table.bases, e4.offset) - 1
@@ -109,6 +133,12 @@ class Elan4Mmu:
                 off = e4.offset - base
                 if off + nbytes <= size:
                     self.translations += 1
+                    if self.tlb_enabled:
+                        self.tlb_misses += 1
+                        tlb = self._tlb.get(e4.ctx)
+                        if tlb is None:
+                            tlb = self._tlb[e4.ctx] = {}
+                        tlb[e4.offset] = (space, host_addr + off, size - off)
                     return space, host_addr + off
         self.traps += 1
         raise MmuTrap(f"no translation for {e4} (+{nbytes})")

@@ -66,6 +66,9 @@ class Topology:
     _routes: Dict[tuple, tuple] = field(default_factory=dict)
     _healthy_epoch: int = -1
     _healthy_cache: Optional[nx.Graph] = None
+    #: directional (a, b) -> (epoch, (hops, switch objects) or None) — the
+    #: fabric's per-packet fast path; same epoch invalidation as ``_routes``
+    _fast_routes: Dict[tuple, tuple] = field(default_factory=dict)
 
     # -- health --------------------------------------------------------------
     def fail_switch(self, name: str) -> None:
@@ -146,6 +149,25 @@ class Topology:
         if interior is None or a <= b:
             return interior
         return list(reversed(interior))
+
+    def route_fast(self, a: int, b: int) -> Optional[tuple]:
+        """``(hop_count, switch objects along a→b)`` or ``None`` when the
+        pair is partitioned.  A memo over :meth:`route` keyed by the health
+        epoch: route computation, name→switch lookups, and the reversed-copy
+        allocation all happen once per (pair, epoch) instead of per packet.
+        Reroute counting is inherited from :meth:`route` on each miss.
+        """
+        key = (a, b)
+        cached = self._fast_routes.get(key)
+        if cached is not None and cached[0] == self._epoch:
+            return cached[1]
+        interior = self.route(a, b)
+        if interior is None:
+            info = None
+        else:
+            info = (len(interior), tuple(self.switches[name] for name in interior))
+        self._fast_routes[key] = (self._epoch, info)
+        return info
 
     def hops(self, a: int, b: int) -> int:
         """Switch elements on the route between leaves ``a`` and ``b``.

@@ -14,6 +14,15 @@ The fabric moves :class:`Packet` objects between NICs.  Costs:
 
 Reception-side costs (DMA into host queues) are charged by the receiving
 NIC's engines, not here.
+
+Routing takes one of two wall-clock paths with identical modelled time: the
+**coalesced** path (healthy fabric, default) charges all hop transits at
+injection and moves the packet with a single analytically-summed delivery
+event, while the **detailed** path (faulty topology, hop coalescing off, or
+``REPRO_SIM_SLOWPATH=1``) additionally schedules one observation event per
+Elite-4 hop at its traversal time.  The delivery event itself is scheduled
+the same way in both modes, so arrival times and event ordering never
+depend on which path ran.
 """
 
 from __future__ import annotations
@@ -24,6 +33,7 @@ from typing import Any, Dict, Optional, TYPE_CHECKING
 
 import numpy as np
 
+from repro.sim.core import slowpath_enabled
 from repro.sim.resources import Resource
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -96,6 +106,19 @@ class Fabric:
         #: a dead rail swallows everything after injection (power loss)
         self.down = False
         self.tracer = None  # wired by the Cluster
+        # -- fast-path switches (wall-clock only; modelled time and event
+        # ordering are identical on every path, see DESIGN.md §"Performance
+        # model of the model") -------------------------------------------
+        slow = slowpath_enabled()
+        #: healthy+coalescing packets take one summed delivery event; when
+        #: off (or while the topology is faulty) each Elite-4 hop gets an
+        #: observation event at its traversal time
+        self.hop_coalescing = config.fabric_hop_coalescing and not slow
+        self._route_cache = config.fabric_route_cache and not slow
+        self._link_us = config.link_us_per_byte
+        self._hop_us = config.switch_hop_us + config.wire_prop_us
+        self.hop_transits = 0  # per-hop events taken (detailed mode only)
+        self._tx_names: Dict[str, str] = {}  # kind -> "tx:<kind>" (per packet)
 
     # -- attachment ------------------------------------------------------
     def attach(self, nic) -> None:
@@ -130,15 +153,18 @@ class Fabric:
         packet.seq = next(self._tx_seq)
         wire_bytes = packet.nbytes + self.FRAME_BYTES
         yield link.request()
-        yield self.sim.timeout(wire_bytes * self.config.link_us_per_byte)
+        yield self.sim.timeout(wire_bytes * self._link_us)
         link.release()
         if self.down:
             self.packets_lost += 1
             if self.tracer is not None:
                 self.tracer.count("fabric.rail_down_drop")
+            if self.sim.trace is not None:
+                self.sim.trace.append((self.sim.now, "rail_down_drop", packet.kind,
+                                       packet.src_node, packet.dst_node, packet.seq))
             return
-        route = self.topology.route(packet.src_node, packet.dst_node)
-        if route is None:
+        info = self._route_info(packet.src_node, packet.dst_node)
+        if info is None:
             # truly partitioned: recoverable traffic (reliability-tracked or
             # watchdog-covered RDMA reads) is dropped and accounted; anything
             # else has no recovery story, so fail loudly
@@ -146,21 +172,55 @@ class Fabric:
                 self.packets_unroutable += 1
                 if self.tracer is not None:
                     self.tracer.count("fabric.unroutable")
+                if self.sim.trace is not None:
+                    self.sim.trace.append((self.sim.now, "unroutable", packet.kind,
+                                           packet.src_node, packet.dst_node, packet.seq))
                 return
             raise FabricError(
                 f"node {packet.dst_node} unreachable from node "
                 f"{packet.src_node}: fabric partitioned"
             )
-        for name in route:
-            self.topology.switches[name].packets_routed += 1
-        latency = len(route) * (self.config.switch_hop_us + self.config.wire_prop_us)
-        deliver_at = self.sim.now + latency
+        hops, switches = info
+        if self.hop_coalescing and not self.topology.faulty:
+            # Coalesced: charge every transit at injection; one summed
+            # delivery event carries the packet end to end.
+            for sw in switches:
+                sw.packets_routed += 1
+        else:
+            # Detailed: one observation event per Elite-4 hop at its
+            # traversal time.  These are bookkeeping-only (counters, trace);
+            # the delivery event below is scheduled identically in both
+            # modes, so modelled arrival time and event ordering never
+            # depend on the mode.
+            self._schedule_hop_transits(switches)
+        deliver_at = self.sim.now + hops * self._hop_us
         key = (packet.src_node, packet.dst_node)
         horizon = self._arrival_horizon.get(key, 0.0)
         if deliver_at < horizon:
             deliver_at = horizon
         self._arrival_horizon[key] = deliver_at
         self.sim.schedule(deliver_at - self.sim.now, self._deliver, packet)
+
+    def _route_info(self, src: int, dst: int) -> Optional[tuple]:
+        """``(hops, switch objects)`` for the healthy route, or None."""
+        if self._route_cache:
+            return self.topology.route_fast(src, dst)
+        interior = self.topology.route(src, dst)
+        if interior is None:
+            return None
+        return (len(interior), tuple(self.topology.switches[n] for n in interior))
+
+    def _schedule_hop_transits(self, switches: tuple) -> None:
+        offset = 0.0
+        for sw in switches:
+            offset += self._hop_us
+            self.sim.schedule_pooled(offset, self._hop_transit, (sw,))
+
+    def _hop_transit(self, sw) -> None:
+        sw.packets_routed += 1
+        self.hop_transits += 1
+        if self.tracer is not None:
+            self.tracer.count("fabric.hop_transit")
 
     def broadcast(self, packet: Packet, dst_nodes):
         """Coroutine: hardware broadcast — serialise once at the source
@@ -188,12 +248,15 @@ class Fabric:
             )
             copy.seq = next(self._tx_seq)
             hops = self.topology.hops(packet.src_node, dst)
-            latency = hops * (self.config.switch_hop_us + self.config.wire_prop_us)
-            self.sim.schedule(latency, self._deliver, copy)
+            self.sim.schedule(hops * self._hop_us, self._deliver, copy)
 
     def transmit_from_nic(self, packet: Packet) -> None:
         """Callback-style injection used by NIC engines (fire and forget)."""
-        self.sim.spawn(self.transmit(packet), name=f"tx:{packet.kind}")
+        kind = packet.kind
+        name = self._tx_names.get(kind)
+        if name is None:
+            name = self._tx_names[kind] = f"tx:{kind}"
+        self.sim.spawn(self.transmit(packet), name=name)
 
     def set_loss(self, rate: float, seed: int = 0) -> None:
         """Fault injection: drop each ``droppable``-marked packet with
@@ -217,8 +280,12 @@ class Fabric:
         self._corrupt_rng = np.random.default_rng(seed)
 
     def _deliver(self, packet: Packet) -> None:
+        trace = self.sim.trace
         if self.down:
             self.packets_lost += 1
+            if trace is not None:
+                trace.append((self.sim.now, "rail_down_drop", packet.kind,
+                              packet.src_node, packet.dst_node, packet.seq))
             return
         if (
             self._loss_rate > 0.0
@@ -226,6 +293,9 @@ class Fabric:
             and self._loss_rng.random() < self._loss_rate
         ):
             self.packets_lost += 1
+            if trace is not None:
+                trace.append((self.sim.now, "loss", packet.kind,
+                              packet.src_node, packet.dst_node, packet.seq))
             return
         if (
             self._corrupt_rate > 0.0
@@ -235,6 +305,9 @@ class Fabric:
             self.packets_corrupted += 1
             if self.tracer is not None:
                 self.tracer.count("fabric.corrupted")
+            if trace is not None:
+                trace.append((self.sim.now, "corrupt", packet.kind,
+                              packet.src_node, packet.dst_node, packet.seq))
             return
         key = (packet.src_node, packet.dst_node)
         last = self._last_delivered.get(key, -1)
@@ -243,4 +316,7 @@ class Fabric:
         self._last_delivered[key] = packet.seq
         self.packets_delivered += 1
         self.bytes_delivered += packet.nbytes
+        if trace is not None:
+            trace.append((self.sim.now, "deliver", packet.kind, packet.src_node,
+                          packet.dst_node, packet.nbytes, packet.seq))
         self._nics[packet.dst_node].receive(packet)

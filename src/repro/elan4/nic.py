@@ -32,6 +32,7 @@ from repro.elan4.network import Fabric, Packet
 from repro.elan4.qdma import QdmaEngine, QdmaQueue
 from repro.elan4.rdma import RdmaDescriptor, RdmaEngine
 from repro.elan4.tport import TportEndpoint, TportEngine
+from repro.sim.core import slowpath_enabled
 from repro.sim.events import SimEvent
 from repro.sim.resources import Resource
 
@@ -65,7 +66,7 @@ class Elan4Nic:
         self.node_id = node.node_id
         self.fabric = fabric
         self.capability = capability
-        self.mmu = Elan4Mmu()
+        self.mmu = Elan4Mmu(tlb=config.mmu_tlb and not slowpath_enabled())
         #: each card sits behind its own PCI-X bridge segment, so multirail
         #: nodes do not serialise both NICs on one bus (the topology real
         #: multirail servers used — and the reason multirail pays at all)

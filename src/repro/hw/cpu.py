@@ -41,7 +41,7 @@ class HostWordEvent:
     build their host-visible side on this.
     """
 
-    __slots__ = ("sim", "name", "_set", "_value", "_waiters", "set_count")
+    __slots__ = ("sim", "name", "_set", "_value", "_waiters", "set_count", "_wait_name")
 
     def __init__(self, sim: "Simulator", name: str = "hostword"):
         self.sim = sim
@@ -50,6 +50,7 @@ class HostWordEvent:
         self._value: Any = None
         self._waiters: Deque[SimEvent] = deque()
         self.set_count = 0  # total set() calls, for tests / tracing
+        self._wait_name = f"wait:{name}"  # wait_event() runs per poll loop
 
     def poll(self) -> bool:
         """Non-destructive check (one host-memory read)."""
@@ -80,7 +81,7 @@ class HostWordEvent:
 
     def wait_event(self) -> SimEvent:
         """A one-shot event completing when the word is (or becomes) set."""
-        ev = SimEvent(self.sim, name=f"wait:{self.name}")
+        ev = SimEvent(self.sim, name=self._wait_name)
         if self._set:
             ev.succeed(self._value)
         else:

@@ -80,6 +80,10 @@ class AddressSpace:
         self._bases: List[int] = []  # sorted region base addresses
         self._regions: Dict[int, np.ndarray] = {}
         self.allocated_bytes = 0
+        # last-hit cache: chunked engines touch one region per fragment, so
+        # consecutive accesses almost always land in the same region.
+        self._hit_base = -1
+        self._hit_region: "np.ndarray | None" = None
 
     # -- allocation ----------------------------------------------------
     def alloc(self, nbytes: int, label: str = "") -> Buffer:
@@ -101,15 +105,25 @@ class AddressSpace:
             raise MemoryError_(f"free of non-region address {buf.addr:#x}")
         self._bases.remove(buf.addr)
         self.allocated_bytes -= region.nbytes
+        self._hit_base = -1
+        self._hit_region = None
 
     # -- access --------------------------------------------------------
     def _locate(self, addr: int, nbytes: int) -> tuple[np.ndarray, int]:
+        base = self._hit_base
+        if base >= 0:
+            off = addr - base
+            region = self._hit_region
+            if 0 <= off and off + nbytes <= region.nbytes:
+                return region, off
         i = bisect.bisect_right(self._bases, addr) - 1
         if i >= 0:
             base = self._bases[i]
             region = self._regions[base]
             off = addr - base
             if off + nbytes <= region.nbytes:
+                self._hit_base = base
+                self._hit_region = region
                 return region, off
         raise MemoryError_(
             f"{self.name}: access [{addr:#x}, +{nbytes}) outside mapped memory"

@@ -39,6 +39,9 @@ class PciBus:
         self._bus = Resource(sim, capacity=1, name=name)
         self.bytes_moved = 0
         self.pio_count = 0
+        # hoisted for the per-burst loop (config is immutable per run)
+        self._us_per_byte = config.pci_us_per_byte
+        self._setup_us = config.pci_dma_setup_us
 
     def pio_write(self) -> Generator:
         """One programmed-IO write (doorbell / command-word store)."""
@@ -55,22 +58,30 @@ class PciBus:
         """
         remaining = max(0, int(nbytes))
         self.bytes_moved += remaining
+        bus = self._bus
         if remaining == 0:
             # Zero-byte descriptors still arbitrate once (setup cost).
-            yield self._bus.request()
-            yield self.sim.timeout(self.config.pci_dma_setup_us)
-            self._bus.release()
+            yield bus.request()
+            yield self.sim.timeout(self._setup_us)
+            bus.release()
+            return
+        if remaining <= BURST_BYTES:
+            # Single-burst fast path: the engines split transfers at 4 KB
+            # themselves, so nearly every DMA lands here.
+            yield bus.request()
+            yield self.sim.timeout(remaining * self._us_per_byte + self._setup_us)
+            bus.release()
             return
         first = True
         while remaining > 0:
             chunk = min(remaining, BURST_BYTES)
-            yield self._bus.request()
-            cost = chunk * self.config.pci_us_per_byte
+            yield bus.request()
+            cost = chunk * self._us_per_byte
             if first:
-                cost += self.config.pci_dma_setup_us
+                cost += self._setup_us
                 first = False
             yield self.sim.timeout(cost)
-            self._bus.release()
+            bus.release()
             remaining -= chunk
 
     @property

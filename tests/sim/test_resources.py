@@ -166,3 +166,26 @@ def test_priority_store_waiting_getter():
     sim.schedule(1.0, ps.put, 42)
     sim.run()
     assert results == [42]
+
+
+def test_priority_store_key_allows_unorderable_payloads():
+    """The heap entry is (key, counter, item): with an explicit key, tied
+    priorities fall back to insertion order and the payload itself is never
+    compared (plain objects would raise TypeError)."""
+    sim = Simulator()
+    ps = PriorityStore(sim, key=lambda it: it[0])
+    first, second, third = object(), object(), object()
+    ps.put((2, third))
+    ps.put((1, first))
+    ps.put((1, second))  # same priority as first: must not compare payloads
+    got = [ps.try_get()[1] for _ in range(3)]
+    assert got == [(1, first), (1, second), (2, third)]
+
+
+def test_priority_store_default_key_keeps_item_ordering():
+    sim = Simulator()
+    ps = PriorityStore(sim)
+    for v in (9, 2, 7, 2):
+        ps.put(v)
+    got = [ps.try_get()[1] for _ in range(4)]
+    assert got == [2, 2, 7, 9]
