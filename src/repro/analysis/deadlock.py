@@ -1,0 +1,95 @@
+"""Deadlock detection: blocked processes at event-queue drain.
+
+A discrete-event deadlock is unambiguous: the event queue has drained (no
+callback can ever run again), yet coroutine processes are still suspended
+on events.  Nothing inside the simulation can complete those events — they
+are blocked forever.  The classic shape is a wait *cycle* (P0 joins P1
+while P1 joins P0), but a process waiting on an Elan event no engine will
+ever fire is just as dead; both are reported, cycles prominently.
+
+The detector runs from :meth:`Sanitizer.on_drain`, which the kernel calls
+only when :meth:`~repro.sim.core.Simulator.run` exits because the queue
+emptied naturally (not on ``stop()``/``until``/``max_events`` exits, where
+blocked processes are expected).  Repeated drains with the same blocked set
+(``run_until_idle`` loops) report once.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.sanitize import Sanitizer
+
+__all__ = ["check_drain", "blocked_processes", "wait_chain"]
+
+
+def blocked_processes(sanitizer: "Sanitizer") -> List[Any]:
+    """Live non-daemon processes suspended on an event, in spawn order.
+
+    Daemon processes (accept loops, connection servers spawned with
+    ``daemon=True``) legitimately block on external input forever and are
+    excluded, matching daemon-thread semantics.
+    """
+    return [
+        p
+        for p in sanitizer.processes
+        if not p.triggered
+        and p._waiting_on is not None
+        and not getattr(p, "daemon", False)
+    ]
+
+
+def wait_chain(proc: Any) -> List[Any]:
+    """Follow ``proc``'s wait edges through joined processes.
+
+    Returns ``[proc, target, ...]`` ending at either a plain event (the
+    terminal wait) or — for a cycle — at the first repeated process.  A
+    :class:`~repro.sim.process.Process` is itself a SimEvent, so a join
+    (``yield child``) forms an edge worth following; any other event type
+    terminates the chain.
+    """
+    chain: List[Any] = [proc]
+    target = proc._waiting_on
+    while target is not None:
+        chain.append(target)
+        if any(target is seen for seen in chain[:-1]):
+            return chain  # cycle closed
+        target = getattr(target, "_waiting_on", None)
+    return chain
+
+
+def _is_cycle(chain: List[Any]) -> bool:
+    last = chain[-1]
+    return len(chain) > 1 and any(last is seen for seen in chain[:-1])
+
+
+def _describe(obj: Any) -> str:
+    name = getattr(obj, "name", None)
+    label = name if name else type(obj).__name__
+    return f"{type(obj).__name__}({label!r})"
+
+
+def check_drain(sanitizer: "Sanitizer") -> None:
+    """Record a finding if the drained queue left processes blocked."""
+    blocked = blocked_processes(sanitizer)
+    if not blocked:
+        sanitizer._last_drain_sig = ()
+        return
+    signature = tuple(p.name for p in blocked)
+    if signature == sanitizer._last_drain_sig:
+        return
+    sanitizer._last_drain_sig = signature
+    chains = [wait_chain(p) for p in blocked]
+    cyclic = any(_is_cycle(c) for c in chains)
+    lines = []
+    for chain in chains:
+        arrow = " -> ".join(_describe(obj) for obj in chain)
+        suffix = "  [CYCLE]" if _is_cycle(chain) else ""
+        lines.append(f"  {arrow}{suffix}")
+    sanitizer.record(
+        "deadlock",
+        "wait-cycle" if cyclic else "blocked-at-drain",
+        f"event queue drained with {len(blocked)} blocked process(es); "
+        "wait chains:\n" + "\n".join(lines),
+    )

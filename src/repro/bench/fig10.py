@@ -118,17 +118,17 @@ def check_shape(
     write_l = latency["PTL/Elan4-RDMA-Write"]
     sizes = set(mpich_l)
     # (a) MPICH wins small messages, but Open MPI stays comparable (<2.2x)
-    for n in sizes & {0, 64, 1024}:
+    for n in sorted(sizes & {0, 64, 1024}):
         assert mpich_l[n] < read_l[n], n
         assert read_l[n] / mpich_l[n] < 2.2, n
     # (b) comparable at large messages (within 15%)
-    for n in sizes & {262144, 1048576}:
+    for n in sorted(sizes & {262144, 1048576}):
         assert read_l[n] / mpich_l[n] < 1.15, n
     # read <= write everywhere above the threshold
-    for n in sizes & {4096, 65536}:
+    for n in sorted(sizes & {4096, 65536}):
         assert read_l[n] < write_l[n], n
     # (c,d) MPICH bandwidth >= Open MPI through the middle range...
-    for n in set(bandwidth["MPICH-QsNetII"]) & {4096, 16384, 65536}:
+    for n in sorted(set(bandwidth["MPICH-QsNetII"]) & {4096, 16384, 65536}):
         assert bandwidth["MPICH-QsNetII"][n] >= bandwidth["PTL/Elan4-RDMA-Read"][n], n
     # ...and both converge near the PCI-X ceiling at 1 MB
     for name in ("MPICH-QsNetII", "PTL/Elan4-RDMA-Read"):

@@ -89,13 +89,13 @@ def check_shape(results: Dict[str, Dict[int, float]]) -> None:
     """Assert the paper's qualitative findings hold."""
     available = set(results["RDMA-Read"])
     # DTP overhead ≈ 0.4 µs on eager messages
-    for n in available & {0, 64, 512}:
+    for n in sorted(available & {0, 64, 512}):
         delta = results["Read-DTP"][n] - results["RDMA-Read"][n]
         assert 0.2 < delta < 0.7, (n, delta)
     # read beats write above the threshold
-    for n in available & {2048, 4096}:
+    for n in sorted(available & {2048, 4096}):
         assert results["RDMA-Read"][n] < results["RDMA-Write"][n], n
     # no-inline beats inline above the threshold
-    for n in available & {2048, 4096}:
+    for n in sorted(available & {2048, 4096}):
         assert results["Read-NoInline"][n] < results["RDMA-Read"][n], n
         assert results["Write-NoInline"][n] < results["RDMA-Write"][n], n

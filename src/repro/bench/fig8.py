@@ -60,7 +60,7 @@ def report(results: Dict[str, Dict[int, float]]) -> str:
 
 def check_shape(results: Dict[str, Dict[int, float]]) -> None:
     available = set(results["RDMA-Read"])
-    for n in available & {2048, 4096, 8192, 16384}:
+    for n in sorted(available & {2048, 4096, 8192, 16384}):
         # chaining helps (marginally) for long messages
         assert results["RDMA-Read"][n] < results["Read-NoChain"][n], n
         # the shared completion queue costs something
@@ -69,5 +69,5 @@ def check_shape(results: Dict[str, Dict[int, float]]) -> None:
         # ...but the two queue layouts are equivalent when polling
         assert abs(results["One-Queue"][n] - results["Two-Queue"][n]) < 1.0, n
     # the chaining benefit is *marginal*: well under 2 µs
-    for n in available & {4096, 16384}:
+    for n in sorted(available & {4096, 16384}):
         assert results["Read-NoChain"][n] - results["RDMA-Read"][n] < 2.0, n

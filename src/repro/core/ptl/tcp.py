@@ -90,7 +90,9 @@ class TcpPtlModule(PtlModule):
         self.listener = Listener(self.net, self.process.node, self.port)
         self.peers: Dict[int, _PeerState] = {}
         self._accepting = True
-        self.process.node.spawn_thread(self._accept_loop, name=f"tcp-accept{self.port}")
+        self.process.node.spawn_thread(
+            self._accept_loop, name=f"tcp-accept{self.port}", daemon=True
+        )
         self.eager_sends = 0
         self.rndv_sends = 0
 

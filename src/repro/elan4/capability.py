@@ -61,6 +61,7 @@ class ElanCapability:
         self._by_vpid: Dict[int, VpidEntry] = {}
         self._by_node_ctx: Dict[Tuple[int, int], int] = {}
         self._released_vpids: Set[int] = set()
+        self._ever_claimed: Set[Tuple[int, int]] = set()
         self._static_cohort: Set[int] = set()
         self._cohort_sealed = False
 
@@ -83,6 +84,7 @@ class ElanCapability:
         entry = VpidEntry(vpid=vpid, node_id=node_id, ctx=ctx)
         self._by_vpid[vpid] = entry
         self._by_node_ctx[(node_id, ctx)] = vpid
+        self._ever_claimed.add((node_id, ctx))
         return entry
 
     def release(self, vpid: int) -> None:
@@ -141,3 +143,13 @@ class ElanCapability:
 
     def free_contexts(self, node_id: int) -> int:
         return len(self._free[node_id])
+
+    def released_ctxs(self, node_id: int) -> List[int]:
+        """Contexts on ``node_id`` that were claimed at some point and are
+        now back in the free pool — the set a released process *must* have
+        cleaned its NIC state (MMU mappings, queues) out of.  The leak
+        sanitizer cross-checks these against the NIC MMU at teardown."""
+        free = self._free[node_id]
+        return sorted(
+            ctx for (nid, ctx) in self._ever_claimed if nid == node_id and ctx in free
+        )

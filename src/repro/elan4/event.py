@@ -103,6 +103,9 @@ class ElanEvent:
             # A host read-modify-write is in progress; this decrement will
             # be overwritten when the write lands.  Track it for diagnosis.
             self.lost_fires += 1
+            sanitizer = self.sim.sanitizer
+            if sanitizer is not None:
+                sanitizer.on_event_reset_race(self)
         if self.count == 0:
             self._trigger(value)
 

@@ -85,6 +85,8 @@ class Elan4Nic:
         self._stalled_work: List[tuple] = []  # ("pkt"|"chain", item) in order
         fabric.attach(self)
         node.devices.setdefault("elan4", self)
+        if sim.sanitizer is not None:
+            sim.sanitizer.on_nic(self)
 
         self._dispatch: Dict[str, Callable[[Packet], None]] = {
             "qdma": self.qdma.handle_packet,

@@ -78,6 +78,10 @@ class QdmaQueue:
         self.slot_buffers = slot_buffers
         self.slot_bytes = nic.config.qslot_bytes
         self.free_slots = nslots
+        #: deliveries that have taken a slot but not yet enqueued their
+        #: message (payload DMA in progress) — the leak sanitizer's slot
+        #: invariant is ``nslots - free_slots == len(_ready) + inflight``
+        self.inflight_deliveries = 0
         self._ready: Deque[QdmaMessage] = deque()
         self._overflow: Deque[Packet] = deque()
         #: set on every arrival; polled or blocked on by the owner
@@ -108,9 +112,15 @@ class QdmaQueue:
         return len(self._ready)
 
     def destroy(self) -> None:
+        """Tear the queue down: undelivered messages are discarded and
+        every QSLOT returns to the pool (messages in ``_ready`` each held
+        one; deliveries still in flight see ``destroyed`` and abandon
+        theirs without re-touching the accounting)."""
         self.destroyed = True
         self._ready.clear()
         self._overflow.clear()
+        self.free_slots = self.nslots
+        self.inflight_deliveries = 0
 
     # -- NIC side ------------------------------------------------------------
     def _free_slot(self) -> None:
@@ -192,10 +202,12 @@ class QdmaEngine:
         self.nic.resolve_vpid(dst_vpid)
         # host: write the command descriptor (doorbell) across PCI-X
         yield from self.nic.pci.pio_write()
-        self.nic.track_pending(self.nic.ctx_of_vpid(src_vpid))
+        src_ctx = self.nic.ctx_of_vpid(src_vpid)
+        self.nic.track_pending(src_ctx)
         self.sim.schedule(
             self.config.nic_cmd_process_us,
             self._nic_send,
+            src_ctx,
             src_vpid,
             dst_vpid,
             queue_id,
@@ -224,10 +236,12 @@ class QdmaEngine:
 
         def run() -> None:
             self.chained_sends += 1
-            self.nic.track_pending(self.nic.ctx_of_vpid(src_vpid))
+            src_ctx = self.nic.ctx_of_vpid(src_vpid)
+            self.nic.track_pending(src_ctx)
             self.sim.schedule(
                 self.config.nic_cmd_process_us,
                 self._nic_send,
+                src_ctx,
                 src_vpid,
                 dst_vpid,
                 queue_id,
@@ -242,6 +256,7 @@ class QdmaEngine:
     # -- NIC internals ---------------------------------------------------------
     def _nic_send(
         self,
+        src_ctx: int,
         src_vpid: int,
         dst_vpid: int,
         queue_id: int,
@@ -254,42 +269,47 @@ class QdmaEngine:
             from repro.elan4.capability import CapabilityError
 
             self.sends += 1
-            if fetch_host and payload.nbytes > 0:
-                # cut-through fetch of the payload from host memory
-                yield from self.nic.stream_dma(payload.nbytes)
+            # The pending slot taken at command issue must come back on
+            # *every* exit — including fault-injection aborts (rail down
+            # mid-transmit, partitioned fabric), where a stranded slot
+            # would wedge the §4.1 finalization drain forever.
             try:
-                dst_ctx = self.nic.resolve_vpid(dst_vpid)
-            except CapabilityError:
-                # the destination vanished between command issue and NIC
-                # processing: the route no longer exists, so the packet is
-                # discarded here (the host-side API validates loudly; the
-                # end-to-end reliability layer recovers when it matters)
-                self.nic.drop_packet(
-                    Packet(self.nic.node_id, -1, payload.nbytes, "qdma",
-                           meta=dict(meta)),
-                    reason=f"destination vpid {dst_vpid} released",
+                if fetch_host and payload.nbytes > 0:
+                    # cut-through fetch of the payload from host memory
+                    yield from self.nic.stream_dma(payload.nbytes)
+                try:
+                    dst_ctx = self.nic.resolve_vpid(dst_vpid)
+                except CapabilityError:
+                    # the destination vanished between command issue and NIC
+                    # processing: the route no longer exists, so the packet is
+                    # discarded here (the host-side API validates loudly; the
+                    # end-to-end reliability layer recovers when it matters)
+                    self.nic.drop_packet(
+                        Packet(self.nic.node_id, -1, payload.nbytes, "qdma",
+                               meta=dict(meta)),
+                        reason=f"destination vpid {dst_vpid} released",
+                    )
+                    if done is not None:
+                        done.fire()
+                    return
+                pkt = Packet(
+                    src_node=self.nic.node_id,
+                    dst_node=dst_ctx.node_id,
+                    nbytes=payload.nbytes,
+                    kind="qdma",
+                    meta={
+                        "src_vpid": src_vpid,
+                        "dst_ctx": dst_ctx.ctx,
+                        "queue_id": queue_id,
+                        **meta,
+                    },
+                    data=payload.copy(),
                 )
+                yield from self.nic.fabric.transmit(pkt)
                 if done is not None:
                     done.fire()
-                self.nic.untrack_pending(self.nic.ctx_of_vpid(src_vpid))
-                return
-            pkt = Packet(
-                src_node=self.nic.node_id,
-                dst_node=dst_ctx.node_id,
-                nbytes=payload.nbytes,
-                kind="qdma",
-                meta={
-                    "src_vpid": src_vpid,
-                    "dst_ctx": dst_ctx.ctx,
-                    "queue_id": queue_id,
-                    **meta,
-                },
-                data=payload.copy(),
-            )
-            yield from self.nic.fabric.transmit(pkt)
-            if done is not None:
-                done.fire()
-            self.nic.untrack_pending(self.nic.ctx_of_vpid(src_vpid))
+            finally:
+                self.nic.untrack_pending(src_ctx)
 
         self.sim.spawn(run(), name="qdma-send")
 
@@ -307,14 +327,24 @@ class QdmaEngine:
 
     def _start_delivery(self, q: QdmaQueue, pkt: Packet) -> None:
         q.free_slots -= 1
+        q.inflight_deliveries += 1
 
         def run() -> Generator:
             # cut-through DMA of the payload into the QSLOT host memory
             yield from self.nic.stream_dma(pkt.nbytes)
+            if q.destroyed:
+                # destroyed mid-delivery (context finalize / fault abort):
+                # destroy() already reset the slot accounting, so just drop
+                self.nic.drop_packet(pkt, reason="queue destroyed mid-delivery")
+                return
             slot = q.slot_buffers[(q.arrivals + len(q._ready)) % q.nslots]
             if pkt.data is not None and pkt.data.nbytes:
                 slot.write(pkt.data[: slot.nbytes])
             yield self.sim.timeout(self.config.nic_deliver_us)
+            if q.destroyed:
+                self.nic.drop_packet(pkt, reason="queue destroyed mid-delivery")
+                return
+            q.inflight_deliveries -= 1
             msg = QdmaMessage(
                 src_vpid=pkt.meta["src_vpid"],
                 nbytes=pkt.nbytes,

@@ -184,20 +184,28 @@ class RdmaEngine:
         """Requester side: send the get request to the data-holding NIC."""
         req_id = next(self._req_ids)
         self._reads[req_id] = [desc, ctx, 0]
-        dst = self.nic.resolve_vpid(desc.remote_vpid)
-        pkt = Packet(
-            src_node=self.nic.node_id,
-            dst_node=dst.node_id,
-            nbytes=32,  # request descriptor on the wire
-            kind="rdma_read_req",
-            meta={
-                "req_id": req_id,
-                "remote": desc.remote,
-                "nbytes": desc.nbytes,
-                "reply_node": self.nic.node_id,
-            },
-        )
-        yield from self.nic.fabric.transmit(pkt)
+        try:
+            dst = self.nic.resolve_vpid(desc.remote_vpid)
+            pkt = Packet(
+                src_node=self.nic.node_id,
+                dst_node=dst.node_id,
+                nbytes=32,  # request descriptor on the wire
+                kind="rdma_read_req",
+                meta={
+                    "req_id": req_id,
+                    "remote": desc.remote,
+                    "nbytes": desc.nbytes,
+                    "reply_node": self.nic.node_id,
+                },
+            )
+            yield from self.nic.fabric.transmit(pkt)
+        except BaseException:
+            # failed before the request ever left (peer released, fabric
+            # torn down): nothing can complete or cancel this read later,
+            # so retire the descriptor and pending slot here
+            if self._reads.pop(req_id, None) is not None:
+                self.nic.untrack_pending(ctx)
+            raise
 
     def handle_read_request(self, pkt: Packet) -> None:
         """Data-holder side: stream the requested range back, pipelined."""

@@ -108,9 +108,14 @@ class CpuScheduler:
     def threads(self) -> list["HostThread"]:
         return list(self._threads)
 
-    def spawn(self, fn: Callable[["HostThread"], Generator], name: str = "thread") -> "HostThread":
+    def spawn(
+        self,
+        fn: Callable[["HostThread"], Generator],
+        name: str = "thread",
+        daemon: bool = False,
+    ) -> "HostThread":
         """Create and start a thread running ``fn(thread)``."""
-        t = HostThread(self, fn, name)
+        t = HostThread(self, fn, name, daemon=daemon)
         self._threads.append(t)
         return t
 
@@ -133,7 +138,13 @@ class HostThread:
     configuration slower than one-thread.
     """
 
-    def __init__(self, sched: CpuScheduler, fn: Callable[["HostThread"], Generator], name: str):
+    def __init__(
+        self,
+        sched: CpuScheduler,
+        fn: Callable[["HostThread"], Generator],
+        name: str,
+        daemon: bool = False,
+    ):
         self.sched = sched
         self.sim = sched.sim
         self.config = sched.config
@@ -144,7 +155,9 @@ class HostThread:
         self.busy_waker = False
         self._on_cpu = False
         self._cpu_acquired_at = 0.0
-        self.process = self.sim.spawn(self._main(fn), name=f"thread:{name}")
+        self.process = self.sim.spawn(
+            self._main(fn), name=f"thread:{name}", daemon=daemon
+        )
 
     # -- lifecycle -------------------------------------------------------
     def _main(self, fn: Callable[["HostThread"], Generator]) -> Generator:

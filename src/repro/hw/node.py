@@ -37,9 +37,11 @@ class Node:
         """A fresh virtual address space for a process on this node."""
         return AddressSpace(name=f"n{self.node_id}:{name}")
 
-    def spawn_thread(self, fn, name: str = "thread"):
-        """Start a host thread on this node's CPUs."""
-        return self.scheduler.spawn(fn, name=f"n{self.node_id}:{name}")
+    def spawn_thread(self, fn, name: str = "thread", daemon: bool = False):
+        """Start a host thread on this node's CPUs.  ``daemon`` marks
+        server loops that legitimately block forever (see
+        :meth:`repro.sim.core.Simulator.spawn`)."""
+        return self.scheduler.spawn(fn, name=f"n{self.node_id}:{name}", daemon=daemon)
 
     def raise_interrupt(self, word: HostWordEvent, value: Any = None) -> None:
         """Deliver a hardware interrupt: after ``interrupt_us`` (IRQ entry,

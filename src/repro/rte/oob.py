@@ -86,7 +86,7 @@ class OobServer:
         self.listener = Listener(net, node, port)
         self.connections = 0
         self._stopped = False
-        node.spawn_thread(self._accept_loop, name=f"{name}-accept")
+        node.spawn_thread(self._accept_loop, name=f"{name}-accept", daemon=True)
 
     def _accept_loop(self, thread):
         while not self._stopped:
@@ -96,6 +96,7 @@ class OobServer:
             self.node.spawn_thread(
                 lambda t, ch=channel: self.handler(t, ch),
                 name=f"oob-conn{self.connections}",
+                daemon=True,
             )
 
     def stop(self) -> None:

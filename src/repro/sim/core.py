@@ -50,6 +50,7 @@ __all__ = [
     "StopSimulation",
     "ScheduledCall",
     "slowpath_enabled",
+    "sanitize_enabled",
 ]
 
 #: free-list growth bound; beyond this, retired calls are left to the GC
@@ -65,6 +66,12 @@ def slowpath_enabled() -> bool:
     reference model paths: no call pool, no heap compaction, no route/TLB
     caches, per-hop fabric events)."""
     return os.environ.get("REPRO_SIM_SLOWPATH", "0") not in ("", "0")
+
+
+def sanitize_enabled() -> bool:
+    """True when ``REPRO_SANITIZE`` asks for the runtime sanitizers
+    (race/leak/deadlock detectors, see :mod:`repro.analysis`)."""
+    return os.environ.get("REPRO_SANITIZE", "0") not in ("", "0")
 
 
 class SimError(Exception):
@@ -176,6 +183,14 @@ class Simulator:
         #: is a list (the determinism harness compares these sequences
         #: between fast-path and slow-path runs)
         self.trace: Optional[list] = None
+        #: runtime sanitizer (repro.analysis), attached when REPRO_SANITIZE=1
+        #: — observation-only detectors; None on normal runs, so hooks cost
+        #: one attribute load on the cold paths that carry them
+        self.sanitizer = None
+        if sanitize_enabled():
+            from repro.analysis.sanitize import attach
+
+            attach(self)
 
     # ------------------------------------------------------------------
     # Scheduling primitives
@@ -262,10 +277,15 @@ class Simulator:
         heappush(self._heap, (time, 0, next(self._seq), call))
         return call
 
-    def spawn(self, gen: Generator, name: Optional[str] = None):
-        """Start a coroutine process immediately (at the current time)."""
+    def spawn(self, gen: Generator, name: Optional[str] = None, daemon: bool = False):
+        """Start a coroutine process immediately (at the current time).
+
+        ``daemon`` marks server-style processes that legitimately stay
+        blocked on external input when the queue drains (accept loops);
+        the deadlock sanitizer skips them.
+        """
         cls = _process_cls or _load_process_cls()
-        return cls(self, gen, name=name)
+        return cls(self, gen, name=name, daemon=daemon)
 
     def timeout(self, delay: float, value: Any = None):
         """Convenience constructor for a :class:`~repro.sim.events.Timeout`."""
@@ -341,6 +361,10 @@ class Simulator:
                     if not heap:
                         if until is not None and until > now:
                             self.now = until
+                        elif self.sanitizer is not None:
+                            # natural drain: no callback can ever run again,
+                            # so blocked processes are deadlocked (cold path)
+                            self.sanitizer.on_drain()
                         break
                     entry = heappop(heap)
                     call = entry[3]

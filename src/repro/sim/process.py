@@ -40,17 +40,29 @@ class Interrupt(Exception):
 class Process(SimEvent):
     """A generator-driven coroutine that is also an awaitable event."""
 
-    __slots__ = ("gen", "_waiting_on", "_cb", "_direct", "_fuse")
+    __slots__ = ("gen", "_waiting_on", "_cb", "_direct", "_fuse", "daemon")
 
-    def __init__(self, sim: "Simulator", gen: Generator, name: Optional[str] = None):
+    def __init__(
+        self,
+        sim: "Simulator",
+        gen: Generator,
+        name: Optional[str] = None,
+        daemon: bool = False,
+    ):
         super().__init__(sim, name=name or getattr(gen, "__name__", "process"))
         if not hasattr(gen, "send"):
             raise SimError(f"Process requires a generator, got {gen!r}")
         self.gen = gen
+        #: daemon processes (accept loops, connection servers) legitimately
+        #: outlive the workload blocked on external input; the deadlock
+        #: sanitizer excludes them from blocked-at-drain dumps
+        self.daemon = daemon
         self._waiting_on: Optional[SimEvent] = None
         self._cb = self._on_event  # bound once; registered on every wait
         self._direct = self._direct_wake
         self._fuse = sim.fastpath
+        if sim.sanitizer is not None:
+            sim.sanitizer.on_process(self)
         sim.schedule_pooled(0.0, self._resume, (None, None))
 
     # -- driving -------------------------------------------------------

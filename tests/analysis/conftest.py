@@ -1,0 +1,30 @@
+"""Shared helpers for the sanitizer tests.
+
+These tests must work whether or not ``REPRO_SANITIZE=1`` is set: when it
+is, the simulator auto-attaches a sanitizer at construction; when it is
+not, the helpers attach one explicitly (and register the NICs the auto
+path would have registered).
+"""
+
+from repro.analysis.sanitize import Sanitizer, attach
+from repro.cluster import Cluster
+from repro.sim.core import Simulator
+
+
+def sanitized_sim() -> tuple:
+    """A fresh simulator with a sanitizer attached (env-independent)."""
+    sim = Simulator()
+    san = sim.sanitizer if sim.sanitizer is not None else attach(sim)
+    assert isinstance(san, Sanitizer)
+    return sim, san
+
+
+def sanitized_cluster(**kwargs) -> tuple:
+    """A fresh cluster with a sanitizer attached and NICs registered."""
+    cluster = Cluster(**kwargs)
+    san = cluster.sim.sanitizer
+    if san is None:
+        san = attach(cluster.sim)
+        for nic in cluster.nics:
+            san.on_nic(nic)
+    return cluster, san

@@ -1,0 +1,96 @@
+"""The resource-leak tracker: stranded QSLOTS, surviving MMU registrations
+of a released context, and clean teardown after a proper finalize."""
+
+import numpy as np
+import pytest
+
+from tests.analysis.conftest import sanitized_cluster
+
+
+@pytest.mark.sanitizer_expected
+def test_leaked_mmu_registration_caught():
+    """Release a context's VPID without tearing down its translations —
+    the §4.1 stale-descriptor hazard — and the probe reports it."""
+    cluster, san = sanitized_cluster(nodes=2)
+    ctx = cluster.claim_context(0)
+    buf = ctx.space.alloc(4096)
+    ctx.map_buffer(buf)
+    cluster.run()
+    cluster.capability.release(ctx.vpid)  # forgot mmu.unmap_context
+    findings = san.teardown()
+    leaks = [f for f in findings if f.kind == "mmu-registration"]
+    assert len(leaks) == 1
+    assert f"{ctx.ctx:#x}" in leaks[0].message
+
+
+def test_finalized_context_is_clean():
+    cluster, san = sanitized_cluster(nodes=2)
+    ctx = cluster.claim_context(0)
+    buf = ctx.space.alloc(4096)
+    ctx.map_buffer(buf)
+    ctx.create_queue(3, nslots=8)
+
+    def body(t):
+        yield from ctx.finalize(t)
+
+    cluster.nodes[0].spawn_thread(body)
+    cluster.run()
+    assert san.teardown() == []
+
+
+@pytest.mark.sanitizer_expected
+def test_stranded_qslot_caught():
+    """A delivery path that takes a slot and never frees it (the bug the
+    qdma abort-path fix removed) violates the slot invariant."""
+    cluster, san = sanitized_cluster(nodes=2)
+    ctx = cluster.claim_context(0)
+    q = ctx.create_queue(5, nslots=8)
+    cluster.run()
+    q.free_slots -= 1  # simulate an abort path that forgot its slot
+    findings = san.teardown()
+    leaks = [f for f in findings if f.kind == "qslot"]
+    assert len(leaks) == 1
+    assert "1 QSLOT(s) taken" in leaks[0].message
+
+
+def test_queue_destroyed_mid_delivery_leaks_nothing():
+    """Regression for the qdma abort-path fix: destroying the destination
+    queue while a delivery is in flight must strand neither the slot nor
+    the in-flight count."""
+    cluster, san = sanitized_cluster(nodes=2)
+    a = cluster.claim_context(0)
+    b = cluster.claim_context(1)
+    q = b.create_queue(3, nslots=4)
+
+    def sender(t):
+        yield from a.qdma_send(t, b.vpid, 3, np.zeros(64, np.uint8))
+
+    cluster.nodes[0].spawn_thread(sender)
+    # destroy while the message is crossing (after issue, before enqueue)
+    cluster.sim.schedule(cluster.config.pio_write_us + 1.0, q.destroy)
+    cluster.run()
+    assert q.destroyed
+    leaks = [f for f in san.teardown() if f.detector == "leak"]
+    assert leaks == [], "\n".join(f.format() for f in leaks)
+
+
+def test_normal_qdma_traffic_is_clean():
+    cluster, san = sanitized_cluster(nodes=2)
+    a = cluster.claim_context(0)
+    b = cluster.claim_context(1)
+    q = b.create_queue(3, nslots=4)
+    got = []
+
+    def sender(t):
+        yield from a.qdma_send(t, b.vpid, 3, np.arange(16, dtype=np.uint8))
+
+    def receiver(t):
+        yield from t.block_on(q.host_event)
+        while (m := q.poll()) is not None:
+            got.append(m)
+
+    cluster.nodes[0].spawn_thread(sender)
+    cluster.nodes[1].spawn_thread(receiver)
+    cluster.run()
+    assert len(got) == 1
+    assert san.teardown() == []

@@ -1,0 +1,53 @@
+"""The event-race detector: a fire landing inside the host's non-atomic
+count-reset window (Fig. 5c/5d) is reported; the safe orderings are not."""
+
+import pytest
+
+from tests.analysis.conftest import sanitized_cluster
+
+
+def _armed_event(cluster):
+    ctx = cluster.claim_context(0)
+    ev = ctx.make_event(count=1)
+    ev.attach_host_word()
+    ev.fire()
+    cluster.run()
+    assert ev.triggers == 1
+    return ev
+
+
+@pytest.mark.sanitizer_expected
+def test_racy_count_reset_caught():
+    cluster, san = sanitized_cluster(nodes=2)
+    ev = _armed_event(cluster)
+    cfg = cluster.config
+    t0 = cluster.sim.now
+    window_open = t0 + cfg.context_switch_us + cfg.pio_write_us
+
+    def host(t):
+        yield from ev.host_reset_count(t, 1)
+
+    cluster.nodes[0].spawn_thread(host)
+    cluster.sim.schedule(window_open - t0 + 0.4 * cfg.pio_write_us, ev.fire)
+    cluster.run()
+    assert ev.lost_fires == 1  # the model lost the completion...
+    races = [f for f in san.findings if f.detector == "race"]
+    assert len(races) == 1  # ...and the sanitizer saw exactly that
+    assert races[0].kind == "count-reset"
+    assert "reset window" in races[0].message
+    assert f"lost_fires={ev.lost_fires}" in races[0].message
+
+
+def test_fire_outside_reset_window_is_clean():
+    cluster, san = sanitized_cluster(nodes=2)
+    ev = _armed_event(cluster)
+
+    def host(t):
+        yield from ev.host_reset_count(t, 1)
+
+    cluster.nodes[0].spawn_thread(host)
+    cluster.run()  # reset completes first
+    ev.fire()
+    cluster.run()
+    assert ev.lost_fires == 0
+    assert [f for f in san.findings if f.detector == "race"] == []

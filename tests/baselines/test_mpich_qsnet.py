@@ -98,6 +98,7 @@ def test_rank_source_reported():
     assert results[2] == [0, 1]
 
 
+@pytest.mark.sanitizer_expected
 def test_deadlock_detection():
     cluster = Cluster(nodes=2)
     job = MpichQsnetJob(cluster, np=2)

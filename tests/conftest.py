@@ -74,3 +74,39 @@ def pingpong_latency(nbytes, iters=5, **kwargs):
     cluster.assert_no_drops()
     assert results[1] is True or results[1] is None or results[1]
     return results[0]
+
+
+# ---------------------------------------------------------------------------
+# REPRO_SANITIZE=1 gate: after every test, tear down each sanitizer created
+# during the test and fail on findings, unless the test declares that it
+# deliberately provokes them (@pytest.mark.sanitizer_expected).
+# ---------------------------------------------------------------------------
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "sanitizer_expected: test deliberately provokes runtime-sanitizer "
+        "findings (seeded races/leaks/deadlocks); the REPRO_SANITIZE gate "
+        "does not fail it",
+    )
+
+
+@pytest.fixture(autouse=True)
+def _repro_sanitizer_gate(request):
+    from repro.analysis import sanitize
+
+    if not sanitize.enabled():
+        yield
+        return
+    sanitize.reset_session()
+    yield
+    findings = sanitize.session_report()
+    sanitize.reset_session()
+    if request.node.get_closest_marker("sanitizer_expected"):
+        return
+    if findings:
+        pytest.fail(
+            "runtime sanitizer findings:\n"
+            + "\n".join(f.format() for f in findings),
+            pytrace=False,
+        )

@@ -123,6 +123,7 @@ def test_host_read_and_reset_count():
 
 
 # ------------------------------------------------------------- the race
+@pytest.mark.sanitizer_expected
 def test_fig5_race_loses_completions():
     """Fig. 5c/5d: fires landing inside the host's read-modify-write window
     are obliterated; the event under-triggers and a waiter would hang."""

@@ -96,6 +96,7 @@ def test_more_ranks_than_nodes():
     assert set(results.values()) == {0, 1}  # round-robin placement
 
 
+@pytest.mark.sanitizer_expected
 def test_wait_reports_deadlock():
     cluster = Cluster(nodes=2)
 
