@@ -13,7 +13,7 @@ the survivor.  Three configurations bound the failover cost:
   the 1-rail floor is the price of the failover transient.
 """
 
-from conftest import run_once
+from conftest import obs_artifacts, run_once
 
 from repro.bench.reporting import format_series_table
 from repro.cluster import Cluster
@@ -100,7 +100,8 @@ def run():
 
 
 def test_failover_bandwidth_between_envelopes(benchmark):
-    results = run_once(benchmark, run)
+    with obs_artifacts("fault_campaigns"):
+        results = run_once(benchmark, run)
     print()
     print(
         format_series_table(

@@ -2,13 +2,14 @@
 native QDMA latency (at 64+N bytes), PTL/Elan4 latency, and the PML-layer
 cost measured by the paper's token-passing argument."""
 
-from conftest import run_once
+from conftest import obs_artifacts, run_once
 
 from repro.bench import fig9
 
 
 def test_fig9_layer_decomposition(benchmark):
-    results = run_once(benchmark, fig9.run)
+    with obs_artifacts("fig9_layer_cost"):
+        results = run_once(benchmark, fig9.run)
     print()
     print(fig9.report(results))
     fig9.check_shape(results)

@@ -8,7 +8,16 @@ records the measured series in ``benchmark.extra_info`` for archival.
 Wall-clock numbers reported by pytest-benchmark measure the *simulation*,
 not the modelled hardware — the modelled microseconds are in the printed
 tables.
+
+With ``REPRO_OBS=1`` the instrumented benches additionally export
+observability artifacts (Chrome trace + metrics JSON) via
+:func:`obs_artifacts`, into ``$REPRO_OBS_DIR`` (default
+``obs-artifacts/``).  With the variable unset the context manager is a
+no-op and bench outputs are bit-identical to pre-observability runs.
 """
+
+import contextlib
+import os
 
 import pytest
 
@@ -16,3 +25,28 @@ import pytest
 def run_once(benchmark, fn, *args, **kwargs):
     """Run an experiment exactly once under the benchmark fixture."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@contextlib.contextmanager
+def obs_artifacts(name):
+    """Observe every cluster a bench builds and export its artifacts.
+
+    Yields the capture session (or ``None`` when ``REPRO_OBS`` is unset,
+    in which case nothing is observed or written).  On exit, writes
+    ``<REPRO_OBS_DIR>/<name>.trace.json`` / ``.metrics.json``.
+    """
+    from repro.obs import capture, obs_enabled
+
+    if not obs_enabled():
+        yield None
+        return
+    from repro.obs.export import write_run_artifacts
+
+    with capture() as cap:
+        yield cap
+    outdir = os.environ.get("REPRO_OBS_DIR", "obs-artifacts")
+    os.makedirs(outdir, exist_ok=True)
+    trace_path, metrics_path = write_run_artifacts(
+        cap.observers, os.path.join(outdir, name), labels={"bench": name}
+    )
+    print(f"\n[obs] wrote {trace_path} and {metrics_path}")

@@ -74,6 +74,8 @@ class Sanitizer:
         self.processes: List[Any] = []
         #: NICs registered for teardown leak probes
         self.nics: List[Any] = []
+        #: Tracers registered for the teardown open-span probe
+        self.tracers: List[Any] = []
         #: dedupe key of the last drain dump, so ``run_until_idle`` loops
         #: report one finding per distinct blocked-set, not one per run()
         self._last_drain_sig: tuple = ()
@@ -114,6 +116,12 @@ class Sanitizer:
         """An Elan4 NIC came up; register it for teardown leak probes."""
         self.nics.append(nic)
 
+    def on_tracer(self, tracer: Any) -> None:
+        """A :class:`~repro.sim.trace.Tracer` was created; register it so
+        teardown can flag spans opened via ``span_begin`` that were never
+        ``span_end``-ed or ``abandon``-ed (the open-span leak)."""
+        self.tracers.append(tracer)
+
     # -- teardown --------------------------------------------------------
     def teardown(self) -> List[Finding]:
         """Run end-of-life probes (leak tracker) and return all findings.
@@ -126,6 +134,19 @@ class Sanitizer:
 
             for nic in self.nics:
                 check_nic(self, nic)
+            for tracer in self.tracers:
+                open_spans = tracer.open_spans()
+                if open_spans:
+                    keys = sorted(str(k) for k in open_spans)
+                    shown = ", ".join(keys[:5])
+                    if len(keys) > 5:
+                        shown += f", ... ({len(keys) - 5} more)"
+                    self.record(
+                        "leak",
+                        "open-span",
+                        f"{len(open_spans)} tracer span(s) never closed "
+                        f"(span_end/abandon missing on abort paths): {shown}",
+                    )
         return self.findings
 
 

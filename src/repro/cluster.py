@@ -38,6 +38,12 @@ class Cluster:
         self.sim = Simulator()
         self.rng = RandomStreams(seed)
         self.tracer = Tracer(self.sim, enabled=True, keep_records=False)
+        #: observability observer: None unless REPRO_OBS=1 or an enclosing
+        #: ``repro.obs.capture()`` block is active (observation-only — the
+        #: simulation schedule is identical either way)
+        from repro.obs import maybe_observer
+
+        self.observer = maybe_observer(self.sim)
         self.nodes: List[Node] = [Node(self.sim, self.config, i) for i in range(nodes)]
         #: per-rail interconnects: each rail is its own switch fabric,
         #: capability, and set of NICs (the multirail layout of [6] and the
@@ -56,10 +62,12 @@ class Cluster:
         topology = build_quaternary_fat_tree(self.n_nodes)
         fabric = Fabric(self.sim, self.config, topology)
         fabric.tracer = self.tracer
+        fabric.obs = self.observer
         capability = ElanCapability(self.n_nodes, contexts_per_node=contexts_per_node)
         nics = []
         for node in self.nodes:
             nic = Elan4Nic(self.sim, self.config, node, fabric, capability)
+            nic.obs = self.observer
             node.devices[f"elan4:{rail}" if rail else "elan4"] = nic
             nics.append(nic)
         self.rail_topologies.append(topology)

@@ -41,6 +41,9 @@ class IncomingFragment:
     data: Optional[np.ndarray]  # inline payload (may be None)
     ptl: "PtlModule"
     arrived_at: float = 0.0
+    #: sender-assigned flight-record trace id (observability side-channel;
+    #: never serialised into wire bytes)
+    obs_tid: Optional[int] = None
 
     @property
     def src_rank(self) -> int:

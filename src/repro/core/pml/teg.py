@@ -85,6 +85,12 @@ class Pml:
             self.tracer = process.job.cluster.tracer
         except AttributeError:
             self.tracer = None
+        # the cluster-wide observer (None unless REPRO_OBS/capture): flight
+        # records begin here at schedule time and complete in recv_progress
+        try:
+            self.obs = process.job.cluster.observer
+        except AttributeError:
+            self.obs = None
 
     # -- stack assembly ------------------------------------------------------
     def add_module(self, module: "PtlModule") -> None:
@@ -151,6 +157,13 @@ class Pml:
         """Coroutine: start a send; returns the request.  ``sync=True``
         gives MPI_Ssend semantics (completion proves the match; the PTL
         forces its rendezvous handshake at any size)."""
+        obs_t0 = 0.0
+        obs_tid = None
+        if self.obs is not None:
+            obs_t0 = self.sim.now
+            obs_tid = self.obs.flight_begin(
+                "send", self.process.rank, dst_rank, tag, ctx_id, nbytes
+            )
         yield from thread.compute(self.config.pml_sched_us)
         key = (ctx_id, dst_rank)
         seq = self._send_seq.get(key, 0)
@@ -159,11 +172,17 @@ class Pml:
             raise self.dead_peers[dst_rank]
         req = SendRequest(self.sim, buffer, nbytes, dst_rank, tag, ctx_id, seq)
         req.sync = sync
+        req.obs_tid = obs_tid
         self.register(req)
         self.sends += 1
         yield from self.datatype.request_init(thread)  # send convertor
         module = self.module_for(dst_rank)
         req.ptl_module = module  # which rail owns it (failover bookkeeping)
+        if self.obs is not None:
+            # management cost on the send side: scheduling + convertor init
+            self.obs.flight_span(
+                obs_tid, "pml", "isend", obs_t0, node=self.process.node.node_id
+            )
         try:
             yield from module.send_first(thread, req)
         except BaseException as e:
@@ -188,6 +207,8 @@ class Pml:
         req = RecvRequest(self.sim, buffer, nbytes, src_rank, tag, ctx_id)
         self.register(req)
         self.recvs += 1
+        if self.obs is not None:
+            self.obs.count("pml", "recvs_posted")
         frag = self.matching.post(req)
         if frag is not None:
             yield from self.deliver_matched(thread, frag, req)
@@ -223,6 +244,13 @@ class Pml:
     def deliver_matched(self, thread, frag: IncomingFragment, req: RecvRequest) -> Generator:
         """Run the receive side of a matched first fragment."""
         hdr = frag.header
+        obs_t0 = 0.0
+        if self.obs is not None:
+            obs_t0 = self.sim.now
+            if req.obs_tid is None:
+                # adopt the sender-assigned trace id so the receive side of
+                # the flight lands on the same record
+                req.obs_tid = frag.obs_tid
         req.mark_matched(hdr.src_rank, hdr.tag, hdr.msg_len)
         yield from self.datatype.request_init(thread)  # receive convertor
         inline = min(hdr.frag_len, req.nbytes)
@@ -234,6 +262,14 @@ class Pml:
             note = getattr(frag.ptl, "note_copy_time", None)
             if note is not None:
                 note(self.sim.now - t0)
+        if self.obs is not None:
+            self.obs.flight_span(
+                req.obs_tid,
+                "pml",
+                "match+deliver",
+                obs_t0,
+                node=self.process.node.node_id,
+            )
         if hdr.type == HDR_MATCH:
             # the inline payload is the whole message (0 bytes completes too)
             self.recv_progress(req, inline)
@@ -254,12 +290,22 @@ class Pml:
         """ptl_send_progress: sender-side bytes are on their way/acked."""
         if req.add_progress(nbytes):
             self.completions += 1
+            if self.obs is not None:
+                self.obs.flight_instant(
+                    req.obs_tid,
+                    "pml",
+                    "send_complete",
+                    node=self.process.node.node_id,
+                )
             self.retire(req)
 
     def recv_progress(self, req: RecvRequest, nbytes: int) -> None:
         """ptl_recv_progress: receiver-side bytes have landed."""
         if req.add_progress(nbytes):
             self.completions += 1
+            if self.obs is not None:
+                # the flight ends when the receiver's request completes
+                self.obs.flight_complete(req.obs_tid)
             self.retire(req)
 
     # -- peer restart support --------------------------------------------------
@@ -279,6 +325,14 @@ class Pml:
         module.mark_peer_dead(rank)
         if self.tracer is not None:
             self.tracer.count("pml.peer_report")
+        if self.obs is not None:
+            self.obs.count("faults", "pml.peer_report")
+            self.obs.instant(
+                "faults",
+                "peer_report",
+                node=self.process.node.node_id,
+                rank=rank,
+            )
         self._reschedule_failed(module, error, [rank])
 
     def rail_failed(self, module: "PtlModule", error: BaseException) -> None:
@@ -289,6 +343,11 @@ class Pml:
         module.healthy = False
         if self.tracer is not None:
             self.tracer.count("pml.rail_down")
+        if self.obs is not None:
+            self.obs.count("faults", "pml.rail_down")
+            self.obs.instant(
+                "faults", "rail_down", node=self.process.node.node_id
+            )
         peers = list(getattr(module, "peers", {}) or [])
         self._reschedule_failed(module, error, peers)
 
@@ -320,6 +379,8 @@ class Pml:
                 self.failovers += 1
                 if self.tracer is not None:
                     self.tracer.count("pml.failover")
+                if self.obs is not None:
+                    self.obs.count("faults", "pml.failover")
             plan.append((survivor, rank, payloads, reqs))
         if any(payloads or reqs for _, _, payloads, reqs in plan):
             self.process.node.spawn_thread(

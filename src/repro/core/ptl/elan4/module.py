@@ -183,6 +183,12 @@ class Elan4PtlModule(PtlModule):
         self.pml_cost_samples: List[float] = []
         self._delivered_at: Optional[float] = None
         self._copy_in_window: float = 0.0
+        # cluster-wide observer (None unless REPRO_OBS/capture is active)
+        try:
+            self.obs = component.process.job.cluster.observer
+        except AttributeError:
+            self.obs = None
+        self._obs_node = component.process.node.node_id
 
     # -- identity / wiring ---------------------------------------------------
     @property
@@ -217,17 +223,33 @@ class Elan4PtlModule(PtlModule):
 
     def send_first(self, thread, req: "SendRequest") -> Generator:
         if self._delivered_at is not None:
-            self.pml_cost_samples.append(
-                self.sim.now - self._delivered_at - self._copy_in_window
-            )
+            pml_cost = self.sim.now - self._delivered_at - self._copy_in_window
+            self.pml_cost_samples.append(pml_cost)
             self._delivered_at = None
             self._copy_in_window = 0.0
+            if self.obs is not None:
+                # the §6.3 "communication time above the PTL" sample — the
+                # same value the Fig. 9 bench reads from pml_cost_samples
+                self.obs.sample("pml", "layer_cost_us", pml_cost)
+        obs_t0 = self.sim.now if self.obs is not None else 0.0
         if req.nbytes <= self.first_frag_capacity and not req.sync:
+            if self.obs is not None:
+                self.obs.flight_kind(req.obs_tid, "eager")
+                self.obs.count("ptl", "eager_sends")
             yield from self._send_eager(thread, req)
         else:
             # long message — or a synchronous-mode send, whose completion
             # must prove the match happened (the rendezvous ack does)
+            if self.obs is not None:
+                self.obs.flight_kind(req.obs_tid, "rndv")
+                self.obs.count("ptl", "rndv_sends")
             yield from self._send_rndv(thread, req)
+        if self.obs is not None:
+            # first-fragment injection: pack + queue DMA post, until the
+            # send buffer is handed to the NIC
+            self.obs.flight_span(
+                req.obs_tid, "ptl", "inject", obs_t0, node=self._obs_node
+            )
 
     def _send_eager(self, thread, req: "SendRequest") -> Generator:
         """MATCH fragment: the whole message rides one QDMA."""
@@ -253,7 +275,7 @@ class Elan4PtlModule(PtlModule):
                 thread, buf, req.buffer, req.nbytes, dst_off=HEADER_BYTES
             )
         yield from self._send_fragment(
-            thread, vpid, buf, HEADER_BYTES + req.nbytes
+            thread, vpid, buf, HEADER_BYTES + req.nbytes, obs_tid=req.obs_tid
         )
         # the user buffer was packed into PTL memory: buffered-send complete
         self.pml.send_progress(req, req.nbytes)
@@ -289,31 +311,48 @@ class Elan4PtlModule(PtlModule):
             yield from self.pml.datatype.pack(
                 thread, buf, req.buffer, inline, dst_off=HEADER_BYTES
             )
-        yield from self._send_fragment(thread, vpid, buf, HEADER_BYTES + inline)
+        yield from self._send_fragment(
+            thread, vpid, buf, HEADER_BYTES + inline, obs_tid=req.obs_tid
+        )
         # inline bytes are credited on ACK (write) or FIN_ACK (read);
         # nothing completes yet.
 
-    def _send_fragment(self, thread, vpid: int, buf, nbytes: int) -> Generator:
+    def _send_fragment(
+        self, thread, vpid: int, buf, nbytes: int, obs_tid: Optional[int] = None
+    ) -> Generator:
         """Post one queue fragment from a preallocated send buffer, via the
         reliability channel when enabled (which keeps its own copy for
-        retransmission, so the buffer recycles immediately)."""
+        retransmission, so the buffer recycles immediately).
+
+        ``obs_tid`` rides the message's metadata side-channel (never wire
+        bytes) so the receive side lands on the same flight record."""
         payload = buf.read(0, nbytes)
+        meta = None if obs_tid is None else {"obs_tid": obs_tid}
         if self.reliable is not None:
             self._send_bufs.put(buf)
-            yield from self.reliable.send(thread, vpid, payload)
+            yield from self.reliable.send(thread, vpid, payload, meta=meta)
             return
-        done = yield from self.ctx.qdma_send(thread, vpid, PTL_RECV_QID, payload)
+        done = yield from self.ctx.qdma_send(
+            thread, vpid, PTL_RECV_QID, payload, meta=meta
+        )
         done.chain(ChainOp("release-sendbuf", lambda b=buf: self._send_bufs.put(b)))
         self.completions.watch_silent(done)
 
-    def send_control(self, thread, peer_vpid: int, hdr: FragmentHeader) -> Generator:
+    def send_control(
+        self, thread, peer_vpid: int, hdr: FragmentHeader, obs_tid: Optional[int] = None
+    ) -> Generator:
         """Host-issued control fragment (ACK / host-mode FIN / FIN_ACK)."""
         self.control_sends += 1
+        if self.obs is not None:
+            self.obs.count("ptl", "control_sends")
         payload = np.frombuffer(hdr.encode(), dtype=np.uint8)
+        meta = None if obs_tid is None else {"obs_tid": obs_tid}
         if self.reliable is not None:
-            yield from self.reliable.send(thread, peer_vpid, payload)
+            yield from self.reliable.send(thread, peer_vpid, payload, meta=meta)
             return
-        yield from self.ctx.qdma_send(thread, peer_vpid, PTL_RECV_QID, payload)
+        yield from self.ctx.qdma_send(
+            thread, peer_vpid, PTL_RECV_QID, payload, meta=meta
+        )
 
     # -- PML downcall for matched rendezvous ------------------------------------
     def matched(self, thread, recv_req: "RecvRequest", frag: IncomingFragment) -> Generator:
@@ -408,10 +447,21 @@ class Elan4PtlModule(PtlModule):
             return
         hdr = FragmentHeader.decode(msg.data[:HEADER_BYTES].tobytes())
         payload = msg.data[HEADER_BYTES : HEADER_BYTES + hdr.frag_len]
+        obs_tid = msg.meta.get("obs_tid")
+        if self.obs is not None and obs_tid is not None:
+            # time the fragment sat in the host receive queue before the
+            # progress engine drained it
+            self.obs.flight_span(
+                obs_tid, "ptl", "queue_wait", msg.arrived_at, node=self._obs_node
+            )
         if hdr.type in (HDR_MATCH, HDR_RNDV):
             self._delivered_at = self.sim.now  # §6.3: entering the PML
             frag = IncomingFragment(
-                header=hdr, data=payload, ptl=self, arrived_at=msg.arrived_at
+                header=hdr,
+                data=payload,
+                ptl=self,
+                arrived_at=msg.arrived_at,
+                obs_tid=obs_tid,
             )
             yield from self.pml.incoming_fragment(thread, frag)
         elif hdr.type == HDR_ACK:

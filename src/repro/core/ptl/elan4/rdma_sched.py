@@ -94,7 +94,9 @@ def receiver_matched(
                 else None
             ),
         )
-        yield from module.send_control(thread, peer_vpid, ack)
+        yield from module.send_control(
+            thread, peer_vpid, ack, obs_tid=recv_req.obs_tid
+        )
         if recv_req.nbytes == 0:
             # a 0-byte synchronous rendezvous: the ACK is everything
             module.pml.recv_progress(recv_req, 0)
@@ -115,7 +117,9 @@ def receiver_matched(
         e4=None,
     )
     if remainder <= 0:  # everything arrived inline; just complete the sender
-        yield from module.send_control(thread, peer_vpid, fin_ack)
+        yield from module.send_control(
+            thread, peer_vpid, fin_ack, obs_tid=recv_req.obs_tid
+        )
         if not recv_req.completed:  # 0-byte synchronous rendezvous
             module.pml.recv_progress(recv_req, 0)
         return
@@ -133,6 +137,7 @@ def receiver_matched(
     recv_req.transport["rndv_state"] = state
 
     def attempt(t) -> Generator:
+        t_issue = module.sim.now if module.obs is not None else 0.0
         desc = RdmaDescriptor(
             op="read",
             local=dst_e4,
@@ -158,10 +163,22 @@ def receiver_matched(
             if state["abandoned"] or recv_req.completed:
                 yield t2.sim.timeout(0)
                 return
+            if module.obs is not None:
+                # the rendezvous pull: issue to completion on the NIC DMA
+                module.obs.flight_span(
+                    recv_req.obs_tid,
+                    "nic",
+                    "rdma_read",
+                    t_issue,
+                    node=module._obs_node,
+                    nbytes=remainder,
+                )
             module.pml.recv_progress(recv_req, remainder)
             if not module.options.chained_fin:
                 # host-issued FIN_ACK: observe completion, then send (NoChain)
-                yield from module.send_control(t2, peer_vpid, fin_ack)
+                yield from module.send_control(
+                    t2, peer_vpid, fin_ack, obs_tid=recv_req.obs_tid
+                )
             else:
                 yield t2.sim.timeout(0)
 
@@ -197,6 +214,11 @@ def receiver_matched(
         module.rdma_retries += 1
         if module.pml.tracer is not None:
             module.pml.tracer.count("ptl.rdma_retry")
+        if module.obs is not None:
+            module.obs.count("faults", "ptl.rdma_retry")
+            module.obs.flight_instant(
+                recv_req.obs_tid, "nic", "rdma_retry", node=module._obs_node
+            )
         module.sim.spawn(attempt(None), name="rndv-read-retry")
 
     yield from attempt(thread)
@@ -211,6 +233,10 @@ def receiver_handle_fin(module: "Elan4PtlModule", thread, hdr: FragmentHeader) -
         module.stale_controls += 1
         yield thread.sim.timeout(0)
         return
+    if module.obs is not None:
+        module.obs.flight_instant(
+            recv_req.obs_tid, "ptl", "fin", node=module._obs_node
+        )
     module.pml.recv_progress(recv_req, hdr.frag_len)
     yield thread.sim.timeout(0)
 
@@ -225,6 +251,10 @@ def sender_handle_ack(module: "Elan4PtlModule", thread, hdr: FragmentHeader) -> 
         module.stale_controls += 1
         yield thread.sim.timeout(0)
         return
+    if module.obs is not None:
+        module.obs.flight_instant(
+            send_req.obs_tid, "ptl", "rndv_ack", node=module._obs_node
+        )
     inline = hdr.frag_len
     if inline > 0:
         module.pml.send_progress(send_req, inline)
@@ -270,13 +300,25 @@ def sender_handle_ack(module: "Elan4PtlModule", thread, hdr: FragmentHeader) -> 
             module.ctx.chained_qdma(peer_vpid, module.peer_recv_qid, fin.encode())
         )
 
+    t_issue = module.sim.now if module.obs is not None else 0.0
+
     def on_complete(t) -> Generator:
         if send_req.completed:
             yield t.sim.timeout(0)
             return
+        if module.obs is not None:
+            # the rendezvous push: issue to completion on the NIC DMA
+            module.obs.flight_span(
+                send_req.obs_tid,
+                "nic",
+                "rdma_write",
+                t_issue,
+                node=module._obs_node,
+                nbytes=remainder,
+            )
         module.pml.send_progress(send_req, remainder)
         if not module.options.chained_fin:
-            yield from module.send_control(t, peer_vpid, fin)
+            yield from module.send_control(t, peer_vpid, fin, obs_tid=send_req.obs_tid)
         else:
             yield t.sim.timeout(0)
 
@@ -294,6 +336,10 @@ def sender_handle_fin_ack(module: "Elan4PtlModule", thread, hdr: FragmentHeader)
         module.stale_controls += 1
         yield thread.sim.timeout(0)
         return
+    if module.obs is not None:
+        module.obs.flight_instant(
+            send_req.obs_tid, "ptl", "fin_ack", node=module._obs_node
+        )
     send_req.acked = True
     module.pml.send_progress(send_req, send_req.nbytes - send_req.bytes_progressed)
     yield thread.sim.timeout(0)

@@ -60,6 +60,8 @@ class Request:
         self.completed_at: Optional[float] = None
         #: scratch area for the owning PTL (peer addresses, mapped E4 ranges)
         self.transport: Dict[str, Any] = {}
+        #: flight-record trace id when observability is on (None otherwise)
+        self.obs_tid: Optional[int] = None
 
     # -- progress ----------------------------------------------------------
     def add_progress(self, nbytes: int) -> bool:

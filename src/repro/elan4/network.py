@@ -106,6 +106,7 @@ class Fabric:
         #: a dead rail swallows everything after injection (power loss)
         self.down = False
         self.tracer = None  # wired by the Cluster
+        self.obs = None  # observability hook, wired by the Cluster
         # -- fast-path switches (wall-clock only; modelled time and event
         # ordering are identical on every path, see DESIGN.md §"Performance
         # model of the model") -------------------------------------------
@@ -151,6 +152,10 @@ class Fabric:
         if link is None:
             raise FabricError(f"transmit from unattached node {packet.src_node}")
         packet.seq = next(self._tx_seq)
+        if self.obs is not None and packet.meta.get("obs_tid") is not None:
+            # injection timestamp rides the packet so _deliver can record
+            # the wire span (link contention + serialisation + hops)
+            packet.meta["obs_tx"] = self.sim.now
         wire_bytes = packet.nbytes + self.FRAME_BYTES
         yield link.request()
         yield self.sim.timeout(wire_bytes * self._link_us)
@@ -159,6 +164,14 @@ class Fabric:
             self.packets_lost += 1
             if self.tracer is not None:
                 self.tracer.count("fabric.rail_down_drop")
+            if self.obs is not None:
+                self.obs.count("faults", "fabric.rail_down_drop")
+                self.obs.flight_instant(
+                    packet.meta.get("obs_tid"),
+                    "switch",
+                    "rail_down_drop",
+                    node=packet.src_node,
+                )
             if self.sim.trace is not None:
                 self.sim.trace.append((self.sim.now, "rail_down_drop", packet.kind,
                                        packet.src_node, packet.dst_node, packet.seq))
@@ -172,6 +185,14 @@ class Fabric:
                 self.packets_unroutable += 1
                 if self.tracer is not None:
                     self.tracer.count("fabric.unroutable")
+                if self.obs is not None:
+                    self.obs.count("faults", "fabric.unroutable")
+                    self.obs.flight_instant(
+                        packet.meta.get("obs_tid"),
+                        "switch",
+                        "unroutable",
+                        node=packet.src_node,
+                    )
                 if self.sim.trace is not None:
                     self.sim.trace.append((self.sim.now, "unroutable", packet.kind,
                                            packet.src_node, packet.dst_node, packet.seq))
@@ -296,6 +317,14 @@ class Fabric:
             if trace is not None:
                 trace.append((self.sim.now, "loss", packet.kind,
                               packet.src_node, packet.dst_node, packet.seq))
+            if self.obs is not None:
+                self.obs.count("faults", "fabric.packet_loss")
+                self.obs.flight_instant(
+                    packet.meta.get("obs_tid"),
+                    "switch",
+                    "packet_loss",
+                    node=packet.dst_node,
+                )
             return
         if (
             self._corrupt_rate > 0.0
@@ -305,6 +334,14 @@ class Fabric:
             self.packets_corrupted += 1
             if self.tracer is not None:
                 self.tracer.count("fabric.corrupted")
+            if self.obs is not None:
+                self.obs.count("faults", "fabric.packet_corrupt")
+                self.obs.flight_instant(
+                    packet.meta.get("obs_tid"),
+                    "switch",
+                    "packet_corrupt",
+                    node=packet.dst_node,
+                )
             if trace is not None:
                 trace.append((self.sim.now, "corrupt", packet.kind,
                               packet.src_node, packet.dst_node, packet.seq))
@@ -316,6 +353,19 @@ class Fabric:
         self._last_delivered[key] = packet.seq
         self.packets_delivered += 1
         self.bytes_delivered += packet.nbytes
+        if self.obs is not None:
+            t_inject = packet.meta.pop("obs_tx", None)
+            if t_inject is not None:
+                # the fabric leg of the flight: injection-link contention,
+                # serialisation, and every switch hop to the remote NIC
+                self.obs.flight_span(
+                    packet.meta.get("obs_tid"),
+                    "switch",
+                    "wire",
+                    t_inject,
+                    node=packet.dst_node,
+                    nbytes=packet.nbytes,
+                )
         if trace is not None:
             trace.append((self.sim.now, "deliver", packet.kind, packet.src_node,
                           packet.dst_node, packet.nbytes, packet.seq))

@@ -82,6 +82,8 @@ class Elan4Nic:
         self.dropped: List[tuple] = []
         self.chains_run = 0
         self.stalled = False
+        #: observability hook, wired by the Cluster (None → no tracing)
+        self.obs = None
         self._stalled_work: List[tuple] = []  # ("pkt"|"chain", item) in order
         fabric.attach(self)
         node.devices.setdefault("elan4", self)

@@ -269,6 +269,8 @@ class QdmaEngine:
             from repro.elan4.capability import CapabilityError
 
             self.sends += 1
+            obs = self.nic.obs
+            obs_t0 = self.sim.now if obs is not None else 0.0
             # The pending slot taken at command issue must come back on
             # *every* exit — including fault-injection aborts (rail down
             # mid-transmit, partitioned fabric), where a stranded slot
@@ -305,6 +307,17 @@ class QdmaEngine:
                     },
                     data=payload.copy(),
                 )
+                if obs is not None and meta.get("obs_tid") is not None:
+                    # source-NIC work: command processing + host payload
+                    # fetch over PCI, up to fabric injection
+                    obs.flight_span(
+                        meta["obs_tid"],
+                        "nic",
+                        "tx",
+                        obs_t0,
+                        node=self.nic.node_id,
+                        nbytes=payload.nbytes,
+                    )
                 yield from self.nic.fabric.transmit(pkt)
                 if done is not None:
                     done.fire()
@@ -328,6 +341,7 @@ class QdmaEngine:
     def _start_delivery(self, q: QdmaQueue, pkt: Packet) -> None:
         q.free_slots -= 1
         q.inflight_deliveries += 1
+        t_rx0 = self.sim.now if self.nic.obs is not None else 0.0
 
         def run() -> Generator:
             # cut-through DMA of the payload into the QSLOT host memory
@@ -345,6 +359,17 @@ class QdmaEngine:
                 self.nic.drop_packet(pkt, reason="queue destroyed mid-delivery")
                 return
             q.inflight_deliveries -= 1
+            obs = self.nic.obs
+            if obs is not None and pkt.meta.get("obs_tid") is not None:
+                # destination-NIC work: QSLOT DMA + delivery to the queue
+                obs.flight_span(
+                    pkt.meta["obs_tid"],
+                    "nic",
+                    "rx",
+                    t_rx0,
+                    node=self.nic.node_id,
+                    nbytes=pkt.nbytes,
+                )
             msg = QdmaMessage(
                 src_vpid=pkt.meta["src_vpid"],
                 nbytes=pkt.nbytes,

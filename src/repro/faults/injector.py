@@ -51,6 +51,10 @@ class FaultInjector:
         tracer = getattr(self.cluster, "tracer", None)
         if tracer is not None:
             tracer.count(f"fault.{kind}")
+        obs = getattr(self.cluster, "observer", None)
+        if obs is not None:
+            obs.count("faults", kind)
+            obs.instant("faults", kind, detail=text)
 
     def _topology(self, event: FaultEvent):
         return self.cluster.rail_topologies[event.rail]

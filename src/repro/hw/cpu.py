@@ -119,6 +119,15 @@ class CpuScheduler:
         self._threads.append(t)
         return t
 
+    def stats(self) -> dict:
+        """Observation-only snapshot of scheduler state."""
+        return {
+            "busy_time_us": self.busy_time,
+            "runnable_backlog": self.runnable_backlog,
+            "threads": len(self._threads),
+            "threads_alive": sum(1 for t in self._threads if t.state != "done"),
+        }
+
 
 class HostThread:
     """A simulated OS thread.

@@ -87,3 +87,11 @@ class PciBus:
     @property
     def queue_length(self) -> int:
         return self._bus.queue_length
+
+    def stats(self) -> dict:
+        """Observation-only snapshot of lifetime bus activity."""
+        return {
+            "bytes_moved": self.bytes_moved,
+            "pio_count": self.pio_count,
+            "queue_length": self.queue_length,
+        }

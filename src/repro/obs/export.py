@@ -1,0 +1,240 @@
+"""Exporters: Chrome/Perfetto trace-event JSON and metrics JSON.
+
+The trace format is the Chrome trace-event "JSON object" flavour
+(loadable in ``chrome://tracing`` and Perfetto's legacy importer):
+
+* one **process** (pid) per simulated node, named via ``ph:"M"``
+  metadata records;
+* one **thread** (tid) per layer inside each node (pml / ptl / nic /
+  switch / faults), so a message visually descends the stack;
+* flight spans as ``ph:"X"`` complete events (``ts``/``dur`` in
+  modelled microseconds) carrying ``args.flight`` — the trace id that
+  groups one message's events across nodes;
+* a ``ph:"b"``/``ph:"e"`` async pair per message spanning send to recv
+  completion;
+* fault-injection and reroute marks as ``ph:"i"`` instants;
+* ``otherData`` records truncation counters and open-flight counts so a
+  capped recording is visibly capped, never silently partial.
+
+All serialisation is ``sort_keys=True`` over deterministically ordered
+event lists, so two identical runs export byte-identical files.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.obs.flight import LAYERS
+from repro.obs.observer import Observer
+
+__all__ = [
+    "TRACK_ORDER",
+    "chrome_trace",
+    "trace_json",
+    "metrics_json",
+    "write_run_artifacts",
+]
+
+#: tid assignment inside each node's process: stack order, faults last
+TRACK_ORDER: dict[str, int] = {layer: i for i, layer in enumerate(LAYERS)}
+TRACK_ORDER["faults"] = len(LAYERS)
+_OTHER_TRACK = len(LAYERS) + 1
+
+#: pid used for events that carry no node attribution
+_GLOBAL_PID = 999
+
+#: pid stride between runs merged into one trace file
+_PID_STRIDE = 1000
+
+
+def _track(layer: str) -> int:
+    return TRACK_ORDER.get(layer, _OTHER_TRACK)
+
+
+def chrome_trace(observer: Observer, pid_base: int = 0) -> dict[str, Any]:
+    """Build the Chrome trace-event object for one observed run.
+
+    ``pid_base`` offsets node pids (used when merging several runs into
+    one trace file so their process tracks don't collide).
+    """
+    events: list[dict[str, Any]] = []
+    pids_seen: set[int] = set()
+
+    def pid_of(node: int | None, fallback: int) -> int:
+        node_id = fallback if node is None else node
+        pid = pid_base + node_id
+        pids_seen.add(pid)
+        return pid
+
+    records = observer.flights.records()
+    for rec in records:
+        # async pairs match on (cat, id) across the whole file, so merged
+        # runs need run-qualified ids to keep their flights distinct
+        flight_id: Any = (
+            rec.tid if not pid_base else f"r{pid_base // _PID_STRIDE}:{rec.tid}"
+        )
+        flight_name = (
+            f"{rec.kind} {rec.src_rank}->{rec.dst_rank} "
+            f"tag={rec.tag} {rec.nbytes}B"
+        )
+        base_args = {
+            "flight": rec.tid,
+            "nbytes": rec.nbytes,
+            "kind": rec.kind,
+            "src": rec.src_rank,
+            "dst": rec.dst_rank,
+            "tag": rec.tag,
+        }
+        events.append(
+            {
+                "ph": "b",
+                "cat": "flight",
+                "id": flight_id,
+                "name": flight_name,
+                "pid": pid_of(None, rec.src_rank),
+                "tid": _track("pml"),
+                "ts": rec.t_begin,
+                "args": base_args,
+            }
+        )
+        for ev in rec.events:
+            entry: dict[str, Any] = {
+                "cat": ev.layer,
+                "name": ev.name,
+                "pid": pid_of(ev.node, rec.src_rank),
+                "tid": _track(ev.layer),
+                "ts": ev.ts,
+                "args": dict(base_args, **(ev.fields or {})),
+            }
+            if ev.dur is not None:
+                entry["ph"] = "X"
+                entry["dur"] = ev.dur
+            else:
+                entry["ph"] = "i"
+                entry["s"] = "t"
+            events.append(entry)
+        if rec.t_end is not None:
+            events.append(
+                {
+                    "ph": "e",
+                    "cat": "flight",
+                    "id": flight_id,
+                    "name": flight_name,
+                    "pid": pid_of(None, rec.dst_rank),
+                    "tid": _track("pml"),
+                    "ts": rec.t_end,
+                    "args": base_args,
+                }
+            )
+    for mark in observer.marks:
+        events.append(
+            {
+                "ph": "i",
+                "s": "g" if mark.node is None else "t",
+                "cat": mark.layer,
+                "name": mark.name,
+                "pid": pid_of(mark.node, _GLOBAL_PID),
+                "tid": _track(mark.layer),
+                "ts": mark.ts,
+                "args": dict(mark.fields or {}),
+            }
+        )
+
+    meta: list[dict[str, Any]] = []
+    track_names = {v: k for k, v in TRACK_ORDER.items()}
+    track_names[_OTHER_TRACK] = "other"
+    for pid in sorted(pids_seen):
+        node_id = pid - pid_base
+        label = "global" if node_id == _GLOBAL_PID else f"node {node_id}"
+        if pid_base:
+            label = f"run {pid_base // _PID_STRIDE} {label}"
+        meta.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": label},
+            }
+        )
+        for tid in sorted(track_names):
+            meta.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": track_names[tid]},
+                }
+            )
+
+    completed = sum(1 for r in records if r.t_end is not None)
+    other: dict[str, Any] = {
+        "format": "repro.obs chrome-trace v1",
+        "sim_end_us": observer.now,
+        "flights_recorded": len(records),
+        "flights_completed": completed,
+        "flights_open": len(records) - completed,
+        "flights_dropped": observer.flights.flights_dropped,
+        "truncated": observer.flights.flights_dropped > 0,
+    }
+    if observer.labels:
+        other["labels"] = dict(observer.labels)
+    return {
+        "traceEvents": meta + events,
+        "displayTimeUnit": "ns",
+        "otherData": other,
+    }
+
+
+def trace_json(observer: Observer) -> str:
+    return json.dumps(chrome_trace(observer), sort_keys=True, indent=1)
+
+
+def metrics_json(observer: Observer) -> str:
+    return json.dumps(observer.snapshot(), sort_keys=True, indent=1)
+
+
+def write_run_artifacts(
+    observers: list[Observer],
+    basepath: str,
+    labels: dict[str, Any] | None = None,
+) -> tuple[str, str]:
+    """Write ``<base>.trace.json`` and ``<base>.metrics.json``.
+
+    Multiple observers (one per cluster a bench built) merge into a
+    single trace with pid-striped process tracks, and a metrics file
+    holding one snapshot per run, in creation order.
+    """
+    trace_path = basepath + ".trace.json"
+    metrics_path = basepath + ".metrics.json"
+    all_events: list[dict[str, Any]] = []
+    other: dict[str, Any] = {"format": "repro.obs chrome-trace v1", "runs": []}
+    snapshots: list[dict[str, Any]] = []
+    for i, ob in enumerate(observers):
+        sub = chrome_trace(ob, pid_base=i * _PID_STRIDE)
+        all_events.extend(sub["traceEvents"])
+        run_meta = dict(sub["otherData"])
+        run_meta["run"] = i
+        other["runs"].append(run_meta)
+        snapshots.append(ob.snapshot())
+    if labels:
+        other["labels"] = dict(labels)
+    trace = {
+        "traceEvents": all_events,
+        "displayTimeUnit": "ns",
+        "otherData": other,
+    }
+    with open(trace_path, "w") as fh:
+        json.dump(trace, fh, sort_keys=True, indent=1)
+        fh.write("\n")
+    with open(metrics_path, "w") as fh:
+        json.dump(
+            {"runs": snapshots, "labels": dict(labels or {})},
+            fh,
+            sort_keys=True,
+            indent=1,
+        )
+        fh.write("\n")
+    return trace_path, metrics_path

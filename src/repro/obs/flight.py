@@ -1,0 +1,266 @@
+"""Message flight recorder.
+
+Every MPI message gets a **trace id** (tid) when the PML schedules it.
+The tid rides the message's side-channel metadata down through PTL
+fragment scheduling, NIC descriptors, and switch hops, and back up on
+the receive side; each layer appends a span or instant to the message's
+:class:`FlightRecord`.  After the run, any message's end-to-end timeline
+and per-layer latency breakdown (the paper's Fig. 9 decomposition) can
+be reconstructed programmatically.
+
+Spans are stored as (ts, dur) pairs in modelled microseconds, tagged
+with the layer that emitted them (``pml`` / ``ptl`` / ``nic`` /
+``switch``).  The recorder never touches wire bytes or timing; it is
+observation-only.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = [
+    "FlightEvent",
+    "FlightRecord",
+    "FlightRecorder",
+    "LAYERS",
+]
+
+#: layer ordering used by breakdowns and trace export tracks
+LAYERS: tuple[str, ...] = ("pml", "ptl", "nic", "switch")
+
+
+class FlightEvent:
+    """One span or instant on a flight timeline."""
+
+    __slots__ = ("layer", "name", "ts", "dur", "node", "fields")
+
+    def __init__(
+        self,
+        layer: str,
+        name: str,
+        ts: float,
+        dur: float | None,
+        node: int | None,
+        fields: dict[str, Any] | None,
+    ):
+        self.layer = layer
+        self.name = name
+        self.ts = ts
+        self.dur = dur  # None for instant events
+        self.node = node
+        self.fields = fields
+
+    @property
+    def is_span(self) -> bool:
+        return self.dur is not None
+
+    def as_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {"layer": self.layer, "name": self.name, "ts": self.ts}
+        if self.dur is not None:
+            out["dur"] = self.dur
+        if self.node is not None:
+            out["node"] = self.node
+        if self.fields:
+            out["fields"] = dict(self.fields)
+        return out
+
+
+class FlightRecord:
+    """The end-to-end life of one MPI message."""
+
+    __slots__ = (
+        "tid",
+        "kind",
+        "src_rank",
+        "dst_rank",
+        "tag",
+        "ctx_id",
+        "nbytes",
+        "t_begin",
+        "t_end",
+        "events",
+    )
+
+    def __init__(
+        self,
+        tid: int,
+        kind: str,
+        src_rank: int,
+        dst_rank: int,
+        tag: int,
+        ctx_id: int,
+        nbytes: int,
+        t_begin: float,
+    ):
+        self.tid = tid
+        self.kind = kind  # "eager" / "rndv", refined as the PTL decides
+        self.src_rank = src_rank
+        self.dst_rank = dst_rank
+        self.tag = tag
+        self.ctx_id = ctx_id
+        self.nbytes = nbytes
+        self.t_begin = t_begin
+        self.t_end: float | None = None
+        self.events: list[FlightEvent] = []
+
+    @property
+    def latency_us(self) -> float | None:
+        if self.t_end is None:
+            return None
+        return self.t_end - self.t_begin
+
+    def layer_breakdown(self) -> dict[str, float]:
+        """Per-layer span time plus ``total`` and ``unattributed``.
+
+        Spans within one layer may overlap (e.g. two fragments in the NIC
+        at once); this sums them as-is, which is the convention Fig. 9's
+        cost accounting uses — it measures work performed per layer, not
+        wall coverage.
+        """
+        out: dict[str, float] = {layer: 0.0 for layer in LAYERS}
+        for ev in self.events:
+            if ev.dur is not None:
+                out[ev.layer] = out.get(ev.layer, 0.0) + ev.dur
+        total = self.latency_us
+        if total is not None:
+            out["total"] = total
+            attributed = sum(out[layer] for layer in out if layer != "total")
+            out["unattributed"] = max(0.0, total - attributed)
+        return out
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "tid": self.tid,
+            "kind": self.kind,
+            "src_rank": self.src_rank,
+            "dst_rank": self.dst_rank,
+            "tag": self.tag,
+            "ctx_id": self.ctx_id,
+            "nbytes": self.nbytes,
+            "t_begin": self.t_begin,
+            "t_end": self.t_end,
+            "events": [ev.as_dict() for ev in self.events],
+        }
+
+
+class FlightRecorder:
+    """Allocates trace ids and accumulates per-message records.
+
+    ``keep_flights`` caps how many *completed* flights are retained
+    (oldest dropped first); in-flight records are never dropped, since a
+    hook may still append to them.  Drops are counted in
+    ``flights_dropped`` and surface in exported trace metadata rather
+    than vanishing silently.
+    """
+
+    def __init__(self, keep_flights: int | None = None):
+        if keep_flights is not None and keep_flights < 1:
+            raise ValueError(f"keep_flights must be >= 1, got {keep_flights}")
+        self.keep_flights = keep_flights
+        self._next_tid = 1
+        self._records: dict[int, FlightRecord] = {}
+        self._completed: list[int] = []  # completion order, for ring eviction
+        self.flights_dropped = 0
+
+    # -- record lifecycle ---------------------------------------------------
+    def begin(
+        self,
+        kind: str,
+        src_rank: int,
+        dst_rank: int,
+        tag: int,
+        ctx_id: int,
+        nbytes: int,
+        t_begin: float,
+    ) -> int:
+        tid = self._next_tid
+        self._next_tid += 1
+        self._records[tid] = FlightRecord(
+            tid, kind, src_rank, dst_rank, tag, ctx_id, nbytes, t_begin
+        )
+        return tid
+
+    def get(self, tid: int | None) -> FlightRecord | None:
+        if tid is None:
+            return None
+        return self._records.get(tid)
+
+    def set_kind(self, tid: int | None, kind: str) -> None:
+        rec = self.get(tid)
+        if rec is not None:
+            rec.kind = kind
+
+    def span(
+        self,
+        tid: int | None,
+        layer: str,
+        name: str,
+        ts: float,
+        dur: float,
+        node: int | None = None,
+        fields: dict[str, Any] | None = None,
+    ) -> None:
+        rec = self.get(tid)
+        if rec is not None:
+            rec.events.append(FlightEvent(layer, name, ts, dur, node, fields))
+
+    def instant(
+        self,
+        tid: int | None,
+        layer: str,
+        name: str,
+        ts: float,
+        node: int | None = None,
+        fields: dict[str, Any] | None = None,
+    ) -> None:
+        rec = self.get(tid)
+        if rec is not None:
+            rec.events.append(FlightEvent(layer, name, ts, None, node, fields))
+
+    def complete(self, tid: int | None, t_end: float) -> FlightRecord | None:
+        rec = self.get(tid)
+        if rec is None or rec.t_end is not None:
+            return None
+        rec.t_end = t_end
+        self._completed.append(rec.tid)
+        if self.keep_flights is not None and len(self._completed) > self.keep_flights:
+            evict = self._completed[: len(self._completed) - self.keep_flights]
+            del self._completed[: len(evict)]
+            for old_tid in evict:
+                if self._records.pop(old_tid, None) is not None:
+                    self.flights_dropped += 1
+        return rec
+
+    # -- queries ------------------------------------------------------------
+    def records(self) -> list[FlightRecord]:
+        """All retained records in tid (allocation) order."""
+        return [self._records[tid] for tid in sorted(self._records)]
+
+    def completed(self) -> list[FlightRecord]:
+        return [r for r in self.records() if r.t_end is not None]
+
+    def open_records(self) -> list[FlightRecord]:
+        """Flights begun but never completed — lost or still-queued
+        messages; the sanitizer and report surface these."""
+        return [r for r in self.records() if r.t_end is None]
+
+    def slowest(self, n: int) -> list[FlightRecord]:
+        done = self.completed()
+        done.sort(key=lambda r: (-(r.t_end - r.t_begin), r.tid))  # type: ignore[operator]
+        return done[:n]
+
+    def layer_summary(self) -> dict[str, dict[str, float]]:
+        """Aggregate per-layer breakdown across completed flights."""
+        sums: dict[str, float] = {}
+        count = 0
+        for rec in self.completed():
+            count += 1
+            for layer, val in rec.layer_breakdown().items():
+                sums[layer] = sums.get(layer, 0.0) + val
+        out: dict[str, dict[str, float]] = {}
+        for layer in sorted(sums):
+            out[layer] = {
+                "total_us": sums[layer],
+                "mean_us": sums[layer] / count if count else 0.0,
+            }
+        return out

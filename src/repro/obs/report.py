@@ -1,0 +1,266 @@
+"""``python -m repro.obs.report`` — human-readable view of a recorded run.
+
+Two modes:
+
+* ``python -m repro.obs.report trace.json`` — reconstruct flight records
+  from an exported Chrome trace and print the per-layer latency table
+  plus the top-N slowest messages;
+* ``python -m repro.obs.report`` (no file) — run a built-in two-node
+  ping-pong demo under observation and report it directly; with
+  ``--export BASE`` the demo also writes ``BASE.trace.json`` /
+  ``BASE.metrics.json``.
+
+The per-layer table is the programmatic form of the paper's Fig. 9
+decomposition: mean time attributed to pml / ptl / nic / switch per
+completed message, plus the unattributed remainder (queueing between
+instrumented spans).
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import json
+from typing import Any
+
+from repro.obs import capture
+from repro.obs.export import _PID_STRIDE, write_run_artifacts
+from repro.obs.flight import LAYERS
+from repro.obs.observer import Observer
+
+__all__ = ["FlightRow", "rows_from_observer", "rows_from_trace", "render", "main"]
+
+_ROW_LAYERS: tuple[str, ...] = LAYERS + ("unattributed",)
+
+
+class FlightRow:
+    """One completed message, reduced to what the tables need."""
+
+    __slots__ = ("tid", "kind", "src", "dst", "tag", "nbytes", "latency", "layers")
+
+    def __init__(
+        self,
+        tid: Any,
+        kind: str,
+        src: int,
+        dst: int,
+        tag: int,
+        nbytes: int,
+        latency: float,
+        layers: dict[str, float],
+    ):
+        self.tid = tid
+        self.kind = kind
+        self.src = src
+        self.dst = dst
+        self.tag = tag
+        self.nbytes = nbytes
+        self.latency = latency
+        self.layers = layers
+
+
+def rows_from_observer(observer: Observer) -> list[FlightRow]:
+    rows = []
+    for rec in observer.flights.completed():
+        breakdown = rec.layer_breakdown()
+        rows.append(
+            FlightRow(
+                rec.tid,
+                rec.kind,
+                rec.src_rank,
+                rec.dst_rank,
+                rec.tag,
+                rec.nbytes,
+                rec.latency_us or 0.0,
+                breakdown,
+            )
+        )
+    return rows
+
+
+def rows_from_trace(obj: dict[str, Any]) -> list[FlightRow]:
+    """Rebuild flight rows from an exported trace's events.
+
+    Spans are grouped by ``args.flight`` within a run (runs merged into
+    one file are distinguished by their pid stripe); begin/end times come
+    from the async ``b``/``e`` pair.
+    """
+    begins: dict[tuple[int, Any], dict[str, Any]] = {}
+    ends: dict[tuple[int, Any], float] = {}
+    layer_sums: dict[tuple[int, Any], dict[str, float]] = {}
+    for ev in obj.get("traceEvents", []):
+        ph = ev.get("ph")
+        if ph not in ("X", "b", "e"):
+            continue
+        run = int(ev.get("pid", 0)) // _PID_STRIDE
+        if ph in ("b", "e"):
+            if ev.get("cat") != "flight":
+                continue
+            # merged-run exports qualify the async id as "rN:tid"; strip
+            # the prefix so it joins with the spans' integer args.flight
+            fid = ev.get("id")
+            if isinstance(fid, str) and ":" in fid:
+                fid = int(fid.rsplit(":", 1)[1])
+            key = (run, fid)
+            if ph == "b":
+                begins[key] = ev
+            else:
+                ends[key] = float(ev.get("ts", 0.0))
+            continue
+        args = ev.get("args") or {}
+        tid = args.get("flight")
+        if tid is None:
+            continue
+        key = (run, tid)
+        sums = layer_sums.setdefault(key, {})
+        layer = ev.get("cat", "other")
+        sums[layer] = sums.get(layer, 0.0) + float(ev.get("dur", 0.0))
+
+    rows = []
+    for key in sorted(begins, key=lambda k: (k[0], str(k[1]))):
+        if key not in ends:
+            continue  # still-open flight: no latency to tabulate
+        ev = begins[key]
+        args = ev.get("args") or {}
+        latency = ends[key] - float(ev.get("ts", 0.0))
+        layers = {name: 0.0 for name in LAYERS}
+        layers.update(layer_sums.get(key, {}))
+        attributed = sum(v for k, v in layers.items() if k != "total")
+        layers["total"] = latency
+        layers["unattributed"] = max(0.0, latency - attributed)
+        rows.append(
+            FlightRow(
+                f"{key[0]}.{key[1]}" if key[0] else key[1],
+                str(args.get("kind", "?")),
+                int(args.get("src", -1)),
+                int(args.get("dst", -1)),
+                int(args.get("tag", -1)),
+                int(args.get("nbytes", 0)),
+                latency,
+                layers,
+            )
+        )
+    return rows
+
+
+def render(rows: list[FlightRow], top: int = 5) -> str:
+    """The per-layer table plus the top-N slowest messages."""
+    lines = []
+    n = len(rows)
+    lines.append(f"completed messages: {n}")
+    if not n:
+        return "\n".join(lines)
+
+    lines.append("")
+    lines.append("per-layer latency (mean us per message — Fig. 9 decomposition)")
+    lines.append(f"  {'layer':<14}{'mean us':>10}{'total us':>12}{'share':>8}")
+    mean_total = sum(r.latency for r in rows) / n
+    for layer in _ROW_LAYERS:
+        total = sum(r.layers.get(layer, 0.0) for r in rows)
+        mean = total / n
+        share = (mean / mean_total * 100.0) if mean_total else 0.0
+        lines.append(f"  {layer:<14}{mean:>10.3f}{total:>12.1f}{share:>7.1f}%")
+    lines.append(
+        f"  {'total':<14}{mean_total:>10.3f}{sum(r.latency for r in rows):>12.1f}"
+        f"{100.0:>7.1f}%"
+    )
+
+    lines.append("")
+    lines.append(f"top {min(top, n)} slowest messages")
+    header = f"  {'flight':<10}{'kind':<7}{'route':<10}{'bytes':>9}{'us':>10}"
+    for layer in LAYERS:
+        header += f"{layer:>9}"
+    lines.append(header)
+    slowest = sorted(rows, key=lambda r: (-r.latency, str(r.tid)))[:top]
+    for r in slowest:
+        line = (
+            f"  {str(r.tid):<10}{r.kind:<7}"
+            f"{f'{r.src}->{r.dst}':<10}{r.nbytes:>9}{r.latency:>10.2f}"
+        )
+        for layer in LAYERS:
+            line += f"{r.layers.get(layer, 0.0):>9.2f}"
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def _demo_app(sizes: list[int], iters: int) -> Any:
+    """A two-rank ping-pong covering eager and rendezvous sizes."""
+
+    def app(mpi: Any) -> Any:
+        for i, nbytes in enumerate(sizes):
+            buf = mpi.alloc(max(nbytes, 1))
+            tag = 100 + i
+            if mpi.rank == 0:
+                for _ in range(iters):
+                    yield from mpi.comm_world.send(
+                        buf, dest=1, tag=tag, nbytes=nbytes
+                    )
+                    yield from mpi.comm_world.recv(
+                        source=1, tag=tag, nbytes=nbytes
+                    )
+            else:
+                for _ in range(iters):
+                    yield from mpi.comm_world.recv(
+                        source=0, tag=tag, nbytes=nbytes
+                    )
+                    yield from mpi.comm_world.send(
+                        buf, dest=0, tag=tag, nbytes=nbytes
+                    )
+        return mpi.now
+
+    return app
+
+
+def run_demo(
+    sizes: list[int] | None = None, iters: int = 4
+) -> tuple[Observer, Any]:
+    """Run the built-in observed ping-pong; returns (observer, cluster).
+
+    The cluster module is loaded dynamically so this reporting package
+    stays import-light (and strictly typed) on its own.
+    """
+    cluster_mod = importlib.import_module("repro.cluster")
+    sizes = sizes if sizes is not None else [8, 1024, 65536]
+    with capture() as cap:
+        cluster = cluster_mod.Cluster(nodes=2)
+        cluster.run_mpi(_demo_app(sizes, iters), np=2)
+    observer = cap.observer
+    observer.labels["workload"] = f"pingpong sizes={sizes} iters={iters}"
+    observer.summarize_cluster(cluster)
+    return observer, cluster
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="Per-layer latency table and slowest messages from an "
+        "observed run (built-in ping-pong demo when no trace is given).",
+    )
+    parser.add_argument("trace", nargs="?", help="exported *.trace.json file")
+    parser.add_argument("--top", type=int, default=5, help="slowest messages shown")
+    parser.add_argument(
+        "--export", metavar="BASE", help="demo mode: write BASE.trace.json/.metrics.json"
+    )
+    args = parser.parse_args(argv)
+
+    if args.trace:
+        with open(args.trace) as fh:
+            obj = json.load(fh)
+        rows = rows_from_trace(obj)
+        other = obj.get("otherData", {})
+        if other.get("truncated"):
+            print("note: recording was truncated (ring-buffer cap); totals are partial")
+        print(render(rows, top=args.top))
+        return 0
+
+    observer, _cluster = run_demo()
+    print("demo: 2-node ping-pong, sizes [8, 1024, 65536] x 4 iterations")
+    print(render(rows_from_observer(observer), top=args.top))
+    if args.export:
+        trace_path, metrics_path = write_run_artifacts([observer], args.export)
+        print(f"\nwrote {trace_path} and {metrics_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,150 @@
+"""Dependency-free validator for the exported Chrome trace JSON.
+
+Checks the structural subset of the Chrome trace-event format that our
+exporter emits (and that ``chrome://tracing`` / Perfetto's legacy
+importer require), without pulling in a jsonschema package:
+
+* top level is an object with a ``traceEvents`` list and ``otherData``;
+* every event has ``ph``/``pid``/``tid``/``name`` of the right types;
+* ``X`` events carry numeric ``ts`` and non-negative ``dur``;
+* ``i`` events carry a valid scope ``s``; ``b``/``e`` carry ``id`` and
+  ``cat``, and every ``b`` has a matching ``e`` (same cat+id) at a
+  later-or-equal ``ts`` unless ``otherData`` marks open flights;
+* metadata (``M``) events are ``process_name``/``thread_name`` with an
+  ``args.name`` string.
+
+Run as a CLI: ``python -m repro.obs.schema trace.json`` — exits 1 and
+prints each problem if the file does not validate.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any
+
+__all__ = ["validate_chrome_trace", "validate_file", "main"]
+
+_ALLOWED_PH = {"X", "i", "b", "e", "M"}
+_ALLOWED_SCOPES = {"t", "p", "g"}
+_ALLOWED_META = {"process_name", "thread_name"}
+
+
+def _is_num(x: Any) -> bool:
+    return isinstance(x, (int, float)) and not isinstance(x, bool)
+
+
+def validate_chrome_trace(obj: Any) -> list[str]:
+    """Return a list of problems; empty means the trace validates."""
+    errors: list[str] = []
+    if not isinstance(obj, dict):
+        return ["top level is not a JSON object"]
+    events = obj.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing or non-list 'traceEvents'"]
+    other = obj.get("otherData")
+    if not isinstance(other, dict):
+        errors.append("missing or non-object 'otherData'")
+        other = {}
+
+    open_async: dict[tuple[str, Any], float] = {}
+    ended_async: set[tuple[str, Any]] = set()
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in _ALLOWED_PH:
+            errors.append(f"{where}: bad ph {ph!r}")
+            continue
+        if not isinstance(ev.get("name"), str):
+            errors.append(f"{where}: missing/non-string name")
+        if not isinstance(ev.get("pid"), int) or not isinstance(ev.get("tid"), int):
+            errors.append(f"{where}: pid/tid must be integers")
+        if ph == "M":
+            if ev.get("name") not in _ALLOWED_META:
+                errors.append(f"{where}: unknown metadata {ev.get('name')!r}")
+            args = ev.get("args")
+            if not isinstance(args, dict) or not isinstance(args.get("name"), str):
+                errors.append(f"{where}: metadata needs args.name string")
+            continue
+        if not _is_num(ev.get("ts")):
+            errors.append(f"{where}: missing/non-numeric ts")
+        if ph == "X":
+            if not _is_num(ev.get("dur")) or ev.get("dur", 0) < 0:
+                errors.append(f"{where}: X event needs non-negative dur")
+        elif ph == "i":
+            if ev.get("s") not in _ALLOWED_SCOPES:
+                errors.append(f"{where}: instant scope s={ev.get('s')!r}")
+        else:  # b / e
+            if not isinstance(ev.get("cat"), str) or "id" not in ev:
+                errors.append(f"{where}: async event needs cat and id")
+                continue
+            key = (ev["cat"], ev["id"])
+            if ph == "b":
+                if key in open_async or key in ended_async:
+                    errors.append(f"{where}: duplicate async begin {key}")
+                elif _is_num(ev.get("ts")):
+                    open_async[key] = float(ev["ts"])
+            else:
+                t0 = open_async.pop(key, None)
+                if t0 is None:
+                    errors.append(f"{where}: async end without begin {key}")
+                else:
+                    ended_async.add(key)
+                    if _is_num(ev.get("ts")) and float(ev["ts"]) < t0:
+                        errors.append(f"{where}: async end before begin {key}")
+
+    declared_open = other.get("flights_open", 0)
+    if isinstance(declared_open, int):
+        undeclared = len(open_async) - _count_open_runs(other, declared_open)
+        if undeclared > 0:
+            errors.append(
+                f"{undeclared} async flight(s) never ended and otherData does "
+                f"not declare them open"
+            )
+    return errors
+
+
+def _count_open_runs(other: dict[str, Any], top_level_open: int) -> int:
+    """Open flights may be declared at top level or per merged run."""
+    runs = other.get("runs")
+    if isinstance(runs, list):
+        total = 0
+        for run in runs:
+            if isinstance(run, dict) and isinstance(run.get("flights_open"), int):
+                total += run["flights_open"]
+        return total
+    return top_level_open
+
+
+def validate_file(path: str) -> list[str]:
+    try:
+        with open(path) as fh:
+            obj = json.load(fh)
+    except (OSError, ValueError) as exc:
+        return [f"cannot load {path}: {exc}"]
+    return validate_chrome_trace(obj)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    if not args:
+        print("usage: python -m repro.obs.schema TRACE.json [TRACE.json ...]")
+        return 2
+    status = 0
+    for path in args:
+        problems = validate_file(path)
+        if problems:
+            status = 1
+            print(f"{path}: INVALID ({len(problems)} problem(s))")
+            for p in problems:
+                print(f"  - {p}")
+        else:
+            print(f"{path}: OK")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,90 @@
+"""Enablement gating and the observation-only contract.
+
+The load-bearing test here is bit-identity: an observed run and an
+unobserved run of the same workload must report identical modelled
+results and end at the identical simulated time.
+"""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.obs import capture, maybe_observer, obs_enabled
+from tests.conftest import pingpong_app, run_mpi_app
+
+
+def test_disabled_by_default(monkeypatch):
+    monkeypatch.delenv("REPRO_OBS", raising=False)
+    assert not obs_enabled()
+    assert maybe_observer(object()) is None
+    cluster = Cluster(nodes=2)
+    assert cluster.observer is None
+    assert cluster.fabric.obs is None
+    assert all(nic.obs is None for nic in cluster.nics)
+
+
+def test_env_enables_and_zero_disables(monkeypatch):
+    monkeypatch.setenv("REPRO_OBS", "1")
+    assert obs_enabled()
+    assert maybe_observer(object()) is not None
+    monkeypatch.setenv("REPRO_OBS", "0")
+    assert not obs_enabled()
+    assert maybe_observer(object()) is None
+
+
+def test_env_keep_cap_applies(monkeypatch):
+    monkeypatch.setenv("REPRO_OBS", "1")
+    monkeypatch.setenv("REPRO_OBS_KEEP", "5")
+    ob = maybe_observer(object())
+    assert ob.flights.keep_flights == 5
+
+
+def test_capture_wires_every_layer():
+    with capture() as cap:
+        cluster = Cluster(nodes=2, rails=2)
+    ob = cap.observer
+    assert cluster.observer is ob
+    for fabric in cluster.rail_fabrics:
+        assert fabric.obs is ob
+    for nics in cluster.rail_nics:
+        assert all(nic.obs is ob for nic in nics)
+    # clusters built after the block are unobserved again
+    assert Cluster(nodes=2).observer is None
+
+
+def test_capture_observer_property_demands_exactly_one():
+    with capture() as cap:
+        pass
+    with pytest.raises(ValueError):
+        cap.observer
+    with capture() as cap2:
+        Cluster(nodes=2)
+        Cluster(nodes=2)
+    assert len(cap2.observers) == 2
+    with pytest.raises(ValueError):
+        cap2.observer
+
+
+def test_observed_run_is_bit_identical_to_plain_run():
+    plain, plain_cluster = run_mpi_app(pingpong_app(4096, iters=4), nodes=2)
+    with capture() as cap:
+        observed, observed_cluster = run_mpi_app(pingpong_app(4096, iters=4), nodes=2)
+    assert observed == plain
+    assert observed_cluster.sim.now == plain_cluster.sim.now
+    # and the observation actually happened
+    assert len(cap.observer.flights.completed()) > 0
+
+
+def test_observed_flights_cover_the_workload():
+    iters = 3
+    with capture() as cap:
+        run_mpi_app(pingpong_app(1024, iters=iters), nodes=2)
+    ob = cap.observer
+    done = ob.flights.completed()
+    # one flight per message: 2 directions x iters (plus any wireup sends)
+    assert len(done) >= 2 * iters
+    for rec in done:
+        assert rec.latency_us > 0
+        b = rec.layer_breakdown()
+        assert b["total"] >= b["pml"] + b["ptl"] >= 0
+    counters = ob.snapshot()["scopes"]["pml"]
+    assert counters["sends_completed"]["value"] == len(done)

@@ -1,0 +1,106 @@
+"""Exporters: byte-determinism, golden file, schema validation, truncation.
+
+To regenerate the golden file after an intentional model change::
+
+    PYTHONHASHSEED=0 PYTHONPATH=src python -c "
+    from tests.obs.test_export import _golden_trace_text, GOLDEN
+    GOLDEN.write_text(_golden_trace_text())"
+"""
+
+import json
+import pathlib
+
+from repro.obs import capture
+from repro.obs.export import chrome_trace, metrics_json, trace_json, write_run_artifacts
+from repro.obs.schema import validate_chrome_trace, validate_file
+from tests.conftest import pingpong_app, run_mpi_app
+
+GOLDEN = pathlib.Path(__file__).parent / "golden" / "pingpong.trace.json"
+
+
+def _observed_pingpong(nbytes=256, iters=2, keep_flights=None):
+    with capture(keep_flights=keep_flights) as cap:
+        run_mpi_app(pingpong_app(nbytes, iters=iters), nodes=2)
+    return cap.observer
+
+
+def _golden_trace_text() -> str:
+    return trace_json(_observed_pingpong()) + "\n"
+
+
+def test_trace_export_is_deterministic_across_runs():
+    first = _golden_trace_text()
+    second = _golden_trace_text()
+    assert first == second
+
+
+def test_trace_matches_committed_golden():
+    assert _golden_trace_text() == GOLDEN.read_text()
+
+
+def test_exported_trace_is_schema_valid():
+    trace = chrome_trace(_observed_pingpong())
+    assert validate_chrome_trace(trace) == []
+
+
+def test_trace_events_cover_every_instrumented_layer():
+    trace = chrome_trace(_observed_pingpong())
+    span_layers = {
+        ev["cat"] for ev in trace["traceEvents"] if ev["ph"] == "X"
+    }
+    assert {"pml", "ptl", "nic", "switch"} <= span_layers
+    phases = {ev["ph"] for ev in trace["traceEvents"]}
+    assert {"X", "b", "e", "M"} <= phases
+
+
+def test_truncated_capture_is_declared_in_metadata():
+    ob = _observed_pingpong(iters=4, keep_flights=2)
+    assert ob.flights.flights_dropped > 0
+    trace = chrome_trace(ob)
+    other = trace["otherData"]
+    assert other["truncated"] is True
+    assert other["flights_dropped"] == ob.flights.flights_dropped
+    # a capped trace is still schema-valid: its dangling async ends are
+    # explained by the declared drop count
+    errors = validate_chrome_trace(trace)
+    assert errors == []
+
+
+def test_metrics_json_round_trips():
+    ob = _observed_pingpong()
+    snap = json.loads(metrics_json(ob))
+    assert snap["scopes"]["pml"]["sends_completed"]["value"] >= 4
+    assert "message_latency_us" in snap["scopes"]["pml"]
+
+
+def test_write_run_artifacts_merges_runs_with_pid_stripes(tmp_path):
+    ob_a = _observed_pingpong(iters=1)
+    ob_b = _observed_pingpong(iters=1)
+    base = str(tmp_path / "merged")
+    trace_path, metrics_path = write_run_artifacts(
+        [ob_a, ob_b], base, labels={"bench": "test"}
+    )
+    assert validate_file(trace_path) == []
+    trace = json.loads(pathlib.Path(trace_path).read_text())
+    pids = {ev["pid"] for ev in trace["traceEvents"]}
+    assert any(pid >= 1000 for pid in pids) and any(pid < 1000 for pid in pids)
+    assert [r["run"] for r in trace["otherData"]["runs"]] == [0, 1]
+    metrics = json.loads(pathlib.Path(metrics_path).read_text())
+    assert len(metrics["runs"]) == 2
+    assert metrics["labels"] == {"bench": "test"}
+
+
+def test_schema_rejects_malformed_traces():
+    good = chrome_trace(_observed_pingpong())
+    assert validate_chrome_trace({"traceEvents": "nope"})
+    bad_ph = json.loads(json.dumps(good))
+    bad_ph["traceEvents"][0]["ph"] = "Z"
+    assert any("ph" in e for e in validate_chrome_trace(bad_ph))
+    dangling = json.loads(json.dumps(good))
+    dangling["traceEvents"] = [
+        ev
+        for ev in dangling["traceEvents"]
+        if not (ev.get("ph") == "e" and ev.get("cat") == "flight")
+    ]
+    dangling["otherData"]["flights_open"] = 0
+    assert validate_chrome_trace(dangling)

@@ -1,0 +1,85 @@
+"""Flight recorder: tid allocation, breakdowns, and the completed-ring cap."""
+
+import pytest
+
+from repro.obs.flight import FlightRecorder
+
+
+def _one_flight(rec, t0=0.0, dur=10.0):
+    tid = rec.begin("send", 0, 1, 7, 0, 1024, t0)
+    rec.span(tid, "pml", "isend", t0, 1.0, node=0)
+    rec.span(tid, "nic", "tx", t0 + 1.0, 6.0, node=0)
+    rec.instant(tid, "ptl", "rndv_ack", t0 + 8.0, node=0)
+    rec.complete(tid, t0 + dur)
+    return tid
+
+
+def test_tids_are_sequential_and_records_ordered():
+    rec = FlightRecorder()
+    tids = [rec.begin("send", 0, 1, i, 0, 8, float(i)) for i in range(3)]
+    assert tids == [1, 2, 3]
+    assert [r.tid for r in rec.records()] == [1, 2, 3]
+    assert rec.completed() == []
+    assert len(rec.open_records()) == 3
+
+
+def test_layer_breakdown_totals_and_unattributed():
+    rec = FlightRecorder()
+    tid = _one_flight(rec)
+    b = rec.get(tid).layer_breakdown()
+    assert b["pml"] == pytest.approx(1.0)
+    assert b["nic"] == pytest.approx(6.0)
+    assert b["ptl"] == 0.0 and b["switch"] == 0.0
+    assert b["total"] == pytest.approx(10.0)
+    assert b["unattributed"] == pytest.approx(3.0)
+
+
+def test_events_on_unknown_or_none_tid_are_ignored():
+    rec = FlightRecorder()
+    rec.span(None, "pml", "isend", 0.0, 1.0)
+    rec.span(999, "pml", "isend", 0.0, 1.0)
+    rec.instant(None, "ptl", "fin", 0.0)
+    rec.set_kind(999, "rndv")
+    assert rec.records() == []
+
+
+def test_double_complete_is_ignored():
+    rec = FlightRecorder()
+    tid = rec.begin("send", 0, 1, 0, 0, 8, 0.0)
+    assert rec.complete(tid, 5.0) is not None
+    assert rec.complete(tid, 9.0) is None
+    assert rec.get(tid).t_end == 5.0
+
+
+def test_ring_cap_evicts_oldest_completed_only():
+    rec = FlightRecorder(keep_flights=2)
+    done = [_one_flight(rec, t0=10.0 * i) for i in range(4)]
+    still_open = rec.begin("send", 0, 1, 99, 0, 8, 100.0)
+    assert rec.flights_dropped == 2
+    kept = [r.tid for r in rec.records()]
+    # the two newest completed flights survive; the open one is never evicted
+    assert kept == [done[2], done[3], still_open]
+    assert [r.tid for r in rec.open_records()] == [still_open]
+
+
+def test_ring_cap_validates():
+    with pytest.raises(ValueError):
+        FlightRecorder(keep_flights=0)
+
+
+def test_slowest_sorts_by_latency_then_tid():
+    rec = FlightRecorder()
+    a = _one_flight(rec, t0=0.0, dur=5.0)
+    b = _one_flight(rec, t0=20.0, dur=9.0)
+    c = _one_flight(rec, t0=40.0, dur=9.0)
+    assert [r.tid for r in rec.slowest(2)] == [b, c]
+    assert [r.tid for r in rec.slowest(10)] == [b, c, a]
+
+
+def test_layer_summary_aggregates_completed():
+    rec = FlightRecorder()
+    _one_flight(rec, t0=0.0)
+    _one_flight(rec, t0=50.0)
+    summary = rec.layer_summary()
+    assert summary["pml"] == {"total_us": pytest.approx(2.0), "mean_us": pytest.approx(1.0)}
+    assert summary["total"]["mean_us"] == pytest.approx(10.0)

@@ -1,0 +1,89 @@
+"""Metrics registry: counters, gauges, fixed-bucket histograms, snapshot/diff."""
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS_US,
+    Histogram,
+    MetricsRegistry,
+    diff_snapshots,
+)
+
+
+def test_counter_and_gauge_basics():
+    m = MetricsRegistry()
+    m.count("pml", "sends")
+    m.count("pml", "sends", 3)
+    m.gauge_set("nic", "queue_depth", 7)
+    m.gauge_set("nic", "queue_depth", 2)
+    snap = m.snapshot(at_us=10.0)
+    assert snap["at_us"] == 10.0
+    assert snap["scopes"]["pml"]["sends"] == {"type": "counter", "value": 4}
+    assert snap["scopes"]["nic"]["queue_depth"]["value"] == 2.0
+
+
+def test_histogram_bucketing_is_fixed_and_exact():
+    h = Histogram("lat", bounds=(1.0, 10.0, 100.0))
+    for v in (0.5, 1.0, 5.0, 99.0, 1000.0):
+        h.observe(v)
+    # first bucket edge is inclusive; past the last bound -> overflow
+    assert h.counts == [2, 1, 1, 1]
+    assert h.count == 5
+    assert h.total == pytest.approx(1105.5)
+    assert h.mean == pytest.approx(221.1)
+
+
+def test_histogram_quantile_is_bucket_resolution():
+    h = Histogram("lat", bounds=(1.0, 10.0, 100.0))
+    for v in [0.5] * 9 + [50.0]:
+        h.observe(v)
+    assert h.quantile(0.5) == 1.0
+    assert h.quantile(1.0) == 100.0
+    with pytest.raises(ValueError):
+        h.quantile(1.5)
+
+
+def test_histogram_rejects_unsorted_bounds():
+    with pytest.raises(ValueError):
+        Histogram("bad", bounds=(10.0, 1.0))
+
+
+def test_default_bounds_are_sorted():
+    assert list(DEFAULT_LATENCY_BUCKETS_US) == sorted(DEFAULT_LATENCY_BUCKETS_US)
+
+
+def test_snapshot_skips_empty_scopes_and_sorts_keys():
+    m = MetricsRegistry()
+    m.count("ptl", "b_events")
+    m.count("ptl", "a_events")
+    snap = m.snapshot()
+    assert list(snap["scopes"]) == ["ptl"]
+    assert list(snap["scopes"]["ptl"]) == ["a_events", "b_events"]
+
+
+def test_diff_snapshots_subtracts_counters_and_histograms():
+    m = MetricsRegistry()
+    m.count("pml", "sends", 2)
+    m.sample("pml", "lat_us", 5.0, bounds=(1.0, 10.0))
+    old = m.snapshot(at_us=1.0)
+    m.count("pml", "sends", 5)
+    m.sample("pml", "lat_us", 0.5, bounds=(1.0, 10.0))
+    m.gauge_set("pml", "depth", 3)
+    new = m.snapshot(at_us=9.0)
+
+    d = diff_snapshots(new, old)
+    assert d["at_us"] == 9.0 and d["since_us"] == 1.0
+    pml = d["scopes"]["pml"]
+    assert pml["sends"]["value"] == 5
+    assert pml["lat_us"]["count"] == 1
+    assert pml["lat_us"]["counts"] == [1, 0, 0]
+    assert pml["lat_us"]["mean"] == pytest.approx(0.5)
+    # gauges report the new value, not a delta
+    assert pml["depth"]["value"] == 3.0
+
+
+def test_diff_against_empty_old_passes_through():
+    m = MetricsRegistry()
+    m.count("faults", "rail_down")
+    d = diff_snapshots(m.snapshot(), {"at_us": 0.0, "scopes": {}})
+    assert d["scopes"]["faults"]["rail_down"]["value"] == 1

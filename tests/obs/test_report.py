@@ -1,0 +1,74 @@
+"""Report: trace round-trip, rendered tables, and the Fig. 9 split check."""
+
+import json
+
+import pytest
+
+from repro.bench.harness import openmpi_pml_cost
+from repro.obs import capture
+from repro.obs.export import chrome_trace
+from repro.obs.report import main, render, rows_from_observer, rows_from_trace
+from tests.conftest import pingpong_app, run_mpi_app
+
+
+def _observed_pingpong(nbytes=1024, iters=3):
+    with capture() as cap:
+        run_mpi_app(pingpong_app(nbytes, iters=iters), nodes=2)
+    return cap.observer
+
+
+def test_rows_from_trace_round_trip_matches_observer():
+    ob = _observed_pingpong()
+    direct = {r.tid: r for r in rows_from_observer(ob)}
+    via_trace = {int(r.tid): r for r in rows_from_trace(chrome_trace(ob))}
+    assert set(direct) == set(via_trace)
+    for tid, row in direct.items():
+        other = via_trace[tid]
+        assert other.latency == pytest.approx(row.latency)
+        assert (other.kind, other.src, other.dst, other.nbytes) == (
+            row.kind,
+            row.src,
+            row.dst,
+            row.nbytes,
+        )
+        for layer in ("pml", "ptl", "nic", "switch"):
+            assert other.layers[layer] == pytest.approx(row.layers[layer])
+
+
+def test_render_contains_layer_table_and_slowest():
+    ob = _observed_pingpong()
+    out = render(rows_from_observer(ob), top=2)
+    assert "Fig. 9 decomposition" in out
+    for layer in ("pml", "ptl", "nic", "switch", "unattributed", "total"):
+        assert layer in out
+    assert "top 2 slowest messages" in out
+
+
+def test_render_empty():
+    assert render([]) == "completed messages: 0"
+
+
+def test_main_reports_from_exported_trace(tmp_path, capsys):
+    ob = _observed_pingpong()
+    path = tmp_path / "run.trace.json"
+    path.write_text(json.dumps(chrome_trace(ob)))
+    assert main([str(path), "--top", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "per-layer latency" in out
+    assert "top 3 slowest" in out
+
+
+def test_fig9_pml_split_matches_token_passing_measurement():
+    """The obs-side PML cost histogram samples the same decomposition the
+    Fig. 9 bench measures by token passing; their means must agree, and
+    both must sit in the paper's §6.3 band (~0.5 us at PML and above)."""
+    with capture() as cap:
+        results = openmpi_pml_cost(1024, iters=10)
+    hist = (
+        cap.observer.metrics.scope("pml").histogram("layer_cost_us")
+    )
+    assert hist.count > 0
+    assert hist.mean == pytest.approx(results["pml_cost"], rel=1e-9)
+    assert 0.35 <= hist.mean <= 0.75
+    # and the residual PTL+below latency dominates, as in Fig. 9
+    assert results["ptl_latency"] > results["pml_cost"]

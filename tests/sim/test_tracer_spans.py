@@ -1,0 +1,101 @@
+"""Tracer satellites: span abandon/leak accounting, the category index,
+and the record ring cap."""
+
+import pytest
+
+from repro.analysis.sanitize import Sanitizer
+from repro.sim.core import Simulator
+from repro.sim.trace import Tracer
+
+
+def test_abandon_discards_span_without_sampling():
+    sim = Simulator()
+    tr = Tracer(sim)
+    tr.span_begin("k1", "op")
+    assert tr.abandon("k1") is True
+    assert tr.abandon("k1") is False  # already closed
+    assert tr.span_end("k1") is None
+    assert "op" not in tr.samples
+    assert tr.counters["span_abandoned:op"] == 1
+
+
+def test_open_spans_reports_leaks():
+    sim = Simulator()
+    tr = Tracer(sim)
+    tr.span_begin("a", "x")
+    tr.span_begin("b", "y")
+    tr.span_end("a")
+    assert set(tr.open_spans()) == {"b"}
+    tr.abandon("b")
+    assert tr.open_spans() == {}
+
+
+def test_sanitizer_flags_open_spans_at_teardown():
+    sim = Simulator()
+    sim.sanitizer = Sanitizer(sim)
+    tr = Tracer(sim)  # registers itself with the sanitizer
+    tr.span_begin("leaky", "op")
+    findings = sim.sanitizer.teardown()
+    leaks = [f for f in findings if f.kind == "open-span"]
+    assert leaks and "leaky" in leaks[0].message
+
+
+def test_sanitizer_quiet_when_spans_closed():
+    sim = Simulator()
+    sim.sanitizer = Sanitizer(sim)
+    tr = Tracer(sim)
+    tr.span_begin("k", "op")
+    tr.span_end("k")
+    assert not [f for f in sim.sanitizer.teardown() if f.kind == "open-span"]
+
+
+def test_of_category_uses_index_and_matches_records():
+    sim = Simulator()
+    tr = Tracer(sim)
+    tr.record("a", v=1)
+    tr.record("b", v=2)
+    tr.record("a", v=3)
+    assert [r.get("v") for r in tr.of_category("a")] == [1, 3]
+    assert tr.of_category("missing") == []
+    assert len(tr.records) == 3
+
+
+def test_ring_cap_bounds_records_and_counts_drops():
+    sim = Simulator()
+    tr = Tracer(sim, keep_records=3)
+    for i in range(10):
+        tr.record("ev", i=i)
+    assert len(tr.records) <= 6  # amortised: trimmed at 2x cap
+    tr.record("other", i=99)
+    # survivors are the most recent records, and the category index
+    # tracks exactly the survivors
+    kept = [(r.category, r.get("i")) for r in tr.records]
+    assert kept[-1] == ("other", 99)
+    assert kept[:-1] == [("ev", r.get("i")) for r in tr.of_category("ev")]
+    assert tr.records_dropped == 11 - len(tr.records)
+    assert tr.counters["ev"] == 10  # counters never truncate
+
+
+def test_ring_cap_rejects_nonpositive():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Tracer(sim, keep_records=0)
+
+
+def test_keep_records_false_still_counts():
+    sim = Simulator()
+    tr = Tracer(sim, keep_records=False)
+    tr.record("ev")
+    assert tr.records == []
+    assert tr.of_category("ev") == []
+    assert tr.counters["ev"] == 1
+
+
+def test_clear_resets_ring_state():
+    sim = Simulator()
+    tr = Tracer(sim, keep_records=2)
+    for i in range(8):
+        tr.record("ev", i=i)
+    tr.clear()
+    assert tr.records == [] and tr.records_dropped == 0
+    assert tr.of_category("ev") == []
