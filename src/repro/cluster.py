@@ -44,6 +44,12 @@ class Cluster:
         from repro.obs import maybe_observer
 
         self.observer = maybe_observer(self.sim)
+        #: NIC-offloaded collective registry: learns each rank's Elan
+        #: context at MPI wire-up, seals the static cohort, and hands
+        #: hw broadcast/barrier groups to the repro.coll framework
+        from repro.coll.hw import HwCollRegistry
+
+        self.coll_hw = HwCollRegistry(self)
         self.nodes: List[Node] = [Node(self.sim, self.config, i) for i in range(nodes)]
         #: per-rail interconnects: each rail is its own switch fabric,
         #: capability, and set of NICs (the multirail layout of [6] and the

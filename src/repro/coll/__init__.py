@@ -1,0 +1,22 @@
+"""``repro.coll`` — the tunable collective-communication framework.
+
+The paper defers collectives to "a separate component on top of
+point-to-point" (§2.1) and leaves hardware collective support to future
+work; this package is that future work, shaped like Open MPI's ``coll``
+framework:
+
+* :mod:`repro.coll.registry` — ≥2 algorithms per op (software trees/rings
+  in :mod:`repro.coll.algorithms`, NIC-offloaded broadcast and the
+  Yu-et-al. chained-event barrier in :mod:`repro.coll.hw`);
+* :mod:`repro.coll.decision` — a tuned (comm size, message size) decision
+  table, overridable via ``REPRO_COLL_<OP>`` / config;
+* :mod:`repro.coll.tune` — the sweep CLI that regenerates the committed
+  table (``python -m repro.coll.tune``);
+* :mod:`repro.coll.framework` — the entry points ``Communicator`` routes
+  through, with per-call symmetric hardware/software degradation and
+  ``coll``-scope observability.
+"""
+
+from repro.coll.registry import Algorithm, CollError, algorithms_for, get, ops
+
+__all__ = ["Algorithm", "CollError", "algorithms_for", "get", "ops"]

@@ -1,0 +1,326 @@
+"""Software collective algorithms registered with the framework.
+
+Two (or more) implementations per op, so the decision layer has real
+choices to make:
+
+* **barrier** — dissemination (the naive reference in
+  :mod:`repro.mpi.collective`); the NIC-offloaded tree lives in
+  :mod:`repro.coll.hw`.
+* **bcast** — binomial tree (reference) and a pipelined chain that
+  segments the payload so link serialisation overlaps down the chain;
+  chain segments carry a little-endian u64 total-length prefix, making the
+  stream self-describing (receivers need no prior size agreement).
+* **allreduce** — recursive doubling (reference; reduce+bcast for
+  non-power-of-two groups) and the Rabenseifner ring: a ring
+  reduce-scatter over near-equal element chunks followed by a ring
+  allgather, moving 2·(n−1)/n of the buffer per rank instead of log2(n)
+  full copies.
+* **alltoall** — pairwise exchange (reference) and Bruck's algorithm:
+  ⌈log2 n⌉ rounds of aggregated blocks, each round ``r`` exchanging with
+  rank ±2^r; the winner for small messages where per-message latency
+  dominates.  Blocks are u32-length-prefixed in an index order both sides
+  derive, so chunk sizes may differ per destination.
+* **reduce_scatter** — reduce+scatter (reference) and the ring
+  reduce-scatter phase on its own.
+
+All coroutines run over the communicator's point-to-point layer, so they
+work unchanged on any transport, any group (including non-power-of-two
+sizes), and under faults the PML can recover from.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Generator, List, Optional
+
+import numpy as np
+
+from repro.coll.registry import register
+from repro.mpi import collective as _ref
+from repro.mpi.collective import _op, _to_bytes
+from repro.mpi.communicator import Communicator, MpiError
+
+__all__ = [
+    "bcast_chain",
+    "allreduce_ring",
+    "alltoall_bruck",
+    "reduce_scatter_ring",
+]
+
+# collective tags continue repro.mpi.collective's 0x7Fxx block
+TAG_COLL_CHAIN = 0x7F10
+TAG_COLL_RING_RS = 0x7F11
+TAG_COLL_RING_AG = 0x7F12
+#: Bruck rounds get distinct tags (base + round index)
+TAG_COLL_BRUCK = 0x7F20
+
+_CHAIN_HEADER = struct.Struct("<Q")
+_BRUCK_LEN = struct.Struct("<I")
+
+
+# -- bcast: pipelined chain --------------------------------------------------
+def bcast_chain(
+    comm: Communicator,
+    data: Any,
+    root: int = 0,
+    max_bytes: int = 1 << 22,
+    nbytes: Optional[int] = None,
+    seq: int = 0,
+) -> Generator[Any, Any, bytes]:
+    """Segmented chain broadcast: root → root+1 → … → root+n−1.
+
+    Each segment is forwarded as soon as it lands, so segments pipeline
+    down the chain; total time ≈ (segments + n − 2) segment-times instead
+    of the binomial tree's log2(n) full-message times — the right shape
+    for large payloads.
+    """
+    n, me = comm.size, comm.rank
+    rel = (me - root) % n
+    if n == 1:
+        return _to_bytes(data) if data is not None else b""
+    seg = comm.stack.config.coll_segment_bytes
+    succ = ((rel + 1) + root) % n if rel + 1 < n else None
+    if rel == 0:
+        payload = _to_bytes(data)
+        total = len(payload)
+        header = _CHAIN_HEADER.pack(total)
+        nsegs = max(1, -(-total // seg))
+        reqs = []
+        for i in range(nsegs):
+            frag = header + payload[i * seg : (i + 1) * seg]
+            req = yield from comm.isend(frag, succ, tag=TAG_COLL_CHAIN)
+            reqs.append(req)
+        for req in reqs:
+            yield from comm.wait(req)
+        return payload
+    pred = ((rel - 1) + root) % n
+    parts: List[bytes] = []
+    forwards = []
+    got = 0
+    while True:
+        body, _ = yield from comm.recv(
+            source=pred, tag=TAG_COLL_CHAIN, nbytes=seg + _CHAIN_HEADER.size
+        )
+        raw = body.tobytes()
+        (total,) = _CHAIN_HEADER.unpack_from(raw)
+        if succ is not None:
+            req = yield from comm.isend(raw, succ, tag=TAG_COLL_CHAIN)
+            forwards.append(req)
+        chunk = raw[_CHAIN_HEADER.size :]
+        parts.append(chunk)
+        got += len(chunk)
+        if got >= total:
+            break
+    for req in forwards:
+        yield from comm.wait(req)
+    return b"".join(parts)
+
+
+# -- allreduce / reduce_scatter: ring --------------------------------------
+def _chunk_bounds(nelems: int, n: int) -> List[int]:
+    """Element boundaries of ``n`` near-equal chunks (first chunks get the
+    remainder), as a cumulative bounds list of length n+1."""
+    base, extra = divmod(nelems, n)
+    bounds = [0]
+    for i in range(n):
+        bounds.append(bounds[-1] + base + (1 if i < extra else 0))
+    return bounds
+
+
+def _ring_reduce_scatter(
+    comm: Communicator,
+    flat: np.ndarray,
+    bounds: List[int],
+    fn: Any,
+    tag: int,
+) -> Generator[Any, Any, None]:
+    """n−1 ring steps; afterwards rank r holds chunk r fully reduced."""
+    n, me = comm.size, comm.rank
+    right = (me + 1) % n
+    left = (me - 1) % n
+    itemsize = flat.dtype.itemsize
+    for step in range(n - 1):
+        si = (me - step - 1) % n
+        ri = (me - step - 2) % n
+        rbytes = (bounds[ri + 1] - bounds[ri]) * itemsize
+        body, _ = yield from comm.sendrecv(
+            flat[bounds[si] : bounds[si + 1]].tobytes(),
+            right,
+            recvnbytes=rbytes,
+            source=left,
+            sendtag=tag,
+            recvtag=tag,
+        )
+        incoming = np.frombuffer(body.tobytes(), dtype=flat.dtype)
+        flat[bounds[ri] : bounds[ri + 1]] = fn(
+            flat[bounds[ri] : bounds[ri + 1]], incoming
+        )
+    return None
+
+
+def _ring_allgather(
+    comm: Communicator,
+    flat: np.ndarray,
+    bounds: List[int],
+    tag: int,
+) -> Generator[Any, Any, None]:
+    """n−1 ring steps distributing the reduced chunks (rank r starts
+    owning chunk r)."""
+    n, me = comm.size, comm.rank
+    right = (me + 1) % n
+    left = (me - 1) % n
+    itemsize = flat.dtype.itemsize
+    for step in range(n - 1):
+        si = (me - step) % n
+        ri = (me - step - 1) % n
+        rbytes = (bounds[ri + 1] - bounds[ri]) * itemsize
+        body, _ = yield from comm.sendrecv(
+            flat[bounds[si] : bounds[si + 1]].tobytes(),
+            right,
+            recvnbytes=rbytes,
+            source=left,
+            sendtag=tag,
+            recvtag=tag,
+        )
+        flat[bounds[ri] : bounds[ri + 1]] = np.frombuffer(
+            body.tobytes(), dtype=flat.dtype
+        )
+    return None
+
+
+def allreduce_ring(
+    comm: Communicator, array: np.ndarray, op: str = "sum"
+) -> Generator[Any, Any, np.ndarray]:
+    """Rabenseifner allreduce: ring reduce-scatter + ring allgather.
+
+    Bandwidth-optimal — each rank moves ≈2·(n−1)/n of the buffer — and
+    works for any group size and any (possibly zero) element count.
+    """
+    fn = _op(op)
+    acc = np.array(array, copy=True)
+    n = comm.size
+    if n == 1:
+        return acc
+    flat = acc.reshape(-1)
+    bounds = _chunk_bounds(flat.size, n)
+    yield from _ring_reduce_scatter(comm, flat, bounds, fn, TAG_COLL_RING_RS)
+    yield from _ring_allgather(comm, flat, bounds, TAG_COLL_RING_AG)
+    return acc
+
+
+def reduce_scatter_ring(
+    comm: Communicator, array: np.ndarray, op: str = "sum"
+) -> Generator[Any, Any, np.ndarray]:
+    """Ring reduce-scatter (the first Rabenseifner phase alone): rank i
+    ends up with block i reduced, moving (n−1)/n of the buffer instead of
+    the reference's full reduce followed by a scatter."""
+    arr = np.asarray(array)
+    n = comm.size
+    if len(arr) % n:
+        raise MpiError(
+            f"reduce_scatter needs len(array) divisible by {n}, got {len(arr)}"
+        )
+    acc = np.array(arr, copy=True)
+    block = len(arr) // n
+    if n == 1:
+        return acc
+    bounds = [i * block for i in range(n + 1)]
+    fn = _op(op)
+    yield from _ring_reduce_scatter(comm, acc, bounds, fn, TAG_COLL_RING_RS)
+    return acc[bounds[comm.rank] : bounds[comm.rank + 1]].copy()
+
+
+# -- alltoall: Bruck ---------------------------------------------------------
+def alltoall_bruck(
+    comm: Communicator, chunks: Any, max_bytes: int = 1 << 22
+) -> Generator[Any, Any, List[bytes]]:
+    """Bruck alltoall: ⌈log2 n⌉ aggregated rounds instead of n−1 pairwise
+    exchanges — fewer, larger messages, the winner when per-message latency
+    dominates (small chunks).
+
+    Round ``r`` sends every block whose local offset has bit ``r`` set to
+    rank ``me + 2^r``; blocks are u32-length-prefixed in ascending offset
+    order, so per-destination chunk sizes may differ.  Receive sizes come
+    from a probe of the matching header, not a worst-case bound.
+    """
+    n, me = comm.size, comm.rank
+    if chunks is None or len(chunks) != n:
+        raise MpiError("alltoall needs one chunk per rank")
+    if n == 1:
+        return [_to_bytes(chunks[0])]
+    # local rotation: blocks[j] is destined to rank (me + j) % n
+    blocks: List[bytes] = [_to_bytes(chunks[(me + j) % n]) for j in range(n)]
+    k = 1
+    rnd = 0
+    while k < n:
+        send_ids = [j for j in range(1, n) if j & k]
+        payload = b"".join(
+            _BRUCK_LEN.pack(len(blocks[j])) + blocks[j] for j in send_ids
+        )
+        dst = (me + k) % n
+        src = (me - k) % n
+        tag = TAG_COLL_BRUCK + rnd
+        sreq = yield from comm.isend(payload, dst, tag=tag)
+        status = yield from comm.probe(source=src, tag=tag)
+        body, _ = yield from comm.recv(source=src, tag=tag, nbytes=status.nbytes)
+        yield from comm.wait(sreq)
+        raw = body.tobytes()
+        off = 0
+        for j in send_ids:
+            (ln,) = _BRUCK_LEN.unpack_from(raw, off)
+            blocks[j] = raw[off + 4 : off + 4 + ln]
+            off += 4 + ln
+        k <<= 1
+        rnd += 1
+    # inverse rotation: blocks[j] now holds the chunk from rank (me - j) % n
+    return [blocks[(me - s) % n] for s in range(n)]
+
+
+# -- reference wrappers (uniform framework signatures) -----------------------
+def _barrier_dissemination(comm: Communicator) -> Generator[Any, Any, None]:
+    yield from _ref.barrier(comm)
+    return None
+
+
+def _bcast_binomial(
+    comm: Communicator,
+    data: Any,
+    root: int = 0,
+    max_bytes: int = 1 << 22,
+    nbytes: Optional[int] = None,
+    seq: int = 0,
+) -> Generator[Any, Any, bytes]:
+    result = yield from _ref.bcast(comm, data, root, max_bytes)
+    return result  # type: ignore[no-any-return]
+
+
+def _allreduce_recursive_doubling(
+    comm: Communicator, array: np.ndarray, op: str = "sum"
+) -> Generator[Any, Any, np.ndarray]:
+    result = yield from _ref.allreduce(comm, array, op)
+    return result  # type: ignore[no-any-return]
+
+
+def _alltoall_pairwise(
+    comm: Communicator, chunks: Any, max_bytes: int = 1 << 22
+) -> Generator[Any, Any, List[bytes]]:
+    result = yield from _ref.alltoall(comm, chunks, max_bytes)
+    return result  # type: ignore[no-any-return]
+
+
+def _reduce_scatter_naive(
+    comm: Communicator, array: np.ndarray, op: str = "sum"
+) -> Generator[Any, Any, np.ndarray]:
+    result = yield from _ref.reduce_scatter(comm, array, op)
+    return result  # type: ignore[no-any-return]
+
+
+register("barrier", "dissemination", _barrier_dissemination)
+register("bcast", "binomial", _bcast_binomial)
+register("bcast", "chain", bcast_chain)
+register("allreduce", "recursive-doubling", _allreduce_recursive_doubling)
+register("allreduce", "ring", allreduce_ring)
+register("alltoall", "pairwise", _alltoall_pairwise)
+register("alltoall", "bruck", alltoall_bruck)
+register("reduce_scatter", "reduce-scatter", _reduce_scatter_naive)
+register("reduce_scatter", "ring", reduce_scatter_ring)

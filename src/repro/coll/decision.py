@@ -1,0 +1,177 @@
+"""The decision layer: which algorithm runs a given collective call.
+
+Selection inputs, in priority order:
+
+1. ``REPRO_COLL_<OP>`` environment variables (e.g. ``REPRO_COLL_BCAST=chain``);
+2. ``MachineConfig.coll_overrides`` (``"bcast=chain,barrier=dissemination"``);
+3. the decision table — committed at ``src/repro/coll/decision_table.json``
+   (regenerate with ``python -m repro.coll.tune``), overridable per run via
+   ``REPRO_COLL_TABLE=<path>`` or ``MachineConfig.coll_decision_table``.
+
+A table maps each op to rank-bands; each band has a ``default`` algorithm
+plus optional message-size ``bands`` (ascending ``max_bytes``, final entry
+``null`` = unbounded).  Callers that do not know the message size (MPI
+bcast signatures carry a count everywhere, ours historically did not) hit
+the band's ``default``.  Selection is a pure function of (op, comm size,
+nbytes) plus process-wide configuration, so every member of a communicator
+picks the same algorithm without communicating — the same property real
+MPI tuned tables rely on.
+
+Hardware algorithms may appear in the table; the framework separately
+gates them per call (see :mod:`repro.coll.hw`) and degrades to their
+registered software fallback when the NIC path is unavailable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.coll.registry import CollError, get as registry_get
+
+__all__ = [
+    "DecisionTable",
+    "DEFAULT_TABLE_PATH",
+    "BUILTIN_TABLE",
+    "active_table",
+    "override_for",
+    "clear_cache",
+]
+
+DEFAULT_TABLE_PATH = Path(__file__).with_name("decision_table.json")
+
+#: selection of last resort: used when no table file exists yet (e.g. the
+#: very first tuner run) or an op is missing from the active table
+BUILTIN_TABLE: Dict[str, Any] = {
+    "version": 1,
+    "generated_by": "builtin",
+    "ops": {
+        "barrier": [{"min_ranks": 1, "max_ranks": None, "default": "dissemination"}],
+        "bcast": [{"min_ranks": 1, "max_ranks": None, "default": "binomial"}],
+        "allreduce": [
+            {"min_ranks": 1, "max_ranks": None, "default": "recursive-doubling"}
+        ],
+        "alltoall": [{"min_ranks": 1, "max_ranks": None, "default": "pairwise"}],
+        "reduce_scatter": [
+            {"min_ranks": 1, "max_ranks": None, "default": "reduce-scatter"}
+        ],
+    },
+}
+
+
+class DecisionTable:
+    """A validated (comm size, message size) -> algorithm mapping."""
+
+    def __init__(self, raw: Dict[str, Any], source: str = "<dict>"):
+        self.raw = raw
+        self.source = source
+        self.validate()
+
+    @classmethod
+    def load(cls, path: Path) -> "DecisionTable":
+        try:
+            with open(path, encoding="utf-8") as fh:
+                raw = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CollError(f"cannot load decision table {path}: {exc}") from exc
+        return cls(raw, source=str(path))
+
+    def validate(self) -> None:
+        ops = self.raw.get("ops")
+        if not isinstance(ops, dict):
+            raise CollError(f"decision table {self.source}: missing 'ops' mapping")
+        for op in sorted(ops):
+            rows = ops[op]
+            if not rows:
+                raise CollError(f"decision table {self.source}: op {op!r} empty")
+            for row in rows:
+                registry_get(op, row["default"])  # raises on unknown algorithm
+                bands = row.get("bands", [])
+                prev = -1
+                for band in bands:
+                    registry_get(op, band["alg"])
+                    mb = band["max_bytes"]
+                    if mb is not None:
+                        if mb <= prev:
+                            raise CollError(
+                                f"decision table {self.source}: {op} size bands "
+                                "must be strictly ascending"
+                            )
+                        prev = mb
+                if bands and bands[-1]["max_bytes"] is not None:
+                    raise CollError(
+                        f"decision table {self.source}: {op} final size band "
+                        "must be unbounded (max_bytes null)"
+                    )
+            if rows[-1].get("max_ranks") is not None:
+                raise CollError(
+                    f"decision table {self.source}: {op} final rank band must "
+                    "be unbounded (max_ranks null)"
+                )
+
+    def lookup(self, op: str, ranks: int, nbytes: Optional[int]) -> str:
+        """Algorithm name for one collective call; falls back to the
+        builtin defaults for ops the table does not cover."""
+        rows = self.raw["ops"].get(op)
+        if rows is None:
+            rows = BUILTIN_TABLE["ops"].get(op)
+            if rows is None:
+                raise CollError(f"no decision entry or builtin default for {op!r}")
+        row = rows[-1]
+        for candidate in rows:
+            hi = candidate.get("max_ranks")
+            if candidate.get("min_ranks", 1) <= ranks and (hi is None or ranks <= hi):
+                row = candidate
+                break
+        if nbytes is not None:
+            for band in row.get("bands", []):
+                mb = band["max_bytes"]
+                if mb is None or nbytes <= mb:
+                    return str(band["alg"])
+        return str(row["default"])
+
+
+_cache: Dict[str, DecisionTable] = {}
+_builtin: Optional[DecisionTable] = None
+
+
+def clear_cache() -> None:
+    """Drop memoised tables (tests that rewrite table files use this)."""
+    _cache.clear()
+
+
+def active_table(config: Any) -> DecisionTable:
+    """The table in effect for this process: env override, then config
+    path, then the committed default, then the builtin fallback."""
+    global _builtin
+    path = os.environ.get("REPRO_COLL_TABLE", "") or config.coll_decision_table
+    if not path:
+        if DEFAULT_TABLE_PATH.exists():
+            path = str(DEFAULT_TABLE_PATH)
+        else:
+            if _builtin is None:
+                _builtin = DecisionTable(BUILTIN_TABLE, source="<builtin>")
+            return _builtin
+    table = _cache.get(path)
+    if table is None:
+        table = _cache[path] = DecisionTable.load(Path(path))
+    return table
+
+
+def override_for(op: str, config: Any) -> Optional[str]:
+    """Forced algorithm for ``op``, if any (env beats config)."""
+    env = os.environ.get(f"REPRO_COLL_{op.upper()}")
+    if env:
+        return env
+    overrides = config.coll_overrides
+    if overrides:
+        for item in overrides.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            key, _, value = item.partition("=")
+            if key.strip() == op and value.strip():
+                return value.strip()
+    return None

@@ -1,0 +1,91 @@
+"""The collective algorithm registry.
+
+Open MPI's ``coll`` framework keeps several components per collective and
+lets a selection layer pick among them at communicator creation time; this
+module is the equivalent catalogue.  Every algorithm is registered under
+``(op, name)`` with a uniform per-op coroutine signature; hardware-offload
+algorithms additionally name a software ``fallback`` the decision layer
+degrades to when the NIC path is unavailable (fault, dynamic joiner,
+disabled by config — §4.1).
+
+The registry itself has no simulator dependencies: algorithm modules
+(:mod:`repro.coll.algorithms`, :mod:`repro.coll.hw`) import it and
+register themselves at import time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Generator, List, Optional
+
+__all__ = ["Algorithm", "CollError", "register", "get", "algorithms_for", "ops"]
+
+
+class CollError(Exception):
+    """Unknown op/algorithm, invalid decision table, or framework misuse."""
+
+
+@dataclass(frozen=True)
+class Algorithm:
+    """One registered implementation of one collective op.
+
+    ``fn`` is a coroutine taking the communicator plus op-specific keyword
+    arguments (see :mod:`repro.coll.framework` for the per-op signatures).
+    ``hw`` marks NIC-offloaded algorithms; those must name a software
+    ``fallback`` registered under the same op.
+    """
+
+    op: str
+    name: str
+    fn: Callable[..., Generator[Any, Any, Any]]
+    hw: bool = False
+    fallback: Optional[str] = None
+
+
+#: op -> algorithm name -> Algorithm, insertion-ordered per op
+_REGISTRY: Dict[str, Dict[str, Algorithm]] = {}
+
+
+def register(
+    op: str,
+    name: str,
+    fn: Callable[..., Generator[Any, Any, Any]],
+    hw: bool = False,
+    fallback: Optional[str] = None,
+) -> Algorithm:
+    """Register ``fn`` as algorithm ``name`` for collective ``op``."""
+    if hw and fallback is None:
+        raise CollError(f"hw algorithm {op}/{name} must declare a software fallback")
+    table = _REGISTRY.setdefault(op, {})
+    if name in table:
+        raise CollError(f"algorithm {op}/{name} registered twice")
+    alg = Algorithm(op=op, name=name, fn=fn, hw=hw, fallback=fallback)
+    table[name] = alg
+    return alg
+
+
+def get(op: str, name: str) -> Algorithm:
+    """Look an algorithm up; raises :class:`CollError` with the available
+    choices on a miss."""
+    table = _REGISTRY.get(op)
+    if table is None:
+        raise CollError(f"unknown collective op {op!r}; have {ops()}")
+    alg = table.get(name)
+    if alg is None:
+        raise CollError(
+            f"unknown algorithm {name!r} for {op}; have {sorted(table)}"
+        )
+    return alg
+
+
+def algorithms_for(op: str) -> List[Algorithm]:
+    """All algorithms registered for ``op``, sorted by name."""
+    table = _REGISTRY.get(op)
+    if table is None:
+        raise CollError(f"unknown collective op {op!r}; have {ops()}")
+    return [table[name] for name in sorted(table)]
+
+
+def ops() -> List[str]:
+    """All ops with at least one registered algorithm, sorted."""
+    return sorted(_REGISTRY)

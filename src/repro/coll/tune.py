@@ -1,0 +1,228 @@
+"""The decision-table tuner: ``python -m repro.coll.tune``.
+
+Sweeps every registered algorithm of every op across communicator sizes
+and message sizes on fresh simulated clusters, then compresses the
+winners into the rank-band × size-band decision table consumed by
+:mod:`repro.coll.decision`.  All timing is modelled simulator time, so
+the emitted table is deterministic for a given sweep and machine config —
+it is a committed artifact, not a per-host measurement.
+
+``--smoke`` runs a reduced sweep (CI determinism checks); the full sweep
+regenerates ``src/repro/coll/decision_table.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.coll import framework as _framework  # noqa: F401  (fills registry)
+from repro.coll import registry
+from repro.coll.decision import DEFAULT_TABLE_PATH, DecisionTable
+from repro.coll.registry import CollError
+
+__all__ = ["build_table", "write_table", "main", "FULL_RANKS", "FULL_SIZES"]
+
+FULL_RANKS = [2, 3, 4, 7, 8]
+FULL_SIZES = [0, 64, 1024, 8192, 65536, 262144, 1048576]
+SMOKE_RANKS = [2, 8]
+SMOKE_SIZES = [0, 1024, 65536]
+#: alltoall sweeps cap the per-destination chunk size (n chunks in flight
+#: per rank make larger points disproportionately slow to simulate)
+ALLTOALL_MAX_SIZE = 65536
+TUNED_OPS = ["barrier", "bcast", "allreduce", "alltoall", "reduce_scatter"]
+
+
+def _payload_kwargs(op: str, rank: int, n: int, size: int) -> Dict[str, Any]:
+    if op == "barrier":
+        return {}
+    if op == "bcast":
+        return {"data": b"\x5a" * size if rank == 0 else None, "root": 0}
+    if op == "allreduce":
+        return {"array": np.full(size, rank + 1, dtype=np.uint8)}
+    if op == "alltoall":
+        return {"chunks": [bytes([rank]) * size for _ in range(n)]}
+    if op == "reduce_scatter":
+        elems = (size // n) * n
+        return {"array": np.full(elems, rank + 1, dtype=np.uint8)}
+    raise CollError(f"tuner does not know op {op!r}")
+
+
+def _measure(op: str, alg: str, n: int, size: int, iters: int, seed: int) -> float:
+    """Max-over-ranks mean per-iteration modelled latency (µs) of one
+    algorithm at one sweep point, on a fresh cluster."""
+    from repro.cluster import Cluster
+    from repro.coll import framework
+    from repro.rte.environment import launch_job
+
+    cluster = Cluster(nodes=n, seed=seed)
+
+    def app(mpi: Any) -> Any:
+        comm = mpi.comm_world
+        # align every rank before timing (software barrier: no hw warm-up)
+        yield from framework.run_named(comm, "barrier", "dissemination")
+        t0 = mpi.now
+        for _ in range(iters):
+            kwargs = _payload_kwargs(op, comm.rank, n, size)
+            yield from framework.run_named(comm, op, alg, **kwargs)
+        return (mpi.now - t0) / iters
+
+    results = launch_job(cluster, app, np=n)
+    return float(max(results.values()))
+
+
+def _rank_bands(ranks: Sequence[int]) -> List[Tuple[int, Optional[int], int]]:
+    """(min_ranks, max_ranks, representative measured rank) bands covering
+    every group size: each band ends at a measured point, the last is
+    unbounded."""
+    ordered = sorted(ranks)
+    bands: List[Tuple[int, Optional[int], int]] = []
+    lo = 1
+    for r in ordered[:-1]:
+        bands.append((lo, r, r))
+        lo = r + 1
+    bands.append((lo, None, ordered[-1]))
+    return bands
+
+
+def _compress_sizes(
+    sizes: Sequence[int], winner_of: Callable[[int], str]
+) -> List[Dict[str, Any]]:
+    """Merge consecutive size points with the same winner into bands."""
+    bands: List[Dict[str, Any]] = []
+    current = winner_of(sizes[0])
+    last = sizes[0]
+    for s in sizes[1:]:
+        w = winner_of(s)
+        if w != current:
+            bands.append({"max_bytes": last, "alg": current})
+            current = w
+        last = s
+    bands.append({"max_bytes": None, "alg": current})
+    return bands
+
+
+def build_table(
+    ranks: Sequence[int] = FULL_RANKS,
+    sizes: Sequence[int] = FULL_SIZES,
+    iters: int = 3,
+    seed: int = 0,
+    ops: Sequence[str] = TUNED_OPS,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, Any]:
+    """Run the sweep and return the decision-table dict."""
+    say = progress or (lambda _msg: None)
+    ops_out: Dict[str, Any] = {}
+    for op in ops:
+        algs = [a.name for a in registry.algorithms_for(op)]
+        sized = op != "barrier"
+        op_sizes = [
+            s
+            for s in sorted(sizes)
+            if not (op == "alltoall" and s > ALLTOALL_MAX_SIZE)
+        ]
+        points = op_sizes if sized else [0]
+        latency: Dict[Tuple[str, int, int], float] = {}
+        for n in sorted(ranks):
+            for size in points:
+                for alg in algs:
+                    try:
+                        us = _measure(op, alg, n, size, iters, seed)
+                    except CollError:
+                        us = math.inf  # hw unavailable at this point
+                    latency[(alg, n, size)] = us
+                    say(f"{op:>14} {alg:<20} n={n} size={size:>8} {us:10.2f} us")
+        rows: List[Dict[str, Any]] = []
+        for lo, hi, rep in _rank_bands(ranks):
+            def winner_of(size: int, _rep: int = rep) -> str:
+                return min(algs, key=lambda a: latency[(a, _rep, size)])
+
+            row: Dict[str, Any] = {"min_ranks": lo, "max_ranks": hi}
+            if sized:
+                bands = _compress_sizes(op_sizes, winner_of)
+                # unknown-size calls: the winner at the smallest nonzero
+                # point (typical control-message size)
+                nonzero = [s for s in op_sizes if s > 0]
+                row["default"] = winner_of(nonzero[0] if nonzero else op_sizes[0])
+                row["bands"] = bands
+            else:
+                row["default"] = winner_of(0)
+            rows.append(row)
+        # merge adjacent rank bands with identical decisions
+        merged: List[Dict[str, Any]] = []
+        for row in rows:
+            if merged and all(
+                merged[-1].get(k) == row.get(k) for k in ("default", "bands")
+            ):
+                merged[-1]["max_ranks"] = row["max_ranks"]
+            else:
+                merged.append(row)
+        ops_out[op] = merged
+    table = {
+        "version": 1,
+        "generated_by": "python -m repro.coll.tune",
+        "sweep": {
+            "ranks": sorted(ranks),
+            "sizes": sorted(sizes),
+            "iters": iters,
+            "seed": seed,
+        },
+        "ops": ops_out,
+    }
+    DecisionTable(table, source="<tuner>")  # validate before anyone consumes it
+    return table
+
+
+def write_table(table: Dict[str, Any], path: Path) -> None:
+    path.write_text(json.dumps(table, indent=2) + "\n", encoding="utf-8")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.coll.tune",
+        description="sweep collective algorithms and emit the decision table",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=DEFAULT_TABLE_PATH,
+        help=f"output path (default: {DEFAULT_TABLE_PATH})",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="reduced sweep (CI determinism check)",
+    )
+    parser.add_argument("--iters", type=int, default=None,
+                        help="timed iterations per point (default: 3, smoke 2)")
+    parser.add_argument("--ranks", type=str, default=None,
+                        help="comma-separated communicator sizes to sweep")
+    parser.add_argument("--sizes", type=str, default=None,
+                        help="comma-separated message sizes (bytes) to sweep")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    ranks = ([int(r) for r in args.ranks.split(",")] if args.ranks
+             else SMOKE_RANKS if args.smoke else FULL_RANKS)
+    sizes = ([int(s) for s in args.sizes.split(",")] if args.sizes
+             else SMOKE_SIZES if args.smoke else FULL_SIZES)
+    iters = args.iters if args.iters is not None else (2 if args.smoke else 3)
+
+    table = build_table(
+        ranks=ranks, sizes=sizes, iters=iters, seed=args.seed, progress=print
+    )
+    write_table(table, args.out)
+    print(f"wrote {args.out}")
+    for op in sorted(table["ops"]):
+        for row in table["ops"][op]:
+            hi = row["max_ranks"] if row["max_ranks"] is not None else "inf"
+            picks = {b["alg"] for b in row.get("bands", [])} | {row["default"]}
+            print(f"  {op:>14} ranks {row['min_ranks']}..{hi}: "
+                  f"{', '.join(sorted(picks))}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -184,6 +184,23 @@ class MachineConfig:
     mmu_tlb: bool = True
 
     # ------------------------------------------------------------------
+    # Collective framework (repro.coll)
+    # ------------------------------------------------------------------
+    #: allow NIC-offloaded collectives (hw broadcast / hw barrier) for the
+    #: static cohort; the framework still degrades to software algorithms
+    #: per-call when a rail/switch is faulty (REPRO_COLL_HW=0 also disables)
+    coll_hw_enabled: bool = True
+    #: path to a decision-table JSON; "" = the committed default table
+    coll_decision_table: str = ""
+    #: comma-separated forced algorithm picks, e.g. "bcast=chain,barrier=hw-tree"
+    #: (the REPRO_COLL_<OP> environment variables take precedence)
+    coll_overrides: str = ""
+    #: pipelined-chain broadcast segment size
+    coll_segment_bytes: int = 8192
+    #: radix of the NIC-offloaded barrier's gather tree (Yu et al. use 4)
+    coll_hwbarrier_radix: int = 4
+
+    # ------------------------------------------------------------------
     # derived helpers
     # ------------------------------------------------------------------
     def memcpy_us(self, nbytes: int) -> float:
@@ -223,6 +240,10 @@ class MachineConfig:
             raise ValueError("QSLOT smaller than the Open MPI header")
         if self.cpus_per_node < 1:
             raise ValueError("need at least one CPU per node")
+        if self.coll_segment_bytes < 1:
+            raise ValueError("coll_segment_bytes must be positive")
+        if self.coll_hwbarrier_radix < 2:
+            raise ValueError("coll_hwbarrier_radix must be at least 2")
 
 
 def default_config() -> MachineConfig:

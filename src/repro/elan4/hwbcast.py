@@ -75,9 +75,14 @@ class HwBroadcastGroup:
     def queue_of(self, ctx: "Elan4Context"):
         return self.queues[ctx.vpid]
 
-    def bcast(self, thread, root: "Elan4Context", payload) -> Generator:
+    def bcast(self, thread, root: "Elan4Context", payload, seq: int = 0) -> Generator:
         """Coroutine (root's host thread): hardware-broadcast ``payload`` to
-        every member (including the root's own queue)."""
+        every member (including the root's own queue).
+
+        ``seq`` is an opaque round number carried in every fragment's meta;
+        receivers draining a shared queue use it to separate fragments of
+        consecutive broadcasts (different roots may interleave in flight).
+        """
         if root.vpid not in self.queues:
             raise HwBcastError(f"root vpid {root.vpid} is not a group member")
         data = np.frombuffer(payload, dtype=np.uint8) if isinstance(
@@ -107,6 +112,7 @@ class HwBroadcastGroup:
                     "src_vpid": root.vpid,
                     "offset": offset,
                     "total": data.nbytes,
+                    "seq": seq,
                 },
                 data=frag.copy(),
             )
@@ -150,6 +156,7 @@ def _make_node_handler(nic):
                         "queue_id": pkt.meta["queue_id"],
                         "offset": pkt.meta["offset"],
                         "total": pkt.meta["total"],
+                        "seq": pkt.meta.get("seq", 0),
                     },
                     data=pkt.data,
                 )

@@ -47,6 +47,16 @@ TAG_ALLTOALL = 0x7F08
 TAG_SCAN = 0x7F09
 TAG_EXSCAN = 0x7F0B
 
+def _logical(npfn):
+    """Logical reduce ops must keep the operand dtype (numpy returns bool),
+    else nbytes/dtype round-trips through the wire format break."""
+
+    def apply(a, b):
+        return npfn(a, b).astype(a.dtype)
+
+    return apply
+
+
 _OPS = {
     "sum": np.add,
     "prod": np.multiply,
@@ -54,6 +64,9 @@ _OPS = {
     "min": np.minimum,
     "band": np.bitwise_and,
     "bor": np.bitwise_or,
+    "bxor": np.bitwise_xor,
+    "land": _logical(np.logical_and),
+    "lor": _logical(np.logical_or),
 }
 
 
@@ -153,8 +166,11 @@ def allreduce(comm: Communicator, array: np.ndarray, op: str = "sum") -> Generat
     return np.frombuffer(payload, dtype=acc.dtype).reshape(acc.shape)
 
 
-def gather(comm: Communicator, data, root: int = 0) -> Generator:
-    """Linear gather; returns the list of per-rank payloads at root."""
+def gather(
+    comm: Communicator, data, root: int = 0, max_bytes: int = 1 << 22
+) -> Generator:
+    """Linear gather; returns the list of per-rank payloads at root.
+    ``max_bytes`` bounds any one rank's contribution (like ``bcast``)."""
     payload = _to_bytes(data)
     if comm.rank != root:
         yield from comm.send(payload, root, tag=TAG_GATHER)
@@ -164,12 +180,14 @@ def gather(comm: Communicator, data, root: int = 0) -> Generator:
     for r in range(comm.size):
         if r == root:
             continue
-        body, status = yield from comm.recv(source=r, tag=TAG_GATHER, nbytes=1 << 22)
+        body, status = yield from comm.recv(source=r, tag=TAG_GATHER, nbytes=max_bytes)
         out[r] = body.tobytes()
     return out
 
 
-def scatter(comm: Communicator, chunks, root: int = 0) -> Generator:
+def scatter(
+    comm: Communicator, chunks, root: int = 0, max_bytes: int = 1 << 22
+) -> Generator:
     """Linear scatter of ``chunks[i]`` to rank i; returns this rank's chunk."""
     if comm.rank == root:
         if chunks is None or len(chunks) != comm.size:
@@ -179,11 +197,11 @@ def scatter(comm: Communicator, chunks, root: int = 0) -> Generator:
                 continue
             yield from comm.send(_to_bytes(chunks[r]), r, tag=TAG_SCATTER)
         return _to_bytes(chunks[root])
-    body, _ = yield from comm.recv(source=root, tag=TAG_SCATTER, nbytes=1 << 22)
+    body, _ = yield from comm.recv(source=root, tag=TAG_SCATTER, nbytes=max_bytes)
     return body.tobytes()
 
 
-def allgather(comm: Communicator, data) -> Generator:
+def allgather(comm: Communicator, data, max_bytes: int = 1 << 22) -> Generator:
     """Ring allgather: n-1 steps, each forwarding the newest block."""
     n = comm.size
     blocks: List[bytes] = [b""] * n
@@ -195,7 +213,7 @@ def allgather(comm: Communicator, data) -> Generator:
         body, _ = yield from comm.sendrecv(
             blocks[send_idx],
             right,
-            recvnbytes=1 << 22,
+            recvnbytes=max_bytes,
             source=left,
             sendtag=TAG_ALLGATHER,
             recvtag=TAG_ALLGATHER,
@@ -205,7 +223,7 @@ def allgather(comm: Communicator, data) -> Generator:
     return blocks
 
 
-def alltoall(comm: Communicator, chunks) -> Generator:
+def alltoall(comm: Communicator, chunks, max_bytes: int = 1 << 22) -> Generator:
     """Pairwise-exchange alltoall; ``chunks[i]`` goes to rank i."""
     n = comm.size
     if chunks is None or len(chunks) != n:
@@ -218,7 +236,7 @@ def alltoall(comm: Communicator, chunks) -> Generator:
         body, _ = yield from comm.sendrecv(
             _to_bytes(chunks[partner]),
             partner,
-            recvnbytes=1 << 22,
+            recvnbytes=max_bytes,
             source=src,
             sendtag=TAG_ALLTOALL,
             recvtag=TAG_ALLTOALL,
@@ -247,7 +265,7 @@ def scan(comm: Communicator, array: np.ndarray, op: str = "sum") -> Generator:
             incoming = np.frombuffer(data.tobytes(), dtype=acc.dtype).reshape(acc.shape)
             acc = fn(incoming, acc)
         if req is not None:
-            yield from comm.stack.pml.wait(comm._thread, req)
+            yield from comm.wait(req)
         k <<= 1
     return acc
 
@@ -263,12 +281,12 @@ def exscan(comm: Communicator, array: np.ndarray, op: str = "sum") -> Generator:
         req = yield from comm.isend(inclusive.tobytes(), me + 1, tag=TAG_EXSCAN)
     if me == 0:
         if req is not None:
-            yield from comm.stack.pml.wait(comm._thread, req)
+            yield from comm.wait(req)
         return None
     data, _ = yield from comm.recv(source=me - 1, tag=TAG_EXSCAN,
                                    nbytes=inclusive.nbytes)
     if req is not None:
-        yield from comm.stack.pml.wait(comm._thread, req)
+        yield from comm.wait(req)
     return np.frombuffer(data.tobytes(), dtype=inclusive.dtype).reshape(inclusive.shape)
 
 

@@ -50,6 +50,10 @@ class Communicator:
             raise MpiError(f"rank {rank} not in group {group}")
         self.rank = self.group.index(rank)  # communicator-local rank
         self._ctx_counter = 0
+        #: per-communicator collective call index (identical at every member
+        #: because MPI mandates same-order collective invocation); the coll
+        #: framework uses it for symmetric algorithm agreement
+        self._coll_seq = 0
 
     # -- structure -------------------------------------------------------------
     @property
@@ -138,6 +142,10 @@ class Communicator:
             nbytes=hdr.msg_len,
         )
 
+    def wait(self, req: Union[SendRequest, RecvRequest]) -> Generator:
+        """Coroutine: MPI_Wait — block until ``req`` completes."""
+        yield from self._pml.wait(self._thread, req)
+
     def waitany(self, reqs) -> Generator:
         """Coroutine: MPI_Waitany — index of the first completed request."""
         return (yield from self._pml.wait_any(self._thread, reqs))
@@ -203,16 +211,35 @@ class Communicator:
         yield from self._pml.wait(self._thread, rreq)
         return self._finish_recv(rreq)
 
-    # -- collectives (separate component, §2.1) -----------------------------------------
+    # -- collectives ------------------------------------------------------------------
+    # barrier/bcast/allreduce/alltoall/reduce_scatter route through the
+    # repro.coll framework (algorithm registry + tuned decision table +
+    # NIC-offload degradation); the remaining ops keep the naive reference
+    # component of repro.mpi.collective (§2.1's "separate component").
     def barrier(self) -> Generator:
-        from repro.mpi import collective
+        from repro.coll import framework
 
-        yield from collective.barrier(self)
+        yield from framework.barrier(self)
 
-    def bcast(self, data, root: int = 0) -> Generator:
-        from repro.mpi import collective
+    def bcast(
+        self,
+        data,
+        root: int = 0,
+        max_bytes: int = 1 << 22,
+        nbytes: Optional[int] = None,
+    ) -> Generator:
+        """Coroutine: broadcast.  ``nbytes`` is an optional message-size
+        hint (MPI's count argument, passed identically at every rank) that
+        lets the decision table pick a size-appropriate algorithm; without
+        it the size-independent default applies.  Correctness never depends
+        on the hint — every algorithm self-describes its payload."""
+        from repro.coll import framework
 
-        return (yield from collective.bcast(self, data, root))
+        return (
+            yield from framework.bcast(
+                self, data, root, max_bytes=max_bytes, nbytes=nbytes
+            )
+        )
 
     def reduce(self, array: np.ndarray, op: str = "sum", root: int = 0) -> Generator:
         from repro.mpi import collective
@@ -220,29 +247,29 @@ class Communicator:
         return (yield from collective.reduce(self, array, op, root))
 
     def allreduce(self, array: np.ndarray, op: str = "sum") -> Generator:
+        from repro.coll import framework
+
+        return (yield from framework.allreduce(self, array, op))
+
+    def gather(self, data, root: int = 0, max_bytes: int = 1 << 22) -> Generator:
         from repro.mpi import collective
 
-        return (yield from collective.allreduce(self, array, op))
+        return (yield from collective.gather(self, data, root, max_bytes))
 
-    def gather(self, data, root: int = 0) -> Generator:
+    def scatter(self, chunks, root: int = 0, max_bytes: int = 1 << 22) -> Generator:
         from repro.mpi import collective
 
-        return (yield from collective.gather(self, data, root))
+        return (yield from collective.scatter(self, chunks, root, max_bytes))
 
-    def scatter(self, chunks, root: int = 0) -> Generator:
+    def allgather(self, data, max_bytes: int = 1 << 22) -> Generator:
         from repro.mpi import collective
 
-        return (yield from collective.scatter(self, chunks, root))
+        return (yield from collective.allgather(self, data, max_bytes))
 
-    def allgather(self, data) -> Generator:
-        from repro.mpi import collective
+    def alltoall(self, chunks, max_bytes: int = 1 << 22) -> Generator:
+        from repro.coll import framework
 
-        return (yield from collective.allgather(self, data))
-
-    def alltoall(self, chunks) -> Generator:
-        from repro.mpi import collective
-
-        return (yield from collective.alltoall(self, chunks))
+        return (yield from framework.alltoall(self, chunks, max_bytes=max_bytes))
 
     def scan(self, array: np.ndarray, op: str = "sum") -> Generator:
         from repro.mpi import collective
@@ -255,9 +282,9 @@ class Communicator:
         return (yield from collective.exscan(self, array, op))
 
     def reduce_scatter(self, array: np.ndarray, op: str = "sum") -> Generator:
-        from repro.mpi import collective
+        from repro.coll import framework
 
-        return (yield from collective.reduce_scatter(self, array, op))
+        return (yield from framework.reduce_scatter(self, array, op))
 
     # -- derived communicators --------------------------------------------------------
     def dup(self) -> "Communicator":

@@ -59,6 +59,22 @@ class MpiStack:
             for m in modules:
                 self.pml.add_module(m)
                 info.update(m.local_info())
+        # hand this rank's rail-0 Elan context to the NIC-collective
+        # registry now, before the OOB sync barrier: once every world rank
+        # has synchronously arrived the static cohort seals, so the first
+        # collective any rank runs already sees a sealed cohort.  Later
+        # (re)registrations are the dynamic joiners that §4.1 excludes
+        # from hardware collectives.
+        coll_hw = getattr(self.process.job.cluster, "coll_hw", None)
+        if coll_hw is not None:
+            ctx = None
+            for m in self.pml.modules:
+                if m.name == "elan4":
+                    ctx = m.ctx
+                    break
+            coll_hw.register_rank(
+                self.process.rank, ctx, self.process.group, self.process.group_count
+            )
         return info
 
     def wire_up(self, thread, table: Dict[int, Dict]) -> Generator:

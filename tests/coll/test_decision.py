@@ -1,0 +1,155 @@
+"""Decision layer: table validation, (ranks, nbytes) lookup, overrides."""
+
+import json
+
+import pytest
+
+from repro.coll import framework  # noqa: F401  (imports populate the registry)
+from repro.coll.decision import (
+    BUILTIN_TABLE,
+    DEFAULT_TABLE_PATH,
+    DecisionTable,
+    active_table,
+    clear_cache,
+    override_for,
+)
+from repro.coll.registry import CollError
+from repro.config import default_config
+
+
+def _table(ops):
+    return DecisionTable({"version": 1, "ops": ops})
+
+
+# ------------------------------------------------------------- validation
+def test_builtin_table_is_valid():
+    DecisionTable(BUILTIN_TABLE, source="<builtin>")
+
+
+def test_committed_table_exists_and_validates():
+    """The tuner-emitted artifact ships with the repo and must stay
+    loadable — the framework consults it by default."""
+    assert DEFAULT_TABLE_PATH.exists(), "run python -m repro.coll.tune"
+    table = DecisionTable.load(DEFAULT_TABLE_PATH)
+    assert set(table.raw["ops"]) >= {"barrier", "bcast", "allreduce",
+                                     "alltoall", "reduce_scatter"}
+
+
+def test_unknown_algorithm_rejected():
+    with pytest.raises(CollError, match="unknown algorithm"):
+        _table({"bcast": [{"min_ranks": 1, "max_ranks": None,
+                           "default": "quantum"}]})
+
+
+def test_bands_must_ascend():
+    with pytest.raises(CollError, match="strictly ascending"):
+        _table({"bcast": [{
+            "min_ranks": 1, "max_ranks": None, "default": "binomial",
+            "bands": [{"max_bytes": 4096, "alg": "binomial"},
+                      {"max_bytes": 1024, "alg": "chain"},
+                      {"max_bytes": None, "alg": "chain"}],
+        }]})
+
+
+def test_final_band_must_be_unbounded():
+    with pytest.raises(CollError, match="final size band"):
+        _table({"bcast": [{
+            "min_ranks": 1, "max_ranks": None, "default": "binomial",
+            "bands": [{"max_bytes": 1024, "alg": "binomial"}],
+        }]})
+    with pytest.raises(CollError, match="final rank band"):
+        _table({"bcast": [{"min_ranks": 1, "max_ranks": 8,
+                           "default": "binomial"}]})
+
+
+def test_missing_ops_mapping_rejected():
+    with pytest.raises(CollError, match="missing 'ops'"):
+        DecisionTable({"version": 1})
+
+
+# ---------------------------------------------------------------- lookup
+SAMPLE = {
+    "bcast": [
+        {"min_ranks": 1, "max_ranks": 4, "default": "binomial"},
+        {"min_ranks": 5, "max_ranks": None, "default": "chain",
+         "bands": [{"max_bytes": 2048, "alg": "binomial"},
+                   {"max_bytes": None, "alg": "hw"}]},
+    ],
+}
+
+
+def test_lookup_rank_bands_and_size_bands():
+    t = _table(SAMPLE)
+    assert t.lookup("bcast", 2, 1 << 20) == "binomial"   # small-comm row
+    assert t.lookup("bcast", 8, 100) == "binomial"       # first size band
+    assert t.lookup("bcast", 8, 2048) == "binomial"      # inclusive bound
+    assert t.lookup("bcast", 8, 2049) == "hw"            # unbounded band
+    assert t.lookup("bcast", 8, None) == "chain"         # no hint: default
+
+
+def test_lookup_uncovered_op_falls_back_to_builtin():
+    t = _table(SAMPLE)
+    assert t.lookup("barrier", 8, None) == "dissemination"
+    with pytest.raises(CollError, match="no decision entry"):
+        t.lookup("gatherv", 8, None)
+
+
+# -------------------------------------------------------------- overrides
+def test_env_override_beats_config(monkeypatch):
+    config = default_config()
+    config.coll_overrides = "bcast=chain"
+    assert override_for("bcast", config) == "chain"
+    monkeypatch.setenv("REPRO_COLL_BCAST", "binomial")
+    assert override_for("bcast", config) == "binomial"
+    assert override_for("barrier", config) is None
+
+
+def test_config_override_parsing():
+    config = default_config()
+    config.coll_overrides = " bcast = chain , barrier=hw-tree,,"
+    assert override_for("bcast", config) == "chain"
+    assert override_for("barrier", config) == "hw-tree"
+    assert override_for("allreduce", config) is None
+
+
+# ----------------------------------------------------------- active table
+def test_active_table_env_path_and_cache(monkeypatch, tmp_path):
+    path = tmp_path / "table.json"
+    path.write_text(json.dumps({"version": 1, "ops": SAMPLE}))
+    monkeypatch.setenv("REPRO_COLL_TABLE", str(path))
+    clear_cache()
+    config = default_config()
+    t = active_table(config)
+    assert t.source == str(path)
+    assert t.lookup("bcast", 8, None) == "chain"
+    # cached: a rewrite is invisible until clear_cache()
+    path.write_text(json.dumps({"version": 1, "ops": {
+        "bcast": [{"min_ranks": 1, "max_ranks": None, "default": "binomial"}],
+    }}))
+    assert active_table(config).lookup("bcast", 8, None) == "chain"
+    clear_cache()
+    assert active_table(config).lookup("bcast", 8, None) == "binomial"
+    clear_cache()
+
+
+def test_active_table_config_path(tmp_path):
+    path = tmp_path / "cfg_table.json"
+    path.write_text(json.dumps({"version": 1, "ops": SAMPLE}))
+    config = default_config()
+    config.coll_decision_table = str(path)
+    clear_cache()
+    assert active_table(config).source == str(path)
+    clear_cache()
+
+
+def test_active_table_default_is_committed_artifact():
+    clear_cache()
+    t = active_table(default_config())
+    assert t.source == str(DEFAULT_TABLE_PATH)
+
+
+def test_broken_table_file_raises(tmp_path):
+    path = tmp_path / "broken.json"
+    path.write_text("{not json")
+    with pytest.raises(CollError, match="cannot load decision table"):
+        DecisionTable.load(path)

@@ -1,0 +1,180 @@
+"""Fault-aware degradation: hardware collectives must fall back to their
+software counterparts — symmetrically at every rank, with correct results —
+when a fault campaign breaks the fabric, when the group spans dynamically
+spawned ranks, or when a member has no Elan endpoint at all."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.coll import framework
+from repro.coll.hw import HwCollRegistry
+from repro.config import default_config
+from repro.faults import FaultInjector, FaultPlan
+from tests.conftest import run_mpi_app
+
+
+def test_switch_death_degrades_hw_to_software_and_completes():
+    """Acceptance scenario: a campaign kills a spine switch between two
+    collective phases.  Phase A runs on the NIC; phase B sees the faulty
+    topology, degrades to software, and still delivers correct bytes over
+    the rerouted fat tree."""
+    config = default_config()
+    # route bcast+barrier through the hw algorithms regardless of the table
+    config.coll_overrides = "bcast=hw,barrier=hw-tree"
+    cluster = Cluster(nodes=16, config=config)
+    fault_at = 3000.0
+    plan = FaultPlan("spine-death").switch_death(fault_at, "sw1.0")
+    inj = FaultInjector(cluster, plan)
+    inj.arm()
+    payload = bytes(range(256)) * 64  # 16 KB
+    phase_a_hw = {}
+
+    def app(mpi):
+        comm = mpi.comm_world
+        yield from framework.run_named(comm, "barrier", "dissemination")
+        # phase A: healthy fabric, the override picks the NIC path
+        yield from comm.barrier()
+        out = yield from comm.bcast(payload if comm.rank == 0 else None)
+        assert bytes(out) == payload
+        phase_a_hw[comm.rank] = mpi.comm_world.stack.process.job.cluster \
+            .coll_hw.hw_fallbacks
+        # sit out the switch death (plus reroute margin)
+        while mpi.now < fault_at + 200.0:
+            yield from mpi.thread.sleep(100.0)
+        # phase B: topology is faulty -> symmetric software fallback
+        yield from comm.barrier()
+        out = yield from comm.bcast(payload if comm.rank == 3 else None,
+                                    root=3)
+        return bytes(out) == payload
+
+    results = cluster.run_mpi(app, np=8)
+    assert all(results.values()), results
+    # phase A ran on hardware at every rank...
+    assert all(v == 0 for v in phase_a_hw.values())
+    # ...phase B degraded: one fallback per rank per hw-selected collective
+    assert cluster.coll_hw.hw_fallbacks == 16  # 8 ranks x (barrier + bcast)
+    assert [k for _, k, _ in inj.trace] == ["switch_death"]
+    assert cluster.topology.faulty
+
+
+def test_tcp_only_ranks_always_use_software():
+    """No Elan endpoint, no hardware path — but the table may still name
+    hw algorithms; the gate degrades every call without ever latching."""
+    config = default_config()
+    config.coll_overrides = "barrier=hw-tree"
+
+    def app(mpi):
+        comm = mpi.comm_world
+        yield from comm.barrier()
+        yield from comm.barrier()
+        return True
+
+    results, cluster = run_mpi_app(
+        app, nodes=2, np_=2, transports=("tcp",),
+        cluster=Cluster(nodes=2, config=config),
+    )
+    assert all(results.values())
+    assert cluster.coll_hw.hw_fallbacks == 4  # 2 ranks x 2 barriers
+    # no Elan ctx is a soft condition, not a latched failure
+    state = cluster.coll_hw._shared[(0, (0, 1))]
+    assert not state.static_failed
+
+
+def test_dynamic_member_latches_static_failure():
+    """A rank claimed after the cohort sealed (an MPI_Comm_spawn child,
+    §4.1) permanently disqualifies its communicator from hw collectives."""
+    cluster = Cluster(nodes=4)
+    reg: HwCollRegistry = cluster.coll_hw
+    ctxs = [cluster.claim_context(i) for i in range(3)]
+    for rank, ctx in enumerate(ctxs):
+        reg.register_rank(rank, ctx, "world", group_count=3)
+    assert cluster.capability.cohort_sealed
+    # a post-seal claim: dynamically spawned, outside the static cohort
+    late = cluster.claim_context(3)
+    reg.register_rank(3, late, "spawn", group_count=1)
+    assert not cluster.capability.in_static_cohort(late.vpid)
+
+    class FakeComm:
+        ctx_id = 0x123
+        group = [0, 1, 2, 3]
+
+    state = reg.shared_for(FakeComm())
+    assert state.decide(0, "barrier") is False
+    assert state.static_failed
+    # latched: even a later healthy check stays software
+    assert state.decide(1, "barrier") is False
+
+
+def test_sealed_world_passes_the_gate():
+    cluster = Cluster(nodes=2)
+    reg: HwCollRegistry = cluster.coll_hw
+    ctxs = [cluster.claim_context(i) for i in range(2)]
+    for rank, ctx in enumerate(ctxs):
+        reg.register_rank(rank, ctx, "world", group_count=2)
+
+    class FakeComm:
+        ctx_id = 0
+        group = [0, 1]
+
+    state = reg.shared_for(FakeComm())
+    assert state.decide(0, "barrier") is True
+    assert state.barrier_group is not None
+
+
+def test_unsealed_world_is_soft_not_latched():
+    """Before every rank has wired up, the gate must refuse without
+    latching — startup is staggered, not a permanent failure."""
+    cluster = Cluster(nodes=2)
+    reg: HwCollRegistry = cluster.coll_hw
+    ctx0 = cluster.claim_context(0)
+    reg.register_rank(0, ctx0, "world", group_count=2)  # rank 1 not yet
+
+    class FakeComm:
+        ctx_id = 0
+        group = [0, 1]
+
+    state = reg.shared_for(FakeComm())
+    assert state.decide(0, "barrier") is False
+    assert state.decide(0, "barrier") is False  # second member, same seq
+    assert not state.static_failed
+    # rank 1 arrives; the cohort seals; the next call goes hardware
+    ctx1 = cluster.claim_context(1)
+    reg.register_rank(1, ctx1, "world", group_count=2)
+    assert state.decide(1, "barrier") is True
+    assert not state.static_failed
+
+
+def test_nic_stall_degrades_without_latching():
+    cluster = Cluster(nodes=2)
+    reg: HwCollRegistry = cluster.coll_hw
+    ctxs = [cluster.claim_context(i) for i in range(2)]
+    for rank, ctx in enumerate(ctxs):
+        reg.register_rank(rank, ctx, "world", group_count=2)
+
+    class FakeComm:
+        ctx_id = 0
+        group = [0, 1]
+
+    state = reg.shared_for(FakeComm())
+    cluster.nics[1].stall()
+    assert state.decide(0, "barrier") is False
+    assert not state.static_failed
+    cluster.nics[1].resume()
+    assert state.decide(1, "barrier") is True
+
+
+def test_config_kill_switch_disables_hw():
+    config = default_config()
+    config.coll_hw_enabled = False
+    cluster = Cluster(nodes=2, config=config)
+    reg: HwCollRegistry = cluster.coll_hw
+    ctxs = [cluster.claim_context(i) for i in range(2)]
+    for rank, ctx in enumerate(ctxs):
+        reg.register_rank(rank, ctx, "world", group_count=2)
+
+    class FakeComm:
+        ctx_id = 0
+        group = [0, 1]
+
+    assert reg.shared_for(FakeComm()).decide(0, "barrier") is False

@@ -1,0 +1,46 @@
+"""Same seed, same workload — the framework-routed collectives (hardware
+paths included) must finish at bit-identical simulated times with
+identical algorithm pick counts."""
+
+import numpy as np
+
+from repro.coll import framework
+from tests.conftest import run_mpi_app
+
+
+def _mixed_workload():
+    picks = []
+
+    def app(mpi):
+        comm = mpi.comm_world
+        yield from comm.barrier()
+        for seq in range(3):
+            out = yield from comm.bcast(
+                bytes([seq]) * 4096 if comm.rank == 0 else None, nbytes=4096
+            )
+            assert bytes(out) == bytes([seq]) * 4096
+            arr = np.full(512, comm.rank + seq + 1, dtype=np.uint8)
+            total = yield from comm.allreduce(arr, op="sum")
+            picks.append(int(total[0]))
+            yield from framework.run_named(comm, "barrier", "hw-tree")
+            chunks = [bytes([comm.rank * 8 + dst]) * 256
+                      for dst in range(comm.size)]
+            yield from comm.alltoall(chunks)
+        return mpi.now
+
+    return app, picks
+
+
+def _run_once():
+    app, picks = _mixed_workload()
+    results, cluster = run_mpi_app(app, nodes=8, np_=8)
+    cluster.assert_no_drops()
+    return results, picks, cluster.coll_hw.hw_fallbacks
+
+
+def test_framework_collectives_are_deterministic():
+    a_times, a_picks, a_fb = _run_once()
+    b_times, b_picks, b_fb = _run_once()
+    assert a_times == b_times
+    assert a_picks == b_picks
+    assert a_fb == b_fb

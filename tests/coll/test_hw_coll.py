@@ -1,0 +1,132 @@
+"""NIC-offloaded barrier and broadcast on a healthy 8-node fabric: they
+must work, interleave, and beat their software counterparts (the paper's
+testbed size)."""
+
+import numpy as np
+import pytest
+
+from repro.coll import framework
+from repro.coll.registry import CollError
+from tests.conftest import run_mpi_app
+
+
+def _timed_app(op, alg, iters=20, nbytes=0):
+    def app(mpi):
+        comm = mpi.comm_world
+        yield from framework.run_named(comm, "barrier", "dissemination")
+        payload = b"\xa5" * nbytes if comm.rank == 0 else None
+        t0 = mpi.now
+        for _ in range(iters):
+            if op == "barrier":
+                yield from framework.run_named(comm, "barrier", alg)
+            else:
+                out = yield from framework.run_named(
+                    comm, "bcast", alg, data=payload, root=0
+                )
+                assert len(out) == nbytes
+        return (mpi.now - t0) / iters
+
+    return app
+
+
+def _latency(op, alg, nbytes=0):
+    results, cluster = run_mpi_app(_timed_app(op, alg, nbytes=nbytes),
+                                   nodes=8, np_=8)
+    cluster.assert_no_drops()
+    assert cluster.coll_hw.hw_fallbacks == 0
+    return max(results.values())
+
+
+def test_nic_barrier_beats_software_at_8_nodes():
+    hw = _latency("barrier", "hw-tree")
+    sw = _latency("barrier", "dissemination")
+    assert hw < sw, f"hw-tree {hw:.2f}us not faster than dissemination {sw:.2f}us"
+
+
+def test_hw_bcast_beats_software_at_8_nodes():
+    nbytes = 65536
+    hw = _latency("bcast", "hw", nbytes)
+    sw = min(_latency("bcast", "binomial", nbytes),
+             _latency("bcast", "chain", nbytes))
+    assert hw < sw, f"hw {hw:.2f}us not faster than software {sw:.2f}us"
+
+
+def test_hw_rounds_interleave_roots_and_empty_payloads():
+    """Back-to-back hw broadcasts from different roots (fragments of
+    consecutive rounds overlap in flight) plus hw barriers must all
+    assemble on the right round."""
+
+    def app(mpi):
+        comm = mpi.comm_world
+        yield from framework.run_named(comm, "barrier", "dissemination")
+        yield from framework.run_named(comm, "barrier", "hw-tree")
+        got = []
+        for root, payload in [(0, b"x" * 5000), (3, b"yz"), (1, b""),
+                              (7, b"q" * 3000)]:
+            data = payload if comm.rank == root else None
+            out = yield from framework.run_named(
+                comm, "bcast", "hw", data=data, root=root
+            )
+            got.append(bytes(out) == payload)
+        yield from framework.run_named(comm, "barrier", "hw-tree")
+        return got
+
+    results, cluster = run_mpi_app(app, nodes=8, np_=8)
+    cluster.assert_no_drops()
+    assert all(all(v) for v in results.values()), results
+    assert cluster.coll_hw.hw_fallbacks == 0
+
+
+def test_hw_barrier_actually_synchronizes():
+    entered = {}
+    exited = {}
+
+    def app(mpi):
+        comm = mpi.comm_world
+        yield from framework.run_named(comm, "barrier", "dissemination")
+        yield from mpi.thread.sleep(comm.rank * 40.0)  # staggered arrival
+        entered[comm.rank] = mpi.now
+        yield from framework.run_named(comm, "barrier", "hw-tree")
+        exited[comm.rank] = mpi.now
+
+    _, cluster = run_mpi_app(app, nodes=8, np_=8)
+    cluster.assert_no_drops()
+    latest_entry = max(entered.values())
+    assert all(t >= latest_entry for t in exited.values())
+
+
+def test_run_named_hw_raises_when_disabled(monkeypatch):
+    """Forcing a hw algorithm while hw is off must raise, not silently
+    substitute software."""
+    monkeypatch.setenv("REPRO_COLL_HW", "0")
+
+    def app(mpi):
+        comm = mpi.comm_world
+        yield from framework.run_named(comm, "barrier", "dissemination")
+        with pytest.raises(CollError, match="unavailable"):
+            yield from framework.run_named(comm, "barrier", "hw-tree")
+        return True
+
+    results, _ = run_mpi_app(app, nodes=2, np_=2)
+    assert all(results.values())
+
+
+def test_default_table_routes_large_bcast_to_hw():
+    """The committed tuned table must send a large-count bcast down the hw
+    path at the testbed size (acceptance: the tuner's winners are live)."""
+
+    def app(mpi):
+        comm = mpi.comm_world
+        yield from comm.barrier()
+        payload = np.full(65536, 7, dtype=np.uint8).tobytes()
+        out = yield from comm.bcast(
+            payload if comm.rank == 0 else None, nbytes=len(payload)
+        )
+        return bytes(out) == payload
+
+    results, cluster = run_mpi_app(app, nodes=8, np_=8)
+    assert all(results.values())
+    from repro.coll.decision import active_table
+
+    assert active_table(cluster.config).lookup("bcast", 8, 65536) == "hw"
+    assert cluster.coll_hw.hw_fallbacks == 0

@@ -1,0 +1,55 @@
+"""Registry contract: catalogue shape, lookup errors, registration rules."""
+
+import pytest
+
+from repro.coll import framework  # noqa: F401  (imports populate the registry)
+from repro.coll.registry import CollError, algorithms_for, get, ops, register
+
+
+def test_every_major_op_has_at_least_two_algorithms():
+    for op in ("barrier", "bcast", "allreduce", "alltoall", "reduce_scatter"):
+        names = [a.name for a in algorithms_for(op)]
+        assert len(names) >= 2, f"{op} has only {names}"
+
+
+def test_expected_catalogue():
+    assert {"binomial", "chain", "hw"} <= {a.name for a in algorithms_for("bcast")}
+    assert {"recursive-doubling", "ring"} <= {
+        a.name for a in algorithms_for("allreduce")
+    }
+    assert {"dissemination", "hw-tree"} <= {a.name for a in algorithms_for("barrier")}
+    assert {"pairwise", "bruck"} <= {a.name for a in algorithms_for("alltoall")}
+    assert {"barrier", "bcast", "allreduce", "alltoall", "reduce_scatter"} <= set(
+        ops()
+    )
+
+
+def test_hw_algorithms_declare_software_fallbacks():
+    for op in ops():
+        for alg in algorithms_for(op):
+            if alg.hw:
+                fb = get(op, alg.fallback)  # must resolve
+                assert not fb.hw, f"{op}/{alg.name} falls back to hw {fb.name}"
+
+
+def test_get_unknown_algorithm_lists_choices():
+    with pytest.raises(CollError, match="unknown algorithm .* have .*binomial"):
+        get("bcast", "quantum")
+
+
+def test_get_unknown_op():
+    with pytest.raises(CollError, match="unknown collective op"):
+        get("gatherv", "linear")
+    with pytest.raises(CollError, match="unknown collective op"):
+        algorithms_for("gatherv")
+
+
+def test_register_rejects_duplicates_and_hw_without_fallback():
+    def fake(comm):
+        yield None
+
+    register("bcast_test_only", "x", fake)
+    with pytest.raises(CollError, match="registered twice"):
+        register("bcast_test_only", "x", fake)
+    with pytest.raises(CollError, match="must declare a software fallback"):
+        register("bcast_test_only", "y", fake, hw=True)

@@ -1,0 +1,77 @@
+"""Tuner: table construction, compression, CLI, and determinism."""
+
+import json
+
+import pytest
+
+from repro.coll import tune
+from repro.coll.decision import DecisionTable
+from repro.coll.tune import _compress_sizes, _rank_bands, build_table
+
+
+def test_rank_bands_cover_every_group_size():
+    bands = _rank_bands([2, 4, 8])
+    assert bands == [(1, 2, 2), (3, 4, 4), (5, None, 8)]
+    # every conceivable size falls in exactly one band
+    for n in range(1, 32):
+        hits = [b for b in bands if b[0] <= n and (b[1] is None or n <= b[1])]
+        assert len(hits) == 1
+
+
+def test_compress_sizes_merges_runs():
+    winners = {0: "a", 64: "a", 1024: "b", 65536: "b"}
+    bands = _compress_sizes([0, 64, 1024, 65536], winners.__getitem__)
+    assert bands == [
+        {"max_bytes": 64, "alg": "a"},
+        {"max_bytes": None, "alg": "b"},
+    ]
+    # a single winner compresses to one unbounded band
+    assert _compress_sizes([0, 64], lambda s: "x") == [
+        {"max_bytes": None, "alg": "x"}
+    ]
+
+
+@pytest.fixture(scope="module")
+def tiny_table():
+    """One real (but minimal) sweep: 2 ranks, two sizes, one iteration."""
+    return build_table(ranks=[2], sizes=[0, 1024], iters=1,
+                       ops=["barrier", "bcast"])
+
+
+def test_build_table_emits_valid_table(tiny_table):
+    DecisionTable(tiny_table, source="<test>")
+    assert set(tiny_table["ops"]) == {"barrier", "bcast"}
+    assert tiny_table["sweep"] == {
+        "ranks": [2], "sizes": [0, 1024], "iters": 1, "seed": 0,
+    }
+    (row,) = tiny_table["ops"]["barrier"]
+    assert row["min_ranks"] == 1 and row["max_ranks"] is None
+    assert "bands" not in row  # barrier is size-independent
+
+
+def test_build_table_is_deterministic(tiny_table):
+    again = build_table(ranks=[2], sizes=[0, 1024], iters=1,
+                        ops=["barrier", "bcast"])
+    assert again == tiny_table
+
+
+def test_cli_smoke_writes_loadable_table(tmp_path):
+    out = tmp_path / "table.json"
+    rc = tune.main(["--out", str(out), "--ranks", "2", "--sizes", "0,1024",
+                    "--iters", "1"])
+    assert rc == 0
+    table = DecisionTable.load(out)
+    assert set(table.raw["ops"]) == set(tune.TUNED_OPS)
+    # round-trips as stable JSON
+    assert json.loads(out.read_text())["version"] == 1
+
+
+def test_committed_table_matches_regeneration_inputs():
+    """The committed artifact must record the full sweep that produced it,
+    so `python -m repro.coll.tune` reproduces it."""
+    from repro.coll.decision import DEFAULT_TABLE_PATH
+
+    raw = json.loads(DEFAULT_TABLE_PATH.read_text())
+    assert raw["generated_by"] == "python -m repro.coll.tune"
+    assert raw["sweep"]["ranks"] == tune.FULL_RANKS
+    assert raw["sweep"]["sizes"] == sorted(tune.FULL_SIZES)

@@ -1,0 +1,118 @@
+"""Cross-algorithm equivalence: every registered collective algorithm must
+produce byte-identical results to the naive reference, at every comm size
+and message size — including the NIC-offloaded (hw) algorithms, which run
+here on healthy fabrics and therefore must not degrade.
+
+uint8 wraparound arithmetic is exactly associative and commutative, so
+reduction results are byte-comparable regardless of the combine order an
+algorithm uses.
+"""
+
+import numpy as np
+import pytest
+
+from repro.coll import algorithms_for
+from repro.coll import framework
+from tests.conftest import run_mpi_app
+
+COMM_SIZES = [2, 3, 4, 7, 8]
+MSG_SIZES = [0, 1, 2048, 65536, 1 << 20]
+#: n in-flight chunks per rank make big alltoall points disproportionately
+#: slow to simulate; cap the per-destination chunk (matches the tuner)
+ALLTOALL_CAP = 65536
+
+
+def _rank_bytes(rank: int, size: int) -> bytes:
+    """Deterministic per-rank payload, distinct across ranks."""
+    if size == 0:
+        return b""
+    return np.arange(size, dtype=np.uint64).astype(np.uint8).tobytes()[:size][:-1] + bytes([rank + 1])
+
+
+def _rank_array(rank: int, size: int) -> np.ndarray:
+    rng = np.random.default_rng(1000 * rank + size)
+    return rng.integers(0, 256, size, dtype=np.uint8)
+
+
+@pytest.mark.parametrize("np_", COMM_SIZES)
+@pytest.mark.parametrize("size", MSG_SIZES)
+def test_all_algorithms_match_reference(np_, size):
+    """One simulated job per (comm size, msg size) sweep point runs every
+    registered algorithm of every op and checks the result against the
+    numpy-computed expectation (== the naive reference's output)."""
+    n = np_
+    a2a_size = min(size, ALLTOALL_CAP)
+    rs_elems = (size // n) * n  # reduce_scatter needs len % n == 0
+
+    # expectations, computed once outside the sim
+    arrays = [_rank_array(r, size) for r in range(n)]
+    expect_allreduce = arrays[0].copy()
+    for a in arrays[1:]:
+        expect_allreduce = expect_allreduce + a  # uint8 wraparound
+    rs_arrays = [_rank_array(r, rs_elems) for r in range(n)]
+    expect_rs_full = rs_arrays[0].copy()
+    for a in rs_arrays[1:]:
+        expect_rs_full = expect_rs_full + a
+    block = rs_elems // n
+    a2a_chunks = {
+        r: [bytes([r]) + _rank_bytes(dst, a2a_size)[1:] if a2a_size else b""
+            for dst in range(n)]
+        for r in range(n)
+    }
+
+    algs = {op: [a.name for a in algorithms_for(op)]
+            for op in ("barrier", "bcast", "allreduce", "alltoall",
+                       "reduce_scatter")}
+
+    def app(mpi):
+        comm = mpi.comm_world
+        me = comm.rank
+        failures = []
+        # align ranks so wire-up is globally complete before any hw gate
+        yield from framework.run_named(comm, "barrier", "dissemination")
+
+        for name in algs["barrier"]:
+            yield from framework.run_named(comm, "barrier", name)
+
+        for name in algs["bcast"]:
+            for root in (0, n - 1):
+                payload = _rank_bytes(root, size)
+                data = payload if me == root else None
+                out = yield from framework.run_named(
+                    comm, "bcast", name, data=data, root=root
+                )
+                if bytes(out) != payload:
+                    failures.append(f"bcast/{name} root={root}")
+
+        for name in algs["allreduce"]:
+            out = yield from framework.run_named(
+                comm, "allreduce", name, array=arrays[me], op="sum"
+            )
+            if not np.array_equal(np.asarray(out, dtype=np.uint8),
+                                  expect_allreduce):
+                failures.append(f"allreduce/{name}")
+
+        for name in algs["alltoall"]:
+            out = yield from framework.run_named(
+                comm, "alltoall", name, chunks=a2a_chunks[me]
+            )
+            expect = [a2a_chunks[src][me] for src in range(n)]
+            if [bytes(c) for c in out] != expect:
+                failures.append(f"alltoall/{name}")
+
+        for name in algs["reduce_scatter"]:
+            out = yield from framework.run_named(
+                comm, "reduce_scatter", name, array=rs_arrays[me], op="sum"
+            )
+            expect = expect_rs_full[me * block: (me + 1) * block]
+            if not np.array_equal(np.asarray(out, dtype=np.uint8), expect):
+                failures.append(f"reduce_scatter/{name}")
+
+        return failures
+
+    results, cluster = run_mpi_app(app, nodes=n, np_=n)
+    cluster.assert_no_drops()
+    all_failures = {r: f for r, f in results.items() if f}
+    assert not all_failures, all_failures
+    # healthy fabric + static cohort: the hw algorithms must have run as hw
+    assert cluster.coll_hw.hw_fallbacks == 0

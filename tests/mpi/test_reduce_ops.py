@@ -1,0 +1,94 @@
+"""Every reduce operation must match NumPy on int and float arrays, both
+through the naive reference reduction and through the framework-routed
+allreduce algorithms."""
+
+from functools import reduce as _functools_reduce
+
+import numpy as np
+import pytest
+
+from repro.coll import framework
+from repro.mpi.collective import _OPS
+from tests.conftest import run_mpi_app
+
+#: bitwise ops are integer-only (numpy raises on floats, as MPI forbids
+#: MPI_BAND on MPI_DOUBLE)
+INT_ONLY = {"band", "bor", "bxor"}
+
+ALL_OPS = sorted(_OPS)
+
+
+def _rank_values(rank: int, dtype) -> np.ndarray:
+    rng = np.random.default_rng(77 + rank)
+    if np.issubdtype(dtype, np.integer):
+        return rng.integers(0, 64, 16).astype(dtype)
+    # floats: keep values exactly representable so any combine order
+    # produces the same bits (sums of small multiples of 1/8)
+    return (rng.integers(-16, 17, 16) / 8.0).astype(dtype)
+
+
+def _expected(op: str, arrays):
+    fn = _OPS[op]
+    return _functools_reduce(fn, arrays[1:], arrays[0].copy())
+
+
+@pytest.mark.parametrize("op", ALL_OPS)
+@pytest.mark.parametrize("dtype", [np.int64, np.float64],
+                         ids=["int64", "float64"])
+def test_op_matches_numpy(op, dtype):
+    if op in INT_ONLY and not np.issubdtype(dtype, np.integer):
+        pytest.skip("bitwise ops are integer-only")
+    n = 4
+    arrays = [_rank_values(r, dtype) for r in range(n)]
+    expect = _expected(op, arrays)
+
+    def app(mpi):
+        comm = mpi.comm_world
+        mine = arrays[comm.rank]
+        out_reduce = yield from comm.reduce(mine, op=op, root=0)
+        out_all = yield from comm.allreduce(mine, op=op)
+        ok = np.array_equal(out_all, expect) and out_all.dtype == expect.dtype
+        if comm.rank == 0:
+            ok = ok and np.array_equal(out_reduce, expect)
+        return bool(ok)
+
+    results, _ = run_mpi_app(app, nodes=n, np_=n)
+    assert all(results.values()), results
+
+
+@pytest.mark.parametrize("op", ALL_OPS)
+def test_op_matches_numpy_via_ring_allreduce(op):
+    """The ring (Rabenseifner) algorithm combines in a different order than
+    recursive doubling; integer ops are exactly associative so both must
+    agree with the functools reference bit-for-bit."""
+    n = 3
+    arrays = [_rank_values(r, np.int32) for r in range(n)]
+    expect = _expected(op, arrays)
+
+    def app(mpi):
+        comm = mpi.comm_world
+        out = yield from framework.run_named(
+            comm, "allreduce", "ring", array=arrays[comm.rank], op=op
+        )
+        return bool(np.array_equal(out, expect) and out.dtype == expect.dtype)
+
+    results, _ = run_mpi_app(app, nodes=n, np_=n)
+    assert all(results.values()), results
+
+
+def test_logical_ops_keep_dtype():
+    """land/lor must return the operand dtype, not numpy bool."""
+    a = np.array([0, 2, 0, 5], dtype=np.int64)
+    b = np.array([3, 0, 0, 7], dtype=np.int64)
+    assert _OPS["land"](a, b).dtype == np.int64
+    assert _OPS["lor"](a, b).dtype == np.int64
+    assert list(_OPS["land"](a, b)) == [0, 0, 0, 1]
+    assert list(_OPS["lor"](a, b)) == [1, 1, 0, 1]
+
+
+def test_unknown_op_rejected():
+    from repro.mpi import MpiError
+    from repro.mpi.collective import _op
+
+    with pytest.raises(MpiError, match="unknown reduce op"):
+        _op("xor")
