@@ -1,0 +1,186 @@
+#!/usr/bin/env python
+"""Self-healing MPI bench — detection latency and MTTR vs job size.
+
+For each job size, runs two seeded proc_kill campaigns over the full
+stack (rank np/2-1 is killed at t=3000 µs mid-allreduce):
+
+* **shrink** — survivors detect, revoke, agree, shrink, and finish a
+  correct allreduce on the shrunken communicator; reports the failure
+  *detection latency* (kill -> declared dead) and the time from kill to
+  the last survivor's completion (repair time, shrink path).
+* **respawn** — a :class:`repro.ft.RecoveryDriver` restarts the rank
+  from its checkpoint image and everyone completes on a rebuilt
+  full-world communicator; reports *MTTR* (kill -> replacement rank
+  re-attached and heartbeating).
+
+Every point must produce finite values — an infinite/missing sample
+means a hang, which is exactly what the FT layer exists to rule out.
+
+Usage:
+    PYTHONPATH=src python benchmarks/bench_recovery.py --smoke
+    PYTHONPATH=src python benchmarks/bench_recovery.py --out BENCH_recovery.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import numpy as np
+
+from repro.cluster import Cluster
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.ft import CommRevokedError, RankDeadError, RecoveryDriver, enable
+from repro.rte.environment import RteJob
+
+KILL_AT_US = 3000.0
+SEED = 2026
+
+
+def _campaign_shrink(np_: int, seed: int) -> dict:
+    cluster = Cluster(nodes=np_, seed=seed)
+    job = RteJob(cluster)
+    ft = enable(job)
+    victim = np_ // 2 - 1
+    done_at: dict[int, float] = {}
+
+    def app(api):
+        comm = api.comm_world
+        data = np.arange(8, dtype=np.float64)
+        try:
+            while True:
+                data = yield from comm.allreduce(data)
+        except (RankDeadError, CommRevokedError):
+            comm.revoke()
+            yield from comm.agree(True)
+            shrunk = yield from comm.shrink()
+            yield from shrunk.allreduce(np.ones(4, dtype=np.float64))
+            done_at[api.rank] = cluster.sim.now
+        return "done"
+
+    for r in range(np_):
+        job.launch(r, app, group="world", group_count=np_)
+    plan = FaultPlan("bench-shrink", seed=seed).proc_kill(KILL_AT_US, victim)
+    FaultInjector(cluster, plan, job=job).arm()
+    job.wait(until=50_000_000)
+
+    latency = cluster.tracer.samples["ft.detect_latency_us"][0]
+    repair = max(done_at.values()) - KILL_AT_US
+    return {
+        "detect_latency_us": latency,
+        "shrink_repair_us": repair,
+        "survivors": len(done_at),
+    }
+
+
+def _campaign_respawn(np_: int, seed: int) -> dict:
+    cluster = Cluster(nodes=np_, seed=seed)
+    job = RteJob(cluster)
+    victim = np_ // 2 - 1
+    done_at: dict[int, float] = {}
+
+    def factory(rank, image):
+        def respawned(api):
+            yield from api.rejoin_world()
+            comm = yield from api.ft_rebuild_world()
+            yield from comm.allreduce(np.ones(4, dtype=np.float64))
+            done_at[api.rank] = cluster.sim.now
+            return "recovered"
+
+        return respawned
+
+    driver = RecoveryDriver(job, app_factory=factory)
+    ft = job.ft
+
+    def app(api):
+        comm = api.comm_world
+        api.ft_checkpoint({"step": 0})
+        data = np.arange(8, dtype=np.float64)
+        try:
+            while True:
+                data = yield from comm.allreduce(data)
+        except (RankDeadError, CommRevokedError):
+            comm.revoke()
+            yield from api.ft_wait_recovered(victim)
+            comm2 = yield from api.ft_rebuild_world()
+            yield from comm2.allreduce(np.ones(4, dtype=np.float64))
+            done_at[api.rank] = cluster.sim.now
+        return "done"
+
+    for r in range(np_):
+        job.launch(r, app, group="world", group_count=np_)
+    plan = FaultPlan("bench-respawn", seed=seed).proc_kill(KILL_AT_US, victim)
+    FaultInjector(cluster, plan, job=job).arm()
+    job.wait(until=50_000_000)
+
+    mttr = cluster.tracer.samples["ft.mttr_us"][0]
+    repair = max(done_at.values()) - KILL_AT_US
+    return {
+        "mttr_us": mttr,
+        "full_restore_us": repair,
+        "recovered": driver.states.get(victim) == "recovered",
+        "completions": len(done_at),
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="8/16 ranks only (CI mode)")
+    ap.add_argument("--out", default="BENCH_recovery.json",
+                    help="report path (default: %(default)s)")
+    args = ap.parse_args(argv)
+
+    sizes = (8, 16) if args.smoke else (8, 16, 64)
+    points = []
+    failures = []
+    print(f"{'np':>4} {'detect(us)':>12} {'shrink(us)':>12} "
+          f"{'mttr(us)':>12} {'restore(us)':>12}")
+    for np_ in sizes:
+        shrink = _campaign_shrink(np_, seed=SEED)
+        respawn = _campaign_respawn(np_, seed=SEED)
+        point = {"np": np_, **shrink, **respawn}
+        points.append(point)
+        print(f"{np_:>4} {shrink['detect_latency_us']:>12.2f} "
+              f"{shrink['shrink_repair_us']:>12.2f} "
+              f"{respawn['mttr_us']:>12.2f} "
+              f"{respawn['full_restore_us']:>12.2f}")
+        for key in ("detect_latency_us", "shrink_repair_us",
+                    "mttr_us", "full_restore_us"):
+            if not math.isfinite(point[key]) or point[key] <= 0.0:
+                failures.append(f"np={np_}: {key} not finite-positive "
+                                f"({point[key]})")
+        if point["survivors"] != np_ - 1:
+            failures.append(f"np={np_}: shrink lost survivors "
+                            f"({point['survivors']}/{np_ - 1})")
+        if not point["recovered"] or point["completions"] != np_:
+            failures.append(f"np={np_}: respawn incomplete")
+
+    report = {
+        "schema": "repro.bench.recovery/v1",
+        "mode": "smoke" if args.smoke else "full",
+        "seed": SEED,
+        "kill_at_us": KILL_AT_US,
+        "points": points,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    print("recovery bench: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

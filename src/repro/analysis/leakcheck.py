@@ -81,8 +81,12 @@ def _check_mmu(sanitizer: "Sanitizer", nic: Any) -> None:
 
 
 def _check_pending(sanitizer: "Sanitizer", nic: Any) -> None:
+    # contexts torn down uncooperatively by the FT layer (owner died; no
+    # drain possible) are accounted-for: their orphaned counts are the
+    # *expected* debris of a kill, not a leak
+    reclaimed = getattr(nic, "reclaimed_ctxs", ())
     for ctx, count in nic._pending.items():
-        if count > 0:
+        if count > 0 and ctx not in reclaimed:
             sanitizer.record(
                 "leak",
                 "pending-op",
@@ -90,8 +94,9 @@ def _check_pending(sanitizer: "Sanitizer", nic: Any) -> None:
                 f"pending-operation slot(s) at quiescence; finalize/drain "
                 f"of this context would hang forever",
             )
-    if nic._drain_waiters:
-        ctxs = ", ".join(f"{c:#x}" for c in nic._drain_waiters)
+    waiting = [c for c in nic._drain_waiters if c not in reclaimed]
+    if waiting:
+        ctxs = ", ".join(f"{c:#x}" for c in waiting)
         sanitizer.record(
             "leak",
             "pending-op",

@@ -118,6 +118,17 @@ class _SharedCommState:
             return False
         if self.static_failed:
             return False
+        ft = getattr(reg.cluster, "ft", None)
+        if ft is not None:
+            # a revoked communicator, or one with a dead member, must not
+            # arm NIC engines that wait on tokens from a corpse — stay on
+            # the software path, whose per-message sends fail fast with
+            # RankDeadError instead of hanging in the event engine
+            st = ft._comm_states.get(self.ctx_id)
+            if st is not None and st.revoked:
+                return False
+            if any(ft.membership.is_dead(r) for r in self.ranks):
+                return False
         ctxs = self.member_ctxs()
         if ctxs is None:
             # a member rank has no registered Elan context: either it has
@@ -156,11 +167,15 @@ class _SharedCommState:
             self.barrier_group = group
 
     # -- hardware broadcast receive side ----------------------------------
-    def drain_bcast(self, thread: Any, member: int, seq: int) -> Generator:
+    def drain_bcast(
+        self, thread: Any, member: int, seq: int, guard: Any = None
+    ) -> Generator:
         """Coroutine: poll this member's broadcast queue until round ``seq``
         is fully assembled; fragments of other rounds (consecutive
         broadcasts from different roots interleave in flight) are parked in
-        their own assemblies."""
+        their own assemblies.  With an FT ``guard`` the queue wait aborts
+        (raises) on member death or revoke instead of sleeping forever on
+        fragments the dead root will never inject."""
         assert self.bcast_group is not None
         ctx = self.bcast_group.members[member]
         queue = self.bcast_group.queue_of(ctx)
@@ -171,7 +186,10 @@ class _SharedCommState:
                 break
             msg = queue.poll()
             if msg is None:
-                yield from thread.block_on(queue.host_event)
+                if guard is None:
+                    yield from thread.block_on(queue.host_event)
+                else:
+                    yield from guard.block_on_word(thread, queue.host_event)
                 continue
             meta = msg.meta
             rnd = meta.get("seq", 0)
@@ -243,6 +261,15 @@ def _registry_of(comm: Any) -> HwCollRegistry:
     return comm.stack.process.job.cluster.coll_hw  # type: ignore[no-any-return]
 
 
+def _ft_guard(comm: Any, state: _SharedCommState) -> Any:
+    """The communicator's FT state (abortable waits), or None when the
+    fault-tolerance subsystem is not enabled for this job."""
+    ft = getattr(comm.stack.process.job, "ft", None)
+    if ft is None:
+        return None
+    return ft.comm_state(state.ctx_id, state.ranks)
+
+
 def bcast_hw(
     comm: Any,
     data: Any,
@@ -263,9 +290,10 @@ def bcast_hw(
     member = comm.rank
     ctx = group.members[member]
     thread = comm._thread
+    guard = _ft_guard(comm, state)
     if member == root:
         yield from group.bcast(thread, ctx, _to_bytes(data), seq=seq)
-    payload = yield from state.drain_bcast(thread, member, seq)
+    payload = yield from state.drain_bcast(thread, member, seq, guard=guard)
     return payload  # type: ignore[no-any-return]
 
 
@@ -278,7 +306,7 @@ def barrier_hw(comm: Any) -> Generator[Any, Any, None]:
     if group is None:
         raise HwBarrierError("hardware barrier group was never built")
     ctx = group.members[comm.rank]
-    yield from group.barrier(comm._thread, ctx)
+    yield from group.barrier(comm._thread, ctx, guard=_ft_guard(comm, state))
     return None
 
 

@@ -77,6 +77,9 @@ class Pml:
         self._rail_rr = 0  # round-robin cursor for equal-priority modules
         #: ranks with no surviving path -> the diagnosis that killed them
         self.dead_peers: Dict[int, BaseException] = {}
+        #: revoked communicator contexts -> the CommRevokedError to raise;
+        #: populated by the FT layer's revoke propagation (poison_ctx)
+        self.revoked_ctxs: Dict[int, BaseException] = {}
         self.failovers = 0  # in-flight traffic moved to a surviving PTL
         #: open rendezvous receives by (ctx_id, src_rank, seq) — consulted
         #: when a duplicate RNDV arrives so failover can re-run the protocol
@@ -168,7 +171,13 @@ class Pml:
         key = (ctx_id, dst_rank)
         seq = self._send_seq.get(key, 0)
         self._send_seq[key] = seq + 1
+        if ctx_id in self.revoked_ctxs:
+            if self.obs is not None:
+                self.obs.flight_abandon(obs_tid, "revoked")
+            raise self.revoked_ctxs[ctx_id]
         if dst_rank in self.dead_peers:
+            if self.obs is not None:
+                self.obs.flight_abandon(obs_tid, "peer dead")
             raise self.dead_peers[dst_rank]
         req = SendRequest(self.sim, buffer, nbytes, dst_rank, tag, ctx_id, seq)
         req.sync = sync
@@ -204,6 +213,12 @@ class Pml:
     ) -> Generator:
         """Coroutine: post a receive; returns the request."""
         yield from thread.compute(self.config.pml_sched_us)
+        if ctx_id in self.revoked_ctxs:
+            raise self.revoked_ctxs[ctx_id]
+        if src_rank != ANY_SOURCE and src_rank in self.dead_peers:
+            # a receive from a dead peer can never be satisfied; wildcard
+            # receives may still match survivors
+            raise self.dead_peers[src_rank]
         req = RecvRequest(self.sim, buffer, nbytes, src_rank, tag, ctx_id)
         self.register(req)
         self.recvs += 1
@@ -288,6 +303,8 @@ class Pml:
 
     def send_progress(self, req: SendRequest, nbytes: int) -> None:
         """ptl_send_progress: sender-side bytes are on their way/acked."""
+        if req.completed:
+            return  # poisoned by peer death/revoke; drop late transport progress
         if req.add_progress(nbytes):
             self.completions += 1
             if self.obs is not None:
@@ -301,6 +318,8 @@ class Pml:
 
     def recv_progress(self, req: RecvRequest, nbytes: int) -> None:
         """ptl_recv_progress: receiver-side bytes have landed."""
+        if req.completed:
+            return  # poisoned by peer death/revoke; drop late transport progress
         if req.add_progress(nbytes):
             self.completions += 1
             if self.obs is not None:
@@ -316,6 +335,8 @@ class Pml:
         for key in [k for k in self._send_seq if k[1] == rank]:
             del self._send_seq[key]
         self.matching.reset_peer(rank)
+        # a restarted incarnation is reachable again
+        self.dead_peers.pop(rank, None)
 
     # -- failover (§3: scheduling around a degraded interconnect) ---------------
     def peer_failed(self, module: "PtlModule", rank: int, error: BaseException) -> None:
@@ -374,6 +395,11 @@ class Pml:
                     self.tracer.count("pml.peer_dead")
                     self.tracer.count("pml.failover_dropped_payloads", len(payloads))
                 self._fail_peer_requests(rank, error)
+                # fast local evidence for the failure detector: our whole
+                # retransmission budget died against this peer
+                ft = getattr(self.process.job, "ft", None)
+                if ft is not None:
+                    ft.evidence(self.process.rank, rank, error)
                 continue
             if payloads or skipped or reqs:
                 self.failovers += 1
@@ -427,9 +453,55 @@ class Pml:
             else:
                 involved = False
             if involved:
+                if self.obs is not None:
+                    self.obs.flight_abandon(req.obs_tid, f"rank {rank} dead")
                 req.fail(error)
                 self.completions += 1
                 self.retire(req)
+
+    # -- detector-driven poisoning (repro.ft) -----------------------------------
+    def poison_peer(self, rank: int, error: BaseException) -> None:
+        """The failure detector declared ``rank`` dead: mark it dead on
+        every module, harvest-and-drop its reliability state (so finalize
+        cannot spin on unacked retransmissions toward a corpse), and fail
+        exactly the requests that involve it.  Idempotent; disjoint
+        traffic is untouched."""
+        if rank in self.dead_peers:
+            return
+        self.dead_peers[rank] = error
+        for m in self.modules:
+            takeover = getattr(m, "takeover_payloads", None)
+            if takeover is not None:
+                takeover(rank)  # the peer is gone for good: drop, don't replay
+            m.mark_peer_dead(rank)
+        if self.tracer is not None:
+            self.tracer.count("pml.peer_poisoned")
+        if self.obs is not None:
+            self.obs.count("faults", "pml.peer_poisoned")
+            self.obs.instant(
+                "faults",
+                "peer_poisoned",
+                node=self.process.node.node_id,
+                rank=rank,
+            )
+        self._fail_peer_requests(rank, error)
+
+    def poison_ctx(self, ctx_id: int, error: BaseException) -> None:
+        """Communicator revoke: fail every pending request on ``ctx_id``
+        and refuse new ones.  Traffic on other contexts is untouched."""
+        if ctx_id in self.revoked_ctxs:
+            return
+        self.revoked_ctxs[ctx_id] = error
+        if self.tracer is not None:
+            self.tracer.count("pml.ctx_revoked")
+        for req in list(self.requests.values()):
+            if req.completed or req.ctx_id != ctx_id:
+                continue
+            if self.obs is not None:
+                self.obs.flight_abandon(req.obs_tid, "revoked")
+            req.fail(error)
+            self.completions += 1
+            self.retire(req)
 
     # -- progress drivers --------------------------------------------------------
     def progress_once(self, thread) -> Generator:

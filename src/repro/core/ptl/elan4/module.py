@@ -202,6 +202,8 @@ class Elan4PtlModule(PtlModule):
         if self._info_key not in info:
             raise PtlError(f"peer {rank} exposes no elan4 endpoint (rail {self.rail})")
         self.peers[rank] = info[self._info_key]
+        # a re-added peer is a fresh incarnation: forget the dead VPID
+        self._dead_vpids.pop(rank, None)
         yield self.sim.timeout(0)
 
     def remove_peer(self, rank: int) -> None:

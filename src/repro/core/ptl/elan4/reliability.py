@@ -29,6 +29,8 @@ from typing import Any, Dict, Generator, List, Optional, Tuple, TYPE_CHECKING
 
 import numpy as np
 
+from repro.ft.backoff import JitteredBackoff
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.ptl.elan4.module import Elan4PtlModule
     from repro.elan4.qdma import QdmaMessage
@@ -87,6 +89,17 @@ class ReliableChannel:
             )
         except AttributeError:
             self._jitter_rng = np.random.default_rng(12345)
+        # retry pacing through the shared seeded helper (repro.ft.backoff):
+        # exponential backoff with multiplicative jitter, so a congested or
+        # stalled peer is not hammered at a fixed cadence and many senders'
+        # retry storms desynchronise — all bit-reproducibly
+        self._backoff = JitteredBackoff(
+            self._jitter_rng,
+            retransmit_timeout_us,
+            factor=backoff_factor,
+            cap_us=max(backoff_cap_us, retransmit_timeout_us),
+            jitter_frac=jitter_frac,
+        )
 
     # -- send side ---------------------------------------------------------
     def send(self, thread, dst_vpid: int, payload, meta: Optional[dict] = None) -> Generator:
@@ -110,14 +123,7 @@ class ReliableChannel:
         record = self._unacked.get(dst_vpid, {}).get(seq)
         if record is None:
             return
-        # exponential backoff with deterministic jitter: a congested or
-        # stalled peer is not hammered at a fixed 100 µs cadence, and the
-        # jitter desynchronises the retry storms of many senders
-        delay = min(
-            self.timeout_us * (self.backoff_factor ** record[2]),
-            self.backoff_cap_us,
-        )
-        delay *= 1.0 + self.jitter_frac * float(self._jitter_rng.random())
+        delay = self._backoff.delay(record[2])
         record[3] = self.sim.schedule(delay, self._retransmit, dst_vpid, seq)
 
     def _retransmit(self, dst_vpid: int, seq: int) -> None:

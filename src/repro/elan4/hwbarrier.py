@@ -195,9 +195,14 @@ class HwBarrierGroup:
             nic.drop_packet(pkt, reason=f"hwbarrier: unknown phase {phase!r}")
 
     # -- host side ---------------------------------------------------------
-    def barrier(self, thread, ctx: "Elan4Context") -> Generator:
+    def barrier(self, thread, ctx: "Elan4Context", guard=None) -> Generator:
         """Coroutine (member's host thread): enter the barrier and block
-        until the root's hardware-broadcast release."""
+        until the root's hardware-broadcast release.
+
+        ``guard`` (a ``repro.ft`` communicator state) makes the release
+        wait abortable: a member death or revoke raises out of the wait
+        instead of sleeping forever on a release that can never arrive.
+        """
         member = self._member_of.get(ctx.vpid)
         if member is None:
             raise HwBarrierError(f"vpid {ctx.vpid} is not a group member")
@@ -210,7 +215,10 @@ class HwBarrierGroup:
         yield from nic.pci.pio_write()
         yield thread.sim.timeout(nic.config.nic_cmd_process_us)
         st.gather.fire()
-        yield from st.release.host_wait(thread)
+        if guard is None:
+            yield from st.release.host_wait(thread)
+        else:
+            yield from guard.block_on_word(thread, st.release.host_word)
         # the round is complete for this member: drop its event pair
         del self._rounds[(member, rnd)]
         if member == 0:

@@ -21,7 +21,7 @@ handle obtained by claiming a context in the system-wide capability (§5).
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Generator, List, Optional, TYPE_CHECKING
+from typing import Any, Callable, Dict, Generator, List, Optional, Set, TYPE_CHECKING
 
 import numpy as np
 
@@ -79,6 +79,9 @@ class Elan4Nic:
         self.tport = TportEngine(self)
         self._pending: Dict[int, int] = {}
         self._drain_waiters: Dict[int, List[SimEvent]] = {}
+        #: contexts torn down *uncooperatively* (owner died; no drain) —
+        #: their leftover pending ops are accounted-for, not leaked
+        self.reclaimed_ctxs: Set[int] = set()
         self.dropped: List[tuple] = []
         self.chains_run = 0
         self.stalled = False
@@ -301,6 +304,21 @@ class Elan4Context:
         self.nic.qdma.destroy_context_queues(self.ctx)
         self.nic.mmu.unmap_context(self.ctx)
         self.nic.capability.release(self.vpid)
+        self.finalized = True
+
+    def reclaim(self) -> None:
+        """Uncooperative teardown for a dead owner (repro.ft): same
+        resource release as :meth:`finalize` but with **no drain** — the
+        process is gone, nobody can wait.  The VPID retires forever
+        (§4.1: stale use raises ``CapabilityError``), and the context is
+        recorded so leak probes treat its orphaned pending ops as
+        accounted-for rather than leaked."""
+        if self.finalized:
+            return
+        self.nic.qdma.destroy_context_queues(self.ctx)
+        self.nic.mmu.unmap_context(self.ctx)
+        self.nic.capability.release(self.vpid)
+        self.nic.reclaimed_ctxs.add(self.ctx)
         self.finalized = True
 
     def _check_live(self) -> None:

@@ -117,6 +117,20 @@ class FaultInjector:
                 ):
                     pml.rail_failed(module, error)
 
+    def _do_proc_kill(self, event: FaultEvent, index: int) -> None:
+        if self.job is None:
+            raise RuntimeError("proc_kill requires an injector armed with a job")
+        rank = event.target
+        proc = self.job.processes.get(rank)
+        if proc is None or proc.finished:
+            return  # already gone — killing a corpse is a no-op
+        ft = getattr(self.job, "ft", None)
+        if ft is not None:
+            # ground truth for the detection-latency metric: the daemon can
+            # only *observe* the death later, via heartbeat silence
+            ft.note_kill(rank, self.sim.now)
+        proc.kill(cause=f"fault campaign {self.plan.name!r}")
+
     def _do_packet_loss(self, event: FaultEvent, index: int) -> None:
         self._fabric(event).set_loss(event.param, seed=self.plan.seed * 1000 + index)
 

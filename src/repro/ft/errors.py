@@ -1,0 +1,48 @@
+"""Fault-tolerance error taxonomy (ULFM-style).
+
+These are the errors the stack surfaces *instead of hanging* once the
+failure detector declares a rank dead:
+
+* :class:`RankDeadError` — an operation involves a dead peer (the ULFM
+  ``MPI_ERR_PROC_FAILED`` analogue).  Peer-scoped: traffic that does not
+  involve the dead rank is untouched.
+* :class:`CommRevokedError` — the communicator was revoked by some member
+  (the ULFM ``MPI_ERR_REVOKED`` analogue).  Communicator-scoped: every
+  pending and future operation on that context fails, at every member.
+
+Both derive from :class:`FtError`, so recovery-aware applications catch
+one type.  This module is import-leaf (no repro imports) so every layer
+can raise/except these without cycles.
+"""
+
+from __future__ import annotations
+
+__all__ = ["FtError", "RankDeadError", "CommRevokedError"]
+
+
+class FtError(Exception):
+    """Base class for failure-detector-originated errors."""
+
+
+class RankDeadError(FtError):
+    """An operation involves a rank the detector declared dead."""
+
+    def __init__(self, rank: int, detail: str = ""):
+        self.rank = rank
+        self.detail = detail
+        msg = f"rank {rank} is dead"
+        if detail:
+            msg += f" ({detail})"
+        super().__init__(msg)
+
+
+class CommRevokedError(FtError):
+    """The communicator was revoked; no further traffic may use it."""
+
+    def __init__(self, ctx_id: int, origin: int):
+        self.ctx_id = ctx_id
+        #: global rank that initiated the revoke
+        self.origin = origin
+        super().__init__(
+            f"communicator ctx={ctx_id:#x} revoked by rank {origin}"
+        )

@@ -1,0 +1,137 @@
+"""Per-job membership view with epochs.
+
+The failure detector (``repro.ft.detector``) feeds this view; every other
+layer reads it.  Each death or recovery bumps the epoch, so consumers can
+cheaply detect "something changed since I last looked" and re-derive
+group state (e.g. rebuild a world communicator after respawn).
+
+All iteration is over sorted rank lists — membership changes are fired in
+deterministic order regardless of dict insertion history.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, TYPE_CHECKING
+
+from repro.sim.events import SimEvent
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.core import Simulator
+
+__all__ = ["DeathRecord", "MembershipView"]
+
+
+class DeathRecord:
+    """Everything the job knows about one dead rank."""
+
+    __slots__ = (
+        "rank",
+        "at_us",
+        "cause",
+        "kill_at_us",
+        "reclaimed",
+        "recovered_at_us",
+    )
+
+    def __init__(
+        self,
+        rank: int,
+        at_us: float,
+        cause: str,
+        kill_at_us: Optional[float] = None,
+    ):
+        self.rank = rank
+        #: sim time the detector *declared* the rank dead
+        self.at_us = at_us
+        self.cause = cause
+        #: ground-truth kill time from the fault injector (None if the
+        #: death was observed only through evidence, never injected)
+        self.kill_at_us = kill_at_us
+        #: NIC/VPID resources of the dead rank torn down uncooperatively
+        self.reclaimed = False
+        self.recovered_at_us: Optional[float] = None
+
+
+class MembershipView:
+    """Epoch-stamped dead/alive view over the ranks of one job."""
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.epoch = 0
+        self._dead: Dict[int, DeathRecord] = {}
+        self._recovered: Dict[int, DeathRecord] = {}
+        self._death_listeners: List[Callable[[DeathRecord], None]] = []
+        self._recovery_listeners: List[Callable[[int], None]] = []
+        self._change_waiters: List[SimEvent] = []
+
+    # -- queries -------------------------------------------------------
+    def is_dead(self, rank: int) -> bool:
+        return rank in self._dead
+
+    def dead_ranks(self) -> List[int]:
+        return sorted(self._dead)
+
+    def first_dead(self, ranks: Sequence[int]) -> Optional[int]:
+        for r in sorted(ranks):
+            if r in self._dead:
+                return r
+        return None
+
+    def any_dead(self, ranks: Sequence[int]) -> bool:
+        return any(r in self._dead for r in ranks)
+
+    def record(self, rank: int) -> Optional[DeathRecord]:
+        return self._dead.get(rank)
+
+    def recovered_ranks(self) -> List[int]:
+        """Ranks that died and were later respawned (no longer dead)."""
+        return sorted(self._recovered)
+
+    # -- mutation (detector only) --------------------------------------
+    def mark_dead(
+        self,
+        rank: int,
+        cause: str,
+        kill_at_us: Optional[float] = None,
+    ) -> DeathRecord:
+        rec = self._dead.get(rank)
+        if rec is not None:
+            return rec
+        rec = DeathRecord(rank, self.sim.now, cause, kill_at_us)
+        self._dead[rank] = rec
+        self.epoch += 1
+        for cb in list(self._death_listeners):
+            cb(rec)
+        self._fire_change()
+        return rec
+
+    def mark_recovered(self, rank: int) -> Optional[DeathRecord]:
+        rec = self._dead.pop(rank, None)
+        if rec is None:
+            return None
+        rec.recovered_at_us = self.sim.now
+        self._recovered[rank] = rec
+        self.epoch += 1
+        for cb in list(self._recovery_listeners):
+            cb(rank)
+        self._fire_change()
+        return rec
+
+    # -- notification --------------------------------------------------
+    def on_death(self, cb: Callable[[DeathRecord], None]) -> None:
+        self._death_listeners.append(cb)
+
+    def on_recovery(self, cb: Callable[[int], None]) -> None:
+        self._recovery_listeners.append(cb)
+
+    def change_event(self) -> SimEvent:
+        """One-shot event completed at the next epoch bump."""
+        ev = SimEvent(self.sim, name="ft:membership-change")
+        self._change_waiters.append(ev)
+        return ev
+
+    def _fire_change(self) -> None:
+        waiters, self._change_waiters = self._change_waiters, []
+        for ev in waiters:
+            if not ev.triggered:
+                ev.succeed(self.epoch)

@@ -191,7 +191,16 @@ class HostThread:
         if self._on_cpu:
             return
         self.state = "ready"
-        yield self.sched.cpus.request()
+        req = self.sched.cpus.request()
+        try:
+            yield req
+        except BaseException:
+            # Killed while queued for (or just granted) a CPU: withdraw the
+            # request, or hand the already-granted unit back — otherwise the
+            # slot leaks and the node's other threads starve forever.
+            if not self.sched.cpus.cancel(req):
+                self.sched.cpus.release()
+            raise
         self._on_cpu = True
         self._cpu_acquired_at = self.sim.now
         self.state = "running"

@@ -286,6 +286,52 @@ class Communicator:
 
         return (yield from framework.reduce_scatter(self, array, op))
 
+    # -- fault tolerance (ULFM-style, §3's process fault tolerance) -------------------
+    def _ft_daemon(self):
+        ft = getattr(self.stack.process.job, "ft", None)
+        if ft is None:
+            raise MpiError(
+                "fault tolerance is not enabled for this job — call "
+                "repro.ft.enable(job) before launching ranks"
+            )
+        return ft
+
+    def _ft_state(self):
+        return self._ft_daemon().comm_state(self.ctx_id, tuple(self.group))
+
+    def revoke(self) -> None:
+        """MPI_Comm_revoke: permanently invalidate this communicator at
+        every member.  Pending and future point-to-point operations raise
+        :class:`~repro.ft.CommRevokedError` (after a per-hop propagation
+        delay) instead of waiting on peers that will never answer.  Local,
+        non-collective, idempotent."""
+        self._ft_state().revoke(self._global_rank)
+
+    def agree(self, flag: bool = True) -> Generator:
+        """Coroutine — MPIX_Comm_agree: fault-tolerant agreement on the
+        logical AND of every live member's ``flag``.  Completes in
+        O(log n) even on a revoked communicator or with members dying
+        mid-call; every survivor returns the same value."""
+        state = self._ft_state()
+        return (yield from state.agree(self._thread, self._global_rank, flag))
+
+    def shrink(self) -> Generator:
+        """Coroutine — MPIX_Comm_shrink: build a working communicator from
+        the surviving members.  Every survivor derives the same context id
+        and the same (death-order-independent) group, so the result is
+        immediately usable for point-to-point and collectives — including
+        re-registering NIC-offload cohorts where §4.1 still permits them."""
+        ft = self._ft_daemon()
+        state = ft.comm_state(self.ctx_id, tuple(self.group))
+        new_ctx, dead = yield from state.shrink_decide(
+            self._thread, self._global_rank
+        )
+        group = [r for r in self.group if r not in dead]
+        # register the shrunken context with the daemon right away so later
+        # deaths abort its operations too
+        ft.comm_state(new_ctx, tuple(group))
+        return Communicator(self.stack, new_ctx, group, self._global_rank)
+
     # -- derived communicators --------------------------------------------------------
     def dup(self) -> "Communicator":
         """MPI_Comm_dup: same group, fresh context (local-only derivation)."""

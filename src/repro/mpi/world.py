@@ -11,7 +11,7 @@ from repro.core.pml.teg import Pml
 from repro.core.ptl.base import PtlRegistry
 from repro.core.ptl.elan4.module import Elan4PtlComponent, Elan4PtlOptions
 from repro.core.ptl.tcp import TcpPtlComponent
-from repro.mpi.communicator import Communicator, MpiError, WORLD_CTX
+from repro.mpi.communicator import Communicator, MpiError, WORLD_CTX, _derive_ctx
 
 __all__ = ["MpiStack", "MpiApi", "make_mpi_stack_factory", "mpi_stack_factory"]
 
@@ -134,6 +134,12 @@ class MpiApi:
     def now(self) -> float:
         return self.sim.now
 
+    @property
+    def restart_image(self):
+        """The checkpoint image this process was restarted from, or None
+        on a first launch (see :mod:`repro.rte.checkpoint`)."""
+        return getattr(self.process, "restart_image", None)
+
     # -- memory ------------------------------------------------------------------
     def alloc(self, nbytes: int, label: str = "user"):
         """Allocate message memory in this process's address space."""
@@ -197,6 +203,58 @@ class MpiApi:
         )
         self.comm_world = self.stack.world
         return self.comm_world
+
+    # -- self-healing helpers (repro.ft) ----------------------------------------------
+    @property
+    def ft(self):
+        """The job's fault-tolerance daemon, or None when FT is disabled."""
+        return getattr(self.process.job, "ft", None)
+
+    def _ft_required(self):
+        ft = self.ft
+        if ft is None:
+            raise MpiError(
+                "fault tolerance is not enabled for this job — call "
+                "repro.ft.enable(job) before launching ranks"
+            )
+        return ft
+
+    def ft_checkpoint(self, app_state: Dict[str, Any]) -> None:
+        """Save this rank's application state with the recovery driver; a
+        later respawn of this rank receives it as ``api.restart_image``."""
+        ft = self._ft_required()
+        driver = ft.driver
+        if driver is None:
+            raise MpiError(
+                "no recovery driver installed — construct "
+                "repro.ft.RecoveryDriver(job, app_factory) before launch"
+            )
+        driver.save_image(self.rank, app_state)
+
+    def ft_wait_recovered(self, rank: int) -> Generator:
+        """Coroutine: block until dead ``rank`` has been respawned and has
+        re-attached under its old rank (no-op if it is not dead)."""
+        ft = self._ft_required()
+        while ft.membership.is_dead(rank):
+            ev = ft.membership.change_event()
+            yield from self.thread.wait_sim_event(ev)
+
+    def ft_rebuild_world(self) -> Generator:
+        """Coroutine: after every dead rank recovered, rewire to the new
+        incarnations and derive a fresh full-group world communicator —
+        identically at every member, with no exchange (the membership epoch
+        is converged state, like a context counter).  Survivors call this
+        after :meth:`ft_wait_recovered`; the restarted rank after
+        :meth:`rejoin_world`."""
+        ft = self._ft_required()
+        for rank in ft.membership.recovered_ranks():
+            if rank != self.rank:
+                yield from self.refresh_peer(rank)
+        group = sorted(set(self.comm_world.group) | {self.rank})
+        new_ctx = _derive_ctx(WORLD_CTX, 524287 + ft.membership.epoch, salt=len(group))
+        ft.comm_state(new_ctx, tuple(group))
+        comm = Communicator(self.stack, new_ctx, group, self.process.rank)
+        return comm
 
     # -- dynamic process management (MPI-2, §4.1) ------------------------------------
     def spawn(self, apps: Sequence, node_ids: Optional[Sequence[int]] = None) -> Generator:

@@ -78,6 +78,7 @@ class FlightRecord:
         "nbytes",
         "t_begin",
         "t_end",
+        "abandoned",
         "events",
     )
 
@@ -101,6 +102,9 @@ class FlightRecord:
         self.nbytes = nbytes
         self.t_begin = t_begin
         self.t_end: float | None = None
+        #: abandon reason (peer death, communicator revoke) — set instead of
+        #: t_end when the message was destroyed rather than delivered
+        self.abandoned: str | None = None
         self.events: list[FlightEvent] = []
 
     @property
@@ -129,7 +133,7 @@ class FlightRecord:
         return out
 
     def as_dict(self) -> dict[str, Any]:
-        return {
+        out = {
             "tid": self.tid,
             "kind": self.kind,
             "src_rank": self.src_rank,
@@ -141,6 +145,9 @@ class FlightRecord:
             "t_end": self.t_end,
             "events": [ev.as_dict() for ev in self.events],
         }
+        if self.abandoned is not None:
+            out["abandoned"] = self.abandoned
+        return out
 
 
 class FlightRecorder:
@@ -219,7 +226,7 @@ class FlightRecorder:
 
     def complete(self, tid: int | None, t_end: float) -> FlightRecord | None:
         rec = self.get(tid)
-        if rec is None or rec.t_end is not None:
+        if rec is None or rec.t_end is not None or rec.abandoned is not None:
             return None
         rec.t_end = t_end
         self._completed.append(rec.tid)
@@ -231,6 +238,31 @@ class FlightRecorder:
                     self.flights_dropped += 1
         return rec
 
+    def abandon(
+        self, tid: int | None, ts: float, reason: str
+    ) -> FlightRecord | None:
+        """Close a flight destroyed by peer death / revoke.  The record
+        keeps ``t_end=None`` (it has no delivery time) but is no longer
+        *open*: the sanitizer's open-span probe treats abandoned traffic
+        as accounted-for, not leaked."""
+        rec = self.get(tid)
+        if rec is None or rec.t_end is not None or rec.abandoned is not None:
+            return None
+        rec.abandoned = reason
+        rec.events.append(FlightEvent("pml", "abandoned", ts, None, None, {"reason": reason}))
+        return rec
+
+    def abandon_involving(self, rank: int, ts: float, reason: str) -> int:
+        """Abandon every open flight that has ``rank`` as source or
+        destination (the sweep run when a dead rank's NIC resources are
+        reclaimed).  Returns how many flights were closed."""
+        n = 0
+        for rec in self.open_records():
+            if rec.src_rank == rank or rec.dst_rank == rank:
+                if self.abandon(rec.tid, ts, reason) is not None:
+                    n += 1
+        return n
+
     # -- queries ------------------------------------------------------------
     def records(self) -> list[FlightRecord]:
         """All retained records in tid (allocation) order."""
@@ -241,8 +273,15 @@ class FlightRecorder:
 
     def open_records(self) -> list[FlightRecord]:
         """Flights begun but never completed — lost or still-queued
-        messages; the sanitizer and report surface these."""
-        return [r for r in self.records() if r.t_end is None]
+        messages; the sanitizer and report surface these.  Abandoned
+        flights (destroyed by peer death) are excluded: they are
+        accounted-for, not leaked."""
+        return [
+            r for r in self.records() if r.t_end is None and r.abandoned is None
+        ]
+
+    def abandoned_records(self) -> list[FlightRecord]:
+        return [r for r in self.records() if r.abandoned is not None]
 
     def slowest(self, n: int) -> list[FlightRecord]:
         done = self.completed()

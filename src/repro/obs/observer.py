@@ -122,6 +122,19 @@ class Observer:
             latency = rec.t_end - rec.t_begin  # type: ignore[operator]
             self.metrics.sample("pml", "message_latency_us", latency)
 
+    def flight_abandon(self, tid: int | None, reason: str) -> None:
+        """A message destroyed mid-flight (peer death, revoke): close the
+        record without a delivery time so it is not reported as leaked."""
+        rec = self.flights.abandon(tid, self.now, reason)
+        if rec is not None:
+            self.metrics.count("pml", "sends_abandoned")
+
+    def flight_abandon_involving(self, rank: int, reason: str) -> int:
+        n = self.flights.abandon_involving(rank, self.now, reason)
+        if n:
+            self.metrics.count("pml", "sends_abandoned", n)
+        return n
+
     # -- metrics hooks -------------------------------------------------------
     def count(self, scope: str, name: str, n: int = 1) -> None:
         self.metrics.count(scope, name, n)

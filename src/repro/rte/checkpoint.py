@@ -61,6 +61,18 @@ def restart_rank(
             f"rank {image.rank} is still running; checkpoint/leave must "
             "complete (drain!) before restart"
         )
+    if prev is not None and prev.killed:
+        # an uncooperative death never drained: the FT layer must have
+        # reclaimed the corpse's NIC state (VPID released, queues torn
+        # down) before the rank's slot can be reused, else the replacement
+        # races the dead instance's leftover descriptors (§4.1)
+        ft = job.ft
+        if ft is None or not ft.reclaimed(image.rank):
+            raise RuntimeError(
+                f"rank {image.rank} was killed uncooperatively and its NIC "
+                "state has not been reclaimed; enable repro.ft and wait for "
+                "reclaim before restarting"
+            )
     gname = group or job.new_group_name()
     proc = job.launch(
         image.rank,

@@ -26,9 +26,14 @@ from repro.sim.events import SimEvent
 from repro.tcpip.socket import TcpSocket
 from repro.tcpip.stack import IpNetwork
 
-__all__ = ["RteJob", "RteProcess", "SeedDaemon", "launch_job"]
+__all__ = ["ProcessKilled", "RteJob", "RteProcess", "SeedDaemon", "launch_job"]
 
 SEED_PORT = 5555
+
+
+class ProcessKilled(Exception):
+    """Cause delivered to a killed process's threads (the SIGKILL analog):
+    recorded as the process's failure but never re-raised by the driver."""
 
 
 class SeedDaemon:
@@ -147,6 +152,12 @@ class RteProcess:
         self.failure: Optional[BaseException] = None
         self.finished = False
         self.epoch = -1
+        #: set by :meth:`kill` — an uncooperative death (no drain, no
+        #: deregister); the FT layer distinguishes this from a crash
+        self.killed = False
+        #: helper threads tied to this process's lifetime (FT heartbeat);
+        #: killed together with the main thread
+        self.aux_threads: List[Any] = []
         self.main_thread = node.spawn_thread(self._main, name=f"rank{rank}")
 
     # -- lifecycle ---------------------------------------------------------
@@ -176,12 +187,31 @@ class RteProcess:
             thread, {"op": "sync", "group": self.group, "count": self.group_count}
         )
         table = {int(r): e for r, e in reply["table"].items()}
+        ft = getattr(self.job, "ft", None)
+        if ft is not None:
+            ft.attach_process(self)
         yield from self.stack.wire_up(thread, table)
 
     def _shutdown(self, thread):
         yield from self.stack.finalize(thread)
         yield from self.oob.rpc(thread, {"op": "deregister", "rank": self.rank})
         self.oob.close()
+
+    def kill(self, cause: str = "proc_kill") -> None:
+        """Uncooperative death (SIGKILL): no drain, no deregister, no
+        goodbye.  The main thread and every helper thread are interrupted
+        wherever they sit; whatever the process owed the fabric stays owed
+        until the FT layer reclaims it."""
+        if self.finished:
+            return
+        self.killed = True
+        error = ProcessKilled(f"rank {self.rank} killed ({cause})")
+        self.main_thread.process.interrupt(error)
+        for t in self.aux_threads:
+            if t.is_alive:
+                t.process.interrupt(error)
+        if self.oob is not None:
+            self.oob.close()
 
     # -- OOB helpers available to upper layers ------------------------------
     def oob_lookup(self, thread, rank: int):
@@ -208,6 +238,8 @@ class RteJob:
         self.seed = SeedDaemon(self)
         self.processes: Dict[int, RteProcess] = {}
         self._spawn_groups = 0
+        #: fault-tolerance daemon, installed by :func:`repro.ft.enable`
+        self.ft: Optional[Any] = None
 
     def launch(
         self,
@@ -244,7 +276,7 @@ class RteJob:
                 f"(simulated t={self.cluster.sim.now:.1f} µs)"
             )
         for proc in self.processes.values():
-            if proc.failure is not None:
+            if proc.failure is not None and not proc.killed:
                 raise proc.failure
         return {r: p.result for r, p in self.processes.items()}
 

@@ -64,6 +64,20 @@ class Resource:
         else:
             self.in_use -= 1
 
+    def cancel(self, ev: SimEvent) -> bool:
+        """Withdraw a queued ``request()`` that has not been granted yet.
+
+        Returns True if the event was still waiting (now removed); False if
+        the grant already happened — the caller owns a unit and must
+        ``release()`` it instead.  Needed when a waiter is killed: leaving
+        a dead waiter queued would leak a capacity unit on grant.
+        """
+        try:
+            self._waiters.remove(ev)
+            return True
+        except ValueError:
+            return False
+
     def acquire(self):
         """Coroutine helper: ``yield from res.acquire()``."""
         yield self.request()

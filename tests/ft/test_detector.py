@@ -1,0 +1,108 @@
+"""Failure detector: heartbeats, sweep, starvation safety, evidence."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.ft import CommRevokedError, RankDeadError, enable
+from repro.rte.environment import RteJob
+
+
+def _launch_ft_job(nodes, np_, app, seed=0, config=None):
+    cluster = Cluster(nodes=nodes, seed=seed)
+    job = RteJob(cluster)
+    ft = enable(job, config)
+    for r in range(np_):
+        job.launch(r, app, group="world", group_count=np_)
+    return cluster, job, ft
+
+
+def test_proc_kill_is_detected_with_finite_latency():
+    seen = {}
+
+    def app(api):
+        comm = api.comm_world
+        data = np.ones(4)
+        try:
+            while True:
+                data = yield from comm.allreduce(data)
+        except (RankDeadError, CommRevokedError) as e:
+            seen[api.rank] = e
+            comm.revoke()  # unblock survivors still paired with live ranks
+        return "survived"
+
+    cluster, job, ft = _launch_ft_job(4, 4, app, seed=3)
+    plan = FaultPlan("kill").proc_kill(2000.0, 2)
+    FaultInjector(cluster, plan, job=job).arm()
+    results = job.wait(until=1_000_000)
+
+    assert ft.membership.dead_ranks() == [2]
+    rec = ft.membership.record(2)
+    assert rec.kill_at_us == 2000.0
+    assert rec.at_us >= 2000.0
+    # detection latency is finite and bounded by timeout + sweep + slack
+    latencies = cluster.tracer.samples["ft.detect_latency_us"]
+    assert len(latencies) == 1
+    cfg = ft.config
+    assert 0.0 < latencies[0] < cfg.heartbeat_timeout_us + 4 * cfg.sweep_period_us
+    # every survivor observed the death; the killed rank returns nothing
+    assert sorted(seen) == [0, 1, 3]
+    assert results[2] is None
+    assert all(results[r] == "survived" for r in (0, 1, 3))
+
+
+def test_killed_rank_failure_not_reraised_by_wait():
+    def app(api):
+        yield from api.thread.sleep(50_000.0)
+        return "ok"
+
+    cluster, job, ft = _launch_ft_job(2, 2, app, seed=1)
+    plan = FaultPlan("kill").proc_kill(1000.0, 1)
+    FaultInjector(cluster, plan, job=job).arm()
+    results = job.wait(until=1_000_000)  # must not raise
+    assert results[0] == "ok"
+    proc = job.processes[1]
+    assert proc.killed and proc.finished and proc.failure is not None
+
+
+def test_live_but_silent_rank_is_only_suspected():
+    """Starvation safety: heartbeat silence alone never declares a death —
+    the process must actually have exited uncooperatively."""
+    cluster, job, ft = _launch_ft_job(2, 2, lambda api: iter(()), seed=2)
+    # fake silence for a rank whose process is alive and well
+    proc = job.processes[0]
+    ft._last_hb[0] = -1e9
+    ft._monitored[0] = proc
+    ft._sweep()
+    assert ft.membership.dead_ranks() == []
+    assert 0 in ft.suspected
+    job.wait(until=1_000_000)
+
+
+def test_pml_evidence_requires_actual_exit():
+    cluster, job, ft = _launch_ft_job(2, 2, lambda api: iter(()), seed=4)
+    job.wait(until=1_000_000)
+    # after cooperative completion evidence about a finished, *unkilled*
+    # process is suspicion at most (it exited cleanly, it is not dead)
+    ft.evidence(0, 1, RuntimeError("retries exhausted"))
+    assert not ft.membership.is_dead(1)
+
+
+def test_proc_kill_on_finished_rank_is_noop():
+    cluster, job, ft = _launch_ft_job(2, 2, lambda api: iter(()), seed=5)
+    job.wait(until=1_000_000)
+    plan = FaultPlan("late").proc_kill(cluster.sim.now + 10.0, 0)
+    FaultInjector(cluster, plan, job=job).arm()
+    cluster.sim.run(until=cluster.sim.now + 1000.0)
+    assert ft.membership.dead_ranks() == []
+
+
+def test_proc_kill_requires_job():
+    cluster = Cluster(nodes=2, seed=0)
+    plan = FaultPlan("kill").proc_kill(10.0, 0)
+    inj = FaultInjector(cluster, plan, job=None)
+    inj.arm()
+    with pytest.raises(RuntimeError, match="requires an injector armed with a job"):
+        cluster.sim.run(until=100.0)

@@ -1,0 +1,87 @@
+"""A rank death during NIC-offloaded collectives must abort, not hang.
+
+The hw barrier/bcast engines park the host on a NIC event word until
+tokens arrive; a dead member means those tokens never come.  The FT guard
+(:meth:`FtCommState.block_on_word`) races the word against the
+membership abort channel, so the wait raises cleanly at declaration —
+and the shrunken communicator re-registers a fresh hw cohort (§4.1
+permitting) instead of degrading forever.
+"""
+
+import numpy as np
+
+from repro.cluster import Cluster
+from repro.coll import framework
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.ft import CommRevokedError, RankDeadError, enable
+from repro.rte.environment import RteJob
+
+
+def _ft_job(nodes, np_, app, seed=0):
+    cluster = Cluster(nodes=nodes, seed=seed)
+    job = RteJob(cluster)
+    ft = enable(job)
+    for r in range(np_):
+        job.launch(r, app, group="world", group_count=np_)
+    return cluster, job, ft
+
+
+def test_kill_mid_hw_barrier_aborts_and_shrunken_cohort_rebuilds():
+    out = {}
+
+    def app(api):
+        comm = api.comm_world
+        try:
+            while True:
+                yield from framework.run_named(comm, "barrier", "hw-tree")
+        except (RankDeadError, CommRevokedError) as e:
+            comm.revoke()
+            shrunk = yield from comm.shrink()
+            # the surviving members are still the synchronously-started
+            # static cohort: the shrunken comm gets its own hw barrier
+            yield from framework.run_named(shrunk, "barrier", "hw-tree")
+            out[api.rank] = (type(e).__name__, shrunk.ctx_id, tuple(shrunk.group))
+        return "done"
+
+    cluster, job, ft = _ft_job(4, 4, app, seed=11)
+    plan = FaultPlan("kill1").proc_kill(3000.0, 1)
+    FaultInjector(cluster, plan, job=job).arm()
+    results = job.wait(until=5_000_000)
+
+    assert sorted(out) == [0, 2, 3]
+    ctxs = {out[r][1] for r in out}
+    assert len(ctxs) == 1  # symmetric shrink derivation
+    new_ctx = ctxs.pop()
+    shared = cluster.coll_hw._shared[(new_ctx, (0, 2, 3))]
+    assert shared.barrier_group is not None
+    assert shared.barrier_group.barriers_completed >= 1
+    assert all(results[r] == "done" for r in (0, 2, 3))
+
+
+def test_kill_of_bcast_root_aborts_receivers():
+    out = {}
+
+    def app(api):
+        comm = api.comm_world
+        payload = b"\xa5" * 4096 if comm.rank == 1 else None
+        try:
+            while True:
+                data = yield from framework.run_named(
+                    comm, "bcast", "hw", data=payload, root=1
+                )
+                assert len(data) == 4096
+        except (RankDeadError, CommRevokedError) as e:
+            comm.revoke()
+            ok = yield from comm.agree(True)
+            out[api.rank] = (type(e).__name__, ok)
+        return "done"
+
+    cluster, job, ft = _ft_job(4, 4, app, seed=12)
+    plan = FaultPlan("killroot").proc_kill(2500.0, 1)
+    FaultInjector(cluster, plan, job=job).arm()
+    job.wait(until=5_000_000)
+
+    assert sorted(out) == [0, 2, 3]
+    assert all(out[r][1] is True for r in out)
+    assert ft.membership.dead_ranks() == [1]

@@ -1,0 +1,60 @@
+"""MembershipView: epochs, idempotence, listeners, change events."""
+
+from repro.ft.membership import MembershipView
+from repro.sim.core import Simulator
+
+
+def test_mark_dead_is_idempotent_and_bumps_epoch_once():
+    sim = Simulator()
+    view = MembershipView(sim)
+    assert view.epoch == 0
+    rec = view.mark_dead(3, "test", kill_at_us=1.5)
+    assert view.epoch == 1
+    assert view.is_dead(3)
+    assert view.dead_ranks() == [3]
+    assert view.record(3) is rec
+    assert rec.kill_at_us == 1.5
+    # second declaration of the same rank changes nothing
+    assert view.mark_dead(3, "other") is rec
+    assert view.epoch == 1
+
+
+def test_first_dead_scans_sorted():
+    view = MembershipView(Simulator())
+    view.mark_dead(7, "x")
+    view.mark_dead(2, "x")
+    assert view.first_dead([0, 1, 5]) is None
+    assert view.first_dead([7, 2, 5]) == 2
+    assert view.any_dead([5, 7])
+    assert not view.any_dead([0, 1])
+
+
+def test_recovery_flips_dead_and_records_timeline():
+    sim = Simulator()
+    view = MembershipView(sim)
+    view.mark_dead(1, "killed")
+    rec = view.mark_recovered(1)
+    assert rec is not None
+    assert not view.is_dead(1)
+    assert view.recovered_ranks() == [1]
+    assert view.epoch == 2
+    assert rec.recovered_at_us is not None
+    # recovering a rank that is not dead is a no-op
+    assert view.mark_recovered(1) is None
+    assert view.epoch == 2
+
+
+def test_listeners_and_change_event():
+    sim = Simulator()
+    view = MembershipView(sim)
+    deaths, recoveries = [], []
+    view.on_death(lambda rec: deaths.append(rec.rank))
+    view.on_recovery(recoveries.append)
+    ev = view.change_event()
+    view.mark_dead(4, "x")
+    assert deaths == [4]
+    assert ev.triggered and ev.value == 1  # completed with the new epoch
+    ev2 = view.change_event()
+    view.mark_recovered(4)
+    assert recoveries == [4]
+    assert ev2.triggered and ev2.value == 2

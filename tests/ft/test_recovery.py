@@ -1,0 +1,170 @@
+"""Recovery driver: respawn-and-rejoin, retry budget, graceful degradation."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.ft import CommRevokedError, RankDeadError, RecoveryDriver, enable
+from repro.rte.checkpoint import CheckpointImage, restart_rank
+from repro.rte.environment import RteJob
+
+
+def _survivor_app(results, ft):
+    def app(api):
+        comm = api.comm_world
+        api.ft_checkpoint({"step": 7})
+        try:
+            while True:
+                yield from comm.allreduce(np.ones(4))
+        except (RankDeadError, CommRevokedError):
+            comm.revoke()
+            dead = ft.membership.dead_ranks()[0]
+            yield from api.ft_wait_recovered(dead)
+            comm2 = yield from api.ft_rebuild_world()
+            out = yield from comm2.allreduce(np.ones(4, dtype=np.float64))
+            results[api.rank] = (comm2.size, out.tolist())
+        return "done"
+
+    return app
+
+
+def test_respawn_and_rejoin_full_world():
+    cluster = Cluster(nodes=8, seed=21)
+    job = RteJob(cluster)
+    results = {}
+
+    def factory(rank, image):
+        def app(api):
+            yield from api.rejoin_world()
+            comm = yield from api.ft_rebuild_world()
+            out = yield from comm.allreduce(np.ones(4, dtype=np.float64))
+            results[api.rank] = (comm.size, out.tolist(), api.restart_image.app_state)
+            return "recovered"
+
+        return app
+
+    driver = RecoveryDriver(job, app_factory=factory)
+    ft = job.ft
+    for r in range(8):
+        job.launch(r, _survivor_app(results, ft), group="world", group_count=8)
+    plan = FaultPlan("kill3").proc_kill(3000.0, 3)
+    FaultInjector(cluster, plan, job=job).arm()
+    res = job.wait(until=10_000_000)
+
+    assert driver.states == {3: "recovered"}
+    assert res[3] == "recovered"
+    assert results[3][0] == 8  # full world rebuilt
+    assert results[3][1] == [8.0] * 4
+    assert results[3][2] == {"step": 7}  # checkpoint image round-tripped
+    for rank in (0, 1, 2, 4, 5, 6, 7):
+        assert results[rank] == (8, [8.0] * 4)
+    # recovery timeline: detect -> reclaim -> respawn -> re-attach (MTTR)
+    mttr = cluster.tracer.samples["ft.mttr_us"]
+    assert len(mttr) == 1 and 0.0 < mttr[0] < 1_000_000.0
+    assert ft.membership.dead_ranks() == []
+    assert ft.membership.recovered_ranks() == [3]
+
+
+def test_no_app_factory_degrades_to_shrink_only():
+    cluster = Cluster(nodes=4, seed=22)
+    job = RteJob(cluster)
+    driver = RecoveryDriver(job)  # no factory: shrink-only mode
+    results = {}
+
+    def app(api):
+        comm = api.comm_world
+        try:
+            while True:
+                yield from comm.allreduce(np.ones(4))
+        except (RankDeadError, CommRevokedError):
+            comm.revoke()
+            shrunk = yield from comm.shrink()
+            results[api.rank] = shrunk.size
+        return "done"
+
+    for r in range(4):
+        job.launch(r, app, group="world", group_count=4)
+    plan = FaultPlan("kill2").proc_kill(2000.0, 2)
+    FaultInjector(cluster, plan, job=job).arm()
+    job.wait(until=5_000_000)
+
+    assert driver.states == {2: "degraded"}
+    assert driver.degraded == {2}
+    assert cluster.tracer.counters["ft.degraded_shrink_only"] == 1
+    assert results == {0: 3, 1: 3, 3: 3}
+
+
+def test_respawn_budget_exhaustion_degrades():
+    cluster = Cluster(nodes=2, seed=23)
+    job = RteJob(cluster)
+    calls = []
+
+    def broken_factory(rank, image):
+        calls.append(rank)
+        raise RuntimeError("no binary for this rank")
+
+    driver = RecoveryDriver(job, app_factory=broken_factory)
+
+    def app(api):
+        yield from api.thread.sleep(200_000.0)
+        return "ok"
+
+    for r in range(2):
+        job.launch(r, app, group="world", group_count=2)
+    plan = FaultPlan("kill1").proc_kill(1000.0, 1)
+    FaultInjector(cluster, plan, job=job).arm()
+    job.wait(until=5_000_000)
+
+    assert driver.states == {1: "degraded"}
+    assert len(calls) == driver.config.respawn_max_attempts
+    assert cluster.tracer.counters["ft.respawn_failed"] == 3
+    assert cluster.tracer.counters["ft.degraded_shrink_only"] == 1
+
+
+def test_restart_of_killed_rank_requires_reclaim():
+    cluster = Cluster(nodes=2, seed=24)
+    job = RteJob(cluster)
+    ft = enable(job)
+
+    def app(api):
+        yield from api.thread.sleep(500_000.0)
+        return "ok"
+
+    for r in range(2):
+        job.launch(r, app, group="world", group_count=2)
+    plan = FaultPlan("kill1").proc_kill(1000.0, 1)
+    FaultInjector(cluster, plan, job=job).arm()
+
+    # run past the kill but stop before detection + reclaim complete
+    cluster.sim.run(until=1500.0)
+    assert job.processes[1].killed
+    assert not ft.reclaimed(1)
+    with pytest.raises(RuntimeError, match="has not been reclaimed"):
+        restart_rank(job, CheckpointImage(1), app)
+
+    # once the daemon reclaimed the corpse's NIC state, restart is legal
+    deadline = cluster.sim.now + 100_000.0
+    while not ft.reclaimed(1) and cluster.sim.now < deadline:
+        cluster.sim.run(until=cluster.sim.now + 1000.0)
+    assert ft.reclaimed(1)
+    proc2 = restart_rank(job, CheckpointImage(1), app)
+    job.wait(until=1_000_000)
+    assert proc2.epoch == 1  # registry epoch bumped for the new incarnation
+
+
+def test_restart_of_killed_rank_without_ft_is_refused():
+    cluster = Cluster(nodes=2, seed=25)
+    job = RteJob(cluster)  # FT never enabled
+
+    def app(api):
+        yield from api.thread.sleep(10_000.0)
+        return "ok"
+
+    for r in range(2):
+        job.launch(r, app, group="world", group_count=2)
+    cluster.sim.schedule(1000.0, lambda: job.processes[1].kill())
+    job.wait(until=1_000_000)
+    with pytest.raises(RuntimeError, match="enable repro.ft"):
+        restart_rank(job, CheckpointImage(1), app)

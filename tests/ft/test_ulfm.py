@@ -1,0 +1,176 @@
+"""ULFM recovery ops: revoke, agree, shrink — and their isolation."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.ft import CommRevokedError, RankDeadError, enable
+from repro.mpi.communicator import MpiError
+from repro.rte.environment import RteJob
+
+
+def _ft_job(nodes, np_, app, seed=0):
+    cluster = Cluster(nodes=nodes, seed=seed)
+    job = RteJob(cluster)
+    ft = enable(job)
+    for r in range(np_):
+        job.launch(r, app, group="world", group_count=np_)
+    return cluster, job, ft
+
+
+def test_kill_mid_allreduce_revoke_agree_shrink_completes():
+    """The core self-healing loop at 8 ranks: a death mid-allreduce turns
+    into clean errors (never a hang), the survivors revoke, agree, shrink,
+    and the shrunken communicator computes a correct allreduce."""
+    out = {}
+
+    def app(api):
+        comm = api.comm_world
+        data = np.arange(8, dtype=np.float64)
+        try:
+            while True:
+                data = yield from comm.allreduce(data)
+        except (RankDeadError, CommRevokedError) as e:
+            comm.revoke()
+            ok = yield from comm.agree(True)
+            shrunk = yield from comm.shrink()
+            result = yield from shrunk.allreduce(
+                np.ones(4, dtype=np.float64) * (api.rank + 1)
+            )
+            out[api.rank] = (type(e).__name__, ok, shrunk.size, shrunk.group, result)
+        return "done"
+
+    cluster, job, ft = _ft_job(8, 8, app, seed=7)
+    plan = FaultPlan("kill3").proc_kill(3000.0, 3)
+    FaultInjector(cluster, plan, job=job).arm()
+    results = job.wait(until=5_000_000)
+
+    survivors = [0, 1, 2, 4, 5, 6, 7]
+    assert sorted(out) == survivors
+    expected = float(sum(r + 1 for r in survivors))
+    for rank in survivors:
+        kind, ok, size, group, result = out[rank]
+        assert kind in ("RankDeadError", "CommRevokedError")
+        assert ok is True  # fault-tolerant agreement over the live members
+        assert size == 7 and group == survivors
+        np.testing.assert_array_equal(result, np.full(4, expected))
+        assert results[rank] == "done"
+    # every member derived the same shrunken context id
+    assert cluster.tracer.counters["ft.shrink_done"] == 1
+    assert cluster.tracer.counters["ft.comm_revoked"] == 1
+
+
+def test_agree_ands_flags_and_false_propagates():
+    out = {}
+
+    def app(api):
+        comm = api.comm_world
+        flag = api.rank != 1  # rank 1 votes no
+        out[api.rank] = yield from comm.agree(flag)
+        return "done"
+
+    cluster, job, ft = _ft_job(4, 4, app, seed=1)
+    job.wait(until=1_000_000)
+    assert out == {r: False for r in range(4)}
+
+
+def test_agree_completes_when_contributor_dies_mid_call():
+    """agree() must tolerate failures *during* the agreement: the killed
+    rank never contributes, and its death releases the waiting members."""
+    out = {}
+
+    def app(api):
+        comm = api.comm_world
+        if api.rank == 2:
+            yield from api.thread.sleep(1_000_000.0)  # killed long before this
+            return "unreachable"
+        out[api.rank] = yield from comm.agree(True)
+        return "done"
+
+    cluster, job, ft = _ft_job(4, 4, app, seed=2)
+    plan = FaultPlan("kill2").proc_kill(1500.0, 2)
+    FaultInjector(cluster, plan, job=job).arm()
+    job.wait(until=5_000_000)
+    assert out == {0: True, 1: True, 3: True}
+
+
+def test_revoked_comm_fails_new_ops_but_agree_still_works():
+    out = {}
+
+    def app(api):
+        comm = api.comm_world
+        if api.rank == 0:
+            comm.revoke()
+        else:
+            # wait for the staggered revoke poison to land everywhere
+            yield from api.thread.sleep(500.0)
+        with pytest.raises(CommRevokedError):
+            yield from comm.send(b"x", dest=(api.rank + 1) % 2)
+        out[api.rank] = yield from comm.agree(True)
+        return "done"
+
+    cluster, job, ft = _ft_job(2, 2, app, seed=3)
+    job.wait(until=1_000_000)
+    assert out == {0: True, 1: True}
+
+
+def test_disjoint_communicator_traffic_is_untouched():
+    """A death only poisons communicators containing the dead rank: the
+    other half of a split world keeps collective-ing, error-free."""
+    half_b_done = {}
+    half_a_out = {}
+
+    def app(api):
+        comm = api.comm_world
+        sub = yield from comm.split(color=api.rank // 4)
+        if api.rank >= 4:  # half B: no dead member, must never see an error
+            data = np.ones(4)
+            for _ in range(40):
+                data = yield from sub.allreduce(np.ones(4))
+            half_b_done[api.rank] = data.tolist()
+            return "b-done"
+        try:
+            while True:
+                yield from sub.allreduce(np.ones(4))
+        except (RankDeadError, CommRevokedError):
+            sub.revoke()
+            shrunk = yield from sub.shrink()
+            result = yield from shrunk.allreduce(np.ones(2))
+            half_a_out[api.rank] = (shrunk.group, result.tolist())
+        return "a-done"
+
+    cluster, job, ft = _ft_job(8, 8, app, seed=4)
+    plan = FaultPlan("kill2").proc_kill(4000.0, 2)
+    FaultInjector(cluster, plan, job=job).arm()
+    results = job.wait(until=10_000_000)
+
+    assert sorted(half_b_done) == [4, 5, 6, 7]
+    for rank in (4, 5, 6, 7):
+        assert half_b_done[rank] == [4.0, 4.0, 4.0, 4.0]
+        assert results[rank] == "b-done"
+    assert sorted(half_a_out) == [0, 1, 3]
+    for rank in (0, 1, 3):
+        group, result = half_a_out[rank]
+        assert group == [0, 1, 3]
+        assert result == [3.0, 3.0]
+
+
+def test_ft_ops_require_enabled_daemon():
+    cluster = Cluster(nodes=2, seed=0)
+    job = RteJob(cluster)  # no enable()
+    failures = {}
+
+    def app(api):
+        try:
+            api.comm_world.revoke()
+        except MpiError as e:
+            failures[api.rank] = str(e)
+        yield cluster.sim.timeout(0)
+
+    for r in range(2):
+        job.launch(r, app, group="world", group_count=2)
+    job.wait(until=1_000_000)
+    assert sorted(failures) == [0, 1]
+    assert "fault tolerance is not enabled" in failures[0]

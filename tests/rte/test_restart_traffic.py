@@ -1,0 +1,115 @@
+"""Checkpoint/restart while *other* ranks have rendezvous traffic in flight.
+
+§4.1: a departing process drains its own pending messages before its
+connection state is torn down, and the seed registry bumps the rank's
+epoch so peers can tell the new incarnation from the old.  This test
+restarts rank 2 while ranks 0/1 are mid-ssend (rendezvous at any size)
+and checks the three §4.1 guarantees:
+
+* the disjoint in-flight traffic is untouched (payloads intact);
+* the stale VPID is dead — a raw qdma_send to it raises CapabilityError
+  instead of landing in recycled context state;
+* ``refresh_peer`` observes the bumped registry epoch and delivers the
+  new incarnation's contact info, so rank 0 can talk to the new rank 2.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.elan4.capability import CapabilityError
+from repro.rte.checkpoint import CheckpointImage, restart_rank
+from repro.rte.environment import RteJob
+
+PAYLOAD = bytes(range(256)) * 256  # 64 KiB, rendezvous territory
+ROUNDS = 6
+
+
+def test_restart_rank_under_concurrent_rendezvous_traffic():
+    cluster = Cluster(nodes=3, seed=31)
+    job = RteJob(cluster)
+    vpids = {}
+    epochs = {}
+    payload_ok = []
+    stale_send_refused = []
+    image_seen = {}
+
+    def heavy(api):
+        comm = api.comm_world
+        peer = 1 - api.rank
+        for i in range(ROUNDS):
+            if api.rank == 0:
+                yield from comm.ssend(PAYLOAD, dest=peer, tag=i)
+                data, _ = yield from comm.recv(
+                    source=peer, tag=i, nbytes=len(PAYLOAD)
+                )
+            else:
+                data, _ = yield from comm.recv(
+                    source=peer, tag=i, nbytes=len(PAYLOAD)
+                )
+                yield from comm.ssend(PAYLOAD, dest=peer, tag=i)
+            payload_ok.append(bytes(data) == PAYLOAD)
+        if api.rank == 0:
+            # re-resolve the restarted rank 2; retry until its second
+            # incarnation has registered (epoch 1)
+            epoch = -1
+            while epoch < 1:
+                try:
+                    epoch = yield from api.refresh_peer(2)
+                except Exception:
+                    pass
+                if epoch < 1:
+                    yield from api.thread.sleep(100.0)
+            epochs[2] = epoch
+            data, st = yield from comm.recv(source=2, tag=77, nbytes=8)
+            payload_ok.append(bytes(data) == b"gen2-msg")
+            yield from comm.send(b"ack", dest=2, tag=78)
+        else:
+            # the first incarnation's VPID must be unaddressable: a stale
+            # cached endpoint fails loudly, never silently delivers
+            ctx = api.stack.pml.modules[0].ctx
+            with pytest.raises(CapabilityError):
+                yield from ctx.qdma_send(
+                    api.thread, vpids["v1"], 0, np.zeros(8, np.uint8)
+                )
+            stale_send_refused.append(True)
+        return "heavy-done"
+
+    def transient_v1(api):
+        vpids["v1"] = api.stack.pml.modules[0].ctx.vpid
+        yield cluster.sim.timeout(0)
+        return "left"  # cooperative leave: finalize drains on return
+
+    def transient_v2(api):
+        vpids["v2"] = api.stack.pml.modules[0].ctx.vpid
+        image_seen.update(api.restart_image.app_state)
+        yield from api.rejoin_world()
+        yield from api.comm_world.send(b"gen2-msg", dest=0, tag=77)
+        # stay registered until rank 0 has re-resolved us (the registry
+        # entry is withdrawn again once this incarnation finalizes)
+        yield from api.comm_world.recv(source=0, tag=78, nbytes=3)
+        return "rejoined"
+
+    for r in (0, 1):
+        job.launch(r, heavy, group="world", group_count=3)
+    job.launch(2, transient_v1, group="world", group_count=3)
+
+    # run just far enough for rank 2 to leave; ranks 0/1 are mid-rendezvous
+    while not job.processes[2].finished and cluster.sim.now < 100_000.0:
+        cluster.sim.run(until=cluster.sim.now + 50.0)
+    assert job.processes[2].finished
+    assert not job.processes[0].finished  # traffic genuinely concurrent
+
+    proc2 = restart_rank(job, CheckpointImage(2, {"token": 5}), transient_v2)
+    results = job.wait(until=10_000_000)
+
+    assert results[0] == "heavy-done" and results[1] == "heavy-done"
+    assert results[2] == "rejoined"
+    assert payload_ok == [True] * (2 * ROUNDS + 1)
+    assert stale_send_refused == [True]
+    assert image_seen == {"token": 5}
+    # same rank, new VPID, bumped epoch — and the corpse's VPID stays dead
+    assert vpids["v2"] != vpids["v1"]
+    assert proc2.epoch == 1
+    assert epochs[2] == 1
+    assert cluster.capability.is_live(vpids["v1"]) is False
