@@ -1,12 +1,13 @@
 #!/usr/bin/env python
 """Sim-speed regression gate — CLI over :mod:`repro.bench.simspeed`.
 
-Times the three canonical workloads (streaming-bandwidth sweep, 8-node
-alltoall, rail-kill fault campaign), verifies that the fast paths change
-no modelled microsecond (full event-trace comparison against the
-``REPRO_SIM_SLOWPATH=1`` reference run), writes ``BENCH_simspeed.json``,
-and fails when normalized events/sec regresses more than the threshold
-against the committed baseline.
+Times the five canonical workloads (streaming-bandwidth sweep, 8-node
+alltoall, rail-kill fault campaign, lossy retransmit storm, 64-rank
+collective), verifies that the fast paths change no modelled microsecond
+(full event-trace comparison against the ``REPRO_SIM_SLOWPATH=1``
+reference run), writes ``BENCH_simspeed.json``, and fails when normalized
+events/sec regresses more than the threshold against the committed
+baseline.
 
 Usage:
     PYTHONPATH=src python benchmarks/bench_simspeed.py --smoke
@@ -28,7 +29,8 @@ DEFAULT_BASELINE = os.path.join(
     os.path.dirname(os.path.abspath(__file__)), "BENCH_simspeed_baseline.json"
 )
 #: fail CI when normalized events/sec drops more than this vs the baseline
-REGRESSION_TOLERANCE = 0.20
+#: (tightened from 0.20 when the calendar-queue kernel moved the baseline)
+REGRESSION_TOLERANCE = 0.15
 
 
 def main(argv=None) -> int:

@@ -1,6 +1,6 @@
 """The simulation event loop.
 
-A :class:`Simulator` owns a priority heap of ``(time, priority, seq, fn)``
+A :class:`Simulator` owns a future-event set of ``(time, priority, seq, fn)``
 entries.  ``seq`` is a monotonically increasing insertion counter so that
 simultaneous events fire in the order they were scheduled — this is what
 makes every run of the reproduction bit-for-bit deterministic.
@@ -8,32 +8,66 @@ makes every run of the reproduction bit-for-bit deterministic.
 Time is a ``float`` in **microseconds**, matching the unit the paper reports
 (latency plots are in µs, bandwidth is derived as bytes / µs = MB/s).
 
-Fast paths
-----------
+The future-event set (second-generation kernel)
+-----------------------------------------------
 
-Reproducing any figure drives millions of events through this loop, so the
-kernel carries four wall-clock optimisations that never change modelled
-time or event ordering (see DESIGN.md §"Performance model of the model"):
+The reference structure is a single binary heap (what ``REPRO_SIM_SLOWPATH=1``
+still uses).  The fast path replaces it with a **calendar/ladder queue**
+holding the same ``(time, priority, seq, call)`` entries in four tiers:
 
-* a **free-list pool** of :class:`ScheduledCall` objects for internal
-  schedules whose handle never escapes (event completion, process resume) —
-  the dominant allocation of any run;
 * a **zero-delay ready queue**: an internal schedule at the current time
   with default priority always carries the largest ``seq`` so far, so it
-  pops after every heap entry with ``time <= now`` and before anything
+  pops after every pending entry with ``time <= now`` and before anything
   later — a FIFO deque reproduces that order exactly without paying two
   O(log n) heap operations (completions and process resumes are almost all
   zero-delay, making this the single hottest path of any run);
-* **lazy-cancellation compaction**: cancelled entries are counted, and when
-  they outnumber the live entries the heap is rebuilt without them
-  (entries keep their ``(time, priority, seq)`` keys, so pop order is
-  untouched);
-* an **O(live-head)** :meth:`peek` that pops dead entries off the heap top
-  instead of sorting the whole heap.
+* an **active heap**: a small binary heap holding only the near future —
+  every entry whose time falls below ``_active_limit`` (the end of the
+  last-promoted calendar bucket).  Pops come off this heap, so its size —
+  not the total timer population — sets the log factor;
+* a **calendar ring** of ``_RING_BUCKETS`` append-only time buckets.  An
+  insert beyond ``_active_limit`` but inside the ring horizon is an O(1)
+  ``list.append`` into the bucket covering its timestamp.  When the active
+  heap drains, the next non-empty bucket is *promoted*: its entries are
+  filtered of cancellations and heapified into the active heap (bucket-local
+  cleanup — dead timers never cost a global sweep);
+* an **overflow heap** for far-future timers (retransmit timeouts,
+  heartbeats) beyond the ring horizon.  When ring and active heap are both
+  empty the ring is rebuilt over the overflow's observed time span — the
+  bucket width derives from the span of pending far timestamps, so the ring
+  adapts to the workload's inter-event deltas.  Each entry migrates at most
+  once, keeping amortized cost O(1) per event.
 
-Setting ``REPRO_SIM_SLOWPATH=1`` in the environment disables the pool and
-compaction (and the model-layer caches that key off the same flag) — the
-reference path the determinism harness compares against.
+**Order is provably unchanged.**  Bucket index is a canonical monotone
+function of time (guarded against float rounding), buckets are promoted only
+when the active heap is empty, and promoted entries keep their original
+``(time, priority, seq)`` keys — so the interleaved pop sequence is exactly
+the single-heap pop sequence.  ``tests/sim/test_calendar_queue.py`` checks
+this differentially against a plain-heap reference on randomized schedules.
+
+Dispatch fast paths
+-------------------
+
+* **same-timestamp batch dispatch**: ``run()`` drains consecutive ready
+  entries back-to-back behind one cheap guard (no due entry at ``now`` on
+  the active heap), paying the full dequeue arbitration — shared with
+  :meth:`Simulator.step` via :meth:`Simulator._next_call` — only at batch
+  boundaries;
+* a **free-list pool** of :class:`ScheduledCall` objects for internal
+  schedules whose handle never escapes (event completion, process resume) —
+  the dominant allocation of any run;
+* **lazy-cancellation cleanup**: cancelled entries are counted and skipped
+  when they surface; ring buckets shed them at promotion; when dead entries
+  outnumber live ones the remaining structures (active + overflow heaps)
+  are swept (entries keep their ``(time, priority, seq)`` keys, so pop
+  order is untouched);
+* an **O(live-head)** :meth:`peek` that advances the calendar lazily
+  instead of sorting anything.
+
+Setting ``REPRO_SIM_SLOWPATH=1`` in the environment disables the pool,
+ready queue, and calendar (and the model-layer caches that key off the same
+flag): every entry goes through one binary heap — the reference path the
+determinism harness compares against.
 """
 
 from __future__ import annotations
@@ -57,14 +91,25 @@ __all__ = [
 _POOL_MAX = 4096
 
 #: compaction triggers only with at least this many cancelled entries (the
-#: rebuild is O(heap), so tiny heaps are never worth scanning)
+#: sweep is O(pending), so tiny queues are never worth scanning)
 _COMPACT_MIN_CANCELLED = 64
+
+#: calendar ring size.  Power of two, large enough that a promoted bucket
+#: holds a handful of entries on the bench workloads, small enough that
+#: skipping empty buckets between promotions stays cheap.
+_RING_BUCKETS = 128
+
+#: floor for the derived bucket width (µs) — a degenerate span (all far
+#: timers at one timestamp) must not produce zero-width buckets
+_MIN_WIDTH = 1e-6
+
+_INF = float("inf")
 
 
 def slowpath_enabled() -> bool:
     """True when ``REPRO_SIM_SLOWPATH`` asks for the reference kernel (and
-    reference model paths: no call pool, no heap compaction, no route/TLB
-    caches, per-hop fabric events)."""
+    reference model paths: no call pool, no ready queue, no calendar ring,
+    no route/TLB caches, per-hop fabric events)."""
     return os.environ.get("REPRO_SIM_SLOWPATH", "0") not in ("", "0")
 
 
@@ -85,9 +130,11 @@ class StopSimulation(Exception):
 class ScheduledCall:
     """Handle for a scheduled callback; supports cancellation.
 
-    Cancellation is O(1): the entry stays in the heap but is skipped when it
-    surfaces.  This is important because the NIC models schedule and cancel
-    many timeouts (e.g. retransmission timers in the TCP substrate).
+    Cancellation is O(1): the entry stays where it sits (active heap,
+    calendar bucket, or overflow heap) and is skipped when it surfaces;
+    calendar buckets drop dead entries wholesale at promotion time.  This is
+    important because the NIC models schedule and cancel many timeouts
+    (e.g. retransmission timers in the reliability substrate).
 
     ``_pooled`` marks calls created through the internal free list — their
     handle never escapes the kernel, so they are recycled after firing.
@@ -111,7 +158,7 @@ class ScheduledCall:
             return
         self.cancelled = True
         # Drop references so cancelled entries don't pin objects alive while
-        # they wait to surface from the heap.
+        # they wait to surface.
         self.fn = _noop
         self.args = ()
         sim = self._sim
@@ -165,7 +212,6 @@ class Simulator:
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._heap: list[tuple[float, int, int, ScheduledCall]] = []
         self._seq = itertools.count()
         self._running = False
         self._stopped = False
@@ -173,8 +219,34 @@ class Simulator:
         self.fastpath: bool = not slowpath_enabled()
         self._pool: List[ScheduledCall] = []
         #: zero-delay internal calls, as (seq, call) in FIFO order; ``None``
-        #: on the slow path (everything goes through the heap there)
+        #: on the slow path (everything goes through the active heap there)
         self._ready: Optional[deque] = deque() if self.fastpath else None
+        # -- calendar/ladder future-event set --------------------------
+        #: near-future heap of (time, priority, seq, call); on the slow
+        #: path this is the *only* structure (the reference binary heap)
+        self._active: list[tuple[float, int, int, ScheduledCall]] = []
+        self._overflow: list[tuple[float, int, int, ScheduledCall]] = []
+        if self.fastpath:
+            #: bucket k covers [_bounds[k], _bounds[k+1]); rebuilt lazily
+            self._bounds: List[float] = [0.0] * (_RING_BUCKETS + 1)
+            self._ring: List[list] = [[] for _ in range(_RING_BUCKETS)]
+            #: inserts below this go straight to the active heap
+            self._active_limit = 0.0
+            #: inserts at/beyond this go to the overflow heap
+            self._horizon = 0.0
+        else:
+            self._bounds = []
+            self._ring = []
+            self._active_limit = _INF
+            self._horizon = _INF
+        self._inv_width = 1.0
+        #: index of the last promoted ring bucket (-1: none this cycle)
+        self._cursor = -1
+        #: live + cancelled entries currently sitting in ring buckets
+        self._ring_count = 0
+        #: largest finite timestamp ever pushed to the overflow heap —
+        #: bounds the span the next ring rebuild sizes its buckets from
+        self._over_max = 0.0
         self._cancelled_in_heap = 0
         #: total callbacks executed (cancelled skips excluded) — the
         #: numerator of the sim-speed harness's events/sec metric
@@ -213,7 +285,11 @@ class Simulator:
         time = self.now + delay
         call = ScheduledCall(time, fn, args)
         call._sim = self
-        heappush(self._heap, (time, priority, next(self._seq), call))
+        seq = next(self._seq)
+        if time < self._active_limit:
+            heappush(self._active, (time, priority, seq, call))
+        else:
+            self._insert_far(time, priority, seq, call)
         return call
 
     def schedule_at(
@@ -228,7 +304,11 @@ class Simulator:
             raise SimError(f"cannot schedule in the past: {time} < {self.now}")
         call = ScheduledCall(time, fn, args)
         call._sim = self
-        heappush(self._heap, (time, priority, next(self._seq), call))
+        seq = next(self._seq)
+        if time < self._active_limit:
+            heappush(self._active, (time, priority, seq, call))
+        else:
+            self._insert_far(time, priority, seq, call)
         return call
 
     def schedule_pooled(
@@ -274,7 +354,11 @@ class Simulator:
         else:
             call = ScheduledCall(time, fn, args)
             call._pooled = True
-        heappush(self._heap, (time, 0, next(self._seq), call))
+        seq = next(self._seq)
+        if time < self._active_limit:
+            heappush(self._active, (time, 0, seq, call))
+        else:
+            self._insert_far(time, 0, seq, call)
         return call
 
     def spawn(self, gen: Generator, name: Optional[str] = None, daemon: bool = False):
@@ -298,86 +382,263 @@ class Simulator:
         return cls(self)
 
     # ------------------------------------------------------------------
+    # Calendar ring internals
+    # ------------------------------------------------------------------
+    def _bucket_index(self, time: float) -> int:
+        """Canonical ring bucket for ``time``: the unique ``k`` with
+        ``_bounds[k] <= time < _bounds[k+1]`` (clamped at the ends).
+
+        The division is only a guess; the guard loops pin the result to the
+        bucket that actually covers ``time``, so float rounding at a bucket
+        boundary can never route two equal timestamps differently — the
+        property the ordering proof rests on (monotone in ``time``).
+        """
+        bounds = self._bounds
+        idx = int((time - bounds[0]) * self._inv_width)
+        if idx >= _RING_BUCKETS:
+            idx = _RING_BUCKETS - 1
+        elif idx < 0:
+            idx = 0
+        while idx and time < bounds[idx]:
+            idx -= 1
+        last = _RING_BUCKETS - 1
+        while idx < last and time >= bounds[idx + 1]:
+            idx += 1
+        return idx
+
+    def _insert_far(self, time: float, priority: int, seq: int, call) -> None:
+        """Insert an entry at/beyond ``_active_limit``: O(1) append into its
+        calendar bucket, or an overflow-heap push past the ring horizon."""
+        entry = (time, priority, seq, call)
+        if time >= self._horizon:
+            heappush(self._overflow, entry)
+            if self._over_max < time < _INF:
+                self._over_max = time
+            return
+        idx = self._bucket_index(time)
+        if idx <= self._cursor:
+            # float rounding put a sub-limit timestamp here; the promoted
+            # region is served by the active heap
+            heappush(self._active, entry)
+        else:
+            self._ring[idx].append(entry)
+            self._ring_count += 1
+
+    def _promote(self) -> bool:
+        """Refill the (empty) active heap from the next non-empty ring
+        bucket, or rebuild the ring from the overflow heap.  Returns True
+        when the active heap ends up non-empty with a live head.
+
+        Only called with the active heap empty, which is what makes
+        promotion order-transparent: every entry already popped was in a
+        strictly earlier bucket, hence strictly earlier in time.
+        """
+        active = self._active
+        while True:
+            while active:
+                if not active[0][3].cancelled:
+                    return True
+                heappop(active)
+                self._cancelled_in_heap -= 1
+            if self._ring_count:
+                ring = self._ring
+                c = self._cursor + 1
+                while c < _RING_BUCKETS and not ring[c]:
+                    c += 1
+                if c < _RING_BUCKETS:
+                    bucket = ring[c]
+                    self._cursor = c
+                    self._active_limit = self._bounds[c + 1]
+                    self._ring_count -= len(bucket)
+                    dead = 0
+                    for entry in bucket:
+                        if entry[3].cancelled:
+                            dead += 1
+                        else:
+                            active.append(entry)
+                    bucket.clear()
+                    if dead:
+                        self._cancelled_in_heap -= dead
+                    if active:
+                        # In place: run() may hold an alias to the list.
+                        heapify(active)
+                    continue
+                self._ring_count = 0  # defensive: counter drifted
+            if self._overflow:
+                self._rebuild_ring()
+                continue
+            return False
+
+    def _rebuild_ring(self) -> None:
+        """Re-anchor the calendar over the overflow heap's time span.
+
+        Bucket width = observed span of pending far timestamps divided by
+        the ring size (floored) — the deltas the workload actually exhibits
+        size the buckets, so a retransmit-timer storm lands spread across
+        the ring while a lone far heartbeat degrades to one bucket.  Every
+        migrated entry keeps its key and migrates at most once (the horizon
+        only moves forward), so the amortized cost stays O(1) per event.
+        """
+        overflow = self._overflow
+        while overflow and overflow[0][3].cancelled:
+            heappop(overflow)
+            self._cancelled_in_heap -= 1
+        if not overflow:
+            return
+        t0 = overflow[0][0]
+        if not t0 < _INF:
+            # Only non-finite timestamps remain: no meaningful span exists;
+            # serve them straight from the active heap (plain-heap mode).
+            active = self._active
+            while overflow:
+                active.append(heappop(overflow))
+            heapify(active)
+            return
+        span = self._over_max - t0
+        width = span / _RING_BUCKETS if span > 0 else 1.0
+        if width < _MIN_WIDTH:
+            width = _MIN_WIDTH
+        bounds = self._bounds
+        for k in range(_RING_BUCKETS + 1):
+            bounds[k] = t0 + k * width
+        self._inv_width = 1.0 / width
+        self._cursor = -1
+        self._active_limit = bounds[0]
+        horizon = self._horizon = bounds[_RING_BUCKETS]
+        ring = self._ring
+        moved = 0
+        while overflow and overflow[0][0] < horizon:
+            entry = heappop(overflow)
+            if entry[3].cancelled:
+                self._cancelled_in_heap -= 1
+                continue
+            ring[self._bucket_index(entry[0])].append(entry)
+            moved += 1
+        self._ring_count += moved
+
+    # ------------------------------------------------------------------
     # Cancellation bookkeeping / compaction
     # ------------------------------------------------------------------
     def _note_cancelled(self) -> None:
-        """Called by :meth:`ScheduledCall.cancel`; triggers lazy compaction
+        """Called by :meth:`ScheduledCall.cancel`; triggers a lazy sweep
         when dead entries outnumber live ones."""
         self._cancelled_in_heap += 1
         if (
             self.fastpath
             and self._cancelled_in_heap >= _COMPACT_MIN_CANCELLED
-            and self._cancelled_in_heap * 2 > len(self._heap)
+            and self._cancelled_in_heap * 2
+            > len(self._active) + self._ring_count + len(self._overflow)
         ):
             self._compact()
 
     def _compact(self) -> None:
-        """Rebuild the heap without cancelled entries.  Live entries keep
+        """Sweep cancelled entries out of every tier.  Live entries keep
         their ``(time, priority, seq)`` keys, so pop order is unchanged.
-        In place: :meth:`run` holds a local alias to the heap list, so the
-        list object must survive compaction."""
-        heap = self._heap
-        heap[:] = [entry for entry in heap if not entry[3].cancelled]
-        heapify(heap)
+        In place: :meth:`run` holds a local alias to the active heap, so
+        the list object must survive compaction.  Ring buckets are plain
+        appends — filtering them needs no heapify."""
+        active = self._active
+        active[:] = [entry for entry in active if not entry[3].cancelled]
+        heapify(active)
+        if self._ring_count:
+            removed = 0
+            for bucket in self._ring:
+                if bucket:
+                    n = len(bucket)
+                    bucket[:] = [e for e in bucket if not e[3].cancelled]
+                    removed += n - len(bucket)
+            self._ring_count -= removed
+        overflow = self._overflow
+        overflow[:] = [entry for entry in overflow if not entry[3].cancelled]
+        heapify(overflow)
         self._cancelled_in_heap = 0
+
+    # ------------------------------------------------------------------
+    # Dequeue arbitration (shared by run()/step())
+    # ------------------------------------------------------------------
+    def _next_call(self, until: Optional[float]) -> Optional[ScheduledCall]:
+        """Advance the clock and return the next live callback, or None
+        when nothing can run (drained, or ``until`` reached — the clock is
+        then advanced exactly to ``until``, standard DES semantics).
+
+        This is the single copy of the dequeue arbitration: the ready queue
+        merges against the active heap on ``(priority, seq)`` for entries
+        due *now*; otherwise the calendar advances (promotion / rebuild)
+        and time moves to the next live entry.  ``run()`` fronts this with
+        a batch guard; :meth:`step` calls it directly.
+        """
+        ready = self._ready
+        now = self.now
+        active = self._active
+        while True:
+            if ready:
+                # A heap entry goes first only if it is due *now* and
+                # sorts before the oldest ready entry's (priority, seq).
+                if active and active[0][0] == now:
+                    h = active[0]
+                    if h[1] < 0 or (h[1] == 0 and h[2] < ready[0][0]):
+                        if until is not None and now > until:
+                            self.now = until
+                            return None
+                        heappop(active)
+                        call = h[3]
+                        if call.cancelled:
+                            self._cancelled_in_heap -= 1
+                            continue
+                        return call
+                return ready.popleft()[1]
+            if not self._promote():
+                if until is not None and until > now:
+                    self.now = until
+                elif self.sanitizer is not None:
+                    # natural drain: no callback can ever run again, so
+                    # blocked processes are deadlocked (cold path)
+                    self.sanitizer.on_drain()
+                return None
+            entry = active[0]
+            time = entry[0]
+            if until is not None and time > until:
+                self.now = until
+                return None
+            heappop(active)
+            self.now = time
+            return entry[3]
 
     # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
-        """Process events until the heap drains, ``until`` is reached, or
+        """Process events until the queue drains, ``until`` is reached, or
         ``max_events`` callbacks have run.
 
         Returns the simulation time when the loop stopped.  ``until`` is an
         absolute time; when it is hit the clock is advanced exactly to it
         (standard DES semantics), with any events at later timestamps left
-        in the heap for a subsequent ``run`` call.
+        queued for a subsequent ``run`` call.
         """
         if self._running:
             raise SimError("Simulator.run() is not reentrant")
         self._running = True
         self._stopped = False
-        heap = self._heap
         ready = self._ready  # None on the slow path
+        active = self._active
         pool = self._pool
         pooling = self.fastpath
+        next_call = self._next_call
         processed = 0
-        now = self.now  # mirror; self.now is kept in sync before dispatch
+        limit = -1 if max_events is None else max_events
         try:
             while True:
-                call = None
-                if ready:
-                    # A heap entry goes first only if it is due *now* and
-                    # sorts before the oldest ready entry's (priority, seq).
-                    if heap:
-                        h = heap[0]
-                        if h[0] != now or (
-                            h[1] >= 0 and (h[1] > 0 or h[2] > ready[0][0])
-                        ):
-                            call = ready.popleft()[1]
-                    else:
-                        call = ready.popleft()[1]
-                if call is None:
-                    if not heap:
-                        if until is not None and until > now:
-                            self.now = until
-                        elif self.sanitizer is not None:
-                            # natural drain: no callback can ever run again,
-                            # so blocked processes are deadlocked (cold path)
-                            self.sanitizer.on_drain()
+                # Same-timestamp batch dispatch: while no active-heap entry
+                # is due at `now`, consecutive ready entries are already in
+                # dispatch order — drain them behind this one guard instead
+                # of re-running the full arbitration per pop.
+                if ready and not (active and active[0][0] == self.now):
+                    call = ready.popleft()[1]
+                else:
+                    call = next_call(until)
+                    if call is None:
                         break
-                    entry = heappop(heap)
-                    call = entry[3]
-                    if call.cancelled:
-                        self._cancelled_in_heap -= 1
-                        continue
-                    time = entry[0]
-                    if until is not None and time > until:
-                        # Same key re-inserted: pop order is unchanged.
-                        heappush(heap, entry)
-                        self.now = until
-                        break
-                    now = self.now = time
                 call.fn(*call.args)
                 processed += 1
                 if call._pooled:
@@ -386,55 +647,42 @@ class Simulator:
                         call.args = ()
                         pool.append(call)
                 elif not call.cancelled:
-                    # Fired: make a late cancel() on the public handle a no-op
-                    # (and keep the cancelled-entry counter honest).
+                    # Fired: make a late cancel() on the public handle a
+                    # no-op (and keep the cancelled-entry counter honest).
                     call.cancelled = True
                     call.fn = _noop
                     call.args = ()
-                if self._stopped:
-                    break
-                if max_events is not None and processed >= max_events:
+                if self._stopped or processed == limit:
                     break
         finally:
             self._running = False
             self.events_processed += processed
         return self.now
 
-    def step(self) -> bool:
-        """Process a single event.  Returns False when nothing is pending."""
-        heap = self._heap
-        ready = self._ready
-        while True:
-            call = None
-            if ready:
-                if heap:
-                    h = heap[0]
-                    if h[0] != self.now or (
-                        h[1] >= 0 and (h[1] > 0 or h[2] > ready[0][0])
-                    ):
-                        call = ready.popleft()[1]
-                else:
-                    call = ready.popleft()[1]
-            if call is None:
-                if not heap:
-                    return False
-                time, _prio, _seq, call = heappop(heap)
-                if call.cancelled:
-                    self._cancelled_in_heap -= 1
-                    continue
-                self.now = time
-            call.fn(*call.args)
-            self.events_processed += 1
-            if call._pooled:
-                if self.fastpath and len(self._pool) < _POOL_MAX:
-                    call.fn = None
-                    call.args = ()
-                    self._pool.append(call)
-            elif not call.cancelled:
-                call.cancelled = True
-                call.fn = _noop
+    def step(self, until: Optional[float] = None) -> bool:
+        """Process a single event.  Returns False when nothing is pending,
+        a :meth:`stop` request is outstanding (consumed), or the next event
+        lies beyond ``until`` (the clock then advances exactly to it) —
+        the same dequeue arbitration :meth:`run` uses.
+        """
+        if self._stopped:
+            self._stopped = False
+            return False
+        call = self._next_call(until)
+        if call is None:
+            return False
+        call.fn(*call.args)
+        self.events_processed += 1
+        if call._pooled:
+            if self.fastpath and len(self._pool) < _POOL_MAX:
+                call.fn = None
                 call.args = ()
-            return True
+                self._pool.append(call)
+        elif not call.cancelled:
+            call.cancelled = True
+            call.fn = _noop
+            call.args = ()
+        return True
 
     def stop(self) -> None:
         """Request that the current (or next) :meth:`run` return promptly."""
@@ -447,26 +695,29 @@ class Simulator:
     def pending_count(self) -> int:
         """Number of pending entries (including cancelled placeholders)."""
         ready = self._ready
-        return len(self._heap) + (len(ready) if ready else 0)
+        return (
+            len(self._active)
+            + self._ring_count
+            + len(self._overflow)
+            + (len(ready) if ready else 0)
+        )
 
     def peek(self) -> Optional[float]:
         """Time of the next live event, or None if nothing is pending.
 
-        O(1) when nothing is cancelled; otherwise pops dead entries off the
-        heap top (they are garbage either way) instead of sorting the whole
-        heap — ``run_until_idle`` calls this in a loop.
+        O(1) when a live entry heads the ready queue or active heap;
+        otherwise the calendar advances lazily (dead heads dropped,
+        buckets promoted) until one surfaces — ``run_until_idle`` calls
+        this in a loop.
         """
         ready = self._ready
         if ready:
-            # Ready entries are due at the current time; nothing in the heap
+            # Ready entries are due at the current time; nothing queued
             # can be earlier.
             return ready[0][1].time
-        heap = self._heap
-        if self._cancelled_in_heap:
-            while heap and heap[0][3].cancelled:
-                heappop(heap)
-                self._cancelled_in_heap -= 1
-        return heap[0][0] if heap else None
+        if self._promote():
+            return self._active[0][0]
+        return None
 
     def run_until_idle(self, quiet_check: Iterable[Callable[[], bool]] = ()) -> float:
         """Run until no live events remain and every ``quiet_check`` passes."""

@@ -10,6 +10,23 @@ value, so processes compose — ``yield child_process`` joins a child, and
 ``yield from subroutine()`` inlines a sub-protocol.  The entire Open MPI
 stack is written this way (an ``MPI_Send`` coroutine yields from the PML,
 which yields on PTL fragment events, which are completed by NIC callbacks).
+
+The flattened trampoline
+------------------------
+
+The dominant suspend/resume pattern is a process waiting on an event that is
+already TRIGGERED with no other waiter (a Timeout, or a completion the
+hardware just signalled).  Instead of the generic path — the event's pooled
+``ScheduledCall`` fires ``_process``, which walks the callback list into
+``_on_event``, which calls ``_resume`` — the process *fuses* into the
+pending call: the call is rewritten in place (same ``(time, priority, seq)``
+slot, so ordering is untouched) to invoke :meth:`Process._fused_wake`, which
+finalizes the event and steps the generator in one frame, re-fusing onto the
+next yielded event when it can.  Two steady-state coroutines ping-ponging on
+timeouts thus run the whole suspend/resume cycle in a single argument-free
+bound-method call per event, with no intermediate dispatch hops and no
+``args`` tuple allocation.  Fusion is fast-path only (``sim.fastpath``); the
+slow path keeps the generic callback chain.
 """
 
 from __future__ import annotations
@@ -40,7 +57,7 @@ class Interrupt(Exception):
 class Process(SimEvent):
     """A generator-driven coroutine that is also an awaitable event."""
 
-    __slots__ = ("gen", "_waiting_on", "_cb", "_direct", "_fuse", "daemon")
+    __slots__ = ("gen", "_waiting_on", "_cb", "_fused", "_fused_ev", "_fuse", "daemon")
 
     def __init__(
         self,
@@ -59,7 +76,10 @@ class Process(SimEvent):
         self.daemon = daemon
         self._waiting_on: Optional[SimEvent] = None
         self._cb = self._on_event  # bound once; registered on every wait
-        self._direct = self._direct_wake
+        self._fused = self._fused_wake
+        #: the event whose pending call currently points at _fused_wake;
+        #: carried here instead of in call.args so fusing allocates nothing
+        self._fused_ev: Optional[SimEvent] = None
         self._fuse = sim.fastpath
         if sim.sanitizer is not None:
             sim.sanitizer.on_process(self)
@@ -73,27 +93,11 @@ class Process(SimEvent):
                 target = self.gen.throw(exc)
             else:
                 target = self.gen.send(value)
-        except StopIteration as stop:
-            self.succeed(stop.value)
-            return
-        except Interrupt:
-            # An interrupt that escapes the generator terminates it quietly.
-            self.succeed(None)
-            return
-        except BaseException as err:  # generator raised: propagate to joiners
-            self.fail(err)
-            if not self._callbacks:
-                # Nobody is joining this process; surface the error rather
-                # than losing it (strictness catches protocol bugs early).
-                raise
+        except BaseException as err:
+            self._finish(err)
             return
         if not isinstance(target, SimEvent):
-            self.gen.close()
-            self.fail(SimError(f"process {self.name!r} yielded non-event {target!r}"))
-            raise SimError(
-                f"process {self.name!r} yielded {target!r}; processes must "
-                "yield SimEvent instances (use sim.timeout(...) to sleep)"
-            )
+            self._reject_yield(target)
         self._waiting_on = target
         if self._fuse and target._state == TRIGGERED and not target._callbacks:
             call = target._call
@@ -101,17 +105,45 @@ class Process(SimEvent):
                 # Sole-waiter fusion: the event's completion is already
                 # scheduled; rewrite that pending call in place to resume
                 # this process directly.  The (time, priority, seq) slot is
-                # unchanged, so event ordering is untouched — this only
-                # skips the _process -> _on_event dispatch hop.
-                call.fn = self._direct
-                call.args = (target,)
+                # unchanged, so event ordering is untouched.
+                call.fn = self._fused
+                call.args = ()
+                self._fused_ev = target
                 return
         target.add_callback(self._cb)
 
-    def _direct_wake(self, ev: SimEvent) -> None:
-        """Fire a fused completion (see :meth:`_resume`): complete ``ev``,
-        resume this process, then run any callbacks registered after the
-        fusion — exactly the order the generic path produces."""
+    def _finish(self, err: BaseException) -> None:
+        """The generator raised out of send/throw — finish the process.
+
+        Cold path shared by :meth:`_resume` and :meth:`_fused_wake`:
+        StopIteration is a normal return, an escaping Interrupt terminates
+        quietly, anything else fails the process (and surfaces when nobody
+        is joining, so protocol bugs cannot vanish silently).
+        """
+        if isinstance(err, StopIteration):
+            self.succeed(err.value)
+        elif isinstance(err, Interrupt):
+            self.succeed(None)
+        else:
+            self.fail(err)
+            if not self._callbacks:
+                raise err
+
+    def _reject_yield(self, target: Any) -> None:
+        self.gen.close()
+        self.fail(SimError(f"process {self.name!r} yielded non-event {target!r}"))
+        raise SimError(
+            f"process {self.name!r} yielded {target!r}; processes must "
+            "yield SimEvent instances (use sim.timeout(...) to sleep)"
+        )
+
+    def _fused_wake(self) -> None:
+        """Fire a fused completion (see :meth:`_resume`): finalize the
+        event, step the generator, re-fuse onto the next yielded event when
+        possible, then run any callbacks registered after the fusion —
+        exactly the order the generic dispatch path produces."""
+        ev = self._fused_ev
+        self._fused_ev = None
         ev._state = PROCESSED
         ev._call = None
         if self._state == PENDING:
@@ -119,7 +151,28 @@ class Process(SimEvent):
             if exc is not None:
                 self._resume(None, exc)
             else:
-                self._resume(ev._value, None)
+                # Inlined hot continuation of _resume(ev._value, None); the
+                # fusion guard drops the self._fuse test (fusion only ever
+                # installs on the fast path).
+                self._waiting_on = None
+                try:
+                    target = self.gen.send(ev._value)
+                except BaseException as err:
+                    self._finish(err)
+                else:
+                    if not isinstance(target, SimEvent):
+                        self._reject_yield(target)
+                    self._waiting_on = target
+                    if target._state == TRIGGERED and not target._callbacks:
+                        call = target._call
+                        if call is not None:
+                            call.fn = self._fused
+                            call.args = ()
+                            self._fused_ev = target
+                        else:
+                            target.add_callback(self._cb)
+                    else:
+                        target.add_callback(self._cb)
         late = ev._callbacks
         if late:
             ev._callbacks = []
@@ -152,11 +205,12 @@ class Process(SimEvent):
         waiting = self._waiting_on
         if waiting is not None:
             call = waiting._call
-            if call is not None and call.fn is self._direct:
+            if call is not None and call.fn is self._fused:
                 # Un-fuse: restore the event's own completion so a stale
                 # wakeup cannot resume this (re-waiting) process.
                 call.fn = waiting._process
                 call.args = ()
+                self._fused_ev = None
             else:
                 waiting.discard_callback(self._cb)
             self._waiting_on = None
