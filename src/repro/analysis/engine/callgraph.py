@@ -1,0 +1,134 @@
+"""Name-resolved call graph and may-release callee summaries.
+
+Python offers no static types to resolve calls against, so the graph is
+*name-based*: a call ``x.frob(...)`` has edges to every project function
+named ``frob``.  That over-approximation is exactly what the lifecycle
+pass needs for its two questions:
+
+* **may this callee release kind K?** — used to recognise ownership
+  transfer (``self._return_buf(buf)`` hands the obligation to a helper
+  that puts the buffer back); computed as a whole-graph fixpoint so
+  recursion and cycles terminate;
+* **is this call resolved at all?** — a call that resolves to *no*
+  project function is external (stdlib/numpy); passing a handle to it is
+  conservatively treated as a transfer, keeping false positives out of
+  code that hands resources to foreign APIs.
+
+Caches are keyed by the AST/function objects themselves (identity
+hashing, insertion-ordered iteration), so results never depend on
+interpreter address order.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.engine.project import FunctionInfo, Project
+from repro.analysis.engine.registry import ResourceRegistry, call_method_and_tail
+
+__all__ = ["CallGraph"]
+
+
+def _calls_in(fn: FunctionInfo) -> Iterator[ast.Call]:
+    """Every call expression in the function, nested scopes included
+    (closures run with the enclosing frame's resources in scope)."""
+    for node in ast.walk(fn.node):
+        if isinstance(node, ast.Call):
+            yield node
+
+
+class CallGraph:
+    """Call edges + release summaries over one :class:`Project`."""
+
+    def __init__(self, project: Project, registry: ResourceRegistry) -> None:
+        self.project = project
+        self.registry = registry
+        self._summaries: Dict[FunctionInfo, FrozenSet[str]] = {}
+        self._release_verdicts: Dict[Tuple[ast.Call, str], Optional[bool]] = {}
+
+    # -- resolution ------------------------------------------------------
+    def resolve_call(self, call: ast.Call) -> List[FunctionInfo]:
+        """Project functions a call may target (empty = external)."""
+        method, _ = call_method_and_tail(call)
+        if method is None:
+            return []
+        return self.project.functions_by_name.get(method, [])
+
+    def callees(self, fn: FunctionInfo) -> List[FunctionInfo]:
+        seen: Set[FunctionInfo] = set()
+        out: List[FunctionInfo] = []
+        for call in _calls_in(fn):
+            for callee in self.resolve_call(call):
+                if callee not in seen:
+                    seen.add(callee)
+                    out.append(callee)
+        return out
+
+    # -- summaries -------------------------------------------------------
+    def may_release(self, fn: FunctionInfo) -> FrozenSet[str]:
+        """Kinds ``fn`` may release — directly (a matching release call or
+        its own ``@releases`` decorator) or through any name-resolved
+        callee, transitively."""
+        if not self._summaries:
+            self._compute_summaries()
+        return self._summaries.get(fn, frozenset())
+
+    def _compute_summaries(self) -> None:
+        """Whole-graph fixpoint: seed each function with its direct
+        releases, then propagate along call edges until stable.  Cycles
+        converge because the kind sets only grow and are finite."""
+        functions = list(self.project.functions())
+        direct: Dict[FunctionInfo, Set[str]] = {}
+        edges: Dict[FunctionInfo, List[FunctionInfo]] = {}
+        for fn in functions:
+            kinds: Set[str] = {
+                kind
+                for role, kind in fn.decorator_resource_tags()
+                if role == "release"
+            }
+            direct[fn] = kinds
+            edges[fn] = []
+            seen: Set[FunctionInfo] = set()
+            for call in _calls_in(fn):
+                kinds.update(self.registry.released_kinds(call))
+                for callee in self.resolve_call(call):
+                    if callee not in seen:
+                        seen.add(callee)
+                        edges[fn].append(callee)
+        current: Dict[FunctionInfo, Set[str]] = {
+            fn: set(kinds) for fn, kinds in direct.items()
+        }
+        changed = True
+        while changed:
+            changed = False
+            for fn, callees in edges.items():
+                mine = current[fn]
+                before = len(mine)
+                for callee in callees:
+                    mine |= current.get(callee, set())
+                if len(mine) != before:
+                    changed = True
+        self._summaries = {fn: frozenset(kinds) for fn, kinds in current.items()}
+
+    def call_may_release(self, call: ast.Call, kind: str) -> Optional[bool]:
+        """Does this call site possibly release ``kind``?
+
+        ``True`` — yes (registry effect or a resolved callee's summary);
+        ``False`` — resolved to project code that never releases it;
+        ``None`` — unresolved/external call (caller decides the policy).
+        """
+        key = (call, kind)
+        if key in self._release_verdicts:
+            return self._release_verdicts[key]
+        verdict: Optional[bool]
+        if kind in self.registry.released_kinds(call):
+            verdict = True
+        else:
+            targets = self.resolve_call(call)
+            if not targets:
+                verdict = None
+            else:
+                verdict = any(kind in self.may_release(t) for t in targets)
+        self._release_verdicts[key] = verdict
+        return verdict

@@ -1,0 +1,179 @@
+"""``python -m repro.analysis check`` — run every engine pass.
+
+Workflow:
+
+* run the selected passes over the given paths (default ``src/repro``);
+* add a finding for every reasonless ``# repro-lint: allow[...]``
+  directive (the mandatory ``-- reason`` is how suppressions stay
+  auditable);
+* subtract findings whose fingerprint appears in the committed baseline
+  (``analysis-baseline.json``; the shipped file is empty — it documents
+  the workflow, not debt);
+* print the remainder human-readably, optionally emit the full SARIF
+  2.1.0 log (``--sarif out.sarif``), and exit 1 iff anything new was
+  found.
+
+``--write-baseline`` snapshots the current findings into the baseline
+file; ``--list-rules`` prints every rule id with its description.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Iterable, List, Optional
+
+from repro.analysis.engine.model import AnalysisFinding, Baseline, Severity
+from repro.analysis.engine.passes import PASS_RUNNERS
+from repro.analysis.engine.project import Project
+from repro.analysis.engine.sarif import RULE_DESCRIPTIONS, to_sarif
+from repro.version import __version__
+
+__all__ = ["run_analysis", "main"]
+
+_DEFAULT_BASELINE = "analysis-baseline.json"
+
+
+def _suppression_findings(project: Project) -> List[AnalysisFinding]:
+    findings: List[AnalysisFinding] = []
+    for module in project.modules:
+        for line in module.suppressions.reasonless():
+            findings.append(
+                AnalysisFinding(
+                    pass_id="suppression",
+                    rule="suppression",
+                    path=module.rel_path,
+                    line=line,
+                    col=0,
+                    message=(
+                        "suppression directive is missing its mandatory "
+                        "reason: write '# repro-lint: allow[rule] -- why'"
+                    ),
+                    snippet=module.line_text(line),
+                    severity=Severity.ERROR,
+                )
+            )
+    return findings
+
+
+def run_analysis(
+    project: Project, pass_ids: Optional[Iterable[str]] = None
+) -> List[AnalysisFinding]:
+    """Run ``pass_ids`` (default: all) plus the suppression audit."""
+    selected = list(pass_ids) if pass_ids is not None else sorted(PASS_RUNNERS)
+    unknown = [p for p in selected if p not in PASS_RUNNERS]
+    if unknown:
+        raise ValueError(
+            f"unknown pass(es) {unknown}; available: {sorted(PASS_RUNNERS)}"
+        )
+    findings: List[AnalysisFinding] = []
+    for pass_id in selected:
+        findings.extend(PASS_RUNNERS[pass_id](project))
+    findings.extend(_suppression_findings(project))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule, f.message))
+    return findings
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis check",
+        description="whole-tree static analysis (atomicity, lifecycle, "
+        "layering, determinism) with SARIF 2.1.0 output",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to analyse (default: src/repro)",
+    )
+    parser.add_argument(
+        "--passes",
+        default=None,
+        help="comma-separated subset of passes to run "
+        f"(default: all of {','.join(sorted(PASS_RUNNERS))})",
+    )
+    parser.add_argument("--sarif", default=None, help="write a SARIF 2.1.0 log here")
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=f"baseline file (default: {_DEFAULT_BASELINE} when it exists)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="snapshot current findings into the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--root", default=None, help="root anchoring module/package names"
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list rule ids and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in sorted(RULE_DESCRIPTIONS):
+            print(f"{rule:12s} {RULE_DESCRIPTIONS[rule]}")
+        return 0
+
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        print(f"error: no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    pass_ids = None
+    if args.passes is not None:
+        pass_ids = [p.strip() for p in args.passes.split(",") if p.strip()]
+    root = Path(args.root) if args.root is not None else None
+    project = Project.load(args.paths, root=root)
+    try:
+        findings = run_analysis(project, pass_ids)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    baseline_path = Path(args.baseline) if args.baseline else Path(_DEFAULT_BASELINE)
+    baseline = Baseline()
+    if (args.baseline is not None or baseline_path.exists()) and not (
+        args.write_baseline and not baseline_path.exists()
+    ):
+        try:
+            baseline = Baseline.load(baseline_path)
+        except FileNotFoundError:
+            print(f"error: baseline {baseline_path} not found", file=sys.stderr)
+            return 2
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    if args.write_baseline:
+        baseline.entries = {f.fingerprint: f.format() for f in findings}
+        baseline.save(baseline_path)
+        print(f"wrote {len(findings)} finding(s) to {baseline_path}")
+        return 0
+
+    new, baselined = baseline.split(findings)
+    if args.sarif:
+        doc = to_sarif(findings, __version__, baseline.entries)
+        Path(args.sarif).write_text(
+            json.dumps(doc, indent=2) + "\n", encoding="utf-8"
+        )
+
+    for finding in new:
+        print(finding.format())
+    nfiles = len(project.modules)
+    if new:
+        print(
+            f"\n{len(new)} finding(s) in {nfiles} file(s)"
+            + (f" ({len(baselined)} baselined)" if baselined else "")
+        )
+        return 1
+    suffix = f" ({len(baselined)} baselined)" if baselined else ""
+    print(f"clean: 0 findings in {nfiles} file(s){suffix}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

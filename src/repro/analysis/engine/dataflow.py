@@ -1,0 +1,65 @@
+"""A small worklist dataflow solver over the engine's CFGs.
+
+Classic iterative forward may-analysis over finite fact sets: facts are
+hashable values, the join is set union, and a pass supplies one transfer
+function ``flow(node, facts_in) -> facts_out``.  Exception edges can be
+given their own transfer (``flow_exc``) — by default the *input* facts of
+a raising node propagate along its exceptional edges, modelling "the
+statement raised before completing its effect", which is exactly the
+pessimistic view a leak checker wants (an acquire whose statement raised
+mid-flight is treated as not acquired; a release whose statement raised
+is treated as not released).
+
+The solver iterates to a fixed point; monotone transfers over finite
+lattices terminate.  ``solve_forward`` returns the per-node input sets so
+passes can inspect the state *entering* each statement and each exit.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, FrozenSet, Hashable, TypeVar
+
+from repro.analysis.engine.cfg import Cfg, CfgNode
+
+__all__ = ["solve_forward"]
+
+Fact = TypeVar("Fact", bound=Hashable)
+
+Transfer = Callable[[CfgNode, FrozenSet[Fact]], FrozenSet[Fact]]
+
+
+def solve_forward(
+    cfg: Cfg,
+    flow: Transfer[Fact],
+    entry_facts: FrozenSet[Fact] = frozenset(),
+    flow_exc: Transfer[Fact] | None = None,
+) -> Dict[int, FrozenSet[Fact]]:
+    """Union-join forward fixed point.
+
+    Returns ``{node.index: facts-on-entry}``.  ``flow`` produces the
+    facts leaving a node along *normal* edges; ``flow_exc`` (default:
+    identity on the node's input) produces the facts leaving along
+    *exceptional* edges.
+    """
+    facts_in: Dict[int, FrozenSet[Fact]] = {n.index: frozenset() for n in cfg.nodes}
+    facts_in[cfg.entry.index] = entry_facts
+    work: deque[CfgNode] = deque(cfg.nodes)
+    in_work = {n.index for n in cfg.nodes}
+    while work:
+        node = work.popleft()
+        in_work.discard(node.index)
+        inbound = facts_in[node.index]
+        out_normal = flow(node, inbound)
+        out_exc = flow_exc(node, inbound) if flow_exc is not None else inbound
+        for succ, facts in (
+            [(s, out_normal) for s in node.succ]
+            + [(s, out_exc) for s in node.exc_succ]
+        ):
+            merged = facts_in[succ.index] | facts
+            if merged != facts_in[succ.index]:
+                facts_in[succ.index] = merged
+                if succ.index not in in_work:
+                    work.append(succ)
+                    in_work.add(succ.index)
+    return facts_in

@@ -1,0 +1,22 @@
+"""The engine's analysis passes.
+
+Each pass module exposes ``run(project) -> List[AnalysisFinding]``;
+:data:`PASS_RUNNERS` is the registry the check CLI dispatches on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.analysis.engine.model import AnalysisFinding
+from repro.analysis.engine.passes import atomicity, determinism, layers, lifecycle
+from repro.analysis.engine.project import Project
+
+__all__ = ["PASS_RUNNERS"]
+
+PASS_RUNNERS: Dict[str, Callable[[Project], List[AnalysisFinding]]] = {
+    "atomicity": atomicity.run,
+    "lifecycle": lifecycle.run,
+    "layering": layers.run,
+    "determinism": determinism.run,
+}

@@ -1,0 +1,249 @@
+"""Yield-aware atomicity pass: stale shared state across suspensions.
+
+The static generalisation of the paper's Fig. 5c/5d count-reset race: a
+coroutine reads shared state (an attribute, or an entry of an attribute-
+held dict) into a local, *suspends* (``yield`` / ``yield from`` /
+``await`` — under the simulator, arbitrary other processes run here),
+and then writes the same shared state using the stale local.  Between
+the read and the write the state may have changed; the write silently
+discards the interleaved update.
+
+The pass runs only over generator/coroutine bodies.  A fact is born at
+
+* ``v = obj.attr``            (attribute read), or
+* ``v = obj.attr[k]`` / ``v = obj.attr.get(k, d)``  (dict-entry read),
+
+keyed by the dotted *location* it read.  A suspension marks every live
+fact stale; any later statement that re-reads the location revalidates
+it (the coroutine refreshed its view — that is exactly the recommended
+fix).  A finding fires when a statement **writes** the tracked location
+while a stale fact's local participates in the statement — either in
+the written value, or in the test of an ``if``/``while`` that guards
+the write.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, List, Optional, Set, Tuple
+
+from repro.analysis.engine.cfg import CfgNode, contains_yield, name_uses
+from repro.analysis.engine.dataflow import solve_forward
+from repro.analysis.engine.model import AnalysisFinding, Severity
+from repro.analysis.engine.project import FunctionInfo, Project
+
+__all__ = ["run"]
+
+PASS_ID = "atomicity"
+RULE = "atomicity"
+
+#: (local var, dotted shared location, read line, crossed a suspension)
+Fact = Tuple[str, str, int, bool]
+
+
+def _dotted(expr: ast.expr) -> Optional[str]:
+    """``self.a.b`` -> ``"self.a.b"``; anything non-trivial -> None."""
+    parts: List[str] = []
+    node = expr
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _read_location(value: ast.expr) -> Optional[str]:
+    """The shared location a read expression observes, or None."""
+    if isinstance(value, ast.Attribute):
+        dotted = _dotted(value)
+        # require at least obj.attr (a bare name is a local, not shared)
+        return dotted if dotted is not None and "." in dotted else None
+    if isinstance(value, ast.Subscript):
+        return _read_location_container(value.value)
+    if isinstance(value, ast.Call) and isinstance(value.func, ast.Attribute):
+        if value.func.attr == "get":
+            return _read_location_container(value.func.value)
+    return None
+
+
+def _read_location_container(container: ast.expr) -> Optional[str]:
+    dotted = _dotted(container)
+    return dotted if dotted is not None and "." in dotted else None
+
+
+def _written_locations(stmt: ast.stmt) -> Set[str]:
+    """Dotted locations a statement writes (attribute targets and
+    subscript-of-attribute targets)."""
+    targets: List[ast.expr] = []
+    if isinstance(stmt, ast.Assign):
+        targets = list(stmt.targets)
+    elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+        targets = [stmt.target]
+    out: Set[str] = set()
+    for target in targets:
+        nodes = [target]
+        if isinstance(target, (ast.Tuple, ast.List)):
+            nodes = list(target.elts)
+        for node in nodes:
+            if isinstance(node, ast.Attribute):
+                dotted = _dotted(node)
+                if dotted is not None and "." in dotted:
+                    out.add(dotted)
+            elif isinstance(node, ast.Subscript):
+                loc = _read_location_container(node.value)
+                if loc is not None:
+                    out.add(loc)
+    return out
+
+
+def _locations_loaded(stmt: ast.stmt) -> Set[str]:
+    """Every shared location the statement's own expressions *read* —
+    used for revalidation (a re-read refreshes the coroutine's view)."""
+    out: Set[str] = set()
+    for field_name, value in ast.iter_fields(stmt):
+        if field_name in ("body", "orelse", "finalbody", "handlers", "cases"):
+            continue
+        exprs = value if isinstance(value, list) else [value]
+        for expr in exprs:
+            if not isinstance(expr, ast.AST):
+                continue
+            for sub in ast.walk(expr):
+                if isinstance(sub, ast.Attribute) and isinstance(sub.ctx, ast.Load):
+                    dotted = _dotted(sub)
+                    if dotted is not None and "." in dotted:
+                        out.add(dotted)
+    return out
+
+
+def _reread_locations(stmt: ast.stmt) -> Set[str]:
+    """Shared locations the statement genuinely *re-reads*.  For assigns,
+    only the value side counts: a subscript store loads its container
+    without observing the entry, so the target subtree is excluded — but
+    a compare-and-set RHS (``self.x = self.x - n``) is a real re-read."""
+    if isinstance(stmt, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+        value = stmt.value
+        out: Set[str] = set()
+        if value is not None:
+            for sub in ast.walk(value):
+                if isinstance(sub, ast.Attribute) and isinstance(sub.ctx, ast.Load):
+                    dotted = _dotted(sub)
+                    if dotted is not None and "." in dotted:
+                        out.add(dotted)
+        return out
+    return _locations_loaded(stmt)
+
+
+def _writes_location_in_subtree(stmt: ast.stmt, location: str) -> Optional[int]:
+    """Line of a write to ``location`` anywhere under ``stmt`` (for the
+    guard variant), or None."""
+    for sub in ast.walk(stmt):
+        if not isinstance(sub, ast.stmt):
+            continue
+        if location in _written_locations(sub):
+            return sub.lineno
+    return None
+
+
+def _check_generator(fn: FunctionInfo) -> List[AnalysisFinding]:
+    cfg = fn.cfg
+
+    def flow(node: CfgNode, facts: FrozenSet[Fact]) -> FrozenSet[Fact]:
+        stmt = node.stmt
+        if stmt is None or node.kind == "except":
+            return facts
+        out: Set[Fact] = set(facts)
+        if node.is_yield:
+            out = {(v, loc, line, True) for v, loc, line, _ in out}
+        reread = _locations_loaded(stmt)
+        if reread:
+            out = {
+                (v, loc, line, False if loc in reread else crossed)
+                for v, loc, line, crossed in out
+            }
+        uses = name_uses(stmt)
+        if uses.stores:
+            out = {f for f in out if f[0] not in uses.stores}
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            value = stmt.value
+            target: Optional[ast.expr] = None
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target = stmt.targets[0]
+            elif isinstance(stmt, ast.AnnAssign):
+                target = stmt.target
+            if value is not None and isinstance(target, ast.Name):
+                location = _read_location(value)
+                if location is not None:
+                    out.add((target.id, location, stmt.lineno, False))
+        return frozenset(out)
+
+    facts_in = solve_forward(cfg, flow)
+    findings: List[AnalysisFinding] = []
+    seen: Set[Tuple[int, str, str]] = set()
+    module = fn.module
+
+    def report(line: int, var: str, location: str, read_line: int) -> None:
+        if (line, var, location) in seen:
+            return
+        seen.add((line, var, location))
+        if module.suppressions.allowed(line, RULE):
+            return
+        findings.append(
+            AnalysisFinding(
+                pass_id=PASS_ID,
+                rule=RULE,
+                path=module.rel_path,
+                line=line,
+                col=0,
+                message=(
+                    f"'{var}' holds a value of '{location}' read at line "
+                    f"{read_line}, before a suspension point; writing "
+                    f"'{location}' from it here can overwrite concurrent "
+                    f"updates — re-read '{location}' after resuming"
+                ),
+                snippet=module.line_text(line),
+                severity=Severity.ERROR,
+                function=fn.qualname,
+            )
+        )
+
+    for node in cfg.stmt_nodes():
+        stmt = node.stmt
+        assert stmt is not None
+        stale = [f for f in facts_in[node.index] if f[3]]
+        if not stale:
+            continue
+        # a statement that re-reads the location is the fix pattern
+        # (compare against the fresh value), not the bug — but a
+        # subscript write's container mention is not a re-read
+        writes = _written_locations(stmt)
+        reread_here = _reread_locations(stmt)
+        stale = [f for f in stale if f[1] not in reread_here]
+        if not stale:
+            continue
+        if writes:
+            used = name_uses(stmt).loads
+            for var, location, read_line, _ in stale:
+                if location in writes and var in used:
+                    report(stmt.lineno, var, location, read_line)
+        if isinstance(stmt, (ast.If, ast.While)):
+            test_loads = set()
+            for sub in ast.walk(stmt.test):
+                if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load):
+                    test_loads.add(sub.id)
+            for var, location, read_line, _ in stale:
+                if var not in test_loads:
+                    continue
+                write_line = _writes_location_in_subtree(stmt, location)
+                if write_line is not None:
+                    report(write_line, var, location, read_line)
+    return findings
+
+
+def run(project: Project) -> List[AnalysisFinding]:
+    findings: List[AnalysisFinding] = []
+    for fn in project.functions():
+        if contains_yield(fn.node):
+            findings.extend(_check_generator(fn))
+    return findings

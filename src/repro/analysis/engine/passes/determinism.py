@@ -1,0 +1,44 @@
+"""Determinism pass: the PR 3 AST rules, hosted on the engine.
+
+:mod:`repro.analysis.lint` remains importable and CLI-compatible
+(``python -m repro.analysis.lint``); this pass runs the same rules over
+an engine :class:`Project` so one invocation of ``python -m
+repro.analysis check`` covers every rule family with one suppression
+grammar, one baseline, and one SARIF report.  Suppressions are honoured
+inside :func:`~repro.analysis.lint.lint_source` itself.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.engine.model import SEVERITY_BY_RULE, AnalysisFinding, Severity
+from repro.analysis.engine.project import Project
+from repro.analysis.lint import lint_source
+
+__all__ = ["run"]
+
+PASS_ID = "determinism"
+
+
+def run(project: Project) -> List[AnalysisFinding]:
+    findings: List[AnalysisFinding] = []
+    for module in project.modules:
+        # lint_source keys its kernel-only exemptions (pool-escape, the
+        # rng home) off the path string; rel_path is rooted at src/repro,
+        # so restore the package prefix for the rule logic while findings
+        # keep the project-relative path.
+        for f in lint_source(module.source, "repro/" + module.rel_path):
+            findings.append(
+                AnalysisFinding(
+                    pass_id=PASS_ID,
+                    rule=f.rule,
+                    path=module.rel_path,
+                    line=f.line,
+                    col=f.col,
+                    message=f.message,
+                    snippet=module.line_text(f.line),
+                    severity=SEVERITY_BY_RULE.get(f.rule, Severity.ERROR),
+                )
+            )
+    return findings

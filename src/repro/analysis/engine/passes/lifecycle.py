@@ -1,0 +1,288 @@
+"""Resource-lifecycle pass: acquire/release pairing over all CFG paths.
+
+For every function that *acquires* a registered resource (via the
+``@acquires``/``@releases`` registry, see
+:mod:`repro.analysis.engine.registry`), this pass runs a forward
+may-analysis tracking live obligations and reports any path — normal or
+exceptional — on which an obligation reaches a function exit.
+
+An obligation is **bound** when the acquiring call's result is assigned
+to a local (``buf = yield self._send_bufs.get()``): the handle.  It dies
+when the handle is
+
+* released — a matching release call referencing the handle;
+* **transferred** — returned or yielded, stored into an attribute,
+  subscript or container, or passed to a call that may release the kind
+  (per the call graph's summaries) or that is external to the project
+  (stdlib/numpy: assumed to take ownership).
+
+An obligation is **counted** (unbound) when the acquirer's result is
+discarded (``self.nic.track_pending(ctx)``).  Counted obligations are
+only checked in functions that also *release* the kind somewhere —
+split producer/consumer protocols (track here, untrack in the
+completion callback) are legal and out of scope for an intraprocedural
+check.
+
+Exception edges propagate a node's *kill results but not its gens*: a
+statement that raised is assumed not to have completed its acquire, but
+release/transfer statements are credited even on their own exceptional
+edge (otherwise every ``finally: pool.put(buf)`` would report the
+pathological "the release itself raised" path).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.analysis.engine.callgraph import CallGraph
+from repro.analysis.engine.cfg import CfgNode, _ScopedWalker
+from repro.analysis.engine.dataflow import solve_forward
+from repro.analysis.engine.model import AnalysisFinding, Severity
+from repro.analysis.engine.project import FunctionInfo, Project
+from repro.analysis.engine.registry import ResourceRegistry
+
+__all__ = ["run"]
+
+PASS_ID = "lifecycle"
+RULE = "lifecycle"
+
+#: (acquire line, kind, handle var or None for counted obligations)
+Fact = Tuple[int, str, Optional[str]]
+
+
+class _OwnCalls(_ScopedWalker):
+    """Call expressions in a statement's own scope (no nested defs or
+    lambdas — those run later, under their own frame)."""
+
+    def __init__(self) -> None:
+        self.calls: List[ast.Call] = []
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self.calls.append(node)
+        self.generic_visit(node)
+
+
+def _own_calls(stmt: ast.stmt) -> List[ast.Call]:
+    walker = _OwnCalls()
+    for field_name, value in ast.iter_fields(stmt):
+        if field_name in ("body", "orelse", "finalbody", "handlers", "cases"):
+            continue
+        if isinstance(value, ast.expr):
+            walker.visit(value)
+        elif isinstance(value, list):
+            for item in value:
+                if isinstance(item, ast.expr):
+                    walker.visit(item)
+    return walker.calls
+
+
+def _loads_in(node: ast.AST) -> Set[str]:
+    """Every plain-name load anywhere under ``node`` (lambdas included —
+    a handle captured by a closure is referenced by this statement)."""
+    out: Set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load):
+            out.add(sub.id)
+        elif isinstance(sub, ast.arg):  # lambda default-bound capture
+            out.add(sub.arg)
+    return out
+
+
+def _stores_in_stmt(stmt: ast.stmt) -> Set[str]:
+    """Plain-name stores performed by the statement itself."""
+    out: Set[str] = set()
+    targets: List[ast.expr] = []
+    if isinstance(stmt, ast.Assign):
+        targets = list(stmt.targets)
+    elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+        targets = [stmt.target]
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        targets = [stmt.target]
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        targets = [
+            item.optional_vars for item in stmt.items if item.optional_vars is not None
+        ]
+    elif isinstance(stmt, ast.Delete):
+        targets = list(stmt.targets)
+    for t in targets:
+        for sub in ast.walk(t):
+            if isinstance(sub, ast.Name):
+                out.add(sub.id)
+    return out
+
+
+def _escapes_by_structure(stmt: ast.stmt, var: str) -> bool:
+    """Returned / yielded / stored into an attribute, subscript or
+    container literal — ownership has left this frame."""
+    if isinstance(stmt, ast.Return):
+        return stmt.value is not None and var in _loads_in(stmt.value)
+    if isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            if not isinstance(target, ast.Name) and var in _loads_in(stmt.value):
+                return True
+        # building a container that holds the handle: the container owns it
+        if isinstance(stmt.value, (ast.List, ast.Tuple, ast.Dict, ast.Set)):
+            return var in _loads_in(stmt.value)
+        return False
+    if isinstance(stmt, ast.AugAssign):
+        return not isinstance(stmt.target, ast.Name) and var in _loads_in(stmt.value)
+    if isinstance(stmt, ast.Expr):
+        value = stmt.value
+        if isinstance(value, (ast.Yield, ast.YieldFrom, ast.Await)):
+            inner = value.value
+            return inner is not None and var in _loads_in(inner)
+    return False
+
+
+class _FunctionChecker:
+    def __init__(
+        self, fn: FunctionInfo, registry: ResourceRegistry, graph: CallGraph
+    ) -> None:
+        self.fn = fn
+        self.registry = registry
+        self.graph = graph
+
+    # -- per-statement effect classification ----------------------------
+    def _effects(
+        self, stmt: ast.stmt
+    ) -> Tuple[List[Tuple[str, Optional[str]]], Set[str], Set[str]]:
+        """``(acquired, released_kinds, released_vars)`` for a statement:
+        acquired is ``[(kind, var-or-None)]``; released_vars are handle
+        names referenced by a matching release call."""
+        acquired: List[Tuple[str, Optional[str]]] = []
+        released_kinds: Set[str] = set()
+        released_vars: Set[str] = set()
+        bind_var: Optional[str] = None
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target = stmt.targets[0]
+            if isinstance(target, ast.Name):
+                bind_var = target.id
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            bind_var = stmt.target.id
+        for call in _own_calls(stmt):
+            for role, kind in self.registry.effects_of_call(call):
+                if role == "acquire":
+                    acquired.append((kind, bind_var))
+                else:
+                    released_kinds.add(kind)
+                    released_vars |= _loads_in(call)
+        return acquired, released_kinds, released_vars
+
+    def _transferred_vars(self, stmt: ast.stmt, live_facts: FrozenSet[Fact]) -> Set[str]:
+        """Handles whose ownership leaves this frame at ``stmt``."""
+        vars_live = {v for _, _, v in live_facts if v is not None}
+        if not vars_live:
+            return set()
+        gone: Set[str] = set()
+        for var in vars_live:
+            if _escapes_by_structure(stmt, var):
+                gone.add(var)
+        for call in _own_calls(stmt):
+            call_loads = _loads_in(call)
+            touched = vars_live & call_loads
+            if not touched:
+                continue
+            for var in touched:
+                kinds = {k for _, k, v in live_facts if v == var}
+                for kind in kinds:
+                    verdict = self.graph.call_may_release(call, kind)
+                    if verdict is None or verdict:
+                        gone.add(var)
+        return gone
+
+    # -- dataflow --------------------------------------------------------
+    def check(self) -> List[AnalysisFinding]:
+        cfg = self.fn.cfg
+        node_effects: Dict[int, Tuple[List[Tuple[str, Optional[str]]], Set[str], Set[str]]] = {}
+        any_acquire = False
+        release_kinds_here: Set[str] = set()
+        for node in cfg.stmt_nodes():
+            assert node.stmt is not None
+            eff = self._effects(node.stmt)
+            node_effects[node.index] = eff
+            if eff[0]:
+                any_acquire = True
+            release_kinds_here |= eff[1]
+        if not any_acquire:
+            return []
+        # releases reachable from lambdas in this function count for the
+        # counted-obligation gate (e.g. a cleanup closure built here)
+        for sub in ast.walk(self.fn.node):
+            if isinstance(sub, ast.Call):
+                release_kinds_here.update(self.registry.released_kinds(sub))
+
+        def kill(node: CfgNode, facts: FrozenSet[Fact]) -> FrozenSet[Fact]:
+            stmt = node.stmt
+            if stmt is None or node.kind == "except":
+                return facts
+            acquired, released_kinds, released_vars = node_effects.get(
+                node.index, ([], set(), set())
+            )
+            out = set(facts)
+            if released_kinds or released_vars:
+                for fact in list(out):
+                    _, kind, var = fact
+                    if var is not None and var in released_vars:
+                        out.discard(fact)
+                    elif var is None and kind in released_kinds:
+                        out.discard(fact)
+            stores = _stores_in_stmt(stmt)
+            if stores:
+                out = {f for f in out if f[2] is None or f[2] not in stores}
+            gone = self._transferred_vars(stmt, frozenset(out))
+            if gone:
+                out = {f for f in out if f[2] not in gone}
+            return frozenset(out)
+
+        def flow(node: CfgNode, facts: FrozenSet[Fact]) -> FrozenSet[Fact]:
+            out = set(kill(node, facts))
+            if node.stmt is not None and node.kind != "except":
+                acquired = node_effects.get(node.index, ([], set(), set()))[0]
+                for kind, var in acquired:
+                    out.add((node.line, kind, var))
+            return frozenset(out)
+
+        facts_in = solve_forward(cfg, flow, flow_exc=kill)
+        findings: List[AnalysisFinding] = []
+        reported: Set[Tuple[int, str, Optional[str]]] = set()
+        for exit_node, route in ((cfg.exit, "return"), (cfg.raise_exit, "an exception")):
+            for line, kind, var in sorted(
+                facts_in[exit_node.index], key=lambda f: (f[0], f[1], f[2] or "")
+            ):
+                if var is None and kind not in release_kinds_here:
+                    continue  # split producer/consumer protocol
+                if (line, kind, var) in reported:
+                    continue
+                reported.add((line, kind, var))
+                module = self.fn.module
+                if module.suppressions.allowed(line, RULE):
+                    continue
+                what = f"handle '{var}'" if var is not None else "an unbound unit"
+                findings.append(
+                    AnalysisFinding(
+                        pass_id=PASS_ID,
+                        rule=RULE,
+                        path=module.rel_path,
+                        line=line,
+                        col=0,
+                        message=(
+                            f"{what} of resource '{kind}' acquired here can reach "
+                            f"function exit via {route} without a release or "
+                            f"ownership transfer"
+                        ),
+                        snippet=module.line_text(line),
+                        severity=Severity.ERROR,
+                        function=self.fn.qualname,
+                    )
+                )
+        return findings
+
+
+def run(project: Project) -> List[AnalysisFinding]:
+    registry = ResourceRegistry.from_project(project)
+    graph = CallGraph(project, registry)
+    findings: List[AnalysisFinding] = []
+    for fn in project.functions():
+        findings.extend(_FunctionChecker(fn, registry, graph).check())
+    return findings

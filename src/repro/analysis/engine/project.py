@@ -1,0 +1,189 @@
+"""Whole-tree loader: parse every module once, index functions and CFGs.
+
+A :class:`Project` is the unit every pass runs over.  It knows:
+
+* each :class:`Module` — path, dotted module name, AST, source,
+  suppressions, and its **package** (the first path component under the
+  root, e.g. ``elan4`` for ``src/repro/elan4/qdma.py``; top-level modules
+  like ``cluster.py`` map to their stem);
+* every function definition (including methods), lazily wrapped in a CFG;
+* the project root, so fixture corpora in tests can be loaded with the
+  same machinery as the real tree (``Project.load([...])``).
+"""
+
+from __future__ import annotations
+
+import ast
+from functools import cached_property
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.analysis.engine.cfg import Cfg, build_cfg
+from repro.analysis.engine.model import Suppressions
+
+__all__ = ["FunctionInfo", "Module", "Project"]
+
+
+class FunctionInfo:
+    """One function or method definition inside a module."""
+
+    __slots__ = ("module", "node", "qualname", "class_name", "_cfg")
+
+    def __init__(
+        self,
+        module: "Module",
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        qualname: str,
+        class_name: Optional[str],
+    ) -> None:
+        self.module = module
+        self.node = node
+        self.qualname = qualname
+        self.class_name = class_name
+        self._cfg: Optional[Cfg] = None
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    @property
+    def cfg(self) -> Cfg:
+        if self._cfg is None:
+            self._cfg = build_cfg(self.node)
+        return self._cfg
+
+    def decorator_resource_tags(self) -> List[Tuple[str, str]]:
+        """``[(role, kind)]`` from ``@acquires("k")``/``@releases("k")``
+        decorators, read straight off the AST (no import needed)."""
+        tags: List[Tuple[str, str]] = []
+        for dec in self.node.decorator_list:
+            if not isinstance(dec, ast.Call) or not dec.args:
+                continue
+            func = dec.func
+            name = (
+                func.id
+                if isinstance(func, ast.Name)
+                else func.attr
+                if isinstance(func, ast.Attribute)
+                else None
+            )
+            if name not in ("acquires", "releases"):
+                continue
+            arg = dec.args[0]
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                role = "acquire" if name == "acquires" else "release"
+                tags.append((role, arg.value))
+        return tags
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<FunctionInfo {self.module.name}:{self.qualname}>"
+
+
+class Module:
+    """One parsed source file."""
+
+    def __init__(self, path: Path, root: Path) -> None:
+        self.path = path
+        self.root = root
+        self.source = path.read_text(encoding="utf-8")
+        self.tree = ast.parse(self.source, filename=str(path))
+        self.suppressions = Suppressions(self.source)
+        self._lines = self.source.splitlines()
+
+    @cached_property
+    def rel_path(self) -> str:
+        try:
+            return self.path.relative_to(self.root).as_posix()
+        except ValueError:
+            return self.path.as_posix()
+
+    @cached_property
+    def name(self) -> str:
+        """Dotted module name relative to the root (``elan4.qdma``)."""
+        rel = self.rel_path
+        if rel.endswith("/__init__.py"):
+            rel = rel[: -len("/__init__.py")]
+        elif rel.endswith(".py"):
+            rel = rel[: -len(".py")]
+        return rel.replace("/", ".")
+
+    @cached_property
+    def package(self) -> str:
+        """First path component under the root; top-level files map to
+        their stem (``cluster.py`` -> ``cluster``)."""
+        rel = self.rel_path
+        if "/" in rel:
+            return rel.split("/", 1)[0]
+        return rel[: -len(".py")] if rel.endswith(".py") else rel
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self._lines):
+            return self._lines[lineno - 1].strip()
+        return ""
+
+    @cached_property
+    def functions(self) -> List[FunctionInfo]:
+        found: List[FunctionInfo] = []
+
+        def visit(
+            body: Iterable[ast.stmt], prefix: str, class_name: Optional[str]
+        ) -> None:
+            for stmt in body:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    qual = f"{prefix}{stmt.name}"
+                    found.append(FunctionInfo(self, stmt, qual, class_name))
+                    # nested defs analysed as their own scopes
+                    visit(stmt.body, f"{qual}.", class_name)
+                elif isinstance(stmt, ast.ClassDef):
+                    visit(stmt.body, f"{prefix}{stmt.name}.", stmt.name)
+
+        visit(self.tree.body, "", None)
+        return found
+
+
+class Project:
+    """Every module under one or more roots, indexed for the passes."""
+
+    def __init__(self, modules: List[Module], root: Path) -> None:
+        self.modules = modules
+        self.root = root
+        self.by_name: Dict[str, Module] = {m.name: m for m in modules}
+
+    @classmethod
+    def load(cls, paths: Iterable[str | Path], root: Optional[Path] = None) -> "Project":
+        """Load ``paths`` (files or directories).  ``root`` anchors module
+        and package names; it defaults to the sole directory argument, or
+        the common parent of the given files."""
+        files: List[Path] = []
+        dirs: List[Path] = []
+        for raw in paths:
+            p = Path(raw)
+            if p.is_dir():
+                dirs.append(p)
+                files.extend(sorted(p.rglob("*.py")))
+            elif p.suffix == ".py":
+                files.append(p)
+            else:
+                raise FileNotFoundError(f"not a python file or directory: {raw}")
+        if root is None:
+            if len(dirs) == 1 and not [f for f in files if dirs[0] not in f.parents]:
+                root = dirs[0]
+            elif files:
+                root = Path(files[0]).parent
+            else:
+                root = Path(".")
+        modules = [Module(f, root) for f in files]
+        return cls(modules, root)
+
+    def functions(self) -> Iterator[FunctionInfo]:
+        for module in self.modules:
+            yield from module.functions
+
+    @cached_property
+    def functions_by_name(self) -> Dict[str, List[FunctionInfo]]:
+        """Bare-name index (``send`` -> every def named send) — the basis
+        of the name-resolved call graph."""
+        index: Dict[str, List[FunctionInfo]] = {}
+        for fn in self.functions():
+            index.setdefault(fn.name, []).append(fn)
+        return index

@@ -1,0 +1,108 @@
+"""Static view of the ``@acquires``/``@releases`` annotation registry.
+
+The lifecycle pass cannot import the analysed tree, so this module
+re-discovers the same registry :mod:`repro.annotations` builds at runtime
+— but from the AST: every function carrying an ``@acquires("kind")`` /
+``@releases("kind")`` decorator, plus the declarative
+:data:`~repro.annotations.CALL_SITE_PATTERNS` for primitives whose bare
+name is too generic to match call sites by name alone (``get``, ``put``,
+``release``...).
+
+Matching a call site yields ``(role, kind)`` effects:
+
+* if the called method name has a declared pattern, the receiver tail
+  must match (``self._send_bufs.get()`` is a send-buffer acquire;
+  ``self._pending.get(ctx, 0)`` is a dict read and matches nothing);
+* otherwise the bare name matches iff it is **unambiguous**: not in
+  :data:`~repro.annotations.GENERIC_NAMES`, and every project definition
+  of that name carries the same annotation (so ``track_pending`` matches
+  anywhere, while an unannotated local helper named ``span_end`` would
+  veto name matching for that module's calls).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Tuple
+
+from repro.annotations import CALL_SITE_PATTERNS, GENERIC_NAMES, RESOURCE_KINDS
+from repro.analysis.engine.project import Project
+
+__all__ = ["ResourceRegistry", "call_method_and_tail"]
+
+#: one matched effect at a call site
+Effect = Tuple[str, str]  # (role, kind)
+
+
+def call_method_and_tail(call: ast.Call) -> Tuple[Optional[str], Optional[str]]:
+    """``(method, receiver_tail)`` of a call: ``a.b.c(...)`` -> ``("c",
+    "b")``; ``f(...)`` -> ``("f", None)``; anything else ``(None, None)``."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id, None
+    if isinstance(func, ast.Attribute):
+        value = func.value
+        if isinstance(value, ast.Attribute):
+            return func.attr, value.attr
+        if isinstance(value, ast.Name):
+            return func.attr, value.id
+        return func.attr, None
+    return None, None
+
+
+class ResourceRegistry:
+    """AST-derived acquire/release tables for one :class:`Project`."""
+
+    def __init__(
+        self,
+        name_effects: Dict[str, Tuple[Effect, ...]],
+        patterns: Tuple[Tuple[str, str, str, str], ...] = CALL_SITE_PATTERNS,
+    ) -> None:
+        #: unambiguous bare name -> its effects
+        self.name_effects = name_effects
+        #: method name -> [(role, kind, receiver_tail)]
+        self.pattern_by_method: Dict[str, List[Tuple[str, str, str]]] = {}
+        for role, kind, tail, method in patterns:
+            self.pattern_by_method.setdefault(method, []).append((role, kind, tail))
+
+    @classmethod
+    def from_project(cls, project: Project) -> "ResourceRegistry":
+        tags_by_name: Dict[str, List[Tuple[Effect, ...]]] = {}
+        for fn in project.functions():
+            tags = tuple(fn.decorator_resource_tags())
+            tags_by_name.setdefault(fn.name, []).append(tags)
+        name_effects: Dict[str, Tuple[Effect, ...]] = {}
+        for name, tag_lists in tags_by_name.items():
+            if name in GENERIC_NAMES:
+                continue  # pattern-matched only
+            distinct = set(tag_lists)
+            if len(distinct) != 1:
+                continue  # annotated and unannotated defs share the name
+            (tags,) = distinct
+            if tags:
+                name_effects[name] = tags
+        for tags in name_effects.values():
+            for _, kind in tags:
+                if kind not in RESOURCE_KINDS:  # pragma: no cover - guarded
+                    raise ValueError(f"annotation uses undeclared kind {kind!r}")
+        return cls(name_effects)
+
+    def effects_of_call(self, call: ast.Call) -> List[Effect]:
+        """Every ``(role, kind)`` effect this call site performs."""
+        method, tail = call_method_and_tail(call)
+        if method is None:
+            return []
+        patterns = self.pattern_by_method.get(method)
+        if patterns is not None:
+            return [
+                (role, kind)
+                for role, kind, want_tail in patterns
+                if tail == want_tail
+            ]
+        return list(self.name_effects.get(method, ()))
+
+    def acquired_kinds(self, call: ast.Call) -> List[str]:
+        return [k for role, k in self.effects_of_call(call) if role == "acquire"]
+
+    def released_kinds(self, call: ast.Call) -> List[str]:
+        return [k for role, k in self.effects_of_call(call) if role == "release"]

@@ -1,0 +1,258 @@
+"""SARIF 2.1.0 emission (and validation support) for engine findings.
+
+The emitter produces a minimal-but-conformant ``sarif-2.1.0`` log: one
+run, driver metadata with per-rule descriptions, one result per finding
+with a physical location and the engine's content-addressed fingerprint
+under ``partialFingerprints`` (so SARIF consumers track findings across
+line shifts exactly like the committed baseline does).
+
+:data:`SARIF_SUBSET_SCHEMA` vendors the subset of the official 2.1.0
+JSON schema the emitter exercises — the container image has no network
+access, and the full 3 MB schema would be dead weight; the subset pins
+every structural requirement SARIF consumers rely on (version literal,
+runs/tool/driver shape, result levels, location shape).
+:func:`validate` checks a document against it with :mod:`jsonschema`
+when available, falling back to structural assertions.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List
+
+from repro.analysis.engine.model import AnalysisFinding
+
+__all__ = ["to_sarif", "validate", "RULE_DESCRIPTIONS", "SARIF_SUBSET_SCHEMA"]
+
+_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: stable rule id -> short description (SARIF driver.rules metadata)
+RULE_DESCRIPTIONS: Dict[str, str] = {
+    "atomicity": (
+        "Shared state read before a yield is used to update the same state "
+        "after resuming, without revalidation (Fig. 5c/5d count-reset class)"
+    ),
+    "lifecycle": (
+        "A registered resource acquisition can reach a function exit — "
+        "including exception paths — without a release or ownership transfer"
+    ),
+    "layering": (
+        "An import crosses the declared layer lattice upward or sideways"
+    ),
+    "suppression": (
+        "A '# repro-lint: allow[...]' directive is missing its mandatory "
+        "'-- reason'"
+    ),
+    "wallclock": "Host wall-clock read; use modelled time (sim.now)",
+    "random": "Unseeded/global randomness; use repro.sim.rng substreams",
+    "set-iter": "Iteration over an unordered set; wrap in sorted(...)",
+    "id-order": "id()-based value; object addresses are not deterministic",
+    "pool-escape": "schedule_pooled handle escaping the kernel free list",
+}
+
+
+def to_sarif(
+    findings: Iterable[AnalysisFinding],
+    tool_version: str,
+    baselined_fingerprints: Iterable[str] = (),
+) -> Dict[str, Any]:
+    """Build a SARIF 2.1.0 log dict for ``findings``."""
+    baselined = set(baselined_fingerprints)
+    rule_ids = sorted(RULE_DESCRIPTIONS)
+    rule_index = {rule: i for i, rule in enumerate(rule_ids)}
+    rules: List[Dict[str, Any]] = [
+        {
+            "id": rule,
+            "shortDescription": {"text": RULE_DESCRIPTIONS[rule]},
+        }
+        for rule in rule_ids
+    ]
+    results: List[Dict[str, Any]] = []
+    for finding in findings:
+        result: Dict[str, Any] = {
+            "ruleId": finding.rule,
+            "level": finding.severity.value,
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path.replace("\\", "/")
+                        },
+                        "region": {
+                            "startLine": max(1, finding.line),
+                            "startColumn": finding.col + 1,
+                        },
+                    }
+                }
+            ],
+            "partialFingerprints": {"reproAnalysis/v1": finding.fingerprint},
+            "properties": {
+                "passId": finding.pass_id,
+                "baselined": finding.fingerprint in baselined,
+            },
+        }
+        if finding.rule in rule_index:
+            result["ruleIndex"] = rule_index[finding.rule]
+        if finding.function:
+            result["properties"]["function"] = finding.function
+        results.append(result)
+    return {
+        "$schema": _SCHEMA_URI,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-analysis",
+                        "version": tool_version,
+                        "informationUri": "https://example.invalid/repro",
+                        "rules": rules,
+                    }
+                },
+                "columnKind": "utf16CodeUnits",
+                "results": results,
+            }
+        ],
+    }
+
+
+#: the subset of the official SARIF 2.1.0 schema this emitter exercises
+SARIF_SUBSET_SCHEMA: Dict[str, Any] = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "type": "object",
+    "required": ["version", "runs"],
+    "properties": {
+        "version": {"enum": ["2.1.0"]},
+        "$schema": {"type": "string"},
+        "runs": {
+            "type": "array",
+            "minItems": 1,
+            "items": {
+                "type": "object",
+                "required": ["tool"],
+                "properties": {
+                    "tool": {
+                        "type": "object",
+                        "required": ["driver"],
+                        "properties": {
+                            "driver": {
+                                "type": "object",
+                                "required": ["name"],
+                                "properties": {
+                                    "name": {"type": "string"},
+                                    "version": {"type": "string"},
+                                    "rules": {
+                                        "type": "array",
+                                        "items": {
+                                            "type": "object",
+                                            "required": ["id"],
+                                            "properties": {
+                                                "id": {"type": "string"},
+                                                "shortDescription": {
+                                                    "type": "object",
+                                                    "required": ["text"],
+                                                    "properties": {
+                                                        "text": {"type": "string"}
+                                                    },
+                                                },
+                                            },
+                                        },
+                                    },
+                                },
+                            }
+                        },
+                    },
+                    "columnKind": {
+                        "enum": ["utf16CodeUnits", "unicodeCodePoints"]
+                    },
+                    "results": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["message"],
+                            "properties": {
+                                "ruleId": {"type": "string"},
+                                "ruleIndex": {"type": "integer", "minimum": 0},
+                                "level": {
+                                    "enum": ["none", "note", "warning", "error"]
+                                },
+                                "message": {
+                                    "type": "object",
+                                    "required": ["text"],
+                                    "properties": {"text": {"type": "string"}},
+                                },
+                                "locations": {
+                                    "type": "array",
+                                    "items": {
+                                        "type": "object",
+                                        "properties": {
+                                            "physicalLocation": {
+                                                "type": "object",
+                                                "properties": {
+                                                    "artifactLocation": {
+                                                        "type": "object",
+                                                        "properties": {
+                                                            "uri": {
+                                                                "type": "string"
+                                                            }
+                                                        },
+                                                    },
+                                                    "region": {
+                                                        "type": "object",
+                                                        "properties": {
+                                                            "startLine": {
+                                                                "type": "integer",
+                                                                "minimum": 1,
+                                                            },
+                                                            "startColumn": {
+                                                                "type": "integer",
+                                                                "minimum": 1,
+                                                            },
+                                                        },
+                                                    },
+                                                },
+                                            }
+                                        },
+                                    },
+                                },
+                                "partialFingerprints": {
+                                    "type": "object",
+                                    "additionalProperties": {"type": "string"},
+                                },
+                                "properties": {"type": "object"},
+                            },
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
+
+def validate(doc: Dict[str, Any]) -> None:
+    """Raise if ``doc`` is not a conformant SARIF 2.1.0 subset log."""
+    try:
+        import jsonschema
+    except ImportError:  # pragma: no cover - image always has jsonschema
+        _validate_structural(doc)
+        return
+    jsonschema.validate(instance=doc, schema=SARIF_SUBSET_SCHEMA)
+
+
+def _validate_structural(doc: Dict[str, Any]) -> None:
+    if doc.get("version") != "2.1.0":
+        raise ValueError("SARIF version must be the literal '2.1.0'")
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        raise ValueError("SARIF log must contain a non-empty 'runs' array")
+    for run in runs:
+        driver = run.get("tool", {}).get("driver", {})
+        if not driver.get("name"):
+            raise ValueError("each run needs tool.driver.name")
+        for result in run.get("results", []):
+            if "text" not in result.get("message", {}):
+                raise ValueError("each result needs message.text")

@@ -111,10 +111,18 @@ class Cluster:
     def claim_context(self, node_id: int, space=None, rail: int = 0) -> Elan4Context:
         """Claim a hardware context on ``node_id`` — the dynamic-join
         primitive (§5).  ``rail`` selects the interconnect."""
-        entry = self.rail_capabilities[rail].claim(node_id)
-        if space is None:
-            space = self.nodes[node_id].new_address_space(f"ctx{entry.ctx:#x}")
-        return Elan4Context(self.rail_nics[rail][node_id], entry, space)
+        cap = self.rail_capabilities[rail]
+        entry = cap.claim(node_id)
+        try:
+            if space is None:
+                space = self.nodes[node_id].new_address_space(f"ctx{entry.ctx:#x}")
+            return Elan4Context(self.rail_nics[rail][node_id], entry, space)
+        except BaseException:
+            # attach failed after the claim (bad node, NIC mismatch): put
+            # the hardware context back or the capability leaks one slot
+            # per failed join attempt
+            cap.release(entry.vpid)
+            raise
 
     def run(self, until: Optional[float] = None) -> float:
         return self.sim.run(until=until)

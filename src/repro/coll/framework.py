@@ -81,15 +81,18 @@ def _run(
     obs = cluster.observer
     key = ("coll", comm.ctx_id, comm.rank, seq)
     t0 = sim.now
-    if tracer is not None:
-        tracer.span_begin(key, f"coll.{op}.{alg.name}")
-    try:
+    if tracer is None:
         result = yield from alg.fn(comm, **kwargs)
-    except BaseException:
-        if tracer is not None:
+    else:
+        # span_begin/end/abandon stay in one branch so every path that
+        # opens the span provably closes it (the lifecycle pass checks
+        # this; correlated `if tracer is not None` guards would hide it)
+        tracer.span_begin(key, f"coll.{op}.{alg.name}")
+        try:
+            result = yield from alg.fn(comm, **kwargs)
+        except BaseException:
             tracer.abandon(key)
-        raise
-    if tracer is not None:
+            raise
         tracer.span_end(key)
     if obs is not None:
         obs.count("coll", f"{op}.{alg.name}")

@@ -56,7 +56,7 @@ def _payload_kwargs(op: str, rank: int, n: int, size: int) -> Dict[str, Any]:
 def _measure(op: str, alg: str, n: int, size: int, iters: int, seed: int) -> float:
     """Max-over-ranks mean per-iteration modelled latency (µs) of one
     algorithm at one sweep point, on a fresh cluster."""
-    from repro.cluster import Cluster
+    from repro.cluster import Cluster  # repro-lint: allow[layering] -- offline sweep
     from repro.coll import framework
     from repro.rte.environment import launch_job
 

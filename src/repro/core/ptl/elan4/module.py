@@ -258,24 +258,31 @@ class Elan4PtlModule(PtlModule):
         self.eager_sends += 1
         vpid = self.vpid_of(req.dst_rank)
         buf = yield self._send_bufs.get()
-        hdr = FragmentHeader(
-            type=HDR_MATCH,
-            src_rank=self.process.rank,
-            ctx_id=req.ctx_id,
-            tag=req.tag,
-            seq=req.seq,
-            msg_len=req.nbytes,
-            frag_len=req.nbytes,
-            frag_offset=0,
-            src_req=req.req_id,
-            dst_req=0,
-            flags=FLAG_INLINE if req.nbytes else 0,
-        )
-        buf.write(np.frombuffer(hdr.encode(), dtype=np.uint8))
-        if req.nbytes:
-            yield from self.pml.datatype.pack(
-                thread, buf, req.buffer, req.nbytes, dst_off=HEADER_BYTES
+        try:
+            hdr = FragmentHeader(
+                type=HDR_MATCH,
+                src_rank=self.process.rank,
+                ctx_id=req.ctx_id,
+                tag=req.tag,
+                seq=req.seq,
+                msg_len=req.nbytes,
+                frag_len=req.nbytes,
+                frag_offset=0,
+                src_req=req.req_id,
+                dst_req=0,
+                flags=FLAG_INLINE if req.nbytes else 0,
             )
+            buf.write(np.frombuffer(hdr.encode(), dtype=np.uint8))
+            if req.nbytes:
+                yield from self.pml.datatype.pack(
+                    thread, buf, req.buffer, req.nbytes, dst_off=HEADER_BYTES
+                )
+        except BaseException:
+            # aborted before the buffer was handed on (bad datatype, peer
+            # released mid-pack): the preallocated buffer must recycle, or
+            # the fixed pool drains one slot per failed send
+            self._send_bufs.put(buf)
+            raise
         yield from self._send_fragment(
             thread, vpid, buf, HEADER_BYTES + req.nbytes, obs_tid=req.obs_tid
         )
@@ -308,11 +315,15 @@ class Elan4PtlModule(PtlModule):
             e4=src_e4,
         )
         buf = yield self._send_bufs.get()
-        buf.write(np.frombuffer(hdr.encode(), dtype=np.uint8))
-        if inline:
-            yield from self.pml.datatype.pack(
-                thread, buf, req.buffer, inline, dst_off=HEADER_BYTES
-            )
+        try:
+            buf.write(np.frombuffer(hdr.encode(), dtype=np.uint8))
+            if inline:
+                yield from self.pml.datatype.pack(
+                    thread, buf, req.buffer, inline, dst_off=HEADER_BYTES
+                )
+        except BaseException:
+            self._send_bufs.put(buf)
+            raise
         yield from self._send_fragment(
             thread, vpid, buf, HEADER_BYTES + inline, obs_tid=req.obs_tid
         )
@@ -328,15 +339,26 @@ class Elan4PtlModule(PtlModule):
 
         ``obs_tid`` rides the message's metadata side-channel (never wire
         bytes) so the receive side lands on the same flight record."""
-        payload = buf.read(0, nbytes)
+        try:
+            payload = buf.read(0, nbytes)
+        except BaseException:
+            self._send_bufs.put(buf)
+            raise
         meta = None if obs_tid is None else {"obs_tid": obs_tid}
         if self.reliable is not None:
             self._send_bufs.put(buf)
             yield from self.reliable.send(thread, vpid, payload, meta=meta)
             return
-        done = yield from self.ctx.qdma_send(
-            thread, vpid, PTL_RECV_QID, payload, meta=meta
-        )
+        try:
+            done = yield from self.ctx.qdma_send(
+                thread, vpid, PTL_RECV_QID, payload, meta=meta
+            )
+        except BaseException:
+            # the command was refused at issue (e.g. the destination VPID
+            # was released between match and post): no NIC fetch will ever
+            # fire the release chain, so recycle the buffer here
+            self._send_bufs.put(buf)
+            raise
         done.chain(ChainOp("release-sendbuf", lambda b=buf: self._send_bufs.put(b)))
         self.completions.watch_silent(done)
 

@@ -37,6 +37,18 @@ from repro.core.ptl.base import PtlError
 from repro.elan4.rdma import RdmaDescriptor
 
 
+def _release_transport_mapping(module, req, key: str) -> None:
+    """Drop the per-transfer MMU registration a request carries under
+    ``req.transport[key]`` (``src_e4`` on the sender, ``dst_e4`` on the
+    write-scheme receiver).  Once-only via pop, and skipped wholesale if
+    ft already reclaimed the context — without this, every rendezvous
+    leaves one registration behind until finalize and the MMU table grows
+    without bound."""
+    e4 = req.transport.pop(key, None)
+    if e4 is not None and not module.ctx.finalized:
+        module.ctx.unmap(e4)
+
+
 def _abandon_attempt(state) -> None:
     """Tear down one rendezvous-read attempt: stop its watchdog, drop its
     completion watch, release its NIC descriptor."""
@@ -77,6 +89,16 @@ def receiver_matched(
 
     if module.options.rdma_scheme == "write":
         # Fig. 3: expose the receive buffer and ACK back to the sender.
+        # A failover re-match can arrive with the previous exposure still
+        # mapped — drop it before exposing afresh.
+        _release_transport_mapping(module, recv_req, "dst_e4")
+        dst_e4 = None
+        if recv_req.nbytes > 0:
+            dst_e4 = module.ctx.map_buffer(
+                recv_req.buffer.sub(0, recv_req.nbytes)
+            )
+            # the request owns the mapping until the FIN lands
+            recv_req.transport["dst_e4"] = dst_e4
         ack = FragmentHeader(
             type=HDR_ACK,
             src_rank=module.process.rank,
@@ -88,11 +110,7 @@ def receiver_matched(
             frag_offset=inline,
             src_req=hdr.src_req,
             dst_req=recv_req.req_id,
-            e4=(
-                module.ctx.map_buffer(recv_req.buffer.sub(0, recv_req.nbytes))
-                if recv_req.nbytes > 0
-                else None
-            ),
+            e4=dst_e4,
         )
         yield from module.send_control(
             thread, peer_vpid, ack, obs_tid=recv_req.obs_tid
@@ -124,8 +142,8 @@ def receiver_matched(
             module.pml.recv_progress(recv_req, 0)
         return
 
-    dst_e4 = module.ctx.map_buffer(recv_req.buffer.sub(inline, remainder))
     cfg = module.config
+    dst_e4 = module.ctx.map_buffer(recv_req.buffer.sub(inline, remainder))
     state = {
         "module": module,
         "desc": None,
@@ -133,8 +151,19 @@ def receiver_matched(
         "watchdog": None,
         "retries": 0,
         "abandoned": False,
+        # the state dict owns the destination mapping: retries reuse it,
+        # and it is unmapped exactly once at a terminal point below
+        "dst_e4": dst_e4,
     }
     recv_req.transport["rndv_state"] = state
+
+    def unmap_dst() -> None:
+        # once-only (pop): completion and the give-up watchdog can race
+        # through here; skip entirely if ft already reclaimed the context
+        # (reclaim tears down every translation wholesale)
+        e4 = state.pop("dst_e4", None)
+        if e4 is not None and not module.ctx.finalized:
+            module.ctx.unmap(e4)
 
     def attempt(t) -> Generator:
         t_issue = module.sim.now if module.obs is not None else 0.0
@@ -161,8 +190,12 @@ def receiver_matched(
                 state["watchdog"].cancel()
                 state["watchdog"] = None
             if state["abandoned"] or recv_req.completed:
+                # terminal elsewhere (give-up already unmapped; a request
+                # failed by ft keeps nothing) — make sure the mapping dies
+                unmap_dst()
                 yield t2.sim.timeout(0)
                 return
+            unmap_dst()
             if module.obs is not None:
                 # the rendezvous pull: issue to completion on the NIC DMA
                 module.obs.flight_span(
@@ -200,6 +233,7 @@ def receiver_matched(
         module.ctx.nic.rdma.cancel(state["desc"])
         if state["retries"] >= cfg.rdma_max_retries:
             state["abandoned"] = True
+            unmap_dst()
             error = PtlError(
                 f"rendezvous read of {remainder} bytes from rank "
                 f"{hdr.src_rank} stalled through {state['retries']} "
@@ -237,6 +271,8 @@ def receiver_handle_fin(module: "Elan4PtlModule", thread, hdr: FragmentHeader) -
         module.obs.flight_instant(
             recv_req.obs_tid, "ptl", "fin", node=module._obs_node
         )
+    # the sender's put has landed: the exposed receive window is dead
+    _release_transport_mapping(module, recv_req, "dst_e4")
     module.pml.recv_progress(recv_req, hdr.frag_len)
     yield thread.sim.timeout(0)
 
@@ -262,9 +298,11 @@ def sender_handle_ack(module: "Elan4PtlModule", thread, hdr: FragmentHeader) -> 
     total = min(send_req.nbytes, hdr.msg_len)
     remainder = total - inline
     if remainder <= 0:
+        # nothing left to write (fully inlined, or a 0-byte synchronous
+        # send): the RNDV-time source exposure is already dead
+        _release_transport_mapping(module, send_req, "src_e4")
         if not send_req.completed:
-            # nothing left to write (fully inlined, or a 0-byte
-            # synchronous send): the ACK itself is the completion proof
+            # the ACK itself is the completion proof
             module.pml.send_progress(
                 send_req, send_req.nbytes - send_req.bytes_progressed
             )
@@ -303,6 +341,9 @@ def sender_handle_ack(module: "Elan4PtlModule", thread, hdr: FragmentHeader) -> 
     t_issue = module.sim.now if module.obs is not None else 0.0
 
     def on_complete(t) -> Generator:
+        # the put has left the NIC: the source exposure is no longer
+        # needed whatever completed the request in the meantime
+        _release_transport_mapping(module, send_req, "src_e4")
         if send_req.completed:
             yield t.sim.timeout(0)
             return
@@ -341,5 +382,7 @@ def sender_handle_fin_ack(module: "Elan4PtlModule", thread, hdr: FragmentHeader)
             send_req.obs_tid, "ptl", "fin_ack", node=module._obs_node
         )
     send_req.acked = True
+    # read scheme terminal: the receiver has pulled everything it wants
+    _release_transport_mapping(module, send_req, "src_e4")
     module.pml.send_progress(send_req, send_req.nbytes - send_req.bytes_progressed)
     yield thread.sim.timeout(0)

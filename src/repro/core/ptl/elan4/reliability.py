@@ -29,7 +29,7 @@ from typing import Any, Dict, Generator, List, Optional, Tuple, TYPE_CHECKING
 
 import numpy as np
 
-from repro.ft.backoff import JitteredBackoff
+from repro.sim.backoff import JitteredBackoff
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.ptl.elan4.module import Elan4PtlModule
@@ -89,7 +89,7 @@ class ReliableChannel:
             )
         except AttributeError:
             self._jitter_rng = np.random.default_rng(12345)
-        # retry pacing through the shared seeded helper (repro.ft.backoff):
+        # retry pacing through the shared seeded helper (repro.sim.backoff):
         # exponential backoff with multiplicative jitter, so a congested or
         # stalled peer is not hammered at a fixed cadence and many senders'
         # retry storms desynchronise — all bit-reproducibly

@@ -20,6 +20,8 @@ from __future__ import annotations
 import bisect
 from typing import Dict, List, NamedTuple, Tuple, TYPE_CHECKING
 
+from repro.annotations import acquires, releases
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.hw.memory import AddressSpace
 
@@ -82,6 +84,7 @@ class Elan4Mmu:
         self.tlb_misses = 0
 
     # -- mapping ---------------------------------------------------------
+    @acquires("mmu-registration")
     def map(self, ctx: int, space: "AddressSpace", host_addr: int, nbytes: int) -> E4Addr:
         """Install a translation for ``nbytes`` of host memory; returns the
         E4 address the NIC will use for this range."""
@@ -95,10 +98,12 @@ class Elan4Mmu:
         table.entries[base] = (space, host_addr, nbytes)
         return E4Addr(ctx, base)
 
+    @acquires("mmu-registration")
     def map_buffer(self, ctx: int, buf) -> E4Addr:
         """Convenience: map a :class:`repro.hw.memory.Buffer`."""
         return self.map(ctx, buf.space, buf.addr, buf.nbytes)
 
+    @releases("mmu-registration")
     def unmap(self, ctx: int, e4: E4Addr) -> None:
         table = self._ctx.get(ctx)
         if table is None or e4.offset not in table.entries:
@@ -107,6 +112,7 @@ class Elan4Mmu:
         table.bases.remove(e4.offset)
         self._tlb.pop(ctx, None)  # registration change: shoot the whole ctx
 
+    @releases("mmu-registration")
     def unmap_context(self, ctx: int) -> int:
         """Tear down every translation of a context (process finalize /
         restart).  Returns the number of ranges removed."""

@@ -21,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro.annotations import acquires, releases
+
 __all__ = ["ElanCapability", "CapabilityError", "VpidEntry"]
 
 
@@ -66,6 +68,7 @@ class ElanCapability:
         self._cohort_sealed = False
 
     # -- claiming --------------------------------------------------------
+    @acquires("nic-context")
     def claim(self, node_id: int, ctx: Optional[int] = None) -> VpidEntry:
         """Claim a context on ``node_id`` (any free one unless ``ctx`` is
         given) and allocate a fresh VPID for it."""
@@ -87,6 +90,7 @@ class ElanCapability:
         self._ever_claimed.add((node_id, ctx))
         return entry
 
+    @releases("nic-context")
     def release(self, vpid: int) -> None:
         """Return the context behind ``vpid`` to the free pool.  The VPID
         itself is retired forever."""

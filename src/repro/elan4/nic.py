@@ -25,6 +25,7 @@ from typing import Any, Callable, Dict, Generator, List, Optional, Set, TYPE_CHE
 
 import numpy as np
 
+from repro.annotations import acquires, releases
 from repro.elan4.addr import E4Addr, Elan4Mmu
 from repro.elan4.capability import ElanCapability, VpidEntry
 from repro.elan4.event import ChainOp, ElanEvent
@@ -174,9 +175,11 @@ class Elan4Nic:
         return self.capability.resolve(vpid).ctx
 
     # -- pending-operation tracking (drain support, §4.1) ---------------------
+    @acquires("pending-op")
     def track_pending(self, ctx: int) -> None:
         self._pending[ctx] = self._pending.get(ctx, 0) + 1
 
+    @releases("pending-op")
     def untrack_pending(self, ctx: int) -> None:
         count = self._pending.get(ctx, 0) - 1
         if count < 0:
@@ -225,11 +228,20 @@ class Elan4Context:
         return self.entry.vpid
 
     # -- memory ------------------------------------------------------------
+    @acquires("mmu-registration")
     def map_buffer(self, buf: "Buffer") -> E4Addr:
         """Expose host memory to the NIC; returns its E4 address (the
         "expanded memory descriptor" ingredient of §4.2)."""
         self._check_live()
         return self.nic.mmu.map(self.ctx, buf.space, buf.addr, buf.nbytes)
+
+    @releases("mmu-registration")
+    def unmap(self, e4: E4Addr) -> None:
+        """Drop one registration made by :meth:`map_buffer`.  Per-transfer
+        mappings (rendezvous gets, tport RTS sources) must come back here
+        at the transfer's terminal point or the MMU table grows without
+        bound until ``unmap_context`` at finalize."""
+        self.nic.mmu.unmap(self.ctx, e4)
 
     # -- queues ----------------------------------------------------------------
     def create_queue(self, queue_id: int, nslots: Optional[int] = None) -> QdmaQueue:

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Deque, Dict, Generator, List, Optional, TYPE_CHECKING
+from typing import Any, Deque, Dict, Generator, List, Optional, Tuple, TYPE_CHECKING
 from collections import deque
 
 import numpy as np
@@ -113,7 +113,9 @@ class TportEngine:
         self.config = nic.config
         self._posted: Dict[int, List[_PostedRecv]] = {}
         self._unexpected: Dict[int, Deque[_Unexpected]] = {}
-        self._send_done: Dict[int, ElanEvent] = {}
+        #: send_id -> (completion event, owning context, RTS source
+        #: mapping); the mapping is dropped when the FIN retires the send
+        self._send_done: Dict[int, Tuple[ElanEvent, "Elan4Context", E4Addr]] = {}
         self._send_ids = itertools.count()
         self.matches = 0
         self.unexpected_hits = 0
@@ -141,8 +143,10 @@ class TportEngine:
             )
         else:
             send_id = next(self._send_ids)
-            self._send_done[send_id] = done
             src_e4 = context.map_buffer(buf.sub(0, nbytes))
+            # the pending-send table owns the mapping from here: it is
+            # unmapped when the receiver's FIN retires the send_id
+            self._send_done[send_id] = (done, context, src_e4)
             self.sim.schedule(
                 self.config.nic_cmd_process_us,
                 self._nic_send_rts,
@@ -303,6 +307,8 @@ class TportEngine:
         )
 
         def on_done() -> None:
+            # the get has landed: this per-transfer registration is dead
+            self.nic.mmu.unmap(ctx, local_e4)
             entry.done.fire(msg)
             # notify the sender its buffer is free (fires its done event)
             dst = self.nic.resolve_vpid(msg.src_vpid)
@@ -319,8 +325,12 @@ class TportEngine:
         self.nic.rdma.nic_issue(desc)
 
     def handle_fin(self, pkt: Packet) -> None:
-        done = self._send_done.pop(pkt.meta["send_id"], None)
-        if done is None:
+        pending = self._send_done.pop(pkt.meta["send_id"], None)
+        if pending is None:
             self.nic.drop_packet(pkt, reason="tport FIN for unknown send")
             return
+        done, context, src_e4 = pending
+        # the receiver has pulled the data: the RTS source registration is
+        # dead, drop it before completing the send
+        context.unmap(src_e4)
         done.fire()

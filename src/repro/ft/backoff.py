@@ -1,67 +1,17 @@
-"""Deterministic jittered exponential backoff.
+"""Compatibility shim: :class:`JitteredBackoff` moved to
+:mod:`repro.sim.backoff`.
 
-One helper shared by everything in the stack that retries with delay —
-the failure detector's heartbeats, the recovery driver's respawn loop,
-and the Elan4 reliability layer's retransmission timers.  All jitter is
-drawn from a caller-supplied seeded RNG (normally a named child stream
-of ``cluster.rng``), so every retry schedule is bit-reproducible.
-
-``delay(attempt)`` is the pure form: ``min(base * factor**attempt, cap)``
-scaled by ``1 + jitter_frac * U[0, 1)``.  The stateful ``next()``/
-``reset()`` pair wraps it with an attempt counter for simple retry loops.
+The helper started life here (PR 6) and was adopted by the Elan4
+reliability channel — a ``core``-layer module — which made ``core``
+import upward into ``ft`` and broke the declared import lattice
+(``sim < hw/elan4/tcpip < core < coll/ft/obs/faults < bench``).  The
+implementation now lives at the bottom of the lattice where both the
+transport and the fault-tolerance layers can reach it; this re-export
+keeps the historical ``repro.ft.backoff`` import path working.
 """
 
 from __future__ import annotations
 
-from typing import Protocol
+from repro.sim.backoff import JitteredBackoff, RandomSource
 
 __all__ = ["JitteredBackoff", "RandomSource"]
-
-
-class RandomSource(Protocol):
-    """Anything with ``random() -> float`` in [0, 1) — e.g. a numpy
-    ``Generator`` from :class:`repro.sim.rng.RandomStreams`."""
-
-    def random(self) -> float: ...  # pragma: no cover - protocol
-
-
-class JitteredBackoff:
-    """Seeded exponential backoff with multiplicative jitter."""
-
-    def __init__(
-        self,
-        rng: RandomSource,
-        base_us: float,
-        factor: float = 2.0,
-        cap_us: float = 1_000.0,
-        jitter_frac: float = 0.25,
-    ):
-        if base_us <= 0.0:
-            raise ValueError("backoff base must be > 0")
-        if factor < 1.0:
-            raise ValueError("backoff factor must be >= 1")
-        if cap_us < base_us:
-            raise ValueError("backoff cap must be >= base")
-        if not 0.0 <= jitter_frac <= 1.0:
-            raise ValueError("jitter_frac must be in [0, 1]")
-        self.rng = rng
-        self.base_us = base_us
-        self.factor = factor
-        self.cap_us = cap_us
-        self.jitter_frac = jitter_frac
-        self.attempt = 0
-
-    def delay(self, attempt: int) -> float:
-        """Jittered delay in µs for retry number ``attempt`` (0-based).
-        Consumes one RNG draw per call."""
-        raw = min(self.base_us * (self.factor ** attempt), self.cap_us)
-        return raw * (1.0 + self.jitter_frac * float(self.rng.random()))
-
-    def next(self) -> float:
-        """Stateful form: delay for the current attempt, then advance."""
-        d = self.delay(self.attempt)
-        self.attempt += 1
-        return d
-
-    def reset(self) -> None:
-        self.attempt = 0

@@ -217,7 +217,7 @@ class Communicator:
     # NIC-offload degradation); the remaining ops keep the naive reference
     # component of repro.mpi.collective (§2.1's "separate component").
     def barrier(self) -> Generator:
-        from repro.coll import framework
+        from repro.coll import framework  # repro-lint: allow[layering] -- MPI fronts the separate coll component (§2.1); lazy to break the cycle
 
         yield from framework.barrier(self)
 
@@ -233,7 +233,7 @@ class Communicator:
         lets the decision table pick a size-appropriate algorithm; without
         it the size-independent default applies.  Correctness never depends
         on the hint — every algorithm self-describes its payload."""
-        from repro.coll import framework
+        from repro.coll import framework  # repro-lint: allow[layering] -- MPI fronts the separate coll component (§2.1); lazy to break the cycle
 
         return (
             yield from framework.bcast(
@@ -247,7 +247,7 @@ class Communicator:
         return (yield from collective.reduce(self, array, op, root))
 
     def allreduce(self, array: np.ndarray, op: str = "sum") -> Generator:
-        from repro.coll import framework
+        from repro.coll import framework  # repro-lint: allow[layering] -- MPI fronts the separate coll component (§2.1); lazy to break the cycle
 
         return (yield from framework.allreduce(self, array, op))
 
@@ -267,7 +267,7 @@ class Communicator:
         return (yield from collective.allgather(self, data, max_bytes))
 
     def alltoall(self, chunks, max_bytes: int = 1 << 22) -> Generator:
-        from repro.coll import framework
+        from repro.coll import framework  # repro-lint: allow[layering] -- MPI fronts the separate coll component (§2.1); lazy to break the cycle
 
         return (yield from framework.alltoall(self, chunks, max_bytes=max_bytes))
 
@@ -282,7 +282,7 @@ class Communicator:
         return (yield from collective.exscan(self, array, op))
 
     def reduce_scatter(self, array: np.ndarray, op: str = "sum") -> Generator:
-        from repro.coll import framework
+        from repro.coll import framework  # repro-lint: allow[layering] -- MPI fronts the separate coll component (§2.1); lazy to break the cycle
 
         return (yield from framework.reduce_scatter(self, array, op))
 

@@ -282,7 +282,7 @@ class RteJob:
 
 
 def _default_stack_factory() -> Callable:
-    from repro.mpi.world import mpi_stack_factory
+    from repro.mpi.world import mpi_stack_factory  # repro-lint: allow[layering] -- default stack is MPI; lazy so bare-RTE runs never import it
 
     return mpi_stack_factory
 

@@ -260,7 +260,7 @@ class Simulator:
         #: one attribute load on the cold paths that carry them
         self.sanitizer = None
         if sanitize_enabled():
-            from repro.analysis.sanitize import attach
+            from repro.analysis.sanitize import attach  # repro-lint: allow[layering] -- opt-in debug hook; gated on REPRO_SANITIZE so the kernel never depends on it
 
             attach(self)
 
@@ -615,6 +615,14 @@ class Simulator:
         absolute time; when it is hit the clock is advanced exactly to it
         (standard DES semantics), with any events at later timestamps left
         queued for a subsequent ``run`` call.
+
+        Only a *natural* drain (queue empty, no ``stop()``/``until``/
+        ``max_events`` cutoff) invokes the sanitizer's drain hook: blocked
+        coroutine processes at that point can never resume, and the
+        deadlock detector dumps their wait chains plus every still-held
+        lifecycle resource — labelled with its owning layer and acquire
+        site via :mod:`repro.annotations` (see
+        :mod:`repro.analysis.deadlock`).
         """
         if self._running:
             raise SimError("Simulator.run() is not reentrant")
@@ -664,6 +672,10 @@ class Simulator:
         a :meth:`stop` request is outstanding (consumed), or the next event
         lies beyond ``until`` (the clock then advances exactly to it) —
         the same dequeue arbitration :meth:`run` uses.
+
+        A ``False`` return from queue exhaustion goes through the same
+        natural-drain path as :meth:`run`, so a sanitized single-stepped
+        run still gets the deadlock wait-chain/held-resource dump.
         """
         if self._stopped:
             self._stopped = False

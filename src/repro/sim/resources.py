@@ -13,6 +13,7 @@ import itertools
 from collections import deque
 from typing import Any, Callable, Deque, List, Optional, TYPE_CHECKING
 
+from repro.annotations import acquires, releases
 from repro.sim.core import SimError
 from repro.sim.events import TRIGGERED, SimEvent
 
@@ -109,6 +110,7 @@ class Store:
         self._put_name = f"put:{name}"
         self._get_name = f"get:{name}"
 
+    @releases("store-item")
     def put(self, item: Any) -> SimEvent:
         """Deposit ``item``; returns an event that fires once it is stored
         (immediately unless the store is bounded and full)."""
@@ -124,6 +126,7 @@ class Store:
             self._putters.append((ev, item))
         return ev
 
+    @acquires("store-item")
     def get(self) -> SimEvent:
         """Returns an event yielding the next item (waits if empty)."""
         ev = SimEvent(self.sim, name=self._get_name)

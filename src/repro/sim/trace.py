@@ -21,6 +21,8 @@ from collections import Counter, defaultdict
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple, Union
 
+from repro.annotations import acquires, releases
+
 __all__ = ["Tracer", "TraceRecord"]
 
 
@@ -101,11 +103,13 @@ class Tracer:
             self.counters[category] += n
 
     # -- timing spans ------------------------------------------------------
+    @acquires("tracer-span")
     def span_begin(self, key: Any, category: str) -> None:
         """Open a timing span keyed by an arbitrary token."""
         if self.enabled:
             self._open_spans[key] = (category, self.sim.now)
 
+    @releases("tracer-span")
     def span_end(self, key: Any) -> Optional[float]:
         """Close a span; records its duration as a sample. Returns duration."""
         if not self.enabled:
@@ -118,6 +122,7 @@ class Tracer:
         self.samples[category].append(duration)
         return duration
 
+    @releases("tracer-span")
     def abandon(self, key: Any) -> bool:
         """Discard an open span without sampling it — the close path for
         aborted operations, so ``_open_spans`` can't leak.  Returns

@@ -1,0 +1,22 @@
+"""Negative atomicity cases: crossings that revalidate (or never cross)."""
+
+
+class Engine:
+    def revalidated(self):
+        """Re-reading after the resume clears the staleness."""
+        n = self.engine.pending
+        yield self.sim.timeout(1)
+        n = self.engine.pending  # fresh read: the write below is fine
+        self.engine.pending = n - 1
+
+    def same_side(self):
+        """Read and write both happen before the suspension."""
+        n = self.engine.pending
+        self.engine.pending = n - 1
+        yield self.sim.timeout(1)
+
+    def compare_and_set(self):
+        """The writing statement itself re-reads the location."""
+        n = self.engine.pending
+        yield self.sim.timeout(1)
+        self.engine.pending = self.engine.pending - min(n, 1)

@@ -1,0 +1,27 @@
+"""Positive atomicity cases: state read before a yield, used after.
+
+The violation markers sit on the *write* statements — the pass anchors
+its finding where the stale value is written back, and points at the
+read line in the message.
+"""
+
+
+class Engine:
+    def count_reset(self):
+        """Fig. 5c/5d shape: read-modify-write spanning a suspension."""
+        pending = self.engine.pending
+        yield self.sim.timeout(1)
+        self.engine.pending = pending - 1  # VIOLATION: stale write-back
+
+    def stale_guard(self):
+        """The stale value only guards the write — still a lost update."""
+        armed = self.timer.armed
+        yield self.sim.timeout(1)
+        if armed:
+            self.timer.armed = False  # VIOLATION: stale guard
+
+    def stale_dict_get(self, key):
+        """Reads through ``.get`` count too (per-peer sequence tables)."""
+        seq = self.seqs.get(key, 0)
+        yield self.sim.timeout(1)
+        self.seqs[key] = seq + 1  # VIOLATION: table may have moved

@@ -1,0 +1,10 @@
+"""Negative determinism cases: modelled time and sorted iteration."""
+
+
+def stamp(sim):
+    return sim.now
+
+
+def drain(items):
+    for item in sorted(set(items)):
+        yield item

@@ -1,0 +1,13 @@
+"""Negative cases: downward imports, TYPE_CHECKING, and same-package."""
+
+from typing import TYPE_CHECKING
+
+from repro.elan4 import nic  # downward: coll (7) -> elan4 (3), fine
+from repro.coll import registry  # same package, fine
+
+if TYPE_CHECKING:  # never executes: exempt even though it points upward
+    from repro.cluster import Cluster
+
+
+def poke():
+    return nic, registry

@@ -1,0 +1,13 @@
+"""A deferred import hides from the import graph but not from the pass."""
+
+
+def run_benchmark():
+    from repro.bench import harness  # VIOLATION: core (4) -> bench (9)
+
+    return harness
+
+
+def undeclared():
+    from repro.newpkg import thing  # VIOLATION: 'newpkg' not in the lattice
+
+    return thing

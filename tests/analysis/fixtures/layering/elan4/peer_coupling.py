@@ -1,0 +1,7 @@
+"""Interconnect models are peers; coupling them is a sideways violation."""
+
+import repro.tcpip.socket  # VIOLATION: elan4 (3) -> tcpip (3), sideways
+
+
+def poke():
+    return repro.tcpip.socket

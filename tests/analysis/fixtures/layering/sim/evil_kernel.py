@@ -1,0 +1,7 @@
+"""The kernel reaching up into a service layer — the classic inversion."""
+
+from repro.coll import framework  # VIOLATION: sim (1) -> coll (7)
+
+
+def poke():
+    return framework

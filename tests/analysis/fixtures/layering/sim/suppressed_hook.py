@@ -1,0 +1,7 @@
+"""Negative case: an intentional inversion with a reasoned suppression."""
+
+
+def attach_debug_hook():
+    from repro.analysis import sanitize  # repro-lint: allow[layering] -- fixture: opt-in debug hook
+
+    return sanitize

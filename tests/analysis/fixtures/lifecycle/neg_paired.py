@@ -1,0 +1,33 @@
+"""Negative lifecycle cases: released, or ownership provably left."""
+
+from repro.annotations import acquires, releases
+
+
+class Pool:
+    @acquires("send-buffer")
+    def take(self):
+        return object()
+
+    @releases("send-buffer")
+    def give_back(self, buf):
+        del buf
+
+
+def safe_finally(pool, codec):
+    buf = pool.take()
+    try:
+        size = codec.frame_size()
+    finally:
+        pool.give_back(buf)
+    return size
+
+
+def transfer_by_return(pool):
+    buf = pool.take()
+    return buf  # caller owns it now
+
+
+def transfer_by_store(pool, table, key):
+    buf = pool.take()
+    table[key] = buf  # the table owns it now
+    return key

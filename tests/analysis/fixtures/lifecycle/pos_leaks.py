@@ -1,0 +1,44 @@
+"""Positive lifecycle cases: obligations that reach an exit alive."""
+
+from repro.annotations import acquires, releases
+
+
+class Pool:
+    @acquires("send-buffer")
+    def take(self):
+        return object()
+
+    @releases("send-buffer")
+    def give_back(self, buf):
+        del buf
+
+
+class Nic:
+    @acquires("pending-op")
+    def track(self):
+        pass
+
+    @releases("pending-op")
+    def untrack(self):
+        pass
+
+
+def leak_on_early_return(pool, flag):
+    buf = pool.take()  # VIOLATION: the early return skips give_back
+    if flag:
+        return None
+    pool.give_back(buf)
+    return None
+
+
+def leak_on_exception(pool, codec):
+    buf = pool.take()  # VIOLATION: frame_size() raising strands buf
+    size = codec.frame_size()
+    pool.give_back(buf)
+    return size
+
+
+def counted_leak(nic, ok):
+    nic.track()  # VIOLATION: the else path never untracks
+    if ok:
+        nic.untrack()

@@ -1,0 +1,320 @@
+"""Unit tests for the engine substrate: CFG, dataflow, registry, call graph."""
+
+import ast
+import textwrap
+
+from repro.analysis.engine.callgraph import CallGraph
+from repro.analysis.engine.cfg import build_cfg, contains_yield
+from repro.analysis.engine.dataflow import solve_forward
+from repro.analysis.engine.project import Project
+from repro.analysis.engine.registry import ResourceRegistry, call_method_and_tail
+
+
+def _fn(src: str) -> ast.FunctionDef:
+    tree = ast.parse(textwrap.dedent(src))
+    assert isinstance(tree.body[0], ast.FunctionDef)
+    return tree.body[0]
+
+
+def _project_from_source(tmp_path, name, src):
+    (tmp_path / name).write_text(textwrap.dedent(src))
+    return Project.load([tmp_path])
+
+
+# -- CFG ----------------------------------------------------------------------
+def test_cfg_linear_reaches_exit():
+    cfg = build_cfg(_fn("""
+        def f(a):
+            b = a + 1
+            return b
+    """))
+    # return statement wired to EXIT, nothing to RAISE_EXIT except the BinOp
+    ret = [n for n in cfg.stmt_nodes() if isinstance(n.stmt, ast.Return)]
+    assert len(ret) == 1
+    assert cfg.exit in ret[0].succ
+
+
+def test_cfg_exception_edge_to_raise_exit():
+    cfg = build_cfg(_fn("""
+        def f(codec):
+            x = codec.parse()
+            return x
+    """))
+    call = [n for n in cfg.stmt_nodes() if isinstance(n.stmt, ast.Assign)][0]
+    assert call.can_raise
+    assert cfg.raise_exit in call.exc_succ
+
+
+def test_cfg_catch_all_handler_absorbs_raises():
+    cfg = build_cfg(_fn("""
+        def f(codec):
+            try:
+                x = codec.parse()
+            except Exception:
+                x = None
+            return x
+    """))
+    call = [n for n in cfg.stmt_nodes() if isinstance(n.stmt, ast.Assign)][0]
+    handler_entries = [n for n in cfg.nodes if n.kind == "except"]
+    assert handler_entries and handler_entries[0] in call.exc_succ
+    assert cfg.raise_exit not in call.exc_succ
+
+
+def test_cfg_narrow_handler_still_unwinds():
+    cfg = build_cfg(_fn("""
+        def f(codec):
+            try:
+                x = codec.parse()
+            except KeyError:
+                x = None
+            return x
+    """))
+    call = [
+        n
+        for n in cfg.stmt_nodes()
+        if isinstance(n.stmt, ast.Assign) and n.can_raise
+    ][0]
+    # a KeyError handler might not catch: both routes must exist
+    assert any(n.kind == "except" for n in call.exc_succ)
+    assert cfg.raise_exit in call.exc_succ
+
+
+def test_cfg_finally_on_both_routes():
+    cfg = build_cfg(_fn("""
+        def f(pool, codec):
+            buf = pool.take()
+            try:
+                x = codec.parse()
+            finally:
+                pool.give_back(buf)
+            return x
+    """))
+    parse = [
+        n
+        for n in cfg.stmt_nodes()
+        if isinstance(n.stmt, ast.Assign) and "parse" in ast.unparse(n.stmt)
+    ][0]
+    finals = [
+        n
+        for n in cfg.nodes
+        if n.stmt is not None and "give_back" in ast.unparse(n.stmt)
+    ]
+    assert finals, "finally body missing from the graph"
+    assert any(f in parse.exc_succ for f in finals)
+
+
+def test_cfg_yield_marks_node():
+    fn = _fn("""
+        def f(self):
+            n = self.count
+            yield self.sim.timeout(1)
+            return n
+    """)
+    assert contains_yield(fn)
+    cfg = build_cfg(fn)
+    yields = [n for n in cfg.stmt_nodes() if n.is_yield]
+    assert len(yields) == 1
+
+
+def test_cfg_while_loop_back_edge():
+    cfg = build_cfg(_fn("""
+        def f(q):
+            while q.pending:
+                q.step()
+            return q
+    """))
+    header = [n for n in cfg.stmt_nodes() if isinstance(n.stmt, ast.While)][0]
+    body = [n for n in cfg.stmt_nodes() if isinstance(n.stmt, ast.Expr)][0]
+    assert header in body.succ  # back edge
+
+
+# -- dataflow -----------------------------------------------------------------
+def test_solver_union_join_over_branches():
+    cfg = build_cfg(_fn("""
+        def f(a):
+            if a:
+                x = 1
+            else:
+                y = 2
+            return a
+    """))
+
+    def flow(node, facts):
+        if node.stmt is not None and isinstance(node.stmt, ast.Assign):
+            target = node.stmt.targets[0]
+            assert isinstance(target, ast.Name)
+            return frozenset(facts | {target.id})
+        return facts
+
+    facts_in = solve_forward(cfg, flow)
+    # both branch facts meet at the return: may-analysis unions them
+    ret = [n for n in cfg.stmt_nodes() if isinstance(n.stmt, ast.Return)][0]
+    assert facts_in[ret.index] == frozenset({"x", "y"})
+
+
+def test_solver_exceptional_transfer_is_separate():
+    cfg = build_cfg(_fn("""
+        def f(codec):
+            x = codec.parse()
+            return x
+    """))
+
+    def flow(node, facts):
+        if node.stmt is not None and isinstance(node.stmt, ast.Assign):
+            return frozenset(facts | {"acquired"})
+        return facts
+
+    def flow_exc(node, facts):
+        return facts  # the raise happened before the acquire completed
+
+    facts_in = solve_forward(cfg, flow, flow_exc=flow_exc)
+    assert "acquired" not in facts_in[cfg.raise_exit.index]
+    assert "acquired" in facts_in[cfg.exit.index]
+
+
+# -- registry -----------------------------------------------------------------
+def test_call_method_and_tail_shapes():
+    def call(src):
+        node = ast.parse(src, mode="eval").body
+        assert isinstance(node, ast.Call)
+        return node
+
+    assert call_method_and_tail(call("f()")) == ("f", None)
+    assert call_method_and_tail(call("obj.m()")) == ("m", "obj")
+    assert call_method_and_tail(call("self._send_bufs.get()")) == (
+        "get",
+        "_send_bufs",
+    )
+    assert call_method_and_tail(call("(a or b).m()")) == ("m", None)
+
+
+def test_registry_unambiguous_name_matches(tmp_path):
+    project = _project_from_source(
+        tmp_path,
+        "mod.py",
+        """
+        from repro.annotations import acquires, releases
+
+        @acquires("qslot")
+        def take_slot(q):
+            return q
+
+        @releases("qslot")
+        def free_slot(q):
+            pass
+        """,
+    )
+    registry = ResourceRegistry.from_project(project)
+    call = ast.parse("take_slot(q)", mode="eval").body
+    assert registry.acquired_kinds(call) == ["qslot"]
+
+
+def test_registry_ambiguous_name_vetoed(tmp_path):
+    project = _project_from_source(
+        tmp_path,
+        "mod.py",
+        """
+        from repro.annotations import releases
+
+        @releases("tracer-span")
+        def span_end(key):
+            pass
+
+        def span_end(key):  # noqa: F811 - deliberate shadow
+            pass
+        """,
+    )
+    registry = ResourceRegistry.from_project(project)
+    call = ast.parse("t.span_end(k)", mode="eval").body
+    assert registry.effects_of_call(call) == []
+
+
+def test_registry_generic_name_needs_pattern(tmp_path):
+    project = _project_from_source(
+        tmp_path,
+        "mod.py",
+        """
+        from repro.annotations import acquires
+
+        class Store:
+            @acquires("send-buffer")
+            def get(self):
+                return object()
+        """,
+    )
+    registry = ResourceRegistry.from_project(project)
+    # bare generic name: no effect...
+    plain = ast.parse("store.get()", mode="eval").body
+    assert registry.effects_of_call(plain) == []
+    # ...but the declared _send_bufs pattern matches by receiver tail
+    tailed = ast.parse("self._send_bufs.get()", mode="eval").body
+    assert registry.acquired_kinds(tailed) == ["send-buffer"]
+    # and a dict .get with another receiver stays a dict read
+    dicty = ast.parse("self._pending.get(ctx, 0)", mode="eval").body
+    assert registry.effects_of_call(dicty) == []
+
+
+# -- call graph ---------------------------------------------------------------
+def test_callgraph_transitive_may_release(tmp_path):
+    project = _project_from_source(
+        tmp_path,
+        "mod.py",
+        """
+        from repro.annotations import releases
+
+        @releases("send-buffer")
+        def recycle(buf):
+            pass
+
+        def helper(buf):
+            recycle(buf)
+
+        def outer(buf):
+            helper(buf)
+        """,
+    )
+    registry = ResourceRegistry.from_project(project)
+    graph = CallGraph(project, registry)
+    outer = project.functions_by_name["outer"][0]
+    assert "send-buffer" in graph.may_release(outer)
+
+
+def test_callgraph_cycle_terminates(tmp_path):
+    project = _project_from_source(
+        tmp_path,
+        "mod.py",
+        """
+        from repro.annotations import releases
+
+        @releases("qslot")
+        def drop(q):
+            pass
+
+        def ping(q):
+            pong(q)
+            drop(q)
+
+        def pong(q):
+            ping(q)
+        """,
+    )
+    registry = ResourceRegistry.from_project(project)
+    graph = CallGraph(project, registry)
+    pong = project.functions_by_name["pong"][0]
+    assert "qslot" in graph.may_release(pong)
+
+
+def test_callgraph_external_call_is_unresolved(tmp_path):
+    project = _project_from_source(
+        tmp_path,
+        "mod.py",
+        """
+        def f(buf):
+            return len(buf)
+        """,
+    )
+    registry = ResourceRegistry.from_project(project)
+    graph = CallGraph(project, registry)
+    fn = project.functions_by_name["f"][0]
+    call = [n for n in ast.walk(fn.node) if isinstance(n, ast.Call)][0]
+    assert graph.call_may_release(call, "send-buffer") is None

@@ -1,0 +1,230 @@
+"""The check CLI end to end: self-check, baseline workflow, exit codes,
+suppression audit, and SARIF 2.1.0 emission."""
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.engine.check import main, run_analysis
+from repro.analysis.engine.model import AnalysisFinding, Baseline, Severity
+from repro.analysis.engine.project import Project
+from repro.analysis.engine.sarif import (
+    RULE_DESCRIPTIONS,
+    SARIF_SUBSET_SCHEMA,
+    to_sarif,
+    validate,
+)
+
+REPO = Path(__file__).resolve().parents[2]
+TREE = REPO / "src" / "repro"
+
+LEAKY = """
+    from repro.annotations import acquires, releases
+
+    @acquires("send-buffer")
+    def take(pool):
+        return object()
+
+    @releases("send-buffer")
+    def give_back(pool, buf):
+        pass
+
+    def leaky(pool):
+        buf = take(pool)
+        return None
+"""
+
+
+def _write(tmp_path: Path, name: str, src: str) -> Path:
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(src), encoding="utf-8")
+    return path
+
+
+# -- the tentpole acceptance bar ---------------------------------------------
+def test_shipped_tree_is_clean():
+    """The committed tree passes its own analysis with zero findings and
+    an empty baseline — the ISSUE's acceptance criterion."""
+    project = Project.load([TREE])
+    findings = run_analysis(project)
+    assert findings == [], "\n".join(f.format() for f in findings)
+
+
+def test_shipped_baseline_is_empty():
+    baseline = Baseline.load(REPO / "analysis-baseline.json")
+    assert baseline.entries == {}
+
+
+def test_shipped_suppressions_all_have_reasons():
+    project = Project.load([TREE])
+    for module in project.modules:
+        assert module.suppressions.reasonless() == [], module.rel_path
+
+
+# -- CLI exit codes -----------------------------------------------------------
+def test_cli_clean_tree_exits_zero(tmp_path, capsys):
+    _write(tmp_path, "fine.py", "def f(sim):\n    return sim.now\n")
+    assert main([str(tmp_path), "--baseline", str(tmp_path / "nope.json")]) == 2
+    # a --baseline that doesn't exist is a usage error; without it: clean
+    assert main([str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "clean: 0 findings" in out
+
+
+def test_cli_findings_exit_one(tmp_path, capsys):
+    _write(tmp_path, "leak.py", LEAKY)
+    assert main([str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "lifecycle" in out
+    assert "leak.py" in out
+
+
+def test_cli_missing_path_exits_two(tmp_path, capsys):
+    assert main([str(tmp_path / "missing")]) == 2
+    assert "no such path" in capsys.readouterr().err
+
+
+def test_cli_unknown_pass_exits_two(tmp_path, capsys):
+    _write(tmp_path, "fine.py", "x = 1\n")
+    assert main([str(tmp_path), "--passes", "frobnicate"]) == 2
+    assert "unknown pass" in capsys.readouterr().err
+
+
+def test_cli_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in RULE_DESCRIPTIONS:
+        assert rule in out
+
+
+# -- baseline workflow --------------------------------------------------------
+def test_write_baseline_then_clean(tmp_path, capsys):
+    _write(tmp_path, "leak.py", LEAKY)
+    baseline = tmp_path / "baseline.json"
+    assert main([str(tmp_path)]) == 1
+    capsys.readouterr()
+
+    assert (
+        main([str(tmp_path), "--baseline", str(baseline), "--write-baseline"])
+        == 0
+    )
+    data = json.loads(baseline.read_text())
+    assert data["version"] == 1
+    assert data["entries"], "baseline should carry the leak's fingerprint"
+    capsys.readouterr()
+
+    # baselined findings no longer fail the gate, and are counted
+    assert main([str(tmp_path), "--baseline", str(baseline)]) == 0
+    assert "baselined" in capsys.readouterr().out
+
+
+def test_baseline_expires_when_code_changes(tmp_path):
+    leak = _write(tmp_path, "leak.py", LEAKY)
+    baseline = tmp_path / "baseline.json"
+    main([str(tmp_path), "--baseline", str(baseline), "--write-baseline"])
+    # the offending line changes: the content-addressed fingerprint moves
+    leak.write_text(
+        leak.read_text().replace("buf = take(pool)", "buf2 = take(pool)")
+    )
+    assert main([str(tmp_path), "--baseline", str(baseline)]) == 1
+
+
+def test_bad_baseline_version_exits_two(tmp_path, capsys):
+    _write(tmp_path, "fine.py", "x = 1\n")
+    bad = tmp_path / "baseline.json"
+    bad.write_text('{"version": 99, "entries": {}}')
+    assert main([str(tmp_path), "--baseline", str(bad)]) == 2
+    assert "unsupported baseline version" in capsys.readouterr().err
+
+
+# -- suppression audit --------------------------------------------------------
+def test_reasonless_suppression_is_a_finding(tmp_path):
+    _write(
+        tmp_path,
+        "mod.py",
+        """
+        import time
+
+        def stamp():
+            return time.time()  # repro-lint: allow[wallclock]
+        """,
+    )
+    findings = run_analysis(Project.load([tmp_path]))
+    rules = {f.rule for f in findings}
+    # the reasonless directive suppresses nothing AND is itself reported
+    assert "wallclock" in rules
+    assert "suppression" in rules
+
+
+def test_reasoned_suppression_silences_the_rule(tmp_path):
+    _write(
+        tmp_path,
+        "mod.py",
+        """
+        import time
+
+        def stamp():
+            return time.time()  # repro-lint: allow[wallclock] -- speed harness
+        """,
+    )
+    assert run_analysis(Project.load([tmp_path])) == []
+
+
+# -- SARIF --------------------------------------------------------------------
+def _finding(**kw):
+    base = dict(
+        pass_id="lifecycle",
+        rule="lifecycle",
+        path="src/repro/elan4/nic.py",
+        line=10,
+        col=4,
+        message="leak",
+        snippet="buf = take(pool)",
+        severity=Severity.ERROR,
+        function="f",
+    )
+    base.update(kw)
+    return AnalysisFinding(**base)
+
+
+def test_sarif_document_validates_against_schema():
+    jsonschema = pytest.importorskip("jsonschema")
+    doc = to_sarif([_finding(), _finding(rule="atomicity", line=0, col=0)], "1.0")
+    jsonschema.validate(instance=doc, schema=SARIF_SUBSET_SCHEMA)
+    validate(doc)  # the library entry point agrees
+
+
+def test_sarif_shape():
+    finding = _finding()
+    doc = to_sarif([finding], "1.2.3", baselined_fingerprints=[finding.fingerprint])
+    assert doc["version"] == "2.1.0"
+    run = doc["runs"][0]
+    assert run["tool"]["driver"]["name"] == "repro-analysis"
+    rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+    assert rule_ids == sorted(RULE_DESCRIPTIONS)
+    result = run["results"][0]
+    assert result["ruleId"] == "lifecycle"
+    assert result["level"] == "error"
+    assert result["properties"]["baselined"] is True
+    loc = result["locations"][0]["physicalLocation"]
+    assert loc["artifactLocation"]["uri"] == "src/repro/elan4/nic.py"
+    assert loc["region"] == {"startLine": 10, "startColumn": 5}
+    assert result["partialFingerprints"]["reproAnalysis/v1"] == finding.fingerprint
+
+
+def test_cli_emits_sarif(tmp_path):
+    _write(tmp_path, "leak.py", LEAKY)
+    sarif_path = tmp_path / "out.sarif"
+    assert main([str(tmp_path), "--sarif", str(sarif_path)]) == 1
+    doc = json.loads(sarif_path.read_text())
+    validate(doc)
+    results = doc["runs"][0]["results"]
+    assert any(r["ruleId"] == "lifecycle" for r in results)
+
+
+def test_empty_sarif_still_validates():
+    doc = to_sarif([], "1.0")
+    validate(doc)
+    assert doc["runs"][0]["results"] == []

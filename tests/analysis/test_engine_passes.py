@@ -1,0 +1,113 @@
+"""Fixture-driven tests for the four engine passes.
+
+Every fixture file marks the lines a pass must flag with a trailing
+``# VIOLATION`` comment; files without markers are negative cases and
+must produce no findings.  One generic harness drives all four passes so
+a fixture can never silently drift out of sync with its expectations.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.engine.passes import PASS_RUNNERS
+from repro.analysis.engine.project import Project
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: fixture directory name -> pass id it exercises
+PASS_DIRS = {
+    "atomicity": "atomicity",
+    "lifecycle": "lifecycle",
+    "layering": "layering",
+    "determinism": "determinism",
+}
+
+
+def _marker_lines(path: Path) -> set:
+    return {
+        lineno
+        for lineno, text in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1
+        )
+        if "# VIOLATION" in text
+    }
+
+
+def _run_pass_on_fixture_dir(dirname: str, pass_id: str):
+    root = FIXTURES / dirname
+    project = Project.load([root])
+    findings = PASS_RUNNERS[pass_id](project)
+    flagged = {}
+    for f in findings:
+        flagged.setdefault(f.path, set()).add(f.line)
+    expected = {}
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(root).as_posix()
+        expected[rel] = _marker_lines(path)
+    return flagged, expected, findings
+
+
+@pytest.mark.parametrize("dirname,pass_id", sorted(PASS_DIRS.items()))
+def test_fixture_markers_match_findings(dirname, pass_id):
+    flagged, expected, findings = _run_pass_on_fixture_dir(dirname, pass_id)
+    for rel, want in sorted(expected.items()):
+        got = flagged.get(rel, set())
+        assert got == want, (
+            f"{dirname}/{rel}: pass {pass_id!r} flagged lines {sorted(got)}, "
+            f"fixture markers say {sorted(want)}; findings:\n"
+            + "\n".join(f.format() for f in findings)
+        )
+    stray = set(flagged) - set(expected)
+    assert not stray, f"findings outside the fixture tree: {stray}"
+
+
+@pytest.mark.parametrize("dirname", sorted(PASS_DIRS))
+def test_fixture_corpus_density(dirname):
+    """ISSUE floor: >= 3 positive and >= 2 negative cases per pass."""
+    root = FIXTURES / dirname
+    positives = 0
+    negative_files = 0
+    for path in sorted(root.rglob("*.py")):
+        markers = _marker_lines(path)
+        if markers:
+            positives += len(markers)
+        else:
+            negative_files += 1
+    assert positives >= 3, f"{dirname}: only {positives} positive case(s)"
+    assert negative_files >= 1, f"{dirname}: no negative fixture file"
+
+
+def test_negative_cases_total():
+    """Across each pass's corpus there are at least 2 distinct negative
+    functions/sites (several live together in one neg file)."""
+    for dirname in PASS_DIRS:
+        root = FIXTURES / dirname
+        clean_defs = 0
+        for path in sorted(root.rglob("*.py")):
+            if _marker_lines(path):
+                continue
+            text = path.read_text(encoding="utf-8")
+            clean_defs += text.count("def ") + text.count("import ")
+        assert clean_defs >= 2, f"{dirname}: fewer than 2 negative cases"
+
+
+def test_atomicity_message_names_the_read():
+    _, _, findings = _run_pass_on_fixture_dir("atomicity", "atomicity")
+    assert any("suspension point" in f.message for f in findings)
+    # the Fig. 5c/5d shape: the message points back at the stale read
+    fig5 = [f for f in findings if "self.engine.pending" in f.message]
+    assert fig5, "count-reset finding should name the stale location"
+    assert all("read at line" in f.message for f in findings)
+
+
+def test_lifecycle_reports_both_exit_routes():
+    _, _, findings = _run_pass_on_fixture_dir("lifecycle", "lifecycle")
+    msgs = " | ".join(f.message for f in findings)
+    assert "via return" in msgs
+    assert "via an exception" in msgs
+
+
+def test_layering_unknown_package_is_its_own_error():
+    _, _, findings = _run_pass_on_fixture_dir("layering", "layering")
+    assert any("newpkg" in f.message for f in findings)

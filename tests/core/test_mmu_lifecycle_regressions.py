@@ -1,0 +1,249 @@
+"""Regression tests for the resource-lifecycle leaks the static lifecycle
+pass surfaced: per-transfer MMU registrations must come back at each
+transfer's terminal point (completion, FIN, give-up), preallocated send
+buffers must recycle when a send aborts mid-flight, and a failed dynamic
+join must return its capability slot."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.core.ptl.base import PtlError
+from repro.core.ptl.elan4.module import Elan4PtlComponent, Elan4PtlOptions
+from repro.core.request import SendRequest
+from repro.elan4.nic import NicError
+from repro.elan4.tport import TPORT_EAGER_BYTES
+from tests.conftest import run_mpi_app
+
+
+def _mmu_entries(ctx) -> int:
+    """Live translations registered for one hardware context."""
+    table = ctx.nic.mmu._ctx.get(ctx.ctx)
+    return 0 if table is None else len(table.entries)
+
+
+def _elan4_module(mpi):
+    return next(m for m in mpi.stack.registry.modules if hasattr(m, "ctx"))
+
+
+# --------------------------------------------------------- dynamic join
+def test_claim_context_failed_attach_releases_slot():
+    """A join that dies between the capability claim and the context
+    attach must return the hardware context to the free pool."""
+    cluster = Cluster(nodes=2)
+    cap = cluster.rail_capabilities[0]
+    free_before = set(cap._free[0])
+
+    def boom(label):
+        raise RuntimeError("address space allocation failed")
+
+    cluster.nodes[0].new_address_space = boom
+    with pytest.raises(RuntimeError):
+        cluster.claim_context(0)
+    assert set(cap._free[0]) == free_before
+
+    del cluster.nodes[0].new_address_space  # restore the class method
+    ctx = cluster.claim_context(0)
+    assert ctx.ctx in free_before  # the leaked slot came back into rotation
+
+
+# --------------------------------------------------------- send buffers
+class _FakeProcess:
+    def __init__(self, cluster, node_id=0, rank=0):
+        self.job = type("J", (), {"cluster": cluster})()
+        self.node = cluster.nodes[node_id]
+        self.rank = rank
+        self.space = self.node.new_address_space(f"rank{rank}")
+        self.main_thread = None
+
+
+def _module_under_test(cluster):
+    proc = _FakeProcess(cluster)
+    comp = Elan4PtlComponent(proc, cluster.config)
+    out = {}
+
+    def setup(t):
+        yield from comp.open(t)
+        out["modules"] = yield from comp.init(t)
+
+    cluster.nodes[0].spawn_thread(setup)
+    cluster.run()
+    return out["modules"][0]
+
+
+def test_send_fragment_refused_recycles_buffer():
+    """A QDMA refused at issue fires no release chain — the preallocated
+    buffer must come back to the pool on the error path itself."""
+    cluster = Cluster(nodes=1)
+    module = _module_under_test(cluster)
+    pool = module._send_bufs
+    full = len(pool._items)
+
+    def refused(thread, vpid, qid, payload, meta=None):
+        raise NicError("destination VPID released")
+        yield  # pragma: no cover - generator shape
+
+    module.ctx.qdma_send = refused
+    fired = {}
+
+    def flow(t):
+        buf = yield pool.get()
+        assert len(pool._items) == full - 1
+        try:
+            yield from module._send_fragment(t, 0, buf, 16)
+        except NicError:
+            fired["raised"] = True
+
+    cluster.nodes[0].spawn_thread(flow)
+    cluster.run()
+    assert fired.get("raised")
+    assert len(pool._items) == full
+
+
+def test_eager_pack_abort_recycles_buffer():
+    """An eager send aborted during datatype pack (before the buffer is
+    handed to the NIC) must recycle its slot."""
+    cluster = Cluster(nodes=1)
+    module = _module_under_test(cluster)
+    pool = module._send_bufs
+    full = len(pool._items)
+
+    class _BoomDatatype:
+        def pack(self, thread, dst, src, nbytes, dst_off=0):
+            raise RuntimeError("unpackable datatype")
+            yield  # pragma: no cover - generator shape
+
+    module.pml = type("P", (), {"datatype": _BoomDatatype()})()
+    module.peers[1] = 0
+    buf = module.process.space.alloc(64)
+    req = SendRequest(cluster.sim, buf, 64, dst_rank=1, tag=0, ctx_id=0, seq=0)
+    fired = {}
+
+    def flow(t):
+        try:
+            yield from module._send_eager(t, req)
+        except RuntimeError:
+            fired["raised"] = True
+
+    cluster.nodes[0].spawn_thread(flow)
+    cluster.run()
+    assert fired.get("raised")
+    assert len(pool._items) == full
+
+
+# --------------------------------------------------------- tport mappings
+def test_tport_rendezvous_returns_mmu_registrations():
+    """The RTS source mapping dies at FIN and the receiver's get mapping
+    dies at completion — a tagged rendezvous leaves the tables as it
+    found them."""
+    cluster = Cluster(nodes=2)
+    a = cluster.claim_context(0)
+    b = cluster.claim_context(1)
+    src_ep, dst_ep = a.tport_endpoint(), b.tport_endpoint()
+    before = (_mmu_entries(a), _mmu_entries(b))
+
+    n = TPORT_EAGER_BYTES * 8
+    payload = np.random.default_rng(3).integers(0, 256, n, dtype=np.uint8)
+    src_buf = a.space.alloc(n)
+    dst_buf = b.space.alloc(n)
+    src_buf.write(payload)
+
+    def sender(t):
+        ev = yield from src_ep.send(t, dst_ep.vpid, 5, src_buf, n)
+        yield from t.block_on(ev.attach_host_word())
+
+    def receiver(t):
+        ev = yield from dst_ep.post_recv(t, -1, 5, dst_buf)
+        yield from t.block_on(ev.host_word)
+
+    cluster.nodes[0].spawn_thread(sender)
+    cluster.nodes[1].spawn_thread(receiver)
+    cluster.run()
+
+    assert np.array_equal(dst_buf.read(0, n), payload)
+    assert (_mmu_entries(a), _mmu_entries(b)) == before
+    cluster.assert_no_drops()
+
+
+# --------------------------------------------------------- PTL rendezvous
+@pytest.mark.parametrize(
+    "scheme,chained",
+    [("read", True), ("read", False), ("write", True), ("write", False)],
+)
+def test_ptl_rendezvous_mmu_balanced(scheme, chained):
+    """Every rendezvous maps per-transfer windows (source exposure, and
+    the receive window on the write scheme); all of them must be unmapped
+    by the time the transfer completes, on both schemes and both FIN
+    styles."""
+    n = 60_000
+    payload = np.random.default_rng(n).integers(0, 256, n, dtype=np.uint8)
+
+    def app(mpi):
+        peer = 1 - mpi.rank
+        mod = _elan4_module(mpi)
+
+        def xchg(first):
+            for turn in (0, 1):
+                if (mpi.rank == 0) == (turn == first):
+                    buf = mpi.alloc(n)
+                    buf.write(payload)
+                    yield from mpi.comm_world.send(buf, dest=peer, tag=9, nbytes=n)
+                else:
+                    data, _ = yield from mpi.comm_world.recv(
+                        source=peer, tag=9, nbytes=n
+                    )
+                    assert np.array_equal(data, payload)
+
+        yield from xchg(0)  # warm-up settles lazy per-peer state
+        before = _mmu_entries(mod.ctx)
+        for _ in range(3):
+            yield from xchg(0)
+            yield from xchg(1)
+        return _mmu_entries(mod.ctx) - before
+
+    opts = Elan4PtlOptions(rdma_scheme=scheme, chained_fin=chained)
+    results, cluster = run_mpi_app(app, elan4_options=opts)
+    cluster.assert_no_drops()
+    assert results == {0: 0, 1: 0}, f"leaked registrations per rank: {results}"
+
+
+def test_rndv_read_giveup_unmaps_receive_window():
+    """A rendezvous read that stalls through every host retry fails the
+    request — and the give-up path must drop the receive-window mapping
+    exactly once (no leak, no double-unmap trap)."""
+    n = 60_000
+    cluster = Cluster(nodes=2)
+    cluster.config.rdma_timeout_us = 50.0
+    cluster.config.rdma_timeout_us_per_byte = 0.0
+    cluster.config.rdma_max_retries = 2
+
+    def app(mpi):
+        if mpi.rank == 0:
+            buf = mpi.alloc(n)
+            req = yield from mpi.comm_world.isend(buf, dest=1, tag=3, nbytes=n)
+            # the receiver gives up unilaterally; no FIN_ACK will ever come
+            # back, so abandon the send locally to let finalize drain
+            yield mpi.sim.timeout(2_000)
+            req.fail(PtlError("test: peer abandoned the transfer"))
+            mpi.stack.pml.retire(req)
+            return "sent"
+        mod = _elan4_module(mpi)
+
+        def stalled(thread, desc):
+            # the descriptor is accepted but its data dies in the fabric
+            yield mod.sim.timeout(0)
+
+        mod.ctx.rdma_issue = stalled
+        before = _mmu_entries(mod.ctx)
+        try:
+            yield from mpi.comm_world.recv(source=0, tag=3, nbytes=n)
+        except PtlError as exc:
+            assert "giving up" in str(exc)
+            return _mmu_entries(mod.ctx) - before
+        return "unexpectedly completed"
+
+    opts = Elan4PtlOptions(rdma_scheme="read")
+    results, cluster = run_mpi_app(app, elan4_options=opts, cluster=cluster)
+    assert results[0] == "sent"
+    assert results[1] == 0, f"receiver leaked {results[1]} registration(s)"
+    assert cluster.nics[1].mmu.traps == 0
