@@ -1,0 +1,213 @@
+#!/usr/bin/env python
+"""Fleet bench — per-tenant SLO percentiles: isolated vs contended vs
+mid-traffic switch death.
+
+A fixed three-workload mix (allreduce-heavy ``train``, alltoall
+``shuffle``, one-sided halo-exchange ``rma``) runs at 16 and 64 ranks
+per tenant, three ways on a fat-tree cluster:
+
+* **isolated**   — each tenant alone on its own (same-size) cluster:
+  the interference-free SLO baseline;
+* **contended**  — all three tenants co-resident on one shared cluster
+  (``spread`` placement, two rank slots per node — the node's CPU
+  count, so busy-polling ranks never starve each other), contending
+  for the same NICs, links, and switches;
+* **contended + switch death** — same co-residency, plus a seeded
+  campaign that kills a spine switch mid-traffic for a finite window.
+  The window is placed over the middle half of the ``rma`` tenant's
+  step phase as measured in the clean contended run (RTE startup cost
+  grows with rank count, so a fixed wall-time window would miss the
+  traffic at larger scales; the clean run is seeded, so the derived
+  window is still deterministic).  The redundant fat-tree plane
+  reroutes point-to-point traffic at equal hop count, but the §4.1
+  gate degrades every hardware collective to its software fallback
+  while the fabric is faulty — the ``rma`` tenant's per-step fence
+  barriers eat that penalty, which is the quantified SLO impact of
+  the campaign.
+
+The report quantifies the per-tenant step-latency percentiles (p50/p95/
+p99) in each regime.  The bench fails unless contention shows up in the
+numbers (some tenant's contended p95 measurably above its isolated p95),
+the campaign forces hardware-collective fallbacks, and every tenant
+still completes through the fault window.
+
+Usage:
+    PYTHONPATH=src python benchmarks/bench_fleet.py --smoke
+    PYTHONPATH=src python benchmarks/bench_fleet.py --out BENCH_fleet.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.cluster import Cluster
+from repro.faults import FaultPlan
+from repro.sched import FleetRun, JobSpec
+
+SEED = 2026
+SLO_STEP_US = 1500.0
+#: the switch dies over the middle half of the rma tenant's step phase
+KILL_PHASE_FRAC = (0.25, 0.75)
+
+
+def _mix(ranks: int) -> list[JobSpec]:
+    """The fixed 3-workload mix, every tenant ``ranks`` wide.
+
+    ``rma`` is listed first on purpose: the first job to launch seals the
+    static hardware-collective cohort on the shared NIC capability (§4.1),
+    and later tenants join dynamically (software collectives only).  The
+    sealed tenant is therefore the one whose fence barriers ride the
+    hardware tree — and the one the switch-death campaign degrades.
+    """
+    return [
+        JobSpec("rma", "rma", np=ranks, steps=10,
+                params={"cells_per_rank": 32}, slo_step_us=SLO_STEP_US),
+        JobSpec("train", "train", np=ranks, steps=4,
+                params={"grad_elems": 4096, "compute_us": 30.0},
+                slo_step_us=SLO_STEP_US),
+        JobSpec("shuffle", "shuffle", np=ranks, steps=2,
+                params={"block_per_pair": 128}, slo_step_us=SLO_STEP_US),
+    ]
+
+
+def _tenant_row(stats) -> dict:
+    return {
+        "p50_us": round(stats.step_pct(50), 3),
+        "p95_us": round(stats.step_pct(95), 3),
+        "p99_us": round(stats.step_pct(99), 3),
+        "makespan_us": round(stats.makespan_us, 3),
+        "slo_violation_frac": round(stats.slo_violation_frac, 6),
+    }
+
+
+def _nodes_for(ranks: int) -> int:
+    """Cluster size: 3 tenants x ranks over 2 slots/node, full occupancy."""
+    return 3 * ranks // 2
+
+
+def _run_isolated(ranks: int) -> dict:
+    out = {}
+    for spec in _mix(ranks):
+        cluster = Cluster(nodes=_nodes_for(ranks), seed=SEED)
+        result = FleetRun(cluster, [(0.0, spec)], policy="spread",
+                          slots_per_node=2, seed=SEED).run()
+        cluster.assert_no_drops()
+        out[spec.name] = _tenant_row(result.tenant(spec.name))
+    return out
+
+
+def _run_contended(
+    ranks: int, kill: tuple[float, float] | None = None
+):
+    cluster = Cluster(nodes=_nodes_for(ranks), seed=SEED)
+    arrivals = [(0.0, spec) for spec in _mix(ranks)]
+    plan = None
+    if kill is not None:
+        at_us, duration_us = kill
+        plan = FaultPlan("fleet-switch-death", seed=SEED).switch_death(
+            at_us=at_us, switch="sw1.0", duration_us=duration_us
+        )
+    result = FleetRun(cluster, arrivals, policy="spread", slots_per_node=2,
+                      seed=SEED, fault_plan=plan).run()
+    cluster.assert_no_drops()
+    out = {s.name: _tenant_row(result.tenant(s.name)) for s in _mix(ranks)}
+    fallbacks = {run.spec.name: run.lease.coll_hw.hw_fallbacks
+                 for run in result.scheduler.runs}
+    return out, result.fault_notes, fallbacks, result
+
+
+def _kill_window(rma_stats, ranks: int) -> tuple[float, float]:
+    """The switch-death window, from the clean run's measured rma phase:
+    per-rank serial step time approximates the step-phase duration, and
+    the phase ends when the job does."""
+    phase_us = sum(rma_stats.step_us) / ranks
+    phase_start = rma_stats.end_us - phase_us
+    at_us = phase_start + KILL_PHASE_FRAC[0] * phase_us
+    duration_us = (KILL_PHASE_FRAC[1] - KILL_PHASE_FRAC[0]) * phase_us
+    return round(at_us, 3), round(duration_us, 3)
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="16 ranks only (CI mode)")
+    ap.add_argument("--out", default="BENCH_fleet.json",
+                    help="report path (default: %(default)s)")
+    args = ap.parse_args(argv)
+
+    scales = (16,) if args.smoke else (16, 64)
+    points = []
+    failures = []
+    for ranks in scales:
+        isolated = _run_isolated(ranks)
+        contended, _, clean_fb, clean_result = _run_contended(ranks)
+        kill = _kill_window(clean_result.tenant("rma"), ranks)
+        faulted, notes, fault_fb, _ = _run_contended(ranks, kill=kill)
+        point = {
+            "ranks_per_tenant": ranks,
+            "isolated": isolated,
+            "contended": contended,
+            "switch_death": faulted,
+            "switch_death_window": {"at_us": kill[0], "duration_us": kill[1],
+                                    "switch": "sw1.0"},
+            "hw_fallbacks": {"contended": clean_fb, "switch_death": fault_fb},
+            "fault_notes": notes,
+        }
+        points.append(point)
+
+        print(f"\n== {ranks} ranks/tenant "
+              f"(3 tenants co-resident, 2 slots/node) ==")
+        print(f"{'tenant':<9} {'iso p95':>10} {'cont p95':>10} "
+              f"{'fault p95':>10} {'cont/iso':>9} {'fault/cont':>10} "
+              f"{'hw_fb':>6}")
+        slowdown_seen = False
+        for name in ("rma", "train", "shuffle"):
+            iso, con, flt = isolated[name], contended[name], faulted[name]
+            ratio = con["p95_us"] / iso["p95_us"] if iso["p95_us"] else 0.0
+            fratio = flt["p95_us"] / con["p95_us"] if con["p95_us"] else 0.0
+            if ratio >= 1.05:
+                slowdown_seen = True
+            print(f"{name:<9} {iso['p95_us']:>10.1f} {con['p95_us']:>10.1f} "
+                  f"{flt['p95_us']:>10.1f} {ratio:>8.2f}x {fratio:>9.2f}x "
+                  f"{fault_fb[name]:>6}")
+        if not slowdown_seen:
+            failures.append(
+                f"ranks={ranks}: no tenant shows a contended p95 "
+                f">= 1.05x its isolated p95 (interference not measurable)"
+            )
+        if not any("switch_death" in n for n in notes):
+            failures.append(f"ranks={ranks}: fault campaign never fired")
+        if sum(fault_fb.values()) <= sum(clean_fb.values()):
+            failures.append(
+                f"ranks={ranks}: switch death forced no extra hw-collective "
+                f"fallbacks (campaign had no quantifiable SLO impact)"
+            )
+
+    report = {
+        "schema": "repro.bench.fleet/v1",
+        "mode": "smoke" if args.smoke else "full",
+        "seed": SEED,
+        "slo_step_us": SLO_STEP_US,
+        "kill_phase_frac": list(KILL_PHASE_FRAC),
+        "points": points,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"\nwrote {args.out}")
+
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    print("fleet bench: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

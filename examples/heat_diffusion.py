@@ -2,11 +2,10 @@
 """1-D heat diffusion with halo exchange — a classic HPC workload on the
 reproduced stack.
 
-Each rank owns a slab of a 1-D rod and iterates the explicit heat stencil
-``u[i] += alpha * (u[i-1] - 2 u[i] + u[i+1])``, exchanging one-cell halos
-with its neighbours every step over PTL/Elan4 (``sendrecv`` keeps the
-exchange deadlock-free).  A final gather assembles the rod at rank 0 and
-checks conservation of energy against a serial reference.
+The app itself lives in :mod:`repro.apps.heat` (the scheduler's job
+library instantiates the same code as a fleet tenant); this script is
+the thin CLI wrapper that runs it on the paper's 8-node testbed and
+prints the verification against the serial reference.
 
 This is the kind of tightly coupled, latency-sensitive communication the
 paper's low-latency transport exists for: every step costs two small
@@ -15,8 +14,7 @@ messages per rank boundary.
 Run:  python examples/heat_diffusion.py
 """
 
-import numpy as np
-
+from repro.apps.heat import heat_app
 from repro.cluster import Cluster
 
 CELLS_PER_RANK = 64
@@ -24,71 +22,9 @@ STEPS = 50
 ALPHA = 0.1
 
 
-def serial_reference(total_cells: int) -> np.ndarray:
-    u = np.zeros(total_cells)
-    u[total_cells // 2] = 1000.0  # hot spot in the middle
-    for _ in range(STEPS):
-        left = np.roll(u, 1)
-        right = np.roll(u, -1)
-        left[0] = u[0]
-        right[-1] = u[-1]
-        u = u + ALPHA * (left - 2 * u + right)
-    return u
-
-
-def app(mpi):
-    n = CELLS_PER_RANK
-    total = n * mpi.size
-    u = np.zeros(n)
-    hot = total // 2
-    if hot // n == mpi.rank:
-        u[hot % n] = 1000.0
-
-    left = mpi.rank - 1 if mpi.rank > 0 else None
-    right = mpi.rank + 1 if mpi.rank < mpi.size - 1 else None
-    t0 = mpi.now
-
-    for _step in range(STEPS):
-        halo_left = u[0]
-        halo_right = u[-1]
-        ghost_left = u[0]  # boundary: mirror (insulated rod)
-        ghost_right = u[-1]
-        # exchange with the right neighbour (send my last cell, get theirs)
-        if right is not None:
-            data, _ = yield from mpi.comm_world.sendrecv(
-                np.array([halo_right]).tobytes(), right,
-                recvnbytes=8, source=right, sendtag=1, recvtag=2,
-            )
-            ghost_right = np.frombuffer(data.tobytes())[0]
-        if left is not None:
-            data, _ = yield from mpi.comm_world.sendrecv(
-                np.array([halo_left]).tobytes(), left,
-                recvnbytes=8, source=left, sendtag=2, recvtag=1,
-            )
-            ghost_left = np.frombuffer(data.tobytes())[0]
-        padded = np.concatenate(([ghost_left], u, [ghost_right]))
-        u = u + ALPHA * (padded[:-2] - 2 * u + padded[2:])
-
-    elapsed = mpi.now - t0
-    slabs = yield from mpi.comm_world.gather(u.tobytes(), root=0)
-    if mpi.rank == 0:
-        result = np.concatenate([np.frombuffer(s) for s in slabs])
-        reference = serial_reference(total)
-        err = np.abs(result - reference).max()
-        print(f"{mpi.size} ranks x {n} cells, {STEPS} steps "
-              f"in {elapsed:.0f} simulated us "
-              f"({elapsed / STEPS:.2f} us/step)")
-        print(f"energy: {result.sum():.6f} (conserved: "
-              f"{np.isclose(result.sum(), 1000.0)})")
-        print(f"max deviation from serial reference: {err:.3e}")
-        assert np.isclose(result.sum(), 1000.0)
-        assert err < 1e-9
-        return float(err)
-
-
 def main():
     cluster = Cluster(nodes=8)
-    cluster.run_mpi(app)
+    cluster.run_mpi(heat_app(CELLS_PER_RANK, STEPS, ALPHA, verbose=True))
     cluster.assert_no_drops()
     print("heat diffusion verified against the serial reference")
 

@@ -1,87 +1,31 @@
 #!/usr/bin/env python3
 """One-sided halo exchange: the heat stencil rewritten with MPI-2 RMA.
 
-Where ``heat_diffusion.py`` exchanges halos with two-sided ``sendrecv``,
-this version exposes each rank's ghost cells in an RMA window and lets the
-*neighbours* deposit the halos with ``win.put`` — no receive calls at all,
-with a fence closing each epoch.  Under the hood every put is a Quadrics
-RDMA write straight into the neighbour's exposed memory through the NIC
-MMU (§4.2), the communication style the paper's one-sided contemporaries
-[15, 16] build on.
+The app itself lives in :mod:`repro.apps.stencil` (the scheduler's job
+library instantiates the same code as a fleet tenant); this script is
+the thin CLI wrapper.  Where ``heat_diffusion.py`` exchanges halos with
+two-sided ``sendrecv``, this version lets the *neighbours* deposit the
+halos with ``win.put`` — no receive calls at all, with a fence closing
+each epoch.  Under the hood every put is a Quadrics RDMA write straight
+into the neighbour's exposed memory through the NIC MMU (§4.2), the
+communication style the paper's one-sided contemporaries [15, 16] build
+on.
 
 Run:  python examples/one_sided_stencil.py
 """
 
-import numpy as np
-
+from repro.apps.stencil import one_sided_stencil_app
 from repro.cluster import Cluster
-from repro.mpi.rma import win_create
 
 CELLS_PER_RANK = 48
 STEPS = 30
 ALPHA = 0.1
 
 
-def serial_reference(total):
-    u = np.zeros(total)
-    u[total // 2] = 500.0
-    for _ in range(STEPS):
-        left = np.roll(u, 1)
-        right = np.roll(u, -1)
-        left[0] = u[0]
-        right[-1] = u[-1]
-        u = u + ALPHA * (left - 2 * u + right)
-    return u
-
-
-def app(mpi):
-    n = CELLS_PER_RANK
-    total = n * mpi.size
-    u = np.zeros(n)
-    hot = total // 2
-    if hot // n == mpi.rank:
-        u[hot % n] = 500.0
-
-    # window layout: [ghost_left (8B) | ghost_right (8B)]
-    ghosts = mpi.alloc(16, label="ghost-cells")
-    win = yield from win_create(mpi, ghosts)
-    left = mpi.rank - 1 if mpi.rank > 0 else None
-    right = mpi.rank + 1 if mpi.rank < mpi.size - 1 else None
-    t0 = mpi.now
-
-    for _step in range(STEPS):
-        # deposit my edge cells into the neighbours' ghost slots:
-        # my LAST cell becomes the right neighbour's ghost_left, and
-        # my FIRST cell its left neighbour's ghost_right.
-        if right is not None:
-            yield from win.put(np.array([u[-1]]).tobytes(), target=right, offset=0)
-        if left is not None:
-            yield from win.put(np.array([u[0]]).tobytes(), target=left, offset=8)
-        yield from win.fence()  # everyone's halos are now in place
-        raw = ghosts.read()
-        ghost_left = np.frombuffer(raw[0:8].tobytes())[0] if left is not None else u[0]
-        ghost_right = np.frombuffer(raw[8:16].tobytes())[0] if right is not None else u[-1]
-        padded = np.concatenate(([ghost_left], u, [ghost_right]))
-        u = u + ALPHA * (padded[:-2] - 2 * u + padded[2:])
-        yield from win.fence()  # close the compute epoch before reuse
-
-    elapsed = mpi.now - t0
-    slabs = yield from mpi.comm_world.gather(u.tobytes(), root=0)
-    if mpi.rank == 0:
-        result = np.concatenate([np.frombuffer(s) for s in slabs])
-        reference = serial_reference(total)
-        err = np.abs(result - reference).max()
-        print(f"{mpi.size} ranks, {STEPS} steps of one-sided halo exchange "
-              f"in {elapsed:.0f} simulated us ({win.puts} puts by rank 0)")
-        print(f"energy {result.sum():.6f}, max error vs serial {err:.3e}")
-        assert np.isclose(result.sum(), 500.0)
-        assert err < 1e-9
-    yield from win.free()
-
-
 def main():
     cluster = Cluster(nodes=8)
-    cluster.run_mpi(app)
+    cluster.run_mpi(one_sided_stencil_app(CELLS_PER_RANK, STEPS, ALPHA,
+                                          verbose=True))
     cluster.assert_no_drops()
     print("one-sided stencil verified")
 

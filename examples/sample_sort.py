@@ -1,75 +1,26 @@
 #!/usr/bin/env python3
 """Parallel sample sort on the reproduced MPI stack.
 
-A classic irregular-communication workload: every rank holds random keys,
-splitters are agreed via gather+bcast, and an all-to-all personalized
-exchange (with per-pair payload sizes unknown in advance) redistributes the
-keys so rank i ends up with the i-th quantile, locally sorted.  Verifies
-against a serial sort of the same data.
+The app itself lives in :mod:`repro.apps.samplesort` (the scheduler's
+job library instantiates the same code as a fleet tenant); this script
+is the thin CLI wrapper that runs it on an 8-node cluster.
 
 Exercises what the point-to-point benchmarks don't: many simultaneous
-variable-size messages per rank, collective + p2p interleaving, and eager/
-rendezvous mixtures chosen per message by size.
+variable-size messages per rank, collective + p2p interleaving, and
+eager/rendezvous mixtures chosen per message by size.
 
 Run:  python examples/sample_sort.py
 """
 
-import numpy as np
-
+from repro.apps.samplesort import sample_sort_app
 from repro.cluster import Cluster
 
 KEYS_PER_RANK = 4096
 
 
-def app(mpi):
-    n = mpi.size
-    rng = np.random.default_rng(1000 + mpi.rank)
-    keys = rng.integers(0, 1 << 30, KEYS_PER_RANK, dtype=np.int64)
-    t0 = mpi.now
-
-    # 1. sample local keys; gather samples; root picks splitters
-    local_sample = np.sort(rng.choice(keys, size=n, replace=False))
-    samples = yield from mpi.comm_world.gather(local_sample.tobytes(), root=0)
-    if mpi.rank == 0:
-        pool = np.sort(np.concatenate([np.frombuffer(s, dtype=np.int64) for s in samples]))
-        splitters = pool[n - 1 :: n][: n - 1]
-        payload = splitters.tobytes()
-    else:
-        payload = None
-    payload = yield from mpi.comm_world.bcast(payload, root=0)
-    splitters = np.frombuffer(payload, dtype=np.int64)
-
-    # 2. partition local keys by splitter, exchange all-to-all
-    buckets = np.searchsorted(splitters, keys, side="right")
-    chunks = [keys[buckets == dst].tobytes() for dst in range(n)]
-    received = yield from mpi.comm_world.alltoall(chunks)
-
-    # 3. local sort of my quantile
-    mine = np.sort(np.concatenate([np.frombuffer(r, dtype=np.int64) for r in received]))
-    elapsed = mpi.now - t0
-
-    # 4. verification: gather everything back at root
-    parts = yield from mpi.comm_world.gather(mine.tobytes(), root=0)
-    if mpi.rank == 0:
-        sorted_parallel = np.concatenate([np.frombuffer(p, dtype=np.int64) for p in parts])
-        all_keys = np.concatenate(
-            [np.random.default_rng(1000 + r).integers(0, 1 << 30, KEYS_PER_RANK, dtype=np.int64)
-             for r in range(n)]
-        )
-        reference = np.sort(all_keys)
-        assert np.array_equal(sorted_parallel, reference)
-        sizes = [len(p) // 8 for p in parts]
-        print(f"sorted {n * KEYS_PER_RANK} keys on {n} ranks "
-              f"in {elapsed:.0f} simulated us")
-        print(f"bucket sizes: {sizes} "
-              f"(imbalance {max(sizes) / (sum(sizes) / n):.2f}x)")
-        print("parallel result matches serial sort")
-    return int(mine.size)
-
-
 def main():
     cluster = Cluster(nodes=8)
-    results = cluster.run_mpi(app)
+    results = cluster.run_mpi(sample_sort_app(KEYS_PER_RANK, verbose=True))
     assert sum(results.values()) == 8 * KEYS_PER_RANK
     cluster.assert_no_drops()
 

@@ -14,9 +14,9 @@ rank  packages
 4     core           (PML/PTL engine)
 5     rte            (runtime environment)
 6     mpi, baselines (API surface)
-7     coll, ft, obs, faults  (services over the API)
+7     coll, ft, obs, faults, apps  (services/programs over the API)
 8     cluster        (whole-machine assembly)
-9     bench, analysis (harnesses; may import anything)
+9     bench, analysis, sched (harnesses; may import anything)
 ====  =========================================
 
 Violations are reported **at the offending import**, whether module
@@ -59,9 +59,11 @@ LAYER_RANK: Dict[str, int] = {
     "ft": 7,
     "obs": 7,
     "faults": 7,
+    "apps": 7,
     "cluster": 8,
     "bench": 9,
     "analysis": 9,
+    "sched": 9,
 }
 
 #: the root package re-exports the version; importing bare ``repro``

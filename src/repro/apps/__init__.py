@@ -1,0 +1,36 @@
+"""The application library: importable, parameterized MPI workloads.
+
+Every app here is a factory returning the rank coroutine the RTE runs —
+the same code path serves three consumers:
+
+* the ``examples/`` scripts (thin CLI wrappers with printing turned on);
+* the example tests (which execute the wrappers end-to-end);
+* the :mod:`repro.sched` job library, which instantiates them as tenant
+  workloads in multi-job fleets.
+
+Each app self-verifies its numerical result (serial reference, sorted
+invariant, conservation law), so a fleet of co-resident tenants is also
+a continuous cross-tenant-corruption check: interference may slow a job
+down, but if it ever changes a job's *bytes* the app itself raises.
+
+Factories accept an optional ``on_step(rank, elapsed_us)`` callback,
+invoked once per application step with modelled time — the hook the
+scheduler's SLO accounting rides on.  With the default ``None`` the apps
+behave exactly as the original example scripts did.
+"""
+
+from repro.apps.heat import heat_app, heat_serial_reference
+from repro.apps.samplesort import sample_sort_app
+from repro.apps.shuffle import shuffle_app
+from repro.apps.stencil import one_sided_stencil_app, stencil_serial_reference
+from repro.apps.train import training_app
+
+__all__ = [
+    "heat_app",
+    "heat_serial_reference",
+    "one_sided_stencil_app",
+    "sample_sort_app",
+    "shuffle_app",
+    "stencil_serial_reference",
+    "training_app",
+]

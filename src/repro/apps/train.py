@@ -1,0 +1,59 @@
+"""The allreduce-heavy "training step" loop — data-parallel SGD traffic.
+
+Each step models one mini-batch: a compute phase (the ranks sit on their
+CPUs for ``compute_us``), then a gradient allreduce over a
+``grad_elems``-element float64 buffer.  This is the dominant traffic
+pattern of synchronous data-parallel training, and the fleet's most
+latency-sensitive tenant: any link the shuffle jobs congest shows up
+directly in the step time.
+
+The gradient contents are chosen so the allreduce result is exactly
+predictable (rank r contributes ``r + 1`` everywhere, so the sum is
+``np*(np+1)/2``), making every step a correctness check as well.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+import numpy as np
+
+__all__ = ["training_app"]
+
+
+def training_app(
+    steps: int = 10,
+    grad_elems: int = 4096,
+    compute_us: float = 50.0,
+    verbose: bool = False,
+    on_step: Optional[Callable[[int, float], None]] = None,
+) -> Callable[[Any], Generator]:
+    """Build the per-rank training-loop coroutine.
+
+    Every rank returns the number of verified steps.  ``on_step`` fires
+    once per step with ``(rank, step_latency_us)`` — the per-tenant SLO
+    signal for allreduce-bound jobs.
+    """
+
+    def app(mpi: Any) -> Generator:
+        grads = np.full(grad_elems, float(mpi.rank + 1), dtype=np.float64)
+        expected = mpi.size * (mpi.size + 1) / 2.0
+        t0 = mpi.now
+        verified = 0
+        for _step in range(steps):
+            t_step = mpi.now
+            if compute_us > 0:
+                yield from mpi.thread.sleep(compute_us)
+            total = yield from mpi.comm_world.allreduce(grads, op="sum")
+            assert float(total[0]) == expected and float(total[-1]) == expected
+            verified += 1
+            if on_step is not None:
+                on_step(mpi.rank, mpi.now - t_step)
+        if verbose and mpi.rank == 0:
+            elapsed = mpi.now - t0
+            print(f"{mpi.size} ranks x {steps} training steps "
+                  f"({grad_elems * 8} B gradients) in {elapsed:.0f} us "
+                  f"({elapsed / steps:.1f} us/step)")
+        return verified
+
+    return app

@@ -4,15 +4,23 @@
 nodes, NICs, capability, fat-tree fabric — and (once the upper layers are
 imported) launches MPI jobs.  The default shape is the paper's testbed:
 eight dual-CPU nodes on one QS-8A switch.
+
+Multi-tenancy: a scheduler grants each job a :class:`ClusterLease` (see
+:meth:`Cluster.sublease`) — a view of a node subset that shares the
+simulator, switches, links, NICs, and capability with every co-resident
+job, so congestion between tenants is real, while per-job service state
+(the NIC-collective registry, the fault-tolerance daemon slot) stays
+isolated.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Sequence
 
 from repro.config import MachineConfig, default_config
 from repro.elan4.capability import ElanCapability
 from repro.elan4.fattree import build_quaternary_fat_tree
+from repro.elan4.hwbcast import HWBCAST_QID
 from repro.elan4.network import Fabric
 from repro.elan4.nic import Elan4Context, Elan4Nic
 from repro.hw.node import Node
@@ -20,11 +28,16 @@ from repro.sim.core import Simulator
 from repro.sim.rng import RandomStreams
 from repro.sim.trace import Tracer
 
-__all__ = ["Cluster"]
+__all__ = ["Cluster", "ClusterLease"]
 
 
 class Cluster:
-    """A simulated QsNetII cluster."""
+    """A simulated QsNetII cluster.
+
+    ``sim`` (and optionally ``rng``) may be injected so several clusters —
+    or a cluster and an external harness — share one event kernel; by
+    default each cluster constructs its own.
+    """
 
     def __init__(
         self,
@@ -33,10 +46,12 @@ class Cluster:
         seed: int = 0,
         contexts_per_node: int = 64,
         rails: int = 1,
+        sim: Optional[Simulator] = None,
+        rng: Optional[RandomStreams] = None,
     ):
         self.config = config or default_config()
-        self.sim = Simulator()
-        self.rng = RandomStreams(seed)
+        self.sim = sim if sim is not None else Simulator()
+        self.rng = rng if rng is not None else RandomStreams(seed)
         self.tracer = Tracer(self.sim, enabled=True, keep_records=False)
         #: observability observer: None unless REPRO_OBS=1 or an enclosing
         #: ``repro.obs.capture()`` block is active (observation-only — the
@@ -50,6 +65,11 @@ class Cluster:
         from repro.coll.hw import HwCollRegistry
 
         self.coll_hw = HwCollRegistry(self)
+        #: cluster-wide hardware broadcast queue-id allocator: queue slots
+        #: live on shared NICs, so co-resident jobs (each with its own
+        #: HwCollRegistry) must draw from one pool or their receivers
+        #: collide on a queue id
+        self._next_hw_queue_id = HWBCAST_QID
         self.nodes: List[Node] = [Node(self.sim, self.config, i) for i in range(nodes)]
         #: per-rail interconnects: each rail is its own switch fabric,
         #: capability, and set of NICs (the multirail layout of [6] and the
@@ -124,6 +144,20 @@ class Cluster:
             cap.release(entry.vpid)
             raise
 
+    def alloc_hw_queue_id(self) -> int:
+        """Next free NIC broadcast queue id — one shared pool per cluster
+        (queue slots live on the shared NICs, not on any one job)."""
+        qid = self._next_hw_queue_id
+        self._next_hw_queue_id += 1
+        return qid
+
+    # -- multi-tenancy ------------------------------------------------------
+    def sublease(self, node_ids: Sequence[int]) -> "ClusterLease":
+        """Grant a job a view of ``node_ids`` that shares this cluster's
+        simulator, fabric, NICs, and capability — the co-residency
+        primitive the scheduler builds on (see :class:`ClusterLease`)."""
+        return ClusterLease(self, node_ids)
+
     def run(self, until: Optional[float] = None) -> float:
         return self.sim.run(until=until)
 
@@ -147,6 +181,114 @@ class Cluster:
     ):
         """Launch ``app`` as an MPI job via the RTE; see
         :func:`repro.rte.environment.launch_job` for the full signature."""
+        from repro.rte.environment import launch_job
+
+        return launch_job(self, app, np=np, transports=transports, **kwargs)
+
+
+class ClusterLease:
+    """A job's view of a subset of a :class:`Cluster`'s nodes.
+
+    Everything *physical* is shared with the parent cluster (and hence
+    with every co-resident lease): the simulator, the rail fabrics and
+    their switches/links, the NICs, and the system-wide Elan capability —
+    so two jobs whose routes cross the same switch genuinely contend.
+    Everything *job-scoped* is fresh per lease: the node list the RTE
+    places ranks on, the NIC-collective registry (communicator state must
+    not alias between tenants whose rank numbers coincide), and the
+    fault-tolerance daemon slot ``repro.ft.enable`` fills in.
+
+    A lease quacks like a :class:`Cluster` for every consumer below the
+    scheduler — the RTE, the MPI stack, the coll/ft/obs services — which
+    is what lets a fleet reuse the whole single-job machinery unchanged.
+    """
+
+    def __init__(self, parent: Cluster, node_ids: Sequence[int]):
+        ids = list(node_ids)
+        if not ids:
+            raise ValueError("a lease must cover at least one node")
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate node ids in lease: {ids}")
+        for i in ids:
+            if not 0 <= i < parent.n_nodes:
+                raise ValueError(f"node {i} outside cluster of {parent.n_nodes}")
+        self.parent = parent
+        self.node_ids = ids
+        self.config = parent.config
+        self.sim = parent.sim
+        self.rng = parent.rng
+        self.tracer = parent.tracer
+        self.observer = parent.observer
+        #: the granted nodes, in grant order — ``nodes[0]`` hosts the
+        #: job's seed daemon, and rank i defaults onto ``nodes[i % len]``
+        self.nodes: List[Node] = [parent.nodes[i] for i in ids]
+        from repro.coll.hw import HwCollRegistry
+
+        self.coll_hw = HwCollRegistry(self)
+
+    # -- shared physical substrate (delegated) ------------------------------
+    @property
+    def rail_topologies(self):
+        return self.parent.rail_topologies
+
+    @property
+    def rail_fabrics(self) -> List[Fabric]:
+        return self.parent.rail_fabrics
+
+    @property
+    def rail_capabilities(self) -> List[ElanCapability]:
+        return self.parent.rail_capabilities
+
+    @property
+    def rail_nics(self) -> List[List[Elan4Nic]]:
+        return self.parent.rail_nics
+
+    @property
+    def topology(self):
+        return self.parent.topology
+
+    @property
+    def fabric(self) -> Fabric:
+        return self.parent.fabric
+
+    @property
+    def capability(self) -> ElanCapability:
+        return self.parent.capability
+
+    @property
+    def nics(self) -> List[Elan4Nic]:
+        return self.parent.nics
+
+    @property
+    def n_rails(self) -> int:
+        return self.parent.n_rails
+
+    @property
+    def n_nodes(self) -> int:
+        """Size of the *lease* — the RTE's default rank→node modulus."""
+        return len(self.nodes)
+
+    def claim_context(self, node_id: int, space=None, rail: int = 0) -> Elan4Context:
+        """Claim a context on *global* ``node_id`` (the PTL passes the
+        node object's own id) from the shared capability."""
+        return self.parent.claim_context(node_id, space=space, rail=rail)
+
+    def alloc_hw_queue_id(self) -> int:
+        return self.parent.alloc_hw_queue_id()
+
+    def run(self, until: Optional[float] = None) -> float:
+        return self.parent.run(until=until)
+
+    def assert_no_drops(self) -> None:
+        self.parent.assert_no_drops()
+
+    def run_mpi(
+        self,
+        app: Callable,
+        np: Optional[int] = None,
+        transports: tuple = ("elan4",),
+        **kwargs,
+    ):
         from repro.rte.environment import launch_job
 
         return launch_job(self, app, np=np, transports=transports, **kwargs)

@@ -238,7 +238,13 @@ class HwCollRegistry:
 
     def alloc_queue_id(self) -> int:
         """Distinct broadcast queue id per group (a context may belong to
-        several communicators, each with its own queue)."""
+        several communicators, each with its own queue).  Queue slots live
+        on the shared NICs, so when the cluster exposes a cluster-wide
+        allocator (co-resident leases each carry their own registry) the
+        ids are drawn from that single pool."""
+        alloc = getattr(self.cluster, "alloc_hw_queue_id", None)
+        if alloc is not None:
+            return int(alloc())
         qid = self._next_queue_id
         self._next_queue_id += 1
         return qid

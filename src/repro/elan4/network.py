@@ -151,7 +151,6 @@ class Fabric:
         link = self._tx_links.get(packet.src_node)
         if link is None:
             raise FabricError(f"transmit from unattached node {packet.src_node}")
-        packet.seq = next(self._tx_seq)
         if self.obs is not None and packet.meta.get("obs_tid") is not None:
             # injection timestamp rides the packet so _deliver can record
             # the wire span (link contention + serialisation + hops)
@@ -160,6 +159,11 @@ class Fabric:
         yield link.request()
         yield self.sim.timeout(wire_bytes * self._link_us)
         link.release()
+        # seq is assigned at *wire* time, not coroutine start: broadcast
+        # replication stamps its copies after serialising, so a p2p packet
+        # that grabbed a seq early but then queued behind the broadcast on
+        # the injection link would otherwise carry an inverted seq
+        packet.seq = next(self._tx_seq)
         if self.down:
             self.packets_lost += 1
             if self.tracer is not None:
@@ -269,7 +273,17 @@ class Fabric:
             )
             copy.seq = next(self._tx_seq)
             hops = self.topology.hops(packet.src_node, dst)
-            self.sim.schedule(hops * self._hop_us, self._deliver, copy)
+            # replicated copies honour the same per-pair arrival horizon as
+            # point-to-point traffic: a reroute (switch death/restore) can
+            # shorten the path mid-window, and an unclamped copy would
+            # overtake earlier packets still in flight on the longer route
+            deliver_at = self.sim.now + hops * self._hop_us
+            key = (packet.src_node, dst)
+            horizon = self._arrival_horizon.get(key, 0.0)
+            if deliver_at < horizon:
+                deliver_at = horizon
+            self._arrival_horizon[key] = deliver_at
+            self.sim.schedule(deliver_at - self.sim.now, self._deliver, copy)
 
     def transmit_from_nic(self, packet: Packet) -> None:
         """Callback-style injection used by NIC engines (fire and forget)."""

@@ -36,7 +36,15 @@ DEFAULT_LATENCY_BUCKETS_US: tuple[float, ...] = (
 )
 
 #: the subsystem scopes instrumentation hooks write into
-STANDARD_SCOPES: tuple[str, ...] = ("pml", "ptl", "nic", "switch", "faults", "hw")
+STANDARD_SCOPES: tuple[str, ...] = (
+    "pml",
+    "ptl",
+    "nic",
+    "switch",
+    "faults",
+    "hw",
+    "sched",
+)
 
 
 class Counter:

@@ -37,8 +37,9 @@ class ProcessKilled(Exception):
 
 
 class SeedDaemon:
-    """The registry at (node 0, SEED_PORT): register / sync / lookup /
-    deregister, one handler thread per OOB connection."""
+    """The registry at (the job's first node, ``job.seed_port``):
+    register / sync / lookup / deregister, one handler thread per OOB
+    connection."""
 
     def __init__(self, job: "RteJob"):
         self.job = job
@@ -50,7 +51,7 @@ class SeedDaemon:
         self._group_members: Dict[str, set] = {}
         self._sync_waiters: Dict[str, List[tuple]] = {}
         self.server = OobServer(
-            job.net, job.cluster.nodes[0], SEED_PORT, self._handle, name="seed"
+            job.net, job.cluster.nodes[0], job.seed_port, self._handle, name="seed"
         )
 
     # -- request handling ------------------------------------------------
@@ -176,7 +177,7 @@ class RteProcess:
     def _startup(self, thread):
         info = yield from self.stack.init_local(thread)
         sock = yield from TcpSocket.connect(
-            self.job.net, thread, self.node, 0, SEED_PORT
+            self.job.net, thread, self.node, self.job.seed_node_id, self.job.seed_port
         )
         self.oob = OobChannel(sock)
         reply = yield from self.oob.rpc(
@@ -229,12 +230,30 @@ class RteProcess:
 
 
 class RteJob:
-    """A running parallel job."""
+    """A running parallel job.
 
-    def __init__(self, cluster, stack_factory: Optional[Callable] = None):
+    ``cluster`` may be a whole :class:`~repro.cluster.Cluster` or a
+    scheduler-granted :class:`~repro.cluster.ClusterLease`.  Co-resident
+    jobs on one cluster share an injected ``net`` (one IP fabric per
+    machine, as in hardware) and distinguish their seed daemons by
+    ``seed_port``; a standalone job keeps the historical defaults (its
+    own network, port 5555 on its first node).
+    """
+
+    def __init__(
+        self,
+        cluster,
+        stack_factory: Optional[Callable] = None,
+        net: Optional[IpNetwork] = None,
+        seed_port: int = SEED_PORT,
+    ):
         self.cluster = cluster
-        self.net = IpNetwork(cluster.sim, cluster.config)
+        self.net = net if net is not None else IpNetwork(cluster.sim, cluster.config)
         self.stack_factory = stack_factory or _default_stack_factory()
+        self.seed_port = seed_port
+        #: where processes dial the registry: the job's first node (node 0
+        #: of a whole cluster; the first *granted* node of a lease)
+        self.seed_node_id = cluster.nodes[0].node_id
         self.seed = SeedDaemon(self)
         self.processes: Dict[int, RteProcess] = {}
         self._spawn_groups = 0

@@ -1,0 +1,65 @@
+"""Multi-tenant cluster scheduling over one shared simulated fabric.
+
+The package turns the single-job testbed into a fleet: a seeded arrival
+process feeds a FIFO+backfill :class:`~repro.sched.scheduler.JobScheduler`,
+each admitted job gang-starts as a real :class:`~repro.rte.environment.RteJob`
+on a :class:`~repro.cluster.ClusterLease` (disjoint rank slots, shared
+switches/links/NICs), and per-tenant SLOs — queue wait, makespan,
+step-latency percentiles — are tracked in
+:class:`~repro.sched.slo.TenantStats` and mirrored into the ``sched``
+observability scope.
+
+Quick start::
+
+    python -m repro.sched.demo            # 12-job fleet on 16 nodes
+
+or programmatically::
+
+    from repro.cluster import Cluster
+    from repro.sched import FleetRun, synthetic_fleet
+
+    cluster = Cluster(nodes=16)
+    result = FleetRun(cluster, synthetic_fleet(seed=7, n_jobs=8)).run()
+    print(result.table())
+"""
+
+from repro.sched.placement import (
+    POLICIES,
+    PackedPlacement,
+    PlacementPolicy,
+    RandomPlacement,
+    SpreadPlacement,
+    make_policy,
+    register_policy,
+)
+from repro.sched.scheduler import (
+    FleetResult,
+    FleetRun,
+    JobRun,
+    JobScheduler,
+    synthetic_fleet,
+)
+from repro.sched.slo import TenantStats, fleet_table, percentile
+from repro.sched.spec import FAMILIES, JobSpec, make_app, register_family
+
+__all__ = [
+    "FAMILIES",
+    "FleetResult",
+    "FleetRun",
+    "JobRun",
+    "JobScheduler",
+    "JobSpec",
+    "POLICIES",
+    "PackedPlacement",
+    "PlacementPolicy",
+    "RandomPlacement",
+    "SpreadPlacement",
+    "TenantStats",
+    "fleet_table",
+    "make_app",
+    "make_policy",
+    "percentile",
+    "register_family",
+    "register_policy",
+    "synthetic_fleet",
+]

@@ -1,0 +1,114 @@
+"""Per-tenant SLO accounting.
+
+Every job the scheduler runs gets a :class:`TenantStats`: queue wait,
+makespan, and the per-step latency samples its app reports through the
+``on_step`` hook every :mod:`repro.apps` family exposes.  Percentiles
+use the deterministic nearest-rank method (no interpolation, no float
+order sensitivity), so two same-seed fleet runs produce bit-identical
+SLO reports — the property the differential tests pin.
+
+When observability is on (``REPRO_OBS=1`` / ``repro.obs.capture()``)
+the same numbers are mirrored into the ``sched`` metrics scope, giving
+queue-wait/step-latency dashboards per tenant; with it off, nothing is
+recorded anywhere and the simulation schedule is identical.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = ["TenantStats", "percentile", "fleet_table"]
+
+PCTS = (50.0, 95.0, 99.0)
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of ``samples`` (need not be sorted)."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    if q <= 0:
+        return ordered[0]
+    if q >= 100:
+        return ordered[-1]
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+class TenantStats:
+    """One tenant's timeline and step-latency record."""
+
+    def __init__(self, name: str, slo_step_us: float = 0.0, observer: Any = None):
+        self.name = name
+        self.slo_step_us = slo_step_us
+        self.observer = observer
+        self.submit_us: float = 0.0
+        self.start_us: Optional[float] = None
+        self.end_us: Optional[float] = None
+        #: per-step elapsed µs, in completion order across all ranks
+        self.step_us: List[float] = []
+        self.failed = False
+
+    # -- recording (wired into the app via repro.apps on_step) -------------
+    def note_step(self, rank: int, elapsed_us: float) -> None:
+        self.step_us.append(elapsed_us)
+        if self.observer is not None:
+            self.observer.sample("sched", f"step_us.{self.name}", elapsed_us)
+
+    # -- derived -----------------------------------------------------------
+    @property
+    def queue_wait_us(self) -> float:
+        if self.start_us is None:
+            return 0.0
+        return self.start_us - self.submit_us
+
+    @property
+    def makespan_us(self) -> float:
+        if self.start_us is None or self.end_us is None:
+            return 0.0
+        return self.end_us - self.start_us
+
+    def step_pct(self, q: float) -> float:
+        return percentile(self.step_us, q)
+
+    @property
+    def slo_violation_frac(self) -> float:
+        """Fraction of steps over the tenant's declared target (0 when no
+        target was declared or no steps ran)."""
+        if self.slo_step_us <= 0 or not self.step_us:
+            return 0.0
+        over = sum(1 for s in self.step_us if s > self.slo_step_us)
+        return over / len(self.step_us)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-able summary; keys sorted for stable serialisation."""
+        return {
+            "makespan_us": round(self.makespan_us, 6),
+            "name": self.name,
+            "queue_wait_us": round(self.queue_wait_us, 6),
+            "slo_step_us": self.slo_step_us,
+            "slo_violation_frac": round(self.slo_violation_frac, 6),
+            "steps": len(self.step_us),
+            "step_p50_us": round(self.step_pct(50), 6),
+            "step_p95_us": round(self.step_pct(95), 6),
+            "step_p99_us": round(self.step_pct(99), 6),
+            "failed": self.failed,
+        }
+
+
+def fleet_table(stats: Sequence[TenantStats]) -> str:
+    """Render the per-tenant SLO report the demo and bench print."""
+    header = (
+        f"{'tenant':<14} {'wait µs':>10} {'makespan µs':>12} "
+        f"{'p50 µs':>9} {'p95 µs':>9} {'p99 µs':>9} {'SLO viol':>9}"
+    )
+    lines = [header, "-" * len(header)]
+    for s in stats:
+        viol = f"{100 * s.slo_violation_frac:.1f}%" if s.slo_step_us > 0 else "-"
+        lines.append(
+            f"{s.name:<14} {s.queue_wait_us:>10.1f} {s.makespan_us:>12.1f} "
+            f"{s.step_pct(50):>9.1f} {s.step_pct(95):>9.1f} "
+            f"{s.step_pct(99):>9.1f} {viol:>9}"
+        )
+    return "\n".join(lines)

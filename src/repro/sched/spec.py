@@ -1,0 +1,151 @@
+"""Job specifications and the workload-family library.
+
+A :class:`JobSpec` is pure data: which workload family, how many ranks,
+how many application steps, family parameters, and the tenant's SLO
+target.  The family registry turns a spec into the per-rank coroutine
+the RTE runs — every family is an importable app from :mod:`repro.apps`,
+so the fleet exercises exactly the code paths the single-job examples
+and their tests already verify.
+
+Families shipped:
+
+========  ==========================================================
+family    traffic shape
+========  ==========================================================
+train     allreduce-heavy "training step" loop (latency-sensitive)
+shuffle   all-to-all repartitioning rounds (bandwidth-hungry)
+stencil   two-sided halo exchange (small-message, tightly coupled)
+rma       one-sided halo exchange over RDMA windows
+sort      sample sort (gather/bcast/alltoall + p2p mixture)
+========  ==========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, Mapping, Optional
+
+from repro.apps import (
+    heat_app,
+    one_sided_stencil_app,
+    sample_sort_app,
+    shuffle_app,
+    training_app,
+)
+
+__all__ = ["JobSpec", "FAMILIES", "make_app", "register_family"]
+
+#: per-rank step callback: ``(rank, elapsed_us)``
+StepHook = Callable[[int, float], None]
+#: an app factory: ``(spec, on_step) -> rank coroutine``
+AppBuilder = Callable[
+    ["JobSpec", Optional[StepHook]], Callable[[Any], Generator[Any, Any, Any]]
+]
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One tenant's job: what to run, how wide, and its SLO target."""
+
+    name: str
+    family: str
+    np: int
+    steps: int = 10
+    #: family-specific knobs (payload sizes, compute time, seeds)
+    params: Mapping[str, Any] = field(default_factory=dict)
+    #: per-step latency target in modelled µs (0 = no target declared)
+    slo_step_us: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.np < 1:
+            raise ValueError(f"job {self.name!r}: np must be >= 1, got {self.np}")
+        if self.steps < 1:
+            raise ValueError(f"job {self.name!r}: steps must be >= 1")
+        if self.family not in FAMILIES:
+            raise ValueError(
+                f"job {self.name!r}: unknown family {self.family!r} "
+                f"(known: {', '.join(sorted(FAMILIES))})"
+            )
+
+    def describe(self) -> str:
+        return f"{self.name}[{self.family} np={self.np} steps={self.steps}]"
+
+
+def _build_train(
+    spec: JobSpec, on_step: Optional[StepHook]
+) -> Callable[[Any], Generator[Any, Any, Any]]:
+    p = spec.params
+    return training_app(
+        steps=spec.steps,
+        grad_elems=int(p.get("grad_elems", 4096)),
+        compute_us=float(p.get("compute_us", 50.0)),
+        on_step=on_step,
+    )
+
+
+def _build_shuffle(
+    spec: JobSpec, on_step: Optional[StepHook]
+) -> Callable[[Any], Generator[Any, Any, Any]]:
+    p = spec.params
+    return shuffle_app(
+        rounds=spec.steps,
+        block_per_pair=int(p.get("block_per_pair", 512)),
+        on_step=on_step,
+    )
+
+
+def _build_stencil(
+    spec: JobSpec, on_step: Optional[StepHook]
+) -> Callable[[Any], Generator[Any, Any, Any]]:
+    p = spec.params
+    return heat_app(
+        cells_per_rank=int(p.get("cells_per_rank", 64)),
+        steps=spec.steps,
+        alpha=float(p.get("alpha", 0.1)),
+        on_step=on_step,
+    )
+
+
+def _build_rma(
+    spec: JobSpec, on_step: Optional[StepHook]
+) -> Callable[[Any], Generator[Any, Any, Any]]:
+    p = spec.params
+    return one_sided_stencil_app(
+        cells_per_rank=int(p.get("cells_per_rank", 48)),
+        steps=spec.steps,
+        alpha=float(p.get("alpha", 0.1)),
+        on_step=on_step,
+    )
+
+
+def _build_sort(
+    spec: JobSpec, on_step: Optional[StepHook]
+) -> Callable[[Any], Generator[Any, Any, Any]]:
+    p = spec.params
+    return sample_sort_app(
+        keys_per_rank=int(p.get("keys_per_rank", 2048)),
+        seed_base=int(p.get("seed_base", 1000)),
+        on_step=on_step,
+    )
+
+
+#: family name -> app builder (pluggable; see :func:`register_family`)
+FAMILIES: Dict[str, AppBuilder] = {
+    "train": _build_train,
+    "shuffle": _build_shuffle,
+    "stencil": _build_stencil,
+    "rma": _build_rma,
+    "sort": _build_sort,
+}
+
+
+def register_family(name: str, builder: AppBuilder) -> None:
+    """Install a custom workload family (tests plug probe apps in)."""
+    FAMILIES[name] = builder
+
+
+def make_app(
+    spec: JobSpec, on_step: Optional[StepHook] = None
+) -> Callable[[Any], Generator[Any, Any, Any]]:
+    """Instantiate ``spec``'s per-rank coroutine, wired to ``on_step``."""
+    return FAMILIES[spec.family](spec, on_step)

@@ -1,0 +1,53 @@
+"""Placement-policy units: pure functions of the free map."""
+
+import numpy as np
+import pytest
+
+from repro.sched.placement import (
+    PackedPlacement,
+    RandomPlacement,
+    SpreadPlacement,
+    make_policy,
+    register_policy,
+)
+
+FREE = [(0, 2), (1, 2), (2, 1), (3, 0)]
+
+
+def rng():
+    return np.random.default_rng(42)
+
+
+def test_packed_fills_in_id_order():
+    assert PackedPlacement().place(4, FREE, rng()) == [0, 0, 1, 1]
+    assert PackedPlacement().place(5, FREE, rng()) == [0, 0, 1, 1, 2]
+
+
+def test_spread_balances_across_nodes():
+    out = SpreadPlacement().place(3, FREE, rng())
+    assert out == [0, 1, 2]
+    # ties break toward the lowest node id
+    assert SpreadPlacement().place(2, FREE, rng()) == [0, 1]
+
+
+def test_insufficient_slots_returns_none():
+    for policy in (PackedPlacement(), SpreadPlacement(), RandomPlacement()):
+        assert policy.place(6, FREE, rng()) is None
+        assert policy.place(1, [(0, 0)], rng()) is None
+
+
+def test_random_is_seed_deterministic_and_capacity_respecting():
+    a = RandomPlacement().place(4, FREE, rng())
+    b = RandomPlacement().place(4, FREE, rng())
+    assert a == b  # same seed, same draw
+    counts = {nid: a.count(nid) for nid in set(a)}
+    for nid, used in counts.items():
+        assert used <= dict(FREE)[nid]
+
+
+def test_registry_lookup_and_errors():
+    assert make_policy("packed").name == "packed"
+    with pytest.raises(ValueError, match="unknown placement policy"):
+        make_policy("tetris")
+    register_policy("packed2", PackedPlacement)
+    assert isinstance(make_policy("packed2"), PackedPlacement)

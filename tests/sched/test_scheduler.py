@@ -1,0 +1,103 @@
+"""Scheduler behaviour: FIFO order, backfill, slot accounting."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.sched import JobScheduler, JobSpec
+from repro.sched.spec import register_family
+
+
+def _probe_builder(spec, on_step):
+    """A compute-only tenant: sleeps through its steps, no messaging —
+    keeps scheduler tests fast while exercising the full RTE start path."""
+    sleep_us = float(spec.params.get("sleep_us", 100.0))
+
+    def app(mpi):
+        for _ in range(spec.steps):
+            t0 = mpi.now
+            yield from mpi.thread.sleep(sleep_us)
+            if on_step is not None:
+                on_step(mpi.rank, mpi.now - t0)
+        return mpi.rank
+
+    return app
+
+
+register_family("probe", _probe_builder)
+
+
+def probe(name, np_, steps=5, sleep_us=200.0):
+    return JobSpec(name, "probe", np=np_, steps=steps,
+                   params={"sleep_us": sleep_us})
+
+
+def test_jobs_start_immediately_when_slots_free():
+    cluster = Cluster(nodes=4)
+    sched = JobScheduler(cluster, slots_per_node=1)
+    a = sched.submit(probe("a", 2), at_us=0.0)
+    b = sched.submit(probe("b", 2), at_us=5.0)
+    cluster.sim.run()
+    assert a.state == "done" and b.state == "done"
+    assert a.stats.queue_wait_us == 0.0
+    assert b.stats.queue_wait_us == 0.0
+    assert sched.counters()["backfills"] == 0
+    assert sched.counters()["max_concurrent"] == 2
+
+
+def test_backfill_engages_when_head_blocked():
+    cluster = Cluster(nodes=4)
+    sched = JobScheduler(cluster, slots_per_node=1, backfill=True)
+    a = sched.submit(probe("a", 2), at_us=0.0)     # takes 2 of 4 slots
+    b = sched.submit(probe("b", 4), at_us=50.0)    # blocked: only 2 free
+    c = sched.submit(probe("c", 2), at_us=100.0)   # fits the 2 free slots
+    cluster.sim.run()
+    assert [r.state for r in (a, b, c)] == ["done"] * 3
+    assert c.backfilled and not a.backfilled and not b.backfilled
+    assert sched.counters()["backfills"] == 1
+    # c jumped the queue; b had to wait for a's slots
+    assert c.stats.start_us < b.stats.start_us
+    assert b.stats.start_us >= a.stats.end_us
+    # b needs all 4 slots, so it starts the instant the later of a and c
+    # finishes (the zero-delay dispatch event after the release)
+    assert b.stats.start_us == pytest.approx(
+        max(a.stats.end_us, c.stats.end_us), abs=1e-6
+    )
+
+
+def test_backfill_disabled_preserves_strict_fifo():
+    cluster = Cluster(nodes=4)
+    sched = JobScheduler(cluster, slots_per_node=1, backfill=False)
+    a = sched.submit(probe("a", 2), at_us=0.0)
+    b = sched.submit(probe("b", 4), at_us=50.0)
+    c = sched.submit(probe("c", 2), at_us=100.0)
+    cluster.sim.run()
+    assert [r.state for r in (a, b, c)] == ["done"] * 3
+    assert not c.backfilled and sched.counters()["backfills"] == 0
+    assert b.stats.start_us >= a.stats.end_us
+    assert c.stats.start_us >= b.stats.start_us
+
+
+def test_oversized_job_rejected_at_submit():
+    cluster = Cluster(nodes=2)
+    sched = JobScheduler(cluster, slots_per_node=1)
+    with pytest.raises(ValueError, match="needs 3 slots"):
+        sched.submit(probe("big", 3))
+
+
+def test_slots_return_to_full_after_completion():
+    cluster = Cluster(nodes=4)
+    sched = JobScheduler(cluster, slots_per_node=2)
+    sched.submit(probe("a", 6), at_us=0.0)
+    sched.submit(probe("b", 4), at_us=10.0)
+    cluster.sim.run()
+    assert sched._free == {0: 2, 1: 2, 2: 2, 3: 2}
+    assert sched.unfinished() == []
+
+
+def test_placement_respects_policy():
+    cluster = Cluster(nodes=4)
+    sched = JobScheduler(cluster, policy="spread", slots_per_node=2)
+    a = sched.submit(probe("a", 4), at_us=0.0)
+    cluster.sim.run()
+    # spread puts one rank per node before doubling up
+    assert a.placement == [0, 1, 2, 3]

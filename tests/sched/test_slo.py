@@ -1,0 +1,45 @@
+"""SLO accounting units: nearest-rank percentiles and tenant stats."""
+
+from repro.sched.slo import TenantStats, fleet_table, percentile
+
+
+def test_percentile_nearest_rank():
+    xs = [10.0, 20.0, 30.0, 40.0]
+    assert percentile(xs, 50) == 20.0
+    assert percentile(xs, 75) == 30.0
+    assert percentile(xs, 95) == 40.0
+    assert percentile(xs, 0) == 10.0
+    assert percentile(xs, 100) == 40.0
+    assert percentile([], 50) == 0.0
+    assert percentile([7.0], 99) == 7.0
+
+
+def test_tenant_stats_derived_values():
+    s = TenantStats("train-0", slo_step_us=50.0)
+    s.submit_us = 100.0
+    s.start_us = 160.0
+    for v in (10.0, 60.0, 20.0, 70.0):
+        s.note_step(0, v)
+    s.end_us = 400.0
+    assert s.queue_wait_us == 60.0
+    assert s.makespan_us == 240.0
+    assert s.step_pct(50) == 20.0
+    assert s.slo_violation_frac == 0.5
+    d = s.as_dict()
+    assert d["steps"] == 4 and d["slo_violation_frac"] == 0.5
+
+
+def test_no_slo_target_means_no_violations():
+    s = TenantStats("x")
+    s.note_step(0, 1e9)
+    assert s.slo_violation_frac == 0.0
+
+
+def test_fleet_table_renders_every_tenant():
+    a = TenantStats("a", slo_step_us=5.0)
+    a.submit_us, a.start_us, a.end_us = 0.0, 1.0, 2.0
+    a.note_step(0, 10.0)
+    b = TenantStats("b")
+    table = fleet_table([a, b])
+    assert "a" in table and "b" in table
+    assert "100.0%" in table  # a's single step violates its 5µs target
