@@ -1,0 +1,254 @@
+"""IB/RoCE congestion bench: incast and hotspot sweeps across fabric modes.
+
+Three configurations of the same physical fabric (``repro.ib``):
+
+* ``ib``             — lossless reliable-connection fabric (queues unbounded);
+* ``roce-pfc-ecn``   — lossy Ethernet discipline with both control loops on:
+  hop-by-hop PFC PAUSE below the drop point, ECN marking feeding the
+  DCQCN-style sender rate limiter;
+* ``roce-nocontrol`` — finite queues, no PFC, no ECN: drops and go-back-N.
+
+Two traffic patterns:
+
+* **incast** — N senders blast one receiver; the receiver-port egress queue
+  is the bottleneck.  Expected: no-control suffers drops and retransmit
+  tails; PFC+ECN completes drop-free with a measurably lower p95.
+* **hotspot** — the same incast plus an innocent-bystander pair sharing
+  only the switch (not the hot port).  Expected: PFC's pause cascade
+  head-of-line blocks the victim; ECN marking penalises only the hot flows.
+
+Emits ``BENCH_ib.json`` (committed) and exits nonzero if PFC/ECN fails to
+beat no-control on incast p95 — the PR's acceptance criterion.
+
+    PYTHONPATH=src python benchmarks/bench_ib.py --out BENCH_ib.json
+"""
+
+import argparse
+import json
+import sys
+
+import numpy as np
+
+from repro.cluster import Cluster
+from repro.coll import framework
+from repro.config import default_config
+from repro.core.request import ANY_SOURCE
+from repro.ib.options import IbOptions
+from repro.mpi.world import make_mpi_stack_factory
+from repro.rte.environment import launch_job
+
+SEED = 7
+FULL_SIZES = [1536, 16384, 65536]
+SMOKE_SIZES = [16384]
+
+
+def _options(mode: str) -> IbOptions:
+    if mode == "ib":
+        return IbOptions(mode="ib")
+    if mode == "roce-pfc-ecn":
+        return IbOptions(mode="roce", pfc=True, ecn=True)
+    if mode == "roce-nocontrol":
+        return IbOptions(mode="roce", pfc=False, ecn=False)
+    raise ValueError(mode)
+
+
+MODES = ["ib", "roce-pfc-ecn", "roce-nocontrol"]
+
+
+def _percentile(xs, q):
+    return float(np.percentile(np.asarray(xs, dtype=np.float64), q))
+
+
+def _run(nodes, app, np_, options):
+    # no-control mode genuinely congestion-collapses at the deepest incast
+    # points: go-back-N amplification can starve the head-of-window past
+    # the default 8-retry budget and kill the QP.  The bench wants the
+    # tail *measured*, not the connection torn down, so every mode runs
+    # with a deeper retry budget (identical across modes — fair sweep).
+    config = default_config().variant(ib_max_retries=64)
+    cluster = Cluster(
+        nodes=nodes, config=config, seed=SEED, ib_rail=True, ib_options=options
+    )
+    results = launch_job(
+        cluster, app, np=np_, transports=("ib",),
+        stack_factory=make_mpi_stack_factory(),
+    )
+    cluster.assert_no_drops()  # switch drops are fabric stats, not NIC bugs
+    return results, cluster
+
+
+def _messages_for(nbytes: int) -> int:
+    """Per-sender message count: roughly constant aggregate bytes across
+    sweep points, so the small-message point also builds a real backlog."""
+    return max(4, min(48, 131072 // nbytes))
+
+
+def _incast(mode: str, nbytes: int, senders: int = 7, messages: int = 0):
+    """All ranks but 0 stream ``messages`` of ``nbytes`` at rank 0;
+    returns per-send latency percentiles + fabric congestion counters."""
+    messages = messages or _messages_for(nbytes)
+
+    def app(mpi):
+        comm = mpi.comm_world
+        yield from framework.run_named(comm, "barrier", "dissemination")
+        if mpi.rank == 0:
+            # pre-post every receive: all senders' transfers fly at once,
+            # which is what makes this an incast and not a polite queue
+            t0 = mpi.now
+            reqs = []
+            for _ in range(senders * messages):
+                reqs.append((yield from comm.irecv(
+                    nbytes, source=ANY_SOURCE, tag=5,
+                    buffer=mpi.alloc(nbytes))))
+            yield from mpi.waitall(reqs)
+            return mpi.now - t0
+        # every message in flight at once per sender: the aggregate is
+        # senders x messages concurrent transfers into one egress port
+        bufs = [mpi.alloc(nbytes) for _ in range(messages)]
+        t0 = mpi.now
+        reqs = []
+        for buf in bufs:
+            reqs.append((yield from comm.isend(buf, dest=0, tag=5,
+                                               nbytes=nbytes)))
+        lats = []
+        for req in reqs:
+            yield from mpi.wait(req)
+            lats.append(mpi.now - t0)
+        return lats
+
+    results, cluster = _run(senders + 1, app, senders + 1, _options(mode))
+    lats = [x for r in range(1, senders + 1) for x in results[r]]
+    stats = cluster.ib_fabrics[0].stats()
+    nic_retx = sum(
+        qp.retransmitted
+        for nic in cluster.ib_nics[0]
+        for qp in nic.qps.values()
+    )
+    return {
+        "p50_us": _percentile(lats, 50),
+        "p95_us": _percentile(lats, 95),
+        "max_us": max(lats),
+        "goodput_mb_s": senders * messages * nbytes / results[0],
+        "drops": stats["drops"],
+        "ecn_marks": stats["ecn_marks"],
+        "pauses_sent": stats["pauses_sent"],
+        "retransmits": nic_retx,
+        "max_queue_depth": stats["max_queue_depth"],
+    }
+
+
+def _hotspot(mode: str, nbytes: int = 16384, messages: int = 6):
+    """Incast on rank 0 (ranks 1..7) plus a victim pair (8 -> 9) that only
+    shares the leaf switch.  Returns hot-flow and victim-flow p95."""
+
+    def app(mpi):
+        comm = mpi.comm_world
+        yield from framework.run_named(comm, "barrier", "dissemination")
+        if mpi.rank in (0, 9):
+            count, src, tag = (
+                (7 * messages, ANY_SOURCE, 5) if mpi.rank == 0
+                else (messages, 8, 6)
+            )
+            reqs = []
+            for _ in range(count):
+                reqs.append((yield from comm.irecv(
+                    nbytes, source=src, tag=tag, buffer=mpi.alloc(nbytes))))
+            yield from mpi.waitall(reqs)
+            return None
+        dest, tag = (9, 6) if mpi.rank == 8 else (0, 5)
+        bufs = [mpi.alloc(nbytes) for _ in range(messages)]
+        t0 = mpi.now
+        reqs = []
+        for buf in bufs:
+            reqs.append((yield from comm.isend(buf, dest=dest, tag=tag,
+                                               nbytes=nbytes)))
+        lats = []
+        for req in reqs:
+            yield from mpi.wait(req)
+            lats.append(mpi.now - t0)
+        return lats
+
+    results, cluster = _run(10, app, 10, _options(mode))
+    hot = [x for r in range(1, 8) for x in results[r]]
+    victim = results[8]
+    stats = cluster.ib_fabrics[0].stats()
+    return {
+        "hot_p95_us": _percentile(hot, 95),
+        "victim_p95_us": _percentile(victim, 95),
+        "pauses_sent": stats["pauses_sent"],
+        "drops": stats["drops"],
+        "ecn_marks": stats["ecn_marks"],
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="one incast size, no hotspot (CI mode)")
+    ap.add_argument("--out", default="BENCH_ib.json",
+                    help="report path (default: %(default)s)")
+    args = ap.parse_args(argv)
+
+    sizes = SMOKE_SIZES if args.smoke else FULL_SIZES
+    incast = {}
+    print(f"{'mode':>16} {'size':>7} {'p50(us)':>9} {'p95(us)':>9} "
+          f"{'drops':>6} {'ecn':>5} {'pauses':>7} {'rtx':>5}")
+    for nbytes in sizes:
+        for mode in MODES:
+            point = _incast(mode, nbytes)
+            incast[f"{mode}/{nbytes}"] = point
+            print(f"{mode:>16} {nbytes:>7} {point['p50_us']:>9.1f} "
+                  f"{point['p95_us']:>9.1f} {point['drops']:>6} "
+                  f"{point['ecn_marks']:>5} {point['pauses_sent']:>7} "
+                  f"{point['retransmits']:>5}")
+
+    hotspot = {}
+    if not args.smoke:
+        print(f"\n{'mode':>16} {'hot p95':>9} {'victim p95':>11} "
+              f"{'pauses':>7} {'drops':>6}")
+        for mode in MODES:
+            point = _hotspot(mode)
+            hotspot[mode] = point
+            print(f"{mode:>16} {point['hot_p95_us']:>9.1f} "
+                  f"{point['victim_p95_us']:>11.1f} "
+                  f"{point['pauses_sent']:>7} {point['drops']:>6}")
+
+    failures = []
+    for nbytes in sizes:
+        ctl = incast[f"roce-pfc-ecn/{nbytes}"]
+        raw = incast[f"roce-nocontrol/{nbytes}"]
+        lossless = incast[f"ib/{nbytes}"]
+        if raw["drops"] == 0:
+            failures.append(f"incast/{nbytes}: no-control mode never dropped "
+                            "— queues not stressed, bench is vacuous")
+        if ctl["drops"] != 0:
+            failures.append(f"incast/{nbytes}: PFC mode dropped packets")
+        if lossless["drops"] or lossless["retransmits"]:
+            failures.append(f"incast/{nbytes}: lossless ib lost packets")
+        if ctl["p95_us"] >= raw["p95_us"]:
+            failures.append(
+                f"incast/{nbytes}: PFC/ECN p95 {ctl['p95_us']:.1f}us did not "
+                f"beat no-control {raw['p95_us']:.1f}us"
+            )
+
+    report = {
+        "schema": "repro.bench.ib/v1",
+        "mode": "smoke" if args.smoke else "full",
+        "seed": SEED,
+        "incast": incast,
+        "hotspot": hotspot,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

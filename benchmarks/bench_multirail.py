@@ -22,8 +22,8 @@ from repro.rte.environment import launch_job
 SIZES = [4096, 65536, 262144, 1048576]
 
 
-def _stream_bw(rails, transports, nbytes, messages=16, window=8):
-    cluster = Cluster(nodes=2, rails=rails)
+def _stream_bw(rails, transports, nbytes, messages=16, window=8, ib=False):
+    cluster = Cluster(nodes=2, rails=rails, ib_rail=ib)
     out = {}
 
     def app(mpi):
@@ -85,6 +85,19 @@ def run():
     return {"1 rail [MB/s]": one, "2 rails [MB/s]": two}
 
 
+def run_hetero():
+    """Heterogeneous striping: one QsNetII rail + one IB rail, round-robin
+    message striping across unequal interconnects."""
+    elan = {n: _stream_bw(1, ("elan4",), n) for n in SIZES}
+    ib = {n: _stream_bw(1, ("ib",), n, ib=True) for n in SIZES}
+    both = {n: _stream_bw(1, ("elan4", "ib"), n, ib=True) for n in SIZES}
+    return {
+        "elan4 [MB/s]": elan,
+        "ib [MB/s]": ib,
+        "elan4+ib [MB/s]": both,
+    }
+
+
 def test_multirail_bandwidth_aggregation(benchmark):
     results = run_once(benchmark, run)
     print()
@@ -103,6 +116,35 @@ def test_multirail_bandwidth_aggregation(benchmark):
         # the serial per-message host path caps small-message gains; large
         # streams approach the ideal 2x
         assert speedup > (1.3 if n <= 65536 else 1.7), (n, speedup)
+
+
+def test_heterogeneous_striping(benchmark):
+    """Stripe across *unequal* interconnects: QsNetII + IB on one job.
+
+    Round-robin message striping is rail-agnostic — the PML only needs
+    both PTL modules to report the same schedule priority — so the slower
+    IB rail still adds bandwidth instead of capping the job at its rate.
+    """
+    results = run_once(benchmark, run_hetero)
+    print()
+    print(
+        format_series_table(
+            "Extension — heterogeneous striping (QsNetII + IB)",
+            results,
+            unit="MB/s",
+            note="rail-per-message striping over unequal rails; the "
+            "aggregate beats either rail alone",
+        )
+    )
+    for n in SIZES:
+        elan = results["elan4 [MB/s]"][n]
+        ib = results["ib [MB/s]"][n]
+        both = results["elan4+ib [MB/s]"][n]
+        print(f"size {n}: elan4 {elan:.1f}, ib {ib:.1f}, striped {both:.1f}")
+        # the aggregate must beat the faster rail alone — adding a slower
+        # rail helps, it does not drag the job down to the IB rate
+        assert both > elan * 1.05, (n, elan, both)
+        assert both > ib, (n, ib, both)
 
 
 def test_multirail_latency_unchanged(benchmark):

@@ -51,6 +51,7 @@ LAYER_RANK: Dict[str, int] = {
     "hw": 2,
     "elan4": 3,
     "tcpip": 3,
+    "ib": 3,
     "core": 4,
     "rte": 5,
     "mpi": 6,

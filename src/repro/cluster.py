@@ -15,7 +15,11 @@ isolated.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ib.fabric import IbFabric
+    from repro.ib.nic import IbNic
 
 from repro.config import MachineConfig, default_config
 from repro.elan4.capability import ElanCapability
@@ -48,6 +52,8 @@ class Cluster:
         rails: int = 1,
         sim: Optional[Simulator] = None,
         rng: Optional[RandomStreams] = None,
+        ib_rail: bool = False,
+        ib_options=None,
     ):
         self.config = config or default_config()
         self.sim = sim if sim is not None else Simulator()
@@ -80,6 +86,11 @@ class Cluster:
         self.rail_nics: List[List[Elan4Nic]] = []
         for _ in range(max(1, rails)):
             self.add_rail(contexts_per_node=contexts_per_node)
+        #: IB rails (repro.ib): parallel to the QsNet rails, own fabrics/HCAs
+        self.ib_fabrics: List["IbFabric"] = []
+        self.ib_nics: List[List["IbNic"]] = []
+        if ib_rail:
+            self.add_ib_rail(options=ib_options)
 
     def add_rail(self, contexts_per_node: int = 64) -> int:
         """Install another QsNetII rail (switch + one NIC per node);
@@ -100,6 +111,27 @@ class Cluster:
         self.rail_fabrics.append(fabric)
         self.rail_capabilities.append(capability)
         self.rail_nics.append(nics)
+        return rail
+
+    def add_ib_rail(self, options=None) -> int:
+        """Install an InfiniBand-style rail (IB fabric + one HCA per node);
+        returns its ib-rail index.  ``options`` is a
+        :class:`repro.ib.options.IbOptions` (default: lossless "ib" mode)."""
+        from repro.ib.fabric import IbFabric
+        from repro.ib.nic import IbNic
+        from repro.ib.options import IbOptions
+
+        rail = len(self.ib_fabrics)
+        fabric = IbFabric(self.sim, self.config, options or IbOptions(), self.n_nodes)
+        fabric.wire_obs(self.observer)
+        nics = []
+        for node in self.nodes:
+            nic = IbNic(self.sim, self.config, node, fabric)
+            nic.obs = self.observer
+            node.devices[f"ib:{rail}" if rail else "ib"] = nic
+            nics.append(nic)
+        self.ib_fabrics.append(fabric)
+        self.ib_nics.append(nics)
         return rail
 
     # -- rail-0 compatibility views -----------------------------------------
@@ -163,7 +195,7 @@ class Cluster:
 
     def assert_no_drops(self) -> None:
         """Raise if any NIC dropped a packet (tests' default postcondition)."""
-        for nics in self.rail_nics:
+        for nics in list(self.rail_nics) + list(self.ib_nics):
             for nic in nics:
                 if nic.dropped:
                     when, reason, pkt = nic.dropped[0]
@@ -242,6 +274,14 @@ class ClusterLease:
     @property
     def rail_nics(self) -> List[List[Elan4Nic]]:
         return self.parent.rail_nics
+
+    @property
+    def ib_fabrics(self) -> List["IbFabric"]:
+        return self.parent.ib_fabrics
+
+    @property
+    def ib_nics(self) -> List[List["IbNic"]]:
+        return self.parent.ib_nics
 
     @property
     def topology(self):

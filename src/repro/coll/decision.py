@@ -82,6 +82,21 @@ class DecisionTable:
         ops = self.raw.get("ops")
         if not isinstance(ops, dict):
             raise CollError(f"decision table {self.source}: missing 'ops' mapping")
+        self._validate_ops(ops)
+        backends = self.raw.get("backends", {})
+        if not isinstance(backends, dict):
+            raise CollError(f"decision table {self.source}: 'backends' must map "
+                            "backend name -> {'ops': ...}")
+        for backend in sorted(backends):
+            overlay = backends[backend].get("ops")
+            if not isinstance(overlay, dict):
+                raise CollError(
+                    f"decision table {self.source}: backend {backend!r} "
+                    "missing 'ops' mapping"
+                )
+            self._validate_ops(overlay)
+
+    def _validate_ops(self, ops: Dict[str, Any]) -> None:
         for op in sorted(ops):
             rows = ops[op]
             if not rows:
@@ -111,10 +126,28 @@ class DecisionTable:
                     "be unbounded (max_ranks null)"
                 )
 
-    def lookup(self, op: str, ranks: int, nbytes: Optional[int]) -> str:
+    def lookup(
+        self,
+        op: str,
+        ranks: int,
+        nbytes: Optional[int],
+        backend: Optional[str] = None,
+    ) -> str:
         """Algorithm name for one collective call; falls back to the
-        builtin defaults for ops the table does not cover."""
-        rows = self.raw["ops"].get(op)
+        builtin defaults for ops the table does not cover.
+
+        ``backend`` selects a per-interconnect overlay (``"elan4"``,
+        ``"ib"``, ``"mixed"`` — whatever the tuner swept): an overlay row
+        wins over the base table for the ops it covers, and backends the
+        table has never been tuned for degrade to the base entries.
+        """
+        rows = None
+        if backend is not None:
+            overlay = self.raw.get("backends", {}).get(backend)
+            if overlay is not None:
+                rows = overlay["ops"].get(op)
+        if rows is None:
+            rows = self.raw["ops"].get(op)
         if rows is None:
             rows = BUILTIN_TABLE["ops"].get(op)
             if rows is None:

@@ -62,12 +62,31 @@ def _gate_hw(comm: Any, alg: Algorithm, seq: int) -> Algorithm:
     return registry_get(alg.op, alg.fallback)
 
 
+def _backend_of(comm: Any) -> Optional[str]:
+    """The interconnect axis for table lookups: ``"elan4"``, ``"ib"``, or
+    ``"mixed"`` when this process stripes across both.  Derived from the
+    healthy PTL modules, so a failed-over rail changes future decisions —
+    every rank observes the same failover, so selection stays symmetric."""
+    names = set()
+    for module in getattr(comm.stack.pml, "modules", []):
+        if not module.healthy:
+            continue
+        names.add("elan4" if module.name.startswith("elan4") else module.name)
+    if "elan4" in names and "ib" in names:
+        return "mixed"
+    if len(names) == 1:
+        return next(iter(names))
+    return None
+
+
 def _select(comm: Any, op: str, nbytes: Optional[int]) -> Tuple[Algorithm, int]:
     seq = _next_seq(comm)
     config = comm.stack.config
     name = override_for(op, config)
     if name is None:
-        name = active_table(config).lookup(op, comm.size, nbytes)
+        name = active_table(config).lookup(
+            op, comm.size, nbytes, backend=_backend_of(comm)
+        )
     alg = registry_get(op, name)
     return _gate_hw(comm, alg, seq), seq
 

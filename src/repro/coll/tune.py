@@ -53,14 +53,31 @@ def _payload_kwargs(op: str, rank: int, n: int, size: int) -> Dict[str, Any]:
     raise CollError(f"tuner does not know op {op!r}")
 
 
-def _measure(op: str, alg: str, n: int, size: int, iters: int, seed: int) -> float:
+#: --backend axis: which transports the swept clusters run on
+BACKEND_TRANSPORTS: Dict[str, Tuple[str, ...]] = {
+    "elan4": ("elan4",),
+    "ib": ("ib",),
+    "mixed": ("elan4", "ib"),
+}
+
+
+def _measure(
+    op: str,
+    alg: str,
+    n: int,
+    size: int,
+    iters: int,
+    seed: int,
+    backend: str = "elan4",
+) -> float:
     """Max-over-ranks mean per-iteration modelled latency (µs) of one
     algorithm at one sweep point, on a fresh cluster."""
     from repro.cluster import Cluster  # repro-lint: allow[layering] -- offline sweep
     from repro.coll import framework
     from repro.rte.environment import launch_job
 
-    cluster = Cluster(nodes=n, seed=seed)
+    transports = BACKEND_TRANSPORTS[backend]
+    cluster = Cluster(nodes=n, seed=seed, ib_rail="ib" in transports)
 
     def app(mpi: Any) -> Any:
         comm = mpi.comm_world
@@ -72,7 +89,7 @@ def _measure(op: str, alg: str, n: int, size: int, iters: int, seed: int) -> flo
             yield from framework.run_named(comm, op, alg, **kwargs)
         return (mpi.now - t0) / iters
 
-    results = launch_job(cluster, app, np=n)
+    results = launch_job(cluster, app, np=n, transports=transports)
     return float(max(results.values()))
 
 
@@ -114,6 +131,7 @@ def build_table(
     seed: int = 0,
     ops: Sequence[str] = TUNED_OPS,
     progress: Optional[Callable[[str], None]] = None,
+    backend: str = "elan4",
 ) -> Dict[str, Any]:
     """Run the sweep and return the decision-table dict."""
     say = progress or (lambda _msg: None)
@@ -132,7 +150,7 @@ def build_table(
             for size in points:
                 for alg in algs:
                     try:
-                        us = _measure(op, alg, n, size, iters, seed)
+                        us = _measure(op, alg, n, size, iters, seed, backend)
                     except CollError:
                         us = math.inf  # hw unavailable at this point
                     latency[(alg, n, size)] = us
@@ -171,11 +189,25 @@ def build_table(
             "sizes": sorted(sizes),
             "iters": iters,
             "seed": seed,
+            "backend": backend,
         },
         "ops": ops_out,
     }
     DecisionTable(table, source="<tuner>")  # validate before anyone consumes it
     return table
+
+
+def merge_backend(
+    base: Dict[str, Any], backend: str, table: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Graft a non-default backend's sweep into ``base`` as an overlay
+    (the ``backends`` axis :meth:`DecisionTable.lookup` consults)."""
+    merged = dict(base)
+    backends = dict(merged.get("backends", {}))
+    backends[backend] = {"sweep": table["sweep"], "ops": table["ops"]}
+    merged["backends"] = backends
+    DecisionTable(merged, source="<tuner-merge>")
+    return merged
 
 
 def write_table(table: Dict[str, Any], path: Path) -> None:
@@ -202,6 +234,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--sizes", type=str, default=None,
                         help="comma-separated message sizes (bytes) to sweep")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--backend", choices=sorted(BACKEND_TRANSPORTS), default="elan4",
+        help="interconnect to sweep on; non-default backends merge into the "
+             "table's 'backends' overlay instead of replacing the base ops",
+    )
     args = parser.parse_args(argv)
 
     ranks = ([int(r) for r in args.ranks.split(",")] if args.ranks
@@ -211,8 +248,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     iters = args.iters if args.iters is not None else (2 if args.smoke else 3)
 
     table = build_table(
-        ranks=ranks, sizes=sizes, iters=iters, seed=args.seed, progress=print
+        ranks=ranks, sizes=sizes, iters=iters, seed=args.seed, progress=print,
+        backend=args.backend,
     )
+    prior = (json.loads(args.out.read_text(encoding="utf-8"))
+             if args.out.exists() else None)
+    if args.backend != "elan4":
+        base = prior if prior is not None else {"version": 1, "ops": {}}
+        table = merge_backend(base, args.backend, table)
+    elif prior is not None and "backends" in prior:
+        # a base re-tune keeps previously swept backend overlays
+        table["backends"] = prior["backends"]
+        DecisionTable(table, source="<tuner-merge>")
     write_table(table, args.out)
     print(f"wrote {args.out}")
     for op in sorted(table["ops"]):

@@ -25,6 +25,10 @@ from typing import Optional
 
 __all__ = ["MachineConfig", "default_config"]
 
+#: the Open MPI fragment header size (mirrors repro.core.header.HEADER_BYTES,
+#: which config cannot import without inverting the layering lattice)
+HEADER_BYTES_IB_MIN = 64
+
 
 @dataclass
 class MachineConfig:
@@ -142,6 +146,49 @@ class MachineConfig:
     tcp_mss: int = 8960
 
     # ------------------------------------------------------------------
+    # InfiniBand-style rail (repro.ib): a 4X DDR-class RC HCA behind its
+    # own PCI segment, plus the RoCE-mode switch constants.  Calibrated
+    # to the MPICH2-over-InfiniBand numbers: ~4-6 µs small-message
+    # latency, ~1.5 GB/s unidirectional peak
+    # ------------------------------------------------------------------
+    #: path MTU: payload bytes per packet (RoCE MTUs are 1024/2048/4096)
+    ib_mtu_bytes: int = 2048
+    #: per-byte link serialisation (~1.25 GB/s per direction)
+    ib_link_us_per_byte: float = 0.0008
+    #: switch forwarding latency per hop
+    ib_switch_hop_us: float = 0.2
+    #: cable propagation per hop
+    ib_wire_prop_us: float = 0.05
+    #: host ports per IB leaf switch (single switch up to this count)
+    ib_switch_radix: int = 24
+    #: transport headers per packet (BTH + routing; RoCEv2 adds UDP/IP)
+    ib_header_bytes: int = 40
+    #: wire footprint of an ACK/NAK/CNP/credit control packet
+    ib_ack_bytes: int = 16
+    #: HCA work-request fetch + doorbell processing per WQE
+    ib_nic_wqe_us: float = 0.6
+    #: HCA receive-side processing + CQE generation per delivery
+    ib_nic_deliver_us: float = 0.5
+    #: memory-registration base cost (ibv_reg_mr pinning + key setup)
+    ib_reg_mr_us: float = 4.0
+    #: memory-registration per-KB page-pinning cost
+    ib_reg_mr_us_per_kb: float = 0.05
+    #: QP connection setup charged once per peer at wire-up
+    ib_qp_connect_us: float = 12.0
+    #: persistent pre-registered RDMA fast-path ring: slots per peer
+    ib_fastpath_slots: int = 16
+    #: fast-path slot size (header + payload, like a QSLOT)
+    ib_fastpath_bytes: int = 2048
+    #: max unacked packets in flight per QP before the sender stalls
+    ib_window_pkts: int = 64
+    #: receiver coalesces ACKs: one per this many packets (+ last-of-WQE)
+    ib_ack_every: int = 4
+    #: go-back-N retransmission timeout per QP
+    ib_retransmit_us: float = 400.0
+    #: consecutive timeout retries before the QP enters the error state
+    ib_max_retries: int = 8
+
+    # ------------------------------------------------------------------
     # Open MPI communication stack
     # ------------------------------------------------------------------
     #: Open MPI match header (the paper: 64 bytes)
@@ -244,6 +291,12 @@ class MachineConfig:
             raise ValueError("coll_segment_bytes must be positive")
         if self.coll_hwbarrier_radix < 2:
             raise ValueError("coll_hwbarrier_radix must be at least 2")
+        if self.ib_fastpath_bytes < self.ib_header_bytes + HEADER_BYTES_IB_MIN:
+            raise ValueError("ib_fastpath_bytes cannot carry a fragment header")
+        if self.ib_mtu_bytes < 256:
+            raise ValueError("ib_mtu_bytes below the IB minimum MTU")
+        if self.ib_window_pkts < 1:
+            raise ValueError("ib_window_pkts must be positive")
 
 
 def default_config() -> MachineConfig:

@@ -537,6 +537,17 @@ class Elan4PtlModule(PtlModule):
 
     # -- blocking modes -----------------------------------------------------------
     def blocking_sources(self) -> List:
+        if self.options.completion_queue == "none":
+            # Fig. 5's argument made executable: per-descriptor completion
+            # words cannot be blocked on collectively, so a progress thread
+            # parked on the receive queue would never see local RDMA
+            # completions (the rendezvous pull would stall until the
+            # watchdog re-issues it against an unmapped source buffer).
+            raise PtlError(
+                "elan4: completion_queue='none' polls per-descriptor host "
+                "words and cannot support thread-blocking progress — use "
+                "'one-queue' (one-thread) or 'two-queue' (two-thread)"
+            )
         sources = [self.recv_queue.host_event]
         if self.compl_queue is not None:
             sources.append(self.compl_queue.host_event)

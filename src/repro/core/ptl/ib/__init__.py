@@ -1,0 +1,5 @@
+"""PTL/IB — the InfiniBand-style transport (see :mod:`repro.ib`)."""
+
+from repro.core.ptl.ib.module import IbPtlComponent, IbPtlModule
+
+__all__ = ["IbPtlComponent", "IbPtlModule"]

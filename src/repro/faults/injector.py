@@ -131,6 +131,42 @@ class FaultInjector:
             ft.note_kill(rank, self.sim.now)
         proc.kill(cause=f"fault campaign {self.plan.name!r}")
 
+    def _ib_fabric(self, event: FaultEvent):
+        fabrics = getattr(self.cluster, "ib_fabrics", [])
+        if event.rail >= len(fabrics):
+            raise RuntimeError(f"no ib rail {event.rail} on this cluster")
+        return fabrics[event.rail]
+
+    def _do_ib_port_down(self, event: FaultEvent, index: int) -> None:
+        nic = self.cluster.ib_nics[event.rail][event.target]
+        nic.set_port_down(True)
+        if event.duration_us > 0:
+            def restore() -> None:
+                nic.set_port_down(False)
+                self._note("ib_port_up", f"ib_port_up target={event.target}")
+            self.sim.schedule(event.duration_us, restore)
+        if self.job is None:
+            return
+        # the HCA driver on that node sees the dead port; its PML reroutes
+        error = PtlError(f"ib port on node {event.target} is down")
+        for proc in self.job.processes.values():
+            if proc.node.node_id != event.target:
+                continue
+            pml = getattr(getattr(proc, "stack", None), "pml", None)
+            if pml is None:
+                continue
+            for module in pml.modules:
+                if module.name == "ib" and getattr(module, "nic", None) is nic:
+                    pml.rail_failed(module, error)
+
+    def _do_pfc_storm(self, event: FaultEvent, index: int) -> None:
+        fabric = self._ib_fabric(event)
+        for sw in fabric.switches:
+            if sw.name == event.target:
+                sw.force_pause(event.duration_us or 100.0)
+                return
+        raise RuntimeError(f"no IB switch {event.target!r} on rail {event.rail}")
+
     def _do_packet_loss(self, event: FaultEvent, index: int) -> None:
         self._fabric(event).set_loss(event.param, seed=self.plan.seed * 1000 + index)
 

@@ -1,0 +1,31 @@
+"""An InfiniBand-style RDMA rail with an opt-in lossy RoCE mode.
+
+The hardware model behind PTL/IB (:mod:`repro.core.ptl.ib`):
+
+* :mod:`repro.ib.options` — mode knobs (ib/roce, PFC, ECN, DCQCN);
+* :mod:`repro.ib.verbs` — MRs, WQEs, CQs, RC queue pairs;
+* :mod:`repro.ib.fabric` — switches with finite egress queues, PFC pause
+  cascades, ECN marking, and the QP connection directory;
+* :mod:`repro.ib.nic` — the HCA: segmentation, pacing, go-back-N, DCQCN.
+"""
+
+from repro.ib.fabric import IbFabric, IbFabricError, IbLink, IbSwitch
+from repro.ib.nic import IbNic, IbPacket
+from repro.ib.options import IbOptions
+from repro.ib.verbs import CompletionQueue, Cqe, IbError, MemoryRegion, QueuePair, WorkRequest
+
+__all__ = [
+    "IbFabric",
+    "IbFabricError",
+    "IbLink",
+    "IbSwitch",
+    "IbNic",
+    "IbPacket",
+    "IbOptions",
+    "CompletionQueue",
+    "Cqe",
+    "IbError",
+    "MemoryRegion",
+    "QueuePair",
+    "WorkRequest",
+]

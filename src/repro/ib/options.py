@@ -1,0 +1,71 @@
+"""Mode knobs of the InfiniBand-style rail.
+
+Two fabrics share one code path:
+
+* ``mode="ib"`` — classic InfiniBand: link-level credit flow control makes
+  the fabric **lossless**; switch queues grow unbounded under incast (the
+  credits simply stop the upstream), no packets are dropped or marked.
+* ``mode="roce"`` — RoCEv2 over plain Ethernet: switch egress queues have
+  **finite depth**.  Without any control enabled the fabric is lossy and
+  go-back-N retransmission is the only recovery.  ``pfc`` turns on
+  per-priority PAUSE frames propagating hop-by-hop (lossless again, at the
+  cost of head-of-line blocking and pause storms); ``ecn`` turns on
+  threshold marking plus CNP-driven DCQCN-style sender rate limiting, which
+  keeps queues short so PFC rarely fires.
+
+The split mirrors the PFC/RCM RoCEv2 simulation study (PAPERS.md): PFC is
+the safety net, ECN/DCQCN the congestion avoidance that makes it tolerable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["IbOptions"]
+
+
+@dataclass
+class IbOptions:
+    """Per-rail IB/RoCE behaviour switches (timings live in MachineConfig)."""
+
+    #: "ib" (lossless, infinite queues) or "roce" (finite, lossy) — see module doc
+    mode: str = "ib"
+    #: RoCE: per-priority PAUSE frames, hop-by-hop (ignored in "ib" mode)
+    pfc: bool = True
+    #: RoCE: ECN threshold marking + CNP + DCQCN sender rate limiter
+    ecn: bool = True
+    #: finite egress queue depth, in packets (RoCE mode only)
+    queue_depth_pkts: int = 32
+    #: PFC XOFF threshold: queue depth at which PAUSE is asserted
+    pfc_xoff_pkts: int = 24
+    #: PFC XON threshold: depth at which the pause is released
+    pfc_xon_pkts: int = 8
+    #: ECN marking threshold (packets queued at the egress port)
+    ecn_threshold_pkts: int = 12
+    #: DCQCN: floor of the sender rate factor (fraction of line rate)
+    dcqcn_min_rate: float = 0.05
+    #: DCQCN: rate-cut factor applied per reacted-to CNP: r *= 1 - alpha/2
+    dcqcn_alpha_g: float = 0.5
+    #: DCQCN: minimum spacing between rate cuts (the CNP reaction timer)
+    dcqcn_cnp_interval_us: float = 50.0
+    #: DCQCN: additive rate recovery step per quiet recovery period
+    dcqcn_recovery_step: float = 0.1
+    #: DCQCN: recovery period length
+    dcqcn_recovery_us: float = 55.0
+
+    def validate(self) -> None:
+        if self.mode not in ("ib", "roce"):
+            raise ValueError(f"unknown ib mode {self.mode!r}")
+        if not 0 < self.pfc_xon_pkts <= self.pfc_xoff_pkts:
+            raise ValueError("need 0 < pfc_xon_pkts <= pfc_xoff_pkts")
+        if self.pfc_xoff_pkts > self.queue_depth_pkts:
+            raise ValueError("pfc_xoff_pkts must leave headroom below queue depth")
+        if not 0.0 < self.dcqcn_min_rate <= 1.0:
+            raise ValueError("dcqcn_min_rate outside (0, 1]")
+        if not 0.0 < self.dcqcn_alpha_g <= 1.0:
+            raise ValueError("dcqcn_alpha_g outside (0, 1]")
+
+    @property
+    def lossless(self) -> bool:
+        """Can the fabric ever drop a data packet?"""
+        return self.mode == "ib" or self.pfc

@@ -37,7 +37,21 @@ class MpiStack:
             progress_mode=progress_mode,
         )
         self.registry = PtlRegistry(process, self.config)
-        self.elan4_options = elan4_options or Elan4PtlOptions()
+        if elan4_options is None:
+            # Threaded progress blocks on queue event words, so local RDMA
+            # completions must arrive *as queue messages* — the §6.2 queue
+            # strategies.  Per-descriptor host words (the polling default)
+            # are invisible to a blocked thread: the receiver's rendezvous
+            # completion handler would never run, its watchdog would re-pull
+            # a buffer the sender already unmapped on the chained FIN_ACK,
+            # and the retried read would MmuTrap.  Pick the matching
+            # strategy instead of the unusable default.
+            completion_queue = {
+                "one-thread": "one-queue",
+                "two-thread": "two-queue",
+            }.get(progress_mode, "none")
+            elan4_options = Elan4PtlOptions(completion_queue=completion_queue)
+        self.elan4_options = elan4_options
         self.world: Optional[Communicator] = None
         self._api: Optional[MpiApi] = None
 
@@ -51,6 +65,11 @@ class MpiStack:
                 component = Elan4PtlComponent(
                     self.process, self.config, self.elan4_options, rail=rail
                 )
+            elif name == "ib" or name.startswith("ib:"):
+                from repro.core.ptl.ib.module import IbPtlComponent
+
+                ib_rail = int(name.split(":", 1)[1]) if ":" in name else 0
+                component = IbPtlComponent(self.process, self.config, rail=ib_rail)
             elif name == "tcp":
                 component = TcpPtlComponent(self.process, self.config)
             else:

@@ -41,6 +41,7 @@ STANDARD_SCOPES: tuple[str, ...] = (
     "ptl",
     "nic",
     "switch",
+    "ib",
     "faults",
     "hw",
     "sched",

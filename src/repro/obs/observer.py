@@ -212,6 +212,22 @@ class Observer:
                     f"{prefix}{name}.packets_routed",
                     topology.switches[name].packets_routed,
                 )
+        for rail, nics in enumerate(getattr(cluster, "ib_nics", [])):
+            prefix = f"ibrail{rail}." if rail else "ib."
+            for nic in nics:
+                key = f"{prefix}hca{nic.node_id}"
+                for name, value in sorted(nic.stats().items()):
+                    m.gauge_set("ib", f"{key}.{name}", value)
+        for rail, fabric in enumerate(getattr(cluster, "ib_fabrics", [])):
+            prefix = f"ibrail{rail}." if rail else "ib."
+            for name, value in sorted(fabric.stats().items()):
+                m.gauge_set("ib", f"{prefix}{name}", value)
+            for sw in fabric.switches:
+                m.gauge_set(
+                    "ib", f"{prefix}{sw.name}.packets_routed", sw.packets_routed
+                )
+                for port, depth in sorted(sw.queue_depths().items()):
+                    m.gauge_set("ib", f"{prefix}{sw.name}.{port}.depth", depth)
 
     def snapshot(self) -> dict[str, Any]:
         return self.metrics.snapshot(at_us=self.now)

@@ -178,6 +178,7 @@ class JobScheduler:
         run.backfilled = backfilled
         run.state = RUNNING
         run.stats.start_us = self.cluster.sim.now
+        run._net_mark = self._net_snapshot()
         job = RteJob(
             run.lease,
             stack_factory=self.stack_factory,
@@ -239,6 +240,26 @@ class JobScheduler:
         if run._ranks_left == 0:
             self._finish(run)
 
+    def _net_snapshot(self) -> Dict[str, float]:
+        """Cluster-wide per-backend traffic counters, read cheaply at job
+        boundaries.  Deltas between a tenant's start and end mark what the
+        *shared* fabrics moved during its run — co-resident tenants overlap
+        by construction, which is exactly the contention signal the fleet
+        dashboards want."""
+        snap = {
+            "elan4_bytes": 0.0, "elan4_packets": 0.0,
+            "ib_bytes": 0.0, "ib_packets": 0.0, "ib_pauses": 0.0,
+        }
+        for fabric in self.cluster.rail_fabrics:
+            snap["elan4_bytes"] += fabric.bytes_delivered
+            snap["elan4_packets"] += fabric.packets_delivered
+        for fabric in getattr(self.cluster, "ib_fabrics", []):
+            stats = fabric.stats()
+            snap["ib_bytes"] += stats["bytes_tx"]
+            snap["ib_packets"] += stats["packets_tx"]
+            snap["ib_pauses"] += stats["pauses_sent"]
+        return snap
+
     def _finish(self, run: JobRun) -> None:
         run.state = FAILED if run.stats.failed else DONE
         run.stats.end_us = self.cluster.sim.now
@@ -254,7 +275,17 @@ class JobScheduler:
             obs.count("sched", "jobs_failed" if run.stats.failed else "jobs_completed")
             obs.gauge("sched", "running_jobs", len(self.running))
             obs.sample("sched", "makespan_us", run.stats.makespan_us)
-            obs.instant("sched", "job_end", tenant=run.spec.name, state=run.state)
+            net = {}
+            mark = getattr(run, "_net_mark", None)
+            if mark is not None:
+                now_snap = self._net_snapshot()
+                net = {k: now_snap[k] - mark[k] for k in mark}
+                for key, delta in net.items():
+                    if delta:
+                        obs.count("sched", f"net.{key}", int(delta))
+            obs.instant(
+                "sched", "job_end", tenant=run.spec.name, state=run.state, **net
+            )
         # slots freed — give the queue a fresh look (own event: keep the
         # app's final coroutine step and the dispatch decision ordered)
         self.cluster.sim.schedule(0.0, self._dispatch)

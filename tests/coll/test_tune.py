@@ -43,6 +43,7 @@ def test_build_table_emits_valid_table(tiny_table):
     assert set(tiny_table["ops"]) == {"barrier", "bcast"}
     assert tiny_table["sweep"] == {
         "ranks": [2], "sizes": [0, 1024], "iters": 1, "seed": 0,
+        "backend": "elan4",
     }
     (row,) = tiny_table["ops"]["barrier"]
     assert row["min_ranks"] == 1 and row["max_ranks"] is None

@@ -1,0 +1,48 @@
+"""Regression: rendezvous-size transfers under thread-blocking progress.
+
+The historical failure: ``make_mpi_stack_factory(progress_mode="one-thread")``
+kept the Elan4 default ``completion_queue="none"`` (per-descriptor host
+words), which a progress thread parked on the receive queue can never see.
+The receiver's RDMA-read completion handler therefore never ran, its
+watchdog re-issued the pull after the sender's NIC-chained FIN_ACK had
+already unmapped the source buffer, and the retried read died with
+``MmuTrap: no translation for E4Addr(ctx=1024, 0x100000)``.
+
+The stack now auto-selects the §6.2 queue strategy per progress mode
+(one-thread → one-queue, two-thread → two-queue), and an explicitly
+misconfigured combination fails loudly at startup instead of trapping
+mid-rendezvous.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.ptl.base import PtlError
+from repro.core.ptl.elan4.module import Elan4PtlOptions
+from tests.conftest import pingpong_app, run_mpi_app
+
+
+@pytest.mark.parametrize("mode", ["one-thread", "two-thread"])
+@pytest.mark.parametrize("nbytes", [32768, 262144])
+def test_threaded_rendezvous_default_options(mode, nbytes):
+    """The exact reproduction from the ROADMAP known-issue: a plain 32 KB
+    (and 256 KB) ping-pong with only ``progress_mode`` set."""
+    payload = np.random.default_rng(nbytes).integers(0, 256, nbytes, dtype=np.uint8)
+    results, cluster = run_mpi_app(
+        pingpong_app(nbytes, iters=2, payload=payload),
+        progress_mode=mode,
+    )
+    assert results[1] is True
+    cluster.assert_no_drops()
+
+
+@pytest.mark.parametrize("mode", ["one-thread", "two-thread"])
+def test_threaded_progress_rejects_unpollable_completions(mode):
+    """completion_queue='none' cannot support blocking progress: the stack
+    must refuse at wire-up, not MmuTrap at the first rendezvous."""
+    with pytest.raises(PtlError, match="completion_queue"):
+        run_mpi_app(
+            pingpong_app(4, iters=1),
+            progress_mode=mode,
+            elan4_options=Elan4PtlOptions(completion_queue="none"),
+        )

@@ -1,0 +1,174 @@
+"""IB fault campaigns: PFC storms and HCA port deaths.
+
+The recovery contract mirrors the Elan4 rail faults: a PFC storm only
+*delays* traffic (PAUSE is lossless), and a dead IB port on a striped job
+fails its traffic over to the surviving Elan4 rail with no data loss."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.config import default_config
+from repro.faults import FaultEvent, FaultInjector, FaultPlan
+from repro.ib.options import IbOptions
+from repro.mpi.world import make_mpi_stack_factory
+from repro.rte.environment import RteJob
+
+
+# ---------------------------------------------------------------- the DSL
+def test_ib_builders_chain_and_validate():
+    plan = FaultPlan("ibfaults").pfc_storm(20.0, "ibsw0").ib_port_down(
+        10.0, 1, duration_us=50.0
+    )
+    assert [e.kind for e in plan] == ["ib_port_down", "pfc_storm"]
+    with pytest.raises(ValueError, match="unknown fault kind"):
+        FaultPlan()._add(FaultEvent(0.0, "ib_cable_chewed"))
+
+
+def test_ib_port_down_and_restore_trace():
+    cluster = Cluster(nodes=2, ib_rail=True)
+    plan = FaultPlan().ib_port_down(10.0, 0, duration_us=50.0)
+    inj = FaultInjector(cluster, plan)
+    inj.arm()
+    cluster.sim.run(until=100.0)
+    assert [k for _, k, _ in inj.trace] == ["ib_port_down", "ib_port_up"]
+    assert not cluster.ib_nics[0][0].down
+
+
+def test_pfc_storm_requires_an_ib_rail():
+    cluster = Cluster(nodes=2)  # no IB rail
+    inj = FaultInjector(cluster, FaultPlan().pfc_storm(5.0, "ibsw0"))
+    inj.arm()
+    with pytest.raises(RuntimeError, match="no ib rail"):
+        cluster.sim.run(until=10.0)
+
+
+# ----------------------------------------------------------- pfc storm
+def test_pfc_storm_delays_but_job_completes():
+    """A forced PAUSE on every feeder of the leaf switch while a message
+    stream is in flight: nothing is lost, nothing is reordered, the job
+    just finishes later."""
+    n, iters = 1024, 12
+    payloads = [np.full(n, i + 1, dtype=np.uint8) for i in range(iters)]
+
+    def sender(mpi):
+        for i in range(iters):
+            buf = mpi.alloc(n)
+            buf.write(payloads[i])
+            yield from mpi.comm_world.send(buf, dest=1, tag=i, nbytes=n)
+        return mpi.now
+
+    def receiver(mpi):
+        got = []
+        for i in range(iters):
+            data, _ = yield from mpi.comm_world.recv(source=0, tag=i, nbytes=n)
+            got.append(data.copy())
+        return got
+
+    def run(storm):
+        opts = IbOptions(mode="roce", pfc=True, ecn=False)
+        cluster = Cluster(nodes=2, ib_rail=True, ib_options=opts)
+        job = RteJob(cluster, stack_factory=make_mpi_stack_factory())
+        job.launch(0, sender, group="world", group_count=2, transports=("ib",))
+        job.launch(1, receiver, group="world", group_count=2, transports=("ib",))
+        inj = None
+        if storm:
+            plan = FaultPlan("storm").pfc_storm(150.0, "ibsw0", duration_us=400.0)
+            inj = FaultInjector(cluster, plan)
+            inj.arm()
+        results = job.wait()
+        cluster.assert_no_drops()
+        return results, cluster, inj
+
+    calm_results, _, _ = run(storm=False)
+    storm_results, cluster, inj = run(storm=True)
+    for i in range(iters):
+        assert np.array_equal(storm_results[1][i], payloads[i])
+    assert [k for _, k, _ in inj.trace] == ["pfc_storm"]
+    assert cluster.ib_fabrics[0].stats()["pause_us"] > 0.0
+    assert cluster.ib_fabrics[0].stats()["drops"] == 0
+    # the storm held the fabric until t=550us: the stream cannot have
+    # finished before the release, and must finish later than a calm run
+    assert storm_results[0] > 550.0 > calm_results[0]
+
+
+def test_pfc_storm_campaign_is_deterministic():
+    def run():
+        opts = IbOptions(mode="roce", pfc=True, ecn=True)
+        cluster = Cluster(nodes=2, ib_rail=True, ib_options=opts, seed=5)
+        job = RteJob(cluster, stack_factory=make_mpi_stack_factory())
+
+        def app(mpi):
+            if mpi.rank == 0:
+                for i in range(6):
+                    yield from mpi.comm_world.send(
+                        mpi.alloc(4096), dest=1, tag=i, nbytes=4096
+                    )
+                return mpi.now
+            for i in range(6):
+                yield from mpi.comm_world.recv(source=0, tag=i, nbytes=4096)
+            return mpi.now
+
+        job.launch(0, app, group="world", group_count=2, transports=("ib",))
+        job.launch(1, app, group="world", group_count=2, transports=("ib",))
+        inj = FaultInjector(
+            cluster, FaultPlan("s", seed=5).pfc_storm(100.0, "ibsw0", duration_us=250.0)
+        )
+        inj.arm()
+        results = job.wait()
+        return results, inj.trace
+
+    r1, t1 = run()
+    r2, t2 = run()
+    assert r1 == r2
+    assert t1 == t2
+
+
+# ------------------------------------------------------- port-down failover
+def test_ib_port_down_fails_over_to_elan4():
+    """A striped Elan4+IB job loses the IB port on the receiver's node
+    mid-stream: the receiver's PML unhealthies the module immediately (HCA
+    driver diagnosis), the sender discovers via go-back-N retry exhaustion,
+    and every message still arrives intact over Elan4."""
+    n, iters = 1024, 12
+    rng = np.random.default_rng(2)
+    payloads = [rng.integers(0, 256, n, dtype=np.uint8) for _ in range(iters)]
+
+    def sender(mpi):
+        yield from mpi.thread.sleep(1000.0)
+        for i in range(iters):
+            buf = mpi.alloc(n)
+            buf.write(payloads[i])
+            yield from mpi.comm_world.send(buf, dest=1, tag=i, nbytes=n)
+            yield from mpi.thread.sleep(150.0)  # the stream spans the fault
+        return "sent"
+
+    def receiver(mpi):
+        got = []
+        for i in range(iters):
+            data, _ = yield from mpi.comm_world.recv(source=0, tag=i, nbytes=n)
+            got.append(data.copy())
+        return got
+
+    # a tight retry budget keeps the sender's dead-QP diagnosis fast
+    config = default_config().variant(ib_max_retries=3)
+    cluster = Cluster(nodes=2, config=config, ib_rail=True)
+    job = RteJob(cluster, stack_factory=make_mpi_stack_factory())
+    rails = ("elan4", "ib")
+    job.launch(0, sender, group="world", group_count=2, transports=rails)
+    job.launch(1, receiver, group="world", group_count=2, transports=rails)
+
+    plan = FaultPlan("portdown").ib_port_down(1500.0, 1)  # permanent
+    inj = FaultInjector(cluster, plan, job=job)
+    inj.arm()
+    results = job.wait()
+
+    assert results[0] == "sent"
+    for i in range(iters):
+        assert np.array_equal(results[1][i], payloads[i]), f"message {i} corrupted"
+    assert [k for _, k, _ in inj.trace] == ["ib_port_down"]
+    # the receiver's PML took the module out of service
+    pml1 = job.processes[1].stack.pml
+    assert any(m.name == "ib" and not m.healthy for m in pml1.modules)
+    # nobody was declared dead: the job survived on the Elan4 rail
+    assert inj.stats()["dead_peers"] == 0
